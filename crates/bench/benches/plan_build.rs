@@ -1,0 +1,28 @@
+//! Plan-construction cost: how long each scheme takes to turn a sharer
+//! set into worms (this is work the home's directory controller logic
+//! would do per transaction, so it should be far cheaper than the
+//! transaction itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wormdsm_core::SchemeKind;
+use wormdsm_mesh::topology::Mesh2D;
+use wormdsm_sim::Rng;
+use wormdsm_workloads::{gen_pattern, PatternKind};
+
+fn bench_plan(c: &mut Criterion) {
+    let mesh = Mesh2D::square(16);
+    let mut rng = Rng::new(7);
+    let pattern = gen_pattern(&mesh, PatternKind::UniformRandom, 48, &mut rng);
+    let mut g = c.benchmark_group("plan_d48_16x16");
+    for scheme in SchemeKind::ALL {
+        let s = scheme.build();
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &s, |b, s| {
+            b.iter(|| black_box(s.plan(&mesh, pattern.home, &pattern.sharers)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

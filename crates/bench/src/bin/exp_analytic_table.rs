@@ -1,0 +1,65 @@
+//! E1 — analytic estimates (paper section 2.3.3).
+//!
+//! For every scheme, sharer count and mesh size: message counts at the
+//! home, total messages, network traffic and estimated latency from the
+//! closed-form model, averaged over random sharer placements.
+//!
+//! Usage: `exp_analytic_table [--k 8] [--trials 20] [--seed 1]`
+
+use wormdsm_analytic::{estimate_invalidation, NetParams};
+use wormdsm_bench::{arg, d_sweep};
+use wormdsm_core::SchemeKind;
+use wormdsm_mesh::topology::Mesh2D;
+use wormdsm_sim::Rng;
+use wormdsm_workloads::{gen_pattern, PatternKind};
+
+fn main() {
+    let trials: usize = arg("--trials", 20);
+    let seed: u64 = arg("--seed", 1);
+    for k in [arg("--k", 8usize), 16] {
+        let mesh = Mesh2D::square(k);
+        println!("\n== E1: analytic estimates, {k}x{k} mesh, uniform-random sharers, {trials} trials ==");
+        println!(
+            "{:>12} {:>4} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            "scheme", "d", "home_send", "home_recv", "msgs", "traffic", "latency(cy)"
+        );
+        for scheme in SchemeKind::ALL {
+            let s = scheme.build();
+            let routing = scheme.natural_routing();
+            for &d in &d_sweep(k) {
+                let mut rng = Rng::new(seed);
+                let (mut hs, mut hr, mut tm, mut tr, mut lat) = (0.0, 0.0, 0.0, 0.0, 0.0);
+                for _ in 0..trials {
+                    let p = gen_pattern(&mesh, PatternKind::UniformRandom, d, &mut rng);
+                    let e = estimate_invalidation(
+                        &NetParams::default(),
+                        &mesh,
+                        routing,
+                        s.as_ref(),
+                        p.home,
+                        &p.sharers,
+                    );
+                    hs += e.home_sends as f64;
+                    hr += e.home_recvs as f64;
+                    tm += e.total_msgs as f64;
+                    tr += e.traffic_flit_hops as f64;
+                    lat += e.latency;
+                }
+                let n = trials as f64;
+                println!(
+                    "{:>12} {:>4} {:>10.1} {:>10.1} {:>10.1} {:>12.0} {:>12.0}",
+                    scheme.name(),
+                    d,
+                    hs / n,
+                    hr / n,
+                    tm / n,
+                    tr / n,
+                    lat / n
+                );
+            }
+        }
+        if k == 16 {
+            break;
+        }
+    }
+}

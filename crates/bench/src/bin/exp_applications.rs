@@ -1,0 +1,129 @@
+//! E11 — application results (paper Table 6 and the application figures).
+//!
+//! Runs Barnes-Hut (128 bodies / 4 steps), blocked LU (128x128, 8x8
+//! blocks) and APSP on 64 processors under every scheme, reporting
+//! execution time (normalized to UI-UA), invalidation statistics, home
+//! occupancy and traffic.
+//!
+//! Usage: `exp_applications [--k 8] [--quick] [--app all|bh|lu|apsp]`
+
+use wormdsm_bench::{arg, flag, par_map};
+use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig};
+use wormdsm_workloads::apps::apsp::{self, ApspConfig};
+use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
+use wormdsm_workloads::apps::lu::{self, LuConfig};
+use wormdsm_workloads::Workload;
+
+#[derive(Debug, Clone, Copy)]
+struct AppResult {
+    cycles: u64,
+    inval_txns: u64,
+    mean_d: f64,
+    inval_lat: f64,
+    home_msgs: f64,
+    traffic: u64,
+    stall: u64,
+}
+
+fn workload(app: &str, procs: usize, quick: bool) -> Workload {
+    match app {
+        "bh" => {
+            let mut cfg = BarnesHutConfig { procs, ..Default::default() };
+            if quick {
+                cfg.bodies = 64;
+                cfg.steps = 2;
+            }
+            barnes_hut::generate(&cfg)
+        }
+        "lu" => {
+            let mut cfg = LuConfig { procs, ..Default::default() };
+            if quick {
+                cfg.n = 64;
+            }
+            lu::generate(&cfg)
+        }
+        "apsp" => {
+            let mut cfg = ApspConfig { procs, ..Default::default() };
+            if quick {
+                cfg.n = procs;
+            }
+            apsp::generate(&cfg)
+        }
+        other => panic!("unknown app {other}"),
+    }
+}
+
+fn run(app: &str, scheme: SchemeKind, k: usize, quick: bool) -> AppResult {
+    let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    let w = workload(app, k * k, quick);
+    let r = w.run(&mut sys, 500_000_000).expect("application completes");
+    let m = sys.metrics();
+    AppResult {
+        cycles: r.cycles,
+        inval_txns: m.inval_txns,
+        mean_d: m.inval_set_size.summary().mean(),
+        inval_lat: m.inval_latency.mean(),
+        home_msgs: m.inval_home_msgs.mean(),
+        traffic: sys.net_stats().flit_hops,
+        stall: m.stall_cycles,
+    }
+}
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let quick = flag("--quick");
+    let which: String = arg("--app", "all".to_string());
+    let apps: Vec<&str> = match which.as_str() {
+        "all" => vec!["bh", "lu", "apsp"],
+        a => vec![match a {
+            "bh" => "bh",
+            "lu" => "lu",
+            "apsp" => "apsp",
+            other => panic!("unknown app {other}"),
+        }],
+    };
+
+    println!("\n== E11: applications on {0}x{0} ({1} procs){2} ==", k, k * k, if quick { ", quick sizes" } else { "" });
+    let jobs: Vec<(&str, SchemeKind)> = apps
+        .iter()
+        .flat_map(|&a| SchemeKind::ALL.into_iter().map(move |s| (a, s)))
+        .collect();
+    let results = par_map(jobs.clone(), |(app, scheme)| run(app, scheme, k, quick));
+
+    for &app in &apps {
+        let name = match app {
+            "bh" => "Barnes-Hut (128 bodies, 4 steps)",
+            "lu" => "Blocked LU (128x128, 8x8 blocks)",
+            "apsp" => "APSP (Floyd-Warshall)",
+            _ => unreachable!(),
+        };
+        println!("\n-- {name} --");
+        println!(
+            "{:>12} {:>12} {:>7} {:>8} {:>7} {:>10} {:>10} {:>12} {:>12}",
+            "scheme", "cycles", "norm", "invals", "mean d", "inval lat", "home msgs", "traffic", "stall cyc"
+        );
+        let base = jobs
+            .iter()
+            .zip(&results)
+            .find(|((a, s), _)| *a == app && *s == SchemeKind::UiUa)
+            .map(|(_, r)| r.cycles as f64)
+            .expect("baseline ran");
+        for (j, r) in jobs.iter().zip(&results) {
+            if j.0 != app {
+                continue;
+            }
+            println!(
+                "{:>12} {:>12} {:>7.3} {:>8} {:>7.1} {:>10.1} {:>10.1} {:>12} {:>12}",
+                j.1.name(),
+                r.cycles,
+                r.cycles as f64 / base,
+                r.inval_txns,
+                r.mean_d,
+                r.inval_lat,
+                r.home_msgs,
+                r.traffic,
+                r.stall
+            );
+        }
+    }
+}

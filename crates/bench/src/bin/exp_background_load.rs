@@ -1,0 +1,91 @@
+//! E9 — invalidation latency under background network load.
+//!
+//! Every node except the probe writer streams private remote reads
+//! (guaranteed misses) with a tunable compute gap; smaller gaps mean more
+//! concurrent data traffic on the links the invalidation worms share.
+//! One seeded invalidation transaction is then measured mid-stream.
+//!
+//! Usage: `exp_background_load [--k 8] [--d 8] [--probes 5]`
+
+use wormdsm_bench::arg;
+use wormdsm_coherence::Addr;
+use wormdsm_core::{DsmSystem, MemOp, SchemeKind, SystemConfig};
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_sim::Rng;
+use wormdsm_workloads::synthetic::background_workload;
+use wormdsm_workloads::{gen_pattern, PatternKind};
+
+/// Run background traffic on all nodes except 0, measuring `probes`
+/// sequential seeded transactions. Returns (mean latency, achieved link
+/// utilization of the busiest link).
+fn run(scheme: SchemeKind, k: usize, d: usize, gap: u64, probes: usize) -> (f64, f64) {
+    let nodes = k * k;
+    let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    let mesh = Mesh2D::square(k);
+    let mut bg = background_workload(nodes, 100_000, gap, 99);
+    bg.ops[0].clear(); // node 0 is the probe writer
+    let mut rng = Rng::new(7);
+
+    let mut probe_latencies = Vec::new();
+    let mut next_probe_block = 1u64;
+    let mut pending: Option<u64> = None; // inval_txns count to wait past
+    let mut warmup = 2_000u64;
+    let deadline = 5_000_000u64;
+
+    while probe_latencies.len() < probes && sys.now() < deadline {
+        // Feed background ops.
+        for p in 1..nodes {
+            let node = NodeId(p as u16);
+            if !bg.ops[p].is_empty() && sys.proc_idle(node) {
+                let op = bg.ops[p].pop_front().expect("non-empty");
+                sys.issue(node, op);
+            }
+        }
+        // Probe management.
+        if warmup == 0 && pending.is_none() && sys.proc_idle(NodeId(0)) {
+            // Draw a pattern whose writer is node 0.
+            let mut pat = gen_pattern(&mesh, PatternKind::UniformRandom, d, &mut rng);
+            pat.writer = NodeId(0);
+            if !pat.sharers.contains(&pat.writer) && pat.home != pat.writer {
+                let block = next_probe_block * nodes as u64 + pat.home.0 as u64;
+                next_probe_block += 7;
+                let addr = Addr(block * 32);
+                sys.seed_shared(sys.geometry().block_of(addr), &pat.sharers);
+                let before = sys.metrics().inval_latency.sum();
+                sys.issue(NodeId(0), MemOp::Write(addr));
+                pending = Some(before.to_bits());
+            }
+        }
+        if let Some(before_bits) = pending {
+            let before = f64::from_bits(before_bits);
+            let sum = sys.metrics().inval_latency.sum();
+            if sum > before {
+                probe_latencies.push(sum - before);
+                pending = None;
+            }
+        }
+        sys.step();
+        warmup = warmup.saturating_sub(1);
+    }
+    let util = sys.net_stats().max_link_utilization(sys.now());
+    let mean = probe_latencies.iter().sum::<f64>() / probe_latencies.len().max(1) as f64;
+    (mean, util)
+}
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let d: usize = arg("--d", 8);
+    let probes: usize = arg("--probes", 5);
+    println!("\n== E9: invalidation latency under background load, {k}x{k}, d = {d} ==");
+    println!(
+        "{:>12} {:>10} {:>12} {:>14}",
+        "scheme", "bg gap", "latency(cy)", "max link util"
+    );
+    for scheme in [SchemeKind::UiUa, SchemeKind::MiUaCol, SchemeKind::MiMaCol, SchemeKind::MiMaWf] {
+        for gap in [0u64, 50, 150, 400, 1_000_000] {
+            let label = if gap >= 1_000_000 { "idle".to_string() } else { format!("{gap}") };
+            let (lat, util) = run(scheme, k, d, gap, probes);
+            println!("{:>12} {:>10} {:>12.1} {:>14.3}", scheme.name(), label, lat, util);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! E7 — sensitivity to the number of i-ack buffers and to the
+//! virtual-cut-through deferred-delivery mechanism.
+//!
+//! Several invalidation transactions run concurrently through the *same*
+//! sharer column, so their gather worms contend for the router-interface
+//! i-ack buffer entries. With too few entries (or in Block mode) gather
+//! worms stall in the network; with 2-4 entries and VCT deferral they
+//! park and resume — the paper's recommendation.
+//!
+//! Usage: `exp_iack_buffers [--k 8] [--concurrent 4] [--d 6]`
+
+use wormdsm_bench::arg;
+use wormdsm_coherence::Addr;
+use wormdsm_core::{DsmSystem, MemOp, SchemeKind, SystemConfig};
+use wormdsm_mesh::topology::Mesh2D;
+use wormdsm_mesh::IackMode;
+use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
+
+fn run(scheme: SchemeKind, k: usize, buffers: usize, mode: IackMode, concurrent: usize, d: usize) -> (f64, u64, u64, u64) {
+    let mut cfg = SystemConfig::for_scheme(k, scheme);
+    cfg.mesh.iack_buffers = buffers;
+    cfg.mesh.iack_mode = mode;
+    let mut sys = DsmSystem::new(cfg, scheme.build());
+    let mesh = Mesh2D::square(k);
+    let nodes = (k * k) as u64;
+    // All transactions share the same sharers, arranged in deep columns:
+    // an i-reserve worm's entry at the column head stays reserved until
+    // the gather returns from the far end, so concurrent transactions
+    // contend for the entries exactly as the paper's buffer-sizing
+    // analysis considers.
+    let depth = 6.min(k - 2);
+    let sharers: Vec<_> = (0..d).map(|i| mesh.node_at(2 + 2 * (i / depth), 1 + i % depth)).collect();
+    let mut writers = Vec::new();
+    for i in 0..concurrent {
+        let block = (i as u64 + 1) * nodes; // homed at node 0
+        let addr = Addr(block * 32);
+        sys.seed_shared(sys.geometry().block_of(addr), &sharers);
+        writers.push((mesh.node_at(k - 1, k - 1 - i), addr));
+    }
+    for (w, a) in &writers {
+        sys.issue(*w, MemOp::Write(*a));
+    }
+    sys.run_until_idle(5_000_000).expect("all transactions complete");
+    (
+        sys.metrics().inval_latency.mean(),
+        sys.net_stats().parks,
+        sys.net_stats().gather_blocked_cycles + sys.net_stats().multicast_blocked_cycles,
+        sys.metrics().iack_fallbacks,
+    )
+}
+
+/// Application-level VCT-vs-Block comparison: Barnes-Hut's tree-phase
+/// invalidations race the gathers, so deferred delivery actually parks.
+fn run_app(scheme: SchemeKind, k: usize, mode: IackMode) -> Option<(u64, u64, u64)> {
+    let mut cfg = SystemConfig::for_scheme(k, scheme);
+    cfg.mesh.iack_mode = mode;
+    let mut sys = DsmSystem::new(cfg, scheme.build());
+    let w = barnes_hut::generate(&BarnesHutConfig { procs: k * k, bodies: 64, steps: 2, ..Default::default() });
+    match w.run(&mut sys, 2_000_000) {
+        Ok(r) => Some((r.cycles, sys.net_stats().parks, sys.net_stats().gather_blocked_cycles)),
+        Err(_) => None, // blocked gathers wedged the run
+    }
+}
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let concurrent: usize = arg("--concurrent", 6);
+    let d: usize = arg("--d", 12);
+    println!("\n== E7: i-ack buffer sensitivity, {k}x{k}, {concurrent} concurrent txns, d = {d} ==");
+    println!(
+        "{:>12} {:>9} {:>9} {:>12} {:>8} {:>12} {:>10}",
+        "scheme", "buffers", "mode", "latency(cy)", "parks", "blocked(cy)", "retries"
+    );
+    for scheme in [SchemeKind::MiMaCol, SchemeKind::MiMaTwoPhase] {
+        for mode in [IackMode::VctDefer, IackMode::Block] {
+            for buffers in [1usize, 2, 4, 8] {
+                let (lat, parks, blocked, fb) = run(scheme, k, buffers, mode, concurrent, d);
+                println!(
+                    "{:>12} {:>9} {:>9} {:>12.1} {:>8} {:>12} {:>10}",
+                    scheme.name(),
+                    buffers,
+                    match mode {
+                        IackMode::VctDefer => "vct",
+                        IackMode::Block => "block",
+                    },
+                    lat,
+                    parks,
+                    blocked,
+                    fb
+                );
+            }
+        }
+    }
+
+    println!("
+== E7b: VCT deferred delivery vs blocking gathers, Barnes-Hut (64 bodies, 2 steps) ==");
+    println!("{:>12} {:>9} {:>12} {:>8} {:>14}", "scheme", "mode", "exec cycles", "parks", "blocked cycles");
+    for scheme in [SchemeKind::MiMaCol, SchemeKind::MiMaTwoPhase] {
+        for mode in [IackMode::VctDefer, IackMode::Block] {
+            let mode_name = match mode {
+                IackMode::VctDefer => "vct",
+                IackMode::Block => "block",
+            };
+            match run_app(scheme, k, mode) {
+                Some((cycles, parks, blocked)) => println!(
+                    "{:>12} {:>9} {:>12} {:>8} {:>14}",
+                    scheme.name(),
+                    mode_name,
+                    cycles,
+                    parks,
+                    blocked
+                ),
+                None => println!(
+                    "{:>12} {:>9} {:>12} {:>8} {:>14}",
+                    scheme.name(),
+                    mode_name,
+                    "WEDGED",
+                    "-",
+                    "-"
+                ),
+            }
+        }
+    }
+    println!("(WEDGED = blocked gather worms stalled the run past 2M cycles —");
+    println!(" the failure mode VCT deferred delivery exists to prevent.)");
+}

@@ -1,0 +1,76 @@
+//! E12 — invalidation-pattern analysis per application.
+//!
+//! The distribution of sharers-per-invalidation for each application (the
+//! classic Gupta/Weber-style characterization): small sets dominate in
+//! Barnes-Hut and LU, APSP's pivot-row rewrites produce near-full-machine
+//! sets.
+//!
+//! Usage: `exp_inval_patterns [--k 8] [--quick]`
+
+use wormdsm_bench::{arg, flag};
+use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig};
+use wormdsm_workloads::apps::apsp::{self, ApspConfig};
+use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
+use wormdsm_workloads::apps::lu::{self, LuConfig};
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let quick = flag("--quick");
+    let procs = k * k;
+    let buckets: [(u64, u64); 7] = [(1, 1), (2, 2), (3, 4), (5, 8), (9, 16), (17, 32), (33, 256)];
+
+    println!("\n== E12: invalidation set-size distribution per application ({procs} procs) ==");
+    println!(
+        "{:>12} {:>8} {:>7} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "app", "invals", "mean d", "1", "2", "3-4", "5-8", "9-16", "17-32", "33+"
+    );
+    for app in ["bh", "lu", "apsp"] {
+        let scheme = SchemeKind::UiUa;
+        let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+        let w = match app {
+            "bh" => {
+                let mut cfg = BarnesHutConfig { procs, ..Default::default() };
+                if quick {
+                    cfg.bodies = 64;
+                    cfg.steps = 2;
+                }
+                barnes_hut::generate(&cfg)
+            }
+            "lu" => {
+                let mut cfg = LuConfig { procs, ..Default::default() };
+                if quick {
+                    cfg.n = 64;
+                }
+                lu::generate(&cfg)
+            }
+            _ => {
+                let mut cfg = ApspConfig { procs, ..Default::default() };
+                if quick {
+                    cfg.n = procs;
+                }
+                apsp::generate(&cfg)
+            }
+        };
+        w.run(&mut sys, 500_000_000).expect("completes");
+        let h = &sys.metrics().inval_set_size;
+        let total = h.count().max(1);
+        let mut cells = Vec::new();
+        for &(lo, hi) in &buckets {
+            let mut c = 0u64;
+            for v in lo..=hi.min(255) {
+                c += h.bucket(v as usize);
+            }
+            cells.push(100.0 * c as f64 / total as f64);
+        }
+        print!(
+            "{:>12} {:>8} {:>7.1} |",
+            app,
+            h.count(),
+            h.summary().mean()
+        );
+        for c in cells {
+            print!(" {c:>5.1}%");
+        }
+        println!();
+    }
+}

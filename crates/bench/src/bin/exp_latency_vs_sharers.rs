@@ -1,0 +1,71 @@
+//! E2/E3 — simulated invalidation latency vs. number of sharers.
+//!
+//! The paper's central figure: mean invalidation latency (5 ns cycles)
+//! against the sharer count `d` for every scheme, on an otherwise idle
+//! mesh. E-cube schemes run under e-cube routing, the serpentine (wf)
+//! schemes under the turn model.
+//!
+//! Usage: `exp_latency_vs_sharers [--k 8] [--trials 20] [--seed 1]
+//!         [--pattern uniform|column|row|cluster]`
+
+use wormdsm_bench::{arg, d_sweep, header, mean_over_patterns, par_map, row};
+use wormdsm_core::SchemeKind;
+use wormdsm_workloads::PatternKind;
+
+fn pattern_kind(name: &str) -> PatternKind {
+    match name {
+        "uniform" => PatternKind::UniformRandom,
+        "column" => PatternKind::SameColumn,
+        "row" => PatternKind::SameRow,
+        "cluster" => PatternKind::Cluster { radius: 2 },
+        other => panic!("unknown pattern {other}"),
+    }
+}
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let trials: usize = arg("--trials", 20);
+    let seed: u64 = arg("--seed", 1);
+    let kind = pattern_kind(&arg::<String>("--pattern", "uniform".into()));
+
+    let ds = d_sweep(k);
+    println!("\n== E2/E3: invalidation latency (cycles) vs sharers, {k}x{k}, {kind:?}, {trials} trials ==");
+    header("d", &SchemeKind::ALL.iter().map(|s| s.name().to_string()).collect::<Vec<_>>());
+
+    let jobs: Vec<(usize, SchemeKind)> = ds
+        .iter()
+        .flat_map(|&d| SchemeKind::ALL.into_iter().map(move |s| (d, s)))
+        .collect();
+    let results = par_map(jobs, |(d, scheme)| {
+        (d, scheme, mean_over_patterns(scheme, k, kind, d, trials, seed))
+    });
+
+    for &d in &ds {
+        let cells: Vec<f64> = SchemeKind::ALL
+            .iter()
+            .map(|s| {
+                results
+                    .iter()
+                    .find(|(rd, rs, _)| *rd == d && rs == s)
+                    .map(|(_, _, m)| m.inval_latency)
+                    .expect("job ran")
+            })
+            .collect();
+        row(&format!("{d}"), &cells);
+    }
+    println!("\n(write latency seen by the processor, same sweep)");
+    header("d", &SchemeKind::ALL.iter().map(|s| s.name().to_string()).collect::<Vec<_>>());
+    for &d in &ds {
+        let cells: Vec<f64> = SchemeKind::ALL
+            .iter()
+            .map(|s| {
+                results
+                    .iter()
+                    .find(|(rd, rs, _)| *rd == d && rs == s)
+                    .map(|(_, _, m)| m.write_latency)
+                    .expect("job ran")
+            })
+            .collect();
+        row(&format!("{d}"), &cells);
+    }
+}

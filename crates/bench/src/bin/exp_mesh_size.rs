@@ -1,0 +1,46 @@
+//! E6 — invalidation latency vs. system size.
+//!
+//! Fixed sharer counts on growing meshes: the unicast schemes degrade
+//! with distance *and* serialization, the multidestination schemes mostly
+//! with path length.
+//!
+//! Usage: `exp_mesh_size [--d 8] [--trials 20] [--seed 1]`
+
+use wormdsm_bench::{arg, header, mean_over_patterns, par_map, row};
+use wormdsm_core::SchemeKind;
+use wormdsm_workloads::PatternKind;
+
+fn main() {
+    let trials: usize = arg("--trials", 20);
+    let seed: u64 = arg("--seed", 1);
+    let ks = [4usize, 6, 8, 10, 12, 16];
+
+    for d in [arg("--d", 8usize), 16] {
+        let jobs: Vec<(usize, SchemeKind)> = ks
+            .iter()
+            .filter(|&&k| k * k > d + 2)
+            .flat_map(|&k| SchemeKind::ALL.into_iter().map(move |s| (k, s)))
+            .collect();
+        let results = par_map(jobs, |(k, scheme)| {
+            (k, scheme, mean_over_patterns(scheme, k, PatternKind::UniformRandom, d, trials, seed))
+        });
+        println!("\n== E6: invalidation latency (cycles) vs mesh size, d = {d} ==");
+        header("k", &SchemeKind::ALL.iter().map(|s| s.name().to_string()).collect::<Vec<_>>());
+        for &k in ks.iter().filter(|&&k| k * k > d + 2) {
+            let cells: Vec<f64> = SchemeKind::ALL
+                .iter()
+                .map(|s| {
+                    results
+                        .iter()
+                        .find(|(rk, rs, _)| *rk == k && rs == s)
+                        .map(|(_, _, m)| m.inval_latency)
+                        .expect("ran")
+                })
+                .collect();
+            row(&format!("{k}x{k}"), &cells);
+        }
+        if d == 16 {
+            break;
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! E10 — derived memory miss latencies (paper Tables 4 and 5).
+//!
+//! Measures the canonical miss scenarios in 5 ns cycles and nanoseconds,
+//! including the breakdown of a clean read miss to a neighboring node —
+//! the case the paper validates against DASH/Alewife hardware
+//! measurements and FLASH simulations.
+//!
+//! Usage: `exp_miss_latency_table [--k 8]`
+
+use wormdsm_bench::arg;
+use wormdsm_coherence::Addr;
+use wormdsm_core::{DsmSystem, MemOp, SchemeKind, SystemConfig};
+use wormdsm_mesh::topology::Mesh2D;
+use wormdsm_mesh::NodeId;
+
+fn fresh(k: usize) -> DsmSystem {
+    DsmSystem::new(SystemConfig::for_scheme(k, SchemeKind::UiUa), SchemeKind::UiUa.build())
+}
+
+/// Issue `op` on `node` and return the processor stall in cycles.
+fn stalled(sys: &mut DsmSystem, node: NodeId, op: MemOp, read: bool) -> f64 {
+    let before = if read { sys.metrics().read_latency.sum() } else { sys.metrics().write_latency.sum() };
+    sys.issue(node, op);
+    sys.run_until_idle(1_000_000).expect("completes");
+    let after = if read { sys.metrics().read_latency.sum() } else { sys.metrics().write_latency.sum() };
+    after - before
+}
+
+fn print_row(name: &str, cycles: f64) {
+    println!("{name:>44} {cycles:>8.0} {:>8.0}", cycles * 5.0);
+}
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let mesh = Mesh2D::square(k);
+    let nodes = (k * k) as u64;
+    println!("\n== E10 (Table 4): derived memory latencies, {k}x{k}, 5 ns cycles ==");
+    println!("{:>44} {:>8} {:>8}", "scenario", "cycles", "ns");
+
+    // Cache hit.
+    {
+        let mut sys = fresh(k);
+        let a = Addr(nodes * 32 + 5 * 32);
+        sys.issue(NodeId(5), MemOp::Read(a));
+        sys.run_until_idle(100_000).unwrap();
+        print_row("read hit (cache access)", sys.config().costs.cache_access as f64);
+    }
+
+    // Local clean read miss (requester == home).
+    {
+        let mut sys = fresh(k);
+        let home = 5u64;
+        let lat = stalled(&mut sys, NodeId(home as u16), MemOp::Read(Addr((nodes + home) * 32)), true);
+        print_row("clean read miss, local memory", lat);
+    }
+
+    // Clean read miss to the neighboring node (paper Table 5 case).
+    {
+        let mut sys = fresh(k);
+        let reader = mesh.node_at(0, 0);
+        let home = mesh.node_at(1, 0);
+        let block = nodes + home.0 as u64;
+        let lat = stalled(&mut sys, reader, MemOp::Read(Addr(block * 32)), true);
+        print_row("clean read miss, neighboring node", lat);
+        // Breakdown from the cost model + network walk.
+        let c = sys.config().costs;
+        println!("{:>44}", "-- breakdown --");
+        print_row("   cache access + CC compose", (c.cache_access + c.cc_send) as f64);
+        print_row("   request worm (8 flits, 1 hop)", (2 * 4 + 1 + 8 + 2) as f64);
+        print_row("   DC processing + memory access", (c.dc_proc + c.mem_access) as f64);
+        print_row("   DC compose reply", c.dc_send as f64);
+        print_row("   data reply (40 flits, 1 hop)", (2 * 4 + 1 + 40 + 2) as f64);
+        print_row("   CC processing + cache fill", (c.cc_proc + c.cache_access) as f64);
+    }
+
+    // Clean read miss across the mesh diameter.
+    {
+        let mut sys = fresh(k);
+        let reader = mesh.node_at(0, 0);
+        let home = mesh.node_at(k - 1, k - 1);
+        let block = nodes + home.0 as u64;
+        let lat = stalled(&mut sys, reader, MemOp::Read(Addr(block * 32)), true);
+        print_row("clean read miss, corner-to-corner", lat);
+    }
+
+    // Dirty read miss (3-hop: requester -> home -> owner -> requester).
+    {
+        let mut sys = fresh(k);
+        let home = mesh.node_at(4, 4);
+        let owner = mesh.node_at(0, 0);
+        let reader = mesh.node_at(7.min(k - 1), 7.min(k - 1));
+        let block = nodes + home.0 as u64;
+        sys.issue(owner, MemOp::Write(Addr(block * 32)));
+        sys.run_until_idle(1_000_000).unwrap();
+        let lat = stalled(&mut sys, reader, MemOp::Read(Addr(block * 32)), true);
+        print_row("dirty read miss (cache-to-cache)", lat);
+    }
+
+    // Write miss, uncached block.
+    {
+        let mut sys = fresh(k);
+        let home = mesh.node_at(1, 0);
+        let block = nodes + home.0 as u64;
+        let lat = stalled(&mut sys, mesh.node_at(0, 0), MemOp::Write(Addr(block * 32)), false);
+        print_row("write miss, uncached block", lat);
+    }
+
+    // Upgrade with 1 remote sharer / with 8 remote sharers (UI-UA).
+    for d in [1usize, 8] {
+        let mut sys = fresh(k);
+        let home = mesh.node_at(4, 4);
+        let block = nodes + home.0 as u64;
+        let addr = Addr(block * 32);
+        let writer = mesh.node_at(0, 0);
+        sys.issue(writer, MemOp::Read(addr));
+        sys.run_until_idle(1_000_000).unwrap();
+        for i in 0..d {
+            let s = mesh.node_at(2 + (i % (k - 2)), 1 + (i / (k - 2)));
+            sys.issue(s, MemOp::Read(addr));
+            sys.run_until_idle(1_000_000).unwrap();
+        }
+        let lat = stalled(&mut sys, writer, MemOp::Write(addr), false);
+        print_row(&format!("upgrade with {d} remote sharer(s), UI-UA"), lat);
+    }
+
+    println!("\nReference points (paper section 6 context): DASH remote clean");
+    println!("read miss ~1 us; Alewife ~0.9 us; FLASH simulation ~140 x 5ns.");
+}

@@ -1,0 +1,46 @@
+//! E4 — home-node occupancy vs. sharers.
+//!
+//! Two occupancy views per scheme and sharer count: messages sent +
+//! received at the home per transaction (the paper's proxy) and actual
+//! directory-controller busy cycles.
+//!
+//! Usage: `exp_occupancy [--k 8] [--trials 20] [--seed 1]`
+
+use wormdsm_bench::{arg, d_sweep, header, mean_over_patterns, par_map, row};
+use wormdsm_core::SchemeKind;
+use wormdsm_workloads::PatternKind;
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let trials: usize = arg("--trials", 20);
+    let seed: u64 = arg("--seed", 1);
+    let ds = d_sweep(k);
+
+    let jobs: Vec<(usize, SchemeKind)> = ds
+        .iter()
+        .flat_map(|&d| SchemeKind::ALL.into_iter().map(move |s| (d, s)))
+        .collect();
+    let results = par_map(jobs, |(d, scheme)| {
+        (d, scheme, mean_over_patterns(scheme, k, PatternKind::UniformRandom, d, trials, seed))
+    });
+
+    let cols: Vec<String> = SchemeKind::ALL.iter().map(|s| s.name().to_string()).collect();
+    println!("\n== E4a: home messages per invalidation transaction, {k}x{k} ==");
+    header("d", &cols);
+    for &d in &ds {
+        let cells: Vec<f64> = SchemeKind::ALL
+            .iter()
+            .map(|s| results.iter().find(|(rd, rs, _)| *rd == d && rs == s).map(|(_, _, m)| m.home_msgs).expect("ran"))
+            .collect();
+        row(&format!("{d}"), &cells);
+    }
+    println!("\n== E4b: home DC busy cycles per transaction, {k}x{k} ==");
+    header("d", &cols);
+    for &d in &ds {
+        let cells: Vec<f64> = SchemeKind::ALL
+            .iter()
+            .map(|s| results.iter().find(|(rd, rs, _)| *rd == d && rs == s).map(|(_, _, m)| m.dc_busy).expect("ran"))
+            .collect();
+        row(&format!("{d}"), &cells);
+    }
+}

@@ -1,0 +1,72 @@
+//! E13 — sustained invalidation throughput under a hot-spot pattern.
+//!
+//! Repeated read-share / write-invalidate rounds on several widely-shared
+//! blocks: all processors re-read each block, a barrier, then the writers
+//! invalidate everyone concurrently. Measures rounds per mega-cycle and
+//! the aggregate invalidation rate each scheme sustains.
+//!
+//! Usage: `exp_throughput [--k 8] [--rounds 8] [--blocks 4]`
+
+use wormdsm_bench::arg;
+use wormdsm_coherence::Addr;
+use wormdsm_core::{DsmSystem, MemOp, SchemeKind, SystemConfig};
+use wormdsm_workloads::Workload;
+
+fn build(k: usize, rounds: usize, blocks: usize) -> Workload {
+    let procs = k * k;
+    let mut w = Workload::new(procs);
+    let mut barrier = 0u16;
+    for r in 0..rounds {
+        // Everyone reads every hot block.
+        for b in 0..blocks {
+            let block = (r * blocks + b + 1) as u64 * procs as u64 + b as u64;
+            let addr = Addr(block * 32);
+            for p in 0..procs {
+                w.push(p, MemOp::Read(addr));
+            }
+        }
+        for p in 0..procs {
+            w.push(p, MemOp::Barrier { id: barrier, participants: procs as u32 });
+        }
+        barrier += 1;
+        // Distinct writers rewrite the blocks concurrently.
+        for b in 0..blocks {
+            let block = (r * blocks + b + 1) as u64 * procs as u64 + b as u64;
+            let addr = Addr(block * 32);
+            w.push(procs - 1 - b, MemOp::Write(addr));
+        }
+        for p in 0..procs {
+            w.push(p, MemOp::Barrier { id: barrier, participants: procs as u32 });
+        }
+        barrier += 1;
+    }
+    w
+}
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let rounds: usize = arg("--rounds", 8);
+    let blocks: usize = arg("--blocks", 4);
+    println!(
+        "\n== E13: hot-spot invalidation throughput, {k}x{k}, {rounds} rounds x {blocks} blocks, d ~ {} ==",
+        k * k - 2
+    );
+    println!(
+        "{:>12} {:>12} {:>10} {:>14} {:>12}",
+        "scheme", "cycles", "invals", "invals/Mcycle", "inval lat"
+    );
+    for scheme in SchemeKind::ALL {
+        let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+        let w = build(k, rounds, blocks);
+        let r = w.run(&mut sys, 500_000_000).expect("completes");
+        let m = sys.metrics();
+        println!(
+            "{:>12} {:>12} {:>10} {:>14.1} {:>12.1}",
+            scheme.name(),
+            r.cycles,
+            m.inval_txns,
+            m.inval_txns as f64 / (r.cycles as f64 / 1e6),
+            m.inval_latency.mean()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! E5 — network traffic vs. sharers.
+//!
+//! Mean flit-hops and message count per invalidation transaction.
+//!
+//! Usage: `exp_traffic [--k 8] [--trials 20] [--seed 1]`
+
+use wormdsm_bench::{arg, d_sweep, header, mean_over_patterns, par_map, row};
+use wormdsm_core::SchemeKind;
+use wormdsm_workloads::PatternKind;
+
+fn main() {
+    let k: usize = arg("--k", 8);
+    let trials: usize = arg("--trials", 20);
+    let seed: u64 = arg("--seed", 1);
+    let ds = d_sweep(k);
+
+    let jobs: Vec<(usize, SchemeKind)> = ds
+        .iter()
+        .flat_map(|&d| SchemeKind::ALL.into_iter().map(move |s| (d, s)))
+        .collect();
+    let results = par_map(jobs, |(d, scheme)| {
+        (d, scheme, mean_over_patterns(scheme, k, PatternKind::UniformRandom, d, trials, seed))
+    });
+
+    let cols: Vec<String> = SchemeKind::ALL.iter().map(|s| s.name().to_string()).collect();
+    println!("\n== E5a: flit-hops per invalidation transaction, {k}x{k} ==");
+    header("d", &cols);
+    for &d in &ds {
+        let cells: Vec<f64> = SchemeKind::ALL
+            .iter()
+            .map(|s| results.iter().find(|(rd, rs, _)| *rd == d && rs == s).map(|(_, _, m)| m.traffic).expect("ran"))
+            .collect();
+        row(&format!("{d}"), &cells);
+    }
+    println!("\n== E5b: messages (worms) per transaction, {k}x{k} ==");
+    header("d", &cols);
+    for &d in &ds {
+        let cells: Vec<f64> = SchemeKind::ALL
+            .iter()
+            .map(|s| results.iter().find(|(rd, rs, _)| *rd == d && rs == s).map(|(_, _, m)| m.messages).expect("ran"))
+            .collect();
+        row(&format!("{d}"), &cells);
+    }
+}

@@ -1,0 +1,52 @@
+//! Run every experiment (E1-E13) in sequence, mirroring the paper's full
+//! evaluation. Pass `--quick` to use reduced trial counts and problem
+//! sizes.
+//!
+//! Usage: `run_all [--quick]`
+
+use std::process::Command;
+use wormdsm_bench::flag;
+
+fn main() {
+    let quick = flag("--quick");
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("target dir");
+    let experiments: &[(&str, &[&str])] = &[
+        ("exp_analytic_table", &[]),
+        ("exp_latency_vs_sharers", &[]),
+        ("exp_occupancy", &[]),
+        ("exp_traffic", &[]),
+        ("exp_mesh_size", &[]),
+        ("exp_iack_buffers", &[]),
+        ("exp_consumption_channels", &[]),
+        ("exp_background_load", &[]),
+        ("exp_miss_latency_table", &[]),
+        ("exp_applications", &[]),
+        ("exp_inval_patterns", &[]),
+        ("exp_throughput", &[]),
+        ("exp_ablations", &[]),
+        ("exp_sharing_classes", &[]),
+    ];
+    for (name, extra) in experiments {
+        let bin = dir.join(name);
+        let mut cmd = Command::new(&bin);
+        cmd.args(*extra);
+        if quick {
+            match *name {
+                "exp_latency_vs_sharers" | "exp_occupancy" | "exp_traffic" | "exp_mesh_size" => {
+                    cmd.args(["--trials", "5"]);
+                }
+                "exp_applications" | "exp_inval_patterns" | "exp_ablations" => {
+                    cmd.arg("--quick");
+                }
+                "exp_background_load" => {
+                    cmd.args(["--probes", "2"]);
+                }
+                _ => {}
+            }
+        }
+        eprintln!("\n########## {name} ##########");
+        let status = cmd.status().unwrap_or_else(|e| panic!("running {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    }
+}

@@ -1,0 +1,134 @@
+//! Controller/memory cost model and message sizes.
+//!
+//! All values are in 5 ns network cycles, derived from the paper's stated
+//! technology point: 100 MHz processors (2 cycles per CPU clock),
+//! 200 MB/s links (1 flit per cycle), 20 ns routers, and DRAM in the
+//! ~120 ns range typical of the DASH/FLASH era the paper validates its
+//! Table 4/5 miss latencies against.
+
+use crate::msg::ProtoMsg;
+use wormdsm_sim::Cycle;
+
+/// Per-action controller and memory costs, in cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Directory controller: receive + decode a message and look up /
+    /// update the directory entry.
+    pub dc_proc: Cycle,
+    /// Directory controller: compose and hand one outgoing message to the
+    /// NIC. Every extra message sent from the home adds this much
+    /// occupancy — the heart of the paper's occupancy argument.
+    pub dc_send: Cycle,
+    /// Cache controller: receive + decode a message.
+    pub cc_proc: Cycle,
+    /// Cache controller: compose and send a message.
+    pub cc_send: Cycle,
+    /// Processor cache access (hit, invalidate, fill).
+    pub cache_access: Cycle,
+    /// DRAM access (read or write a block).
+    pub mem_access: Cycle,
+    /// Posting an i-ack signal to the router interface via memory-mapped
+    /// I/O.
+    pub iack_post: Cycle,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            dc_proc: 8,      // 40 ns directory occupancy per handled message
+            dc_send: 4,      // 20 ns per composed message
+            cc_proc: 6,      // 30 ns
+            cc_send: 4,      // 20 ns
+            cache_access: 2, // 10 ns SRAM
+            mem_access: 24,  // 120 ns DRAM
+            iack_post: 2,    // 10 ns memory-mapped store
+        }
+    }
+}
+
+/// Message sizes in flits (1 flit = 1 byte at 200 MB/s and 5 ns cycles).
+#[derive(Debug, Clone, Copy)]
+pub struct MsgSizes {
+    /// Control message (type + block address + source): header flits.
+    pub control: u16,
+    /// Extra flits for a data block (32-byte blocks by default).
+    pub data: u16,
+    /// Extra header flits per multidestination beyond the first (the
+    /// presence-bit-slice encoding).
+    pub per_extra_dest_x4: u16,
+    /// i-gather worm size (small fixed-size collector).
+    pub gather: u16,
+}
+
+impl Default for MsgSizes {
+    fn default() -> Self {
+        Self { control: 8, data: 32, per_extra_dest_x4: 1, gather: 6 }
+    }
+}
+
+impl MsgSizes {
+    /// Flits of a unicast worm carrying `m`.
+    pub fn unicast_len(&self, m: &ProtoMsg) -> u16 {
+        if m.carries_data() {
+            self.control + self.data
+        } else {
+            self.control
+        }
+    }
+
+    /// Flits of a multidestination worm with `ndests` destinations
+    /// carrying `m`: base length plus one flit per four extra
+    /// destinations of bit-string header.
+    pub fn multicast_len(&self, m: &ProtoMsg, ndests: usize) -> u16 {
+        let extra = ndests.saturating_sub(1).div_ceil(4) as u16 * self.per_extra_dest_x4;
+        self.unicast_len(m) + extra
+    }
+
+    /// Flits of an i-gather worm.
+    pub fn gather_len(&self) -> u16 {
+        self.gather
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::BlockId;
+    use wormdsm_mesh::topology::NodeId;
+    use wormdsm_mesh::worm::TxnId;
+
+    #[test]
+    fn default_costs_match_technology_point() {
+        let c = CostModel::default();
+        // 40 ns DC occupancy, 120 ns DRAM at 5 ns cycles.
+        assert_eq!(c.dc_proc * 5, 40);
+        assert_eq!(c.mem_access * 5, 120);
+    }
+
+    #[test]
+    fn unicast_sizes() {
+        let s = MsgSizes::default();
+        let ctrl = ProtoMsg::Inval { block: BlockId(0), txn: TxnId(1), home: NodeId(0) };
+        let data = ProtoMsg::ReadReply { block: BlockId(0) };
+        assert_eq!(s.unicast_len(&ctrl), 8);
+        assert_eq!(s.unicast_len(&data), 40);
+    }
+
+    #[test]
+    fn multicast_header_grows_with_destinations() {
+        let s = MsgSizes::default();
+        let ctrl = ProtoMsg::Inval { block: BlockId(0), txn: TxnId(1), home: NodeId(0) };
+        assert_eq!(s.multicast_len(&ctrl, 1), 8);
+        assert_eq!(s.multicast_len(&ctrl, 2), 9);
+        assert_eq!(s.multicast_len(&ctrl, 5), 9);
+        assert_eq!(s.multicast_len(&ctrl, 6), 10);
+        assert_eq!(s.multicast_len(&ctrl, 16), 12);
+    }
+
+    #[test]
+    fn gather_is_small_and_fixed() {
+        let s = MsgSizes::default();
+        assert!(s.gather_len() < s.control + s.data);
+        assert_eq!(s.gather_len(), 6);
+    }
+}

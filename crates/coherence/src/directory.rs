@@ -1,0 +1,226 @@
+//! Fully-mapped directory.
+//!
+//! One entry per memory block at its home node: a state plus a presence-bit
+//! vector identifying every node with a valid cached copy \[44\]. The paper's
+//! schemes slice the presence bits column-wise to form multidestination
+//! worm headers, so the entry exposes per-column views.
+
+use crate::addr::BlockId;
+use std::collections::{HashMap, VecDeque};
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+
+/// Directory entry state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// Not cached anywhere; memory is the only copy.
+    Uncached,
+    /// One or more read-only copies; presence bits identify them.
+    Shared,
+    /// Exclusive dirty copy at `owner`.
+    Exclusive(NodeId),
+    /// An invalidation / ownership transfer is in flight; further requests
+    /// queue behind it.
+    Waiting,
+}
+
+/// A queued request waiting for a `Waiting` entry to settle (tagged by the
+/// opaque message key the protocol layer uses to re-dispatch it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedReq {
+    /// Requesting node.
+    pub node: NodeId,
+    /// Opaque protocol-message key to replay.
+    pub msg_key: u64,
+}
+
+/// A fully-mapped directory entry.
+#[derive(Debug, Clone)]
+pub struct DirEntry {
+    /// Current state.
+    pub state: DirState,
+    /// Presence bits, one per node.
+    presence: Vec<u64>,
+    /// Requests queued while `Waiting`.
+    pub queue: VecDeque<QueuedReq>,
+}
+
+impl DirEntry {
+    fn new(nodes: usize) -> Self {
+        Self { state: DirState::Uncached, presence: vec![0; nodes.div_ceil(64)], queue: VecDeque::new() }
+    }
+
+    /// Set the presence bit for `n`.
+    pub fn set_presence(&mut self, n: NodeId) {
+        self.presence[n.idx() / 64] |= 1 << (n.idx() % 64);
+    }
+
+    /// Clear the presence bit for `n`.
+    pub fn clear_presence(&mut self, n: NodeId) {
+        self.presence[n.idx() / 64] &= !(1 << (n.idx() % 64));
+    }
+
+    /// True if `n`'s presence bit is set.
+    pub fn has_presence(&self, n: NodeId) -> bool {
+        (self.presence[n.idx() / 64] >> (n.idx() % 64)) & 1 == 1
+    }
+
+    /// Clear every presence bit.
+    pub fn clear_all(&mut self) {
+        self.presence.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of presence bits set.
+    pub fn sharer_count(&self) -> usize {
+        self.presence.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// All sharers, ascending node id.
+    pub fn sharers(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.sharer_count());
+        for (wi, &w) in self.presence.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(NodeId((wi * 64 + b) as u16));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Sharers other than `exclude` (the writer requesting ownership).
+    pub fn sharers_except(&self, exclude: NodeId) -> Vec<NodeId> {
+        self.sharers().into_iter().filter(|&n| n != exclude).collect()
+    }
+
+    /// Sharers grouped by mesh column (the paper's column-organized
+    /// presence-bit view), columns ascending, rows ascending within each.
+    pub fn sharers_by_column(&self, mesh: &Mesh2D, exclude: NodeId) -> Vec<(usize, Vec<NodeId>)> {
+        let mut cols: Vec<Vec<NodeId>> = vec![Vec::new(); mesh.width()];
+        for n in self.sharers_except(exclude) {
+            cols[mesh.coord(n).x as usize].push(n);
+        }
+        cols.into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .collect()
+    }
+}
+
+/// The directory of one home node: entries for every block homed there,
+/// allocated lazily (an absent entry is `Uncached`).
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<BlockId, DirEntry>,
+    nodes: usize,
+}
+
+impl Directory {
+    /// Directory for a system of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self { entries: HashMap::new(), nodes }
+    }
+
+    /// Entry for `b`, created Uncached if absent.
+    pub fn entry_mut(&mut self, b: BlockId) -> &mut DirEntry {
+        let nodes = self.nodes;
+        self.entries.entry(b).or_insert_with(|| DirEntry::new(nodes))
+    }
+
+    /// Entry for `b` if it exists.
+    pub fn entry(&self, b: BlockId) -> Option<&DirEntry> {
+        self.entries.get(&b)
+    }
+
+    /// State of `b` (Uncached when no entry exists).
+    pub fn state(&self, b: BlockId) -> DirState {
+        self.entries.get(&b).map_or(DirState::Uncached, |e| e.state)
+    }
+
+    /// All materialized block ids (diagnostics / invariant checking).
+    pub fn blocks(&self) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = self.entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of materialized entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presence_bits_roundtrip() {
+        let mut e = DirEntry::new(256);
+        for i in [0u16, 63, 64, 127, 255] {
+            e.set_presence(NodeId(i));
+        }
+        assert_eq!(e.sharer_count(), 5);
+        assert!(e.has_presence(NodeId(64)));
+        assert!(!e.has_presence(NodeId(1)));
+        assert_eq!(
+            e.sharers(),
+            vec![NodeId(0), NodeId(63), NodeId(64), NodeId(127), NodeId(255)]
+        );
+        e.clear_presence(NodeId(64));
+        assert!(!e.has_presence(NodeId(64)));
+        assert_eq!(e.sharer_count(), 4);
+        e.clear_all();
+        assert_eq!(e.sharer_count(), 0);
+    }
+
+    #[test]
+    fn sharers_except_excludes_writer() {
+        let mut e = DirEntry::new(64);
+        e.set_presence(NodeId(3));
+        e.set_presence(NodeId(7));
+        assert_eq!(e.sharers_except(NodeId(3)), vec![NodeId(7)]);
+        assert_eq!(e.sharers_except(NodeId(9)).len(), 2);
+    }
+
+    #[test]
+    fn sharers_by_column_groups_and_sorts() {
+        let mesh = Mesh2D::square(4);
+        let mut e = DirEntry::new(16);
+        // (1,0)=n1, (1,2)=n9, (3,1)=n7, (0,3)=n12
+        for n in [1u16, 9, 7, 12] {
+            e.set_presence(NodeId(n));
+        }
+        let cols = e.sharers_by_column(&mesh, NodeId(12)); // exclude (0,3)
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0], (1, vec![NodeId(1), NodeId(9)]));
+        assert_eq!(cols[1], (3, vec![NodeId(7)]));
+    }
+
+    #[test]
+    fn directory_lazy_entries() {
+        let mut d = Directory::new(16);
+        assert_eq!(d.state(BlockId(5)), DirState::Uncached);
+        assert!(d.is_empty());
+        d.entry_mut(BlockId(5)).state = DirState::Shared;
+        d.entry_mut(BlockId(5)).set_presence(NodeId(2));
+        assert_eq!(d.state(BlockId(5)), DirState::Shared);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.entry(BlockId(5)).unwrap().sharer_count(), 1);
+    }
+
+    #[test]
+    fn queue_holds_requests_in_order() {
+        let mut d = Directory::new(4);
+        let e = d.entry_mut(BlockId(1));
+        e.state = DirState::Waiting;
+        e.queue.push_back(QueuedReq { node: NodeId(1), msg_key: 10 });
+        e.queue.push_back(QueuedReq { node: NodeId(2), msg_key: 11 });
+        assert_eq!(e.queue.pop_front(), Some(QueuedReq { node: NodeId(1), msg_key: 10 }));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests on the coherence substrate: cache behaves like a model
+//! map, directory presence bits behave like a model set, home mapping is
+//! total and balanced.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wormdsm_coherence::{Addr, BlockId, Cache, DirEntry, Evicted, LineState, MemGeometry};
+use wormdsm_mesh::topology::NodeId;
+
+/// Operations against the cache under test.
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Insert(u64, bool), // block, modified
+    Invalidate(u64),
+    Upgrade(u64),
+    Downgrade(u64),
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..64, any::<bool>()).prop_map(|(b, m)| CacheOp::Insert(b, m)),
+            (0u64..64).prop_map(CacheOp::Invalidate),
+            (0u64..64).prop_map(CacheOp::Upgrade),
+            (0u64..64).prop_map(CacheOp::Downgrade),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_model(ops in cache_ops()) {
+        // Reference: a map slot -> (block, state), 16 direct-mapped slots.
+        let sets = 16usize;
+        let mut cache = Cache::new(sets);
+        let mut model: HashMap<usize, (u64, LineState)> = HashMap::new();
+        for op in ops {
+            match op {
+                CacheOp::Insert(b, modified) => {
+                    let state = if modified { LineState::Modified } else { LineState::Shared };
+                    let slot = b as usize % sets;
+                    let expect = match model.get(&slot) {
+                        None => Evicted::None,
+                        Some(&(ob, _)) if ob == b => Evicted::None,
+                        Some(&(ob, LineState::Shared)) => Evicted::Clean(BlockId(ob)),
+                        Some(&(ob, LineState::Modified)) => Evicted::Dirty(BlockId(ob)),
+                    };
+                    let got = cache.insert(BlockId(b), state);
+                    prop_assert_eq!(got, expect);
+                    model.insert(slot, (b, state));
+                }
+                CacheOp::Invalidate(b) => {
+                    let slot = b as usize % sets;
+                    let expect = match model.get(&slot) {
+                        Some(&(ob, st)) if ob == b => Some(st),
+                        _ => None,
+                    };
+                    prop_assert_eq!(cache.invalidate(BlockId(b)), expect);
+                    if expect.is_some() {
+                        model.remove(&slot);
+                    }
+                }
+                CacheOp::Upgrade(b) => {
+                    let slot = b as usize % sets;
+                    let present = matches!(model.get(&slot), Some(&(ob, _)) if ob == b);
+                    prop_assert_eq!(cache.upgrade(BlockId(b)), present);
+                    if present {
+                        model.insert(slot, (b, LineState::Modified));
+                    }
+                }
+                CacheOp::Downgrade(b) => {
+                    let slot = b as usize % sets;
+                    let present = matches!(model.get(&slot), Some(&(ob, _)) if ob == b);
+                    prop_assert_eq!(cache.downgrade(BlockId(b)), present);
+                    if present {
+                        model.insert(slot, (b, LineState::Shared));
+                    }
+                }
+            }
+            // State agreement on every block after each step.
+            prop_assert_eq!(cache.occupancy(), model.len());
+        }
+    }
+
+    #[test]
+    fn presence_bits_match_reference_set(nodes in 1usize..300, ops in proptest::collection::vec((any::<bool>(), 0u16..300), 1..200)) {
+        let mut e = DirEntry::new_for_test(nodes);
+        let mut model = std::collections::BTreeSet::new();
+        for (set, raw) in ops {
+            let n = NodeId(raw % nodes as u16);
+            if set {
+                e.set_presence(n);
+                model.insert(n);
+            } else {
+                e.clear_presence(n);
+                model.remove(&n);
+            }
+        }
+        prop_assert_eq!(e.sharer_count(), model.len());
+        prop_assert_eq!(e.sharers(), model.iter().copied().collect::<Vec<_>>());
+        for i in 0..nodes as u16 {
+            prop_assert_eq!(e.has_presence(NodeId(i)), model.contains(&NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn home_mapping_total_and_block_roundtrip(nodes in 1usize..256, addr in 0u64..1_000_000_000) {
+        let g = MemGeometry::new(32, nodes);
+        let b = g.block_of(Addr(addr));
+        let home = g.home_of(b);
+        prop_assert!(home.idx() < nodes);
+        // Base address maps back to the same block.
+        prop_assert_eq!(g.block_of(g.base_of(b)), b);
+        // All addresses within a block share it.
+        prop_assert_eq!(g.block_of(Addr(addr | 31)), g.block_of(Addr(addr & !31)));
+    }
+}
+
+/// Local shim: `DirEntry` construction is private to the directory; build
+/// entries through a directory.
+trait EntryForTest {
+    fn new_for_test(nodes: usize) -> DirEntry;
+}
+
+impl EntryForTest for DirEntry {
+    fn new_for_test(nodes: usize) -> DirEntry {
+        let mut d = wormdsm_coherence::Directory::new(nodes);
+        d.entry_mut(BlockId(0)).clone()
+    }
+}

@@ -1,0 +1,105 @@
+//! Whole-system configuration.
+
+use crate::schemes::SchemeKind;
+use wormdsm_coherence::{CostModel, MsgSizes};
+use wormdsm_mesh::network::MeshConfig;
+
+/// Memory consistency model the processors obey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyModel {
+    /// Sequential consistency: one outstanding memory operation; every
+    /// miss stalls the processor (the paper's headline configuration).
+    Sequential,
+    /// Release consistency: writes retire into a write buffer of the
+    /// given depth and overlap with execution; reads still block;
+    /// synchronization operations (barrier arrival, lock release) drain
+    /// the buffer first. The paper notes its transaction structure
+    /// carries over to RC — this is the ablation that shows how much of
+    /// the win survives when write latency is hidden.
+    Release {
+        /// Maximum outstanding writes per processor.
+        write_buffer: usize,
+    },
+}
+
+/// Configuration of a full DSM system instance.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Network configuration (mesh size, routing, VCs, consumption
+    /// channels, i-ack buffers).
+    pub mesh: MeshConfig,
+    /// Direct-mapped cache slots per node (2048 x 32 B = 64 KB default).
+    pub cache_sets: usize,
+    /// Cache block size in bytes.
+    pub block_bytes: u64,
+    /// Controller and memory timing.
+    pub costs: CostModel,
+    /// Message sizes in flits.
+    pub sizes: MsgSizes,
+    /// Consistency model (sequential by default, as in the paper).
+    pub consistency: ConsistencyModel,
+    /// Release barriers with multidestination worms (one worm per row
+    /// group) instead of per-participant unicasts — the collective-
+    /// communication extension from the group's barrier work \[37\].
+    pub multicast_barriers: bool,
+}
+
+impl SystemConfig {
+    /// The paper's technology point on a `k x k` mesh with e-cube routing.
+    pub fn paper_defaults(k: usize) -> Self {
+        Self {
+            mesh: MeshConfig::paper_defaults(k),
+            cache_sets: 2048,
+            block_bytes: 32,
+            costs: CostModel::default(),
+            sizes: MsgSizes::default(),
+            consistency: ConsistencyModel::Sequential,
+            multicast_barriers: false,
+        }
+    }
+
+    /// Paper defaults with the base routing `scheme` is designed for.
+    pub fn for_scheme(k: usize, scheme: SchemeKind) -> Self {
+        let mut cfg = Self::paper_defaults(k);
+        cfg.mesh.routing = scheme.natural_routing();
+        cfg
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.mesh.mesh.nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormdsm_mesh::routing::BaseRouting;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = SystemConfig::paper_defaults(8);
+        assert_eq!(c.nodes(), 64);
+        assert_eq!(c.mesh.router_delay, 4); // 20 ns
+        assert_eq!(c.block_bytes, 32);
+        assert_eq!(c.cache_sets * c.block_bytes as usize, 64 * 1024);
+        assert_eq!(c.mesh.cons_channels, 4);
+        assert_eq!(c.mesh.iack_buffers, 4);
+    }
+
+    #[test]
+    fn default_consistency_is_sequential() {
+        let c = SystemConfig::paper_defaults(4);
+        assert_eq!(c.consistency, ConsistencyModel::Sequential);
+        assert!(!c.multicast_barriers);
+    }
+
+    #[test]
+    fn for_scheme_selects_routing() {
+        assert_eq!(SystemConfig::for_scheme(8, SchemeKind::MiMaCol).mesh.routing, BaseRouting::ECube);
+        assert_eq!(
+            SystemConfig::for_scheme(8, SchemeKind::MiUaWf).mesh.routing,
+            BaseRouting::TurnModel
+        );
+    }
+}

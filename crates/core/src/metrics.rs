@@ -1,0 +1,115 @@
+//! System-level metrics: the paper's four performance measures
+//! (invalidation latency, home-node occupancy via message counts and busy
+//! time, message counts, network traffic) plus processor-visible latencies.
+
+use wormdsm_sim::{Histogram, Summary};
+
+/// Aggregated run metrics. Network-level counters (flit-hops, link
+/// utilization) live in [`wormdsm_mesh::NetStats`]; this struct holds the
+/// protocol-level view.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Completed invalidation transactions (>= 1 remote sharer).
+    pub inval_txns: u64,
+    /// Cycles from the home starting a transaction to collecting every
+    /// acknowledgement.
+    pub inval_latency: Summary,
+    /// Messages the home sent + received per invalidation transaction
+    /// (the paper's occupancy proxy: "occupancy is proportional to the
+    /// number of messages sent from and received by the home node").
+    pub inval_home_msgs: Summary,
+    /// Remote sharers invalidated per transaction.
+    pub inval_set_size: Histogram,
+    /// Processor-visible write latency (issue to resume), misses only.
+    pub write_latency: Summary,
+    /// Processor-visible read latency (issue to resume), misses only.
+    pub read_latency: Summary,
+    /// Cache hits.
+    pub read_hits: u64,
+    /// Cache write hits (Modified line).
+    pub write_hits: u64,
+    /// Read misses issued.
+    pub read_misses: u64,
+    /// Write misses / upgrades issued.
+    pub write_misses: u64,
+    /// Invalidation messages that arrived for blocks the cache had already
+    /// silently evicted (still acknowledged).
+    pub spurious_invals: u64,
+    /// Read fills poisoned by a racing invalidation (the read is served
+    /// once, the stale line is not installed).
+    pub poisoned_fills: u64,
+    /// i-ack posts that found the buffer full and were retried.
+    pub iack_fallbacks: u64,
+    /// Dirty writebacks sent.
+    pub writebacks: u64,
+    /// Fetches deferred at a node whose ownership grant was still in
+    /// flight (window-of-vulnerability retries).
+    pub fetch_retries: u64,
+    /// Writebacks deferred at the home because they raced with an
+    /// outstanding fetch.
+    pub wb_retries: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Cycles processors spent stalled on memory (sum over processors).
+    pub stall_cycles: u64,
+    /// Cycles processors spent stalled at barriers/locks.
+    pub sync_stall_cycles: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics.
+    pub fn new() -> Self {
+        Self {
+            inval_txns: 0,
+            inval_latency: Summary::new(),
+            inval_home_msgs: Summary::new(),
+            inval_set_size: Histogram::new(1, 256),
+            write_latency: Summary::new(),
+            read_latency: Summary::new(),
+            read_hits: 0,
+            write_hits: 0,
+            read_misses: 0,
+            write_misses: 0,
+            spurious_invals: 0,
+            poisoned_fills: 0,
+            iack_fallbacks: 0,
+            writebacks: 0,
+            fetch_retries: 0,
+            wb_retries: 0,
+            barriers: 0,
+            stall_cycles: 0,
+            sync_stall_cycles: 0,
+        }
+    }
+
+    /// Read hit ratio.
+    pub fn read_hit_ratio(&self) -> f64 {
+        let total = self.read_hits + self.read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_empty() {
+        let m = Metrics::new();
+        assert_eq!(m.read_hit_ratio(), 0.0);
+        let mut m = Metrics::new();
+        m.read_hits = 3;
+        m.read_misses = 1;
+        assert!((m.read_hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,462 @@
+//! Sharer-set grouping geometry.
+//!
+//! The directory's presence bits are organized column-wise (paper section
+//! 4); these helpers slice a sharer set into base-routing-conformant worm
+//! destination sequences:
+//!
+//! * [`column_groups`] — per-column, per-side monotone groups for e-cube
+//!   XY request worms (a column whose sharers straddle the home row needs
+//!   one group per side, since an XY worm's column segment is monotone);
+//! * [`serpentine`] — the single west-first worm order: west run along the
+//!   home row, then an eastward serpentine sweeping each sharer column,
+//!   with non-delivering *waypoints* pinning the legal corner turns.
+
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+
+/// One monotone column group of sharers, ordered nearest-to-farthest from
+/// the home row (= the order an XY invalidation worm visits them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Mesh column of every member.
+    pub col: usize,
+    /// Members, nearest to the home row first.
+    pub members: Vec<NodeId>,
+}
+
+impl Group {
+    /// The member nearest the home row (first visited by the request
+    /// worm, last collected by the gather).
+    pub fn nearest(&self) -> NodeId {
+        self.members[0]
+    }
+
+    /// The member farthest from the home row (the gather initiator).
+    pub fn farthest(&self) -> NodeId {
+        *self.members.last().expect("groups are non-empty")
+    }
+}
+
+/// Partition `sharers` into monotone column groups relative to `home`.
+///
+/// Within a column, sharers strictly north of the home row form one group
+/// (visited northward) and sharers strictly south another (southward); a
+/// sharer *on* the home row is prepended to whichever side exists (north
+/// preferred) or forms a singleton group. Groups are emitted in ascending
+/// column order, north side before south.
+#[allow(clippy::type_complexity)]
+pub fn column_groups(mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> Vec<Group> {
+    let hy = mesh.coord(home).y;
+    let mut per_col: std::collections::BTreeMap<usize, (Vec<NodeId>, Vec<NodeId>, Option<NodeId>)> =
+        std::collections::BTreeMap::new();
+    for &s in sharers {
+        let c = mesh.coord(s);
+        let slot = per_col.entry(c.x as usize).or_default();
+        match c.y.cmp(&hy) {
+            std::cmp::Ordering::Less => slot.0.push(s),
+            std::cmp::Ordering::Greater => slot.1.push(s),
+            std::cmp::Ordering::Equal => {
+                debug_assert!(slot.2.is_none(), "duplicate sharer");
+                slot.2 = Some(s)
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (col, (mut north, mut south, on_row)) in per_col {
+        // North: visited moving north = decreasing y = nearest (largest y)
+        // first.
+        north.sort_by_key(|n| std::cmp::Reverse(mesh.coord(*n).y));
+        south.sort_by_key(|n| mesh.coord(*n).y);
+        if let Some(r) = on_row {
+            if !north.is_empty() {
+                north.insert(0, r);
+            } else if !south.is_empty() {
+                south.insert(0, r);
+            } else {
+                out.push(Group { col, members: vec![r] });
+                continue;
+            }
+        }
+        if !north.is_empty() {
+            out.push(Group { col, members: north });
+        }
+        if !south.is_empty() {
+            out.push(Group { col, members: south });
+        }
+    }
+    out
+}
+
+/// Partition `dests` into monotone *row* groups relative to `src` — the
+/// YX dual of [`column_groups`], used for multidestination worms on the
+/// reply network (e.g. multicast barrier releases): the worm travels down
+/// `src`'s column to the row, then monotonically across it.
+#[allow(clippy::type_complexity)]
+pub fn row_groups(mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) -> Vec<Group> {
+    let hx = mesh.coord(src).x;
+    let mut per_row: std::collections::BTreeMap<usize, (Vec<NodeId>, Vec<NodeId>, Option<NodeId>)> =
+        std::collections::BTreeMap::new();
+    for &d in dests {
+        let c = mesh.coord(d);
+        let slot = per_row.entry(c.y as usize).or_default();
+        match c.x.cmp(&hx) {
+            std::cmp::Ordering::Less => slot.0.push(d),
+            std::cmp::Ordering::Greater => slot.1.push(d),
+            std::cmp::Ordering::Equal => {
+                debug_assert!(slot.2.is_none(), "duplicate destination");
+                slot.2 = Some(d)
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (row, (mut west, mut east, on_col)) in per_row {
+        west.sort_by_key(|n| std::cmp::Reverse(mesh.coord(*n).x));
+        east.sort_by_key(|n| mesh.coord(*n).x);
+        if let Some(r) = on_col {
+            if !west.is_empty() {
+                west.insert(0, r);
+            } else if !east.is_empty() {
+                east.insert(0, r);
+            } else {
+                out.push(Group { col: row, members: vec![r] });
+                continue;
+            }
+        }
+        if !west.is_empty() {
+            out.push(Group { col: row, members: west });
+        }
+        if !east.is_empty() {
+            out.push(Group { col: row, members: east });
+        }
+    }
+    out
+}
+
+/// A serpentine worm order: destination list plus delivery mask
+/// (`false` = routing waypoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerpentineWorm {
+    /// Ordered destinations (sharers and waypoints).
+    pub dests: Vec<NodeId>,
+    /// Parallel delivery mask.
+    pub deliver: Vec<bool>,
+}
+
+/// Build the west-first serpentine order covering `sharers` from `home`.
+///
+/// Returns one main worm and, when the westmost sharer column lies at or
+/// west of the home column *and* its sharers straddle the home row, a
+/// second small column worm for the straddled side (the west run enters
+/// that column pinned to the home row, so only one vertical direction is
+/// available there).
+pub fn serpentine(mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> Vec<SerpentineWorm> {
+    if sharers.is_empty() {
+        return vec![];
+    }
+    let h = mesh.coord(home);
+    let (hx, hy) = (h.x as usize, h.y as usize);
+    let mut cols: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    for &s in sharers {
+        let c = mesh.coord(s);
+        cols.entry(c.x as usize).or_default().push(c.y as usize);
+    }
+    for ys in cols.values_mut() {
+        ys.sort_unstable();
+        ys.dedup();
+    }
+
+    let mut worms = Vec::new();
+    let mut dests: Vec<NodeId> = Vec::new();
+    let mut deliver: Vec<bool> = Vec::new();
+    let mut y_cur = hy;
+    // prev_dir: Some(true) = last sweep moved south, Some(false) = north.
+    let mut prev_dir: Option<bool> = None;
+    let mut first = true;
+
+    for (&cx, ys) in &cols {
+        let (top, bot) = (ys[0], *ys.last().expect("non-empty"));
+        // Decide sweep order (true = ascending y / southward).
+        let asc: bool;
+        if y_cur <= top {
+            asc = true;
+        } else if y_cur >= bot {
+            asc = false;
+        } else if first && cx <= hx {
+            // Straddle in the west-run column: the worm arrives pinned to
+            // the home row; cover the north side in the main worm and emit
+            // the south side as a separate column worm.
+            let (north, south): (Vec<usize>, Vec<usize>) = ys.iter().partition(|&&y| y <= hy);
+            // North side: visited moving north = descending y.
+            let mut n = north;
+            n.sort_unstable_by_key(|&y| std::cmp::Reverse(y));
+            for y in n {
+                dests.push(mesh.node_at(cx, y));
+                deliver.push(true);
+            }
+            worms.push(SerpentineWorm {
+                dests: south.iter().map(|&y| mesh.node_at(cx, y)).collect(),
+                deliver: vec![true; south.len()],
+            });
+            y_cur = mesh.coord(*dests.last().expect("north side non-empty")).y as usize;
+            prev_dir = Some(false);
+            first = false;
+            continue;
+        } else {
+            // Entry row strictly inside the span: pre-position via a
+            // waypoint in the previous column so the sweep starts at an
+            // extreme without an illegal reversal. The waypoint's vertical
+            // approach must continue the previous sweep direction when the
+            // waypoint column equals the previous sharer column.
+            let go_south_first = prev_dir.unwrap_or(true);
+            let wp_x = cx - 1; // exists: cx > previous column >= 0
+            let y_ext = if go_south_first { bot } else { top };
+            dests.push(mesh.node_at(wp_x, y_ext));
+            deliver.push(false);
+            asc = !go_south_first;
+            let order: Vec<usize> = if asc { ys.clone() } else { ys.iter().rev().copied().collect() };
+            for y in order {
+                dests.push(mesh.node_at(cx, y));
+                deliver.push(true);
+            }
+            y_cur = mesh.coord(*dests.last().expect("non-empty")).y as usize;
+            prev_dir = Some(asc);
+            first = false;
+            continue;
+        }
+        let order: Vec<usize> = if asc { ys.clone() } else { ys.iter().rev().copied().collect() };
+        let entered_westward = first && cx < hx;
+        for y in order {
+            dests.push(mesh.node_at(cx, y));
+            deliver.push(true);
+        }
+        y_cur = mesh.coord(*dests.last().expect("non-empty")).y as usize;
+        prev_dir = Some(asc);
+        first = false;
+        // U-turn guard: if the west run ended at the home row with no
+        // vertical movement and eastward columns follow, a direct W->E
+        // reversal is not turn-legal. Insert a one-hop vertical dogleg
+        // waypoint so the turnaround is two legal 90-degree turns.
+        if entered_westward && y_cur == hy && cols.len() > 1 {
+            let (dog_y, dir_south) = if hy + 1 < mesh.height() { (hy + 1, true) } else { (hy - 1, false) };
+            dests.push(mesh.node_at(cx, dog_y));
+            deliver.push(false);
+            y_cur = dog_y;
+            prev_dir = Some(dir_south);
+        }
+    }
+
+    if !dests.is_empty() {
+        worms.insert(0, SerpentineWorm { dests, deliver });
+    }
+    worms.retain(|w| !w.dests.is_empty());
+    worms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormdsm_mesh::routing::{is_conformant, PathRule};
+
+    fn m8() -> Mesh2D {
+        Mesh2D::square(8)
+    }
+
+    fn n(m: &Mesh2D, x: usize, y: usize) -> NodeId {
+        m.node_at(x, y)
+    }
+
+    #[test]
+    fn column_groups_split_by_home_row() {
+        let m = m8();
+        let home = n(&m, 2, 4);
+        let sharers = [n(&m, 5, 1), n(&m, 5, 3), n(&m, 5, 6), n(&m, 1, 2)];
+        let gs = column_groups(&m, home, &sharers);
+        assert_eq!(gs.len(), 3);
+        // Column 1 north.
+        assert_eq!(gs[0].col, 1);
+        assert_eq!(gs[0].members, vec![n(&m, 1, 2)]);
+        // Column 5 north: nearest (y=3) first.
+        assert_eq!(gs[1].col, 5);
+        assert_eq!(gs[1].members, vec![n(&m, 5, 3), n(&m, 5, 1)]);
+        assert_eq!(gs[1].nearest(), n(&m, 5, 3));
+        assert_eq!(gs[1].farthest(), n(&m, 5, 1));
+        // Column 5 south.
+        assert_eq!(gs[2].members, vec![n(&m, 5, 6)]);
+    }
+
+    #[test]
+    fn home_row_sharer_prepends_to_north() {
+        let m = m8();
+        let home = n(&m, 2, 4);
+        let sharers = [n(&m, 5, 4), n(&m, 5, 2)];
+        let gs = column_groups(&m, home, &sharers);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].members, vec![n(&m, 5, 4), n(&m, 5, 2)]);
+    }
+
+    #[test]
+    fn home_row_sharer_alone_forms_group() {
+        let m = m8();
+        let home = n(&m, 2, 4);
+        let gs = column_groups(&m, home, &[n(&m, 6, 4)]);
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].members, vec![n(&m, 6, 4)]);
+    }
+
+    #[test]
+    fn column_group_request_paths_are_xy_conformant() {
+        let m = m8();
+        let home = n(&m, 3, 3);
+        let sharers: Vec<NodeId> = [(0, 0), (0, 7), (3, 1), (5, 3), (5, 5), (7, 2), (7, 4)]
+            .iter()
+            .map(|&(x, y)| n(&m, x, y))
+            .collect();
+        for g in column_groups(&m, home, &sharers) {
+            assert!(
+                is_conformant(PathRule::XY, &m, home, &g.members),
+                "group {:?} not XY-conformant",
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn column_group_gather_paths_are_yx_conformant() {
+        let m = m8();
+        let home = n(&m, 3, 3);
+        let sharers: Vec<NodeId> = [(0, 0), (0, 7), (5, 3), (5, 5), (7, 2)]
+            .iter()
+            .map(|&(x, y)| n(&m, x, y))
+            .collect();
+        for g in column_groups(&m, home, &sharers) {
+            // Gather: farthest -> ... -> nearest -> home.
+            let mut dests: Vec<NodeId> = g.members.iter().rev().copied().collect();
+            // First destination is the source; the gather path starts there.
+            let src = dests.remove(0);
+            dests.push(home);
+            assert!(
+                is_conformant(PathRule::YX, &m, src, &dests),
+                "gather for {:?} not YX-conformant",
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn row_groups_are_yx_conformant() {
+        let m = m8();
+        let src = n(&m, 3, 2);
+        let dests: Vec<NodeId> = [(0, 5), (2, 5), (6, 5), (3, 0), (1, 2), (7, 7)]
+            .iter()
+            .map(|&(x, y)| n(&m, x, y))
+            .collect();
+        let gs = row_groups(&m, src, &dests);
+        let total: usize = gs.iter().map(|g| g.members.len()).sum();
+        assert_eq!(total, dests.len());
+        for g in &gs {
+            assert!(
+                is_conformant(PathRule::YX, &m, src, &g.members),
+                "row group {:?} not YX-conformant",
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn serpentine_single_worm_east_of_home() {
+        let m = m8();
+        let home = n(&m, 1, 4);
+        let sharers = [n(&m, 3, 2), n(&m, 3, 6), n(&m, 5, 1), n(&m, 6, 7)];
+        let ws = serpentine(&m, home, &sharers);
+        assert_eq!(ws.len(), 1);
+        let w = &ws[0];
+        assert!(is_conformant(PathRule::WestFirst, &m, home, &w.dests), "{:?}", w.dests);
+        let delivered: Vec<NodeId> = w
+            .dests
+            .iter()
+            .zip(&w.deliver)
+            .filter(|(_, &d)| d)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut want = sharers.to_vec();
+        want.sort();
+        let mut got = delivered.clone();
+        got.sort();
+        assert_eq!(got, want, "every sharer delivered exactly once");
+    }
+
+    #[test]
+    fn serpentine_crosses_home_column_west_to_east() {
+        let m = m8();
+        let home = n(&m, 4, 4);
+        let sharers = [n(&m, 1, 2), n(&m, 3, 5), n(&m, 6, 1)];
+        let ws = serpentine(&m, home, &sharers);
+        assert_eq!(ws.len(), 1);
+        assert!(is_conformant(PathRule::WestFirst, &m, home, &ws[0].dests));
+    }
+
+    #[test]
+    fn serpentine_straddled_west_column_splits() {
+        let m = m8();
+        let home = n(&m, 4, 4);
+        // Westmost column 1 has sharers on both sides of the home row.
+        let sharers = [n(&m, 1, 2), n(&m, 1, 6), n(&m, 5, 3)];
+        let ws = serpentine(&m, home, &sharers);
+        assert_eq!(ws.len(), 2, "straddle forces a second worm");
+        for w in &ws {
+            assert!(is_conformant(PathRule::WestFirst, &m, home, &w.dests), "{:?}", w.dests);
+        }
+        let total: usize = ws.iter().map(|w| w.deliver.iter().filter(|&&d| d).count()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn serpentine_waypoint_pins_interior_entry() {
+        let m = m8();
+        let home = n(&m, 0, 4);
+        // Column 2 swept south ends at y=7; column 5's span 2..6 contains
+        // neither extreme at y=7... y_cur=7 >= bot=6, so descending: pick a
+        // case that really needs the waypoint: after col 2 ends at y=1
+        // (north sweep), col 5 spans 0..3 with entry 1 strictly inside.
+        let sharers = [n(&m, 2, 3), n(&m, 2, 1), n(&m, 5, 0), n(&m, 5, 3)];
+        let ws = serpentine(&m, home, &sharers);
+        for w in &ws {
+            assert!(is_conformant(PathRule::WestFirst, &m, home, &w.dests), "{:?}", w.dests);
+        }
+        let delivered: usize = ws.iter().map(|w| w.deliver.iter().filter(|&&d| d).count()).sum();
+        assert_eq!(delivered, 4);
+        // At least one waypoint must have been used.
+        let waypoints: usize = ws.iter().map(|w| w.deliver.iter().filter(|&&d| !d).count()).sum();
+        assert!(waypoints >= 1, "interior entry requires a pre-positioning waypoint");
+    }
+
+    #[test]
+    fn serpentine_west_home_row_uturn_gets_dogleg() {
+        // Home (1,7); sharer due west ON the home row, another east: the
+        // turnaround at (0,7) needs a vertical dogleg to stay turn-legal.
+        let m = m8();
+        let home = n(&m, 1, 7);
+        let sharers = [n(&m, 0, 7), n(&m, 5, 7)];
+        let ws = serpentine(&m, home, &sharers);
+        assert_eq!(ws.len(), 1);
+        assert!(is_conformant(PathRule::WestFirst, &m, home, &ws[0].dests), "{:?}", ws[0].dests);
+        let delivered: usize = ws[0].deliver.iter().filter(|&&d| d).count();
+        assert_eq!(delivered, 2);
+        assert!(ws[0].deliver.iter().any(|&d| !d), "dogleg waypoint present");
+        // The same shape away from the mesh edge doglegs the other way.
+        let home = n(&m, 3, 0);
+        let sharers = [n(&m, 0, 0), n(&m, 6, 0)];
+        let ws = serpentine(&m, home, &sharers);
+        assert!(is_conformant(PathRule::WestFirst, &m, home, &ws[0].dests), "{:?}", ws[0].dests);
+    }
+
+    #[test]
+    fn serpentine_empty_and_singleton() {
+        let m = m8();
+        let home = n(&m, 4, 4);
+        assert!(serpentine(&m, home, &[]).is_empty());
+        let ws = serpentine(&m, home, &[n(&m, 2, 2)]);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].dests, vec![n(&m, 2, 2)]);
+        assert_eq!(ws[0].deliver, vec![true]);
+    }
+}

@@ -1,0 +1,118 @@
+//! MI-MA(col): column i-reserve worms plus per-group i-gather worms.
+//!
+//! The request phase matches MI-UA(col) but every worm reserves i-ack
+//! buffer entries along its path. In the ack phase each group's farthest
+//! sharer initiates an i-gather that retraces the group toward the home
+//! row collecting posted acks, then rides the YX reply network to the
+//! home. The home receives one combined acknowledgement per group instead
+//! of `d` unicasts.
+
+use super::grouping::column_groups;
+use super::{group_gather_dests, InvalidationScheme, SchemeKind};
+use crate::plan::{AckAction, InvalPlan, PlannedWorm};
+use wormdsm_mesh::routing::BaseRouting;
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+
+/// Multidestination Invalidation, Multidestination (gathered)
+/// Acknowledgment — column grouping, one gather per group.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiMaCol;
+
+impl InvalidationScheme for MiMaCol {
+    fn name(&self) -> &'static str {
+        SchemeKind::MiMaCol.name()
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::MiMaCol
+    }
+
+    fn compatible_with(&self, _routing: BaseRouting) -> bool {
+        true
+    }
+
+    fn plan(&self, mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> InvalPlan {
+        let groups = column_groups(mesh, home, sharers);
+        let mut plan = InvalPlan { needed: sharers.len() as u32, ..Default::default() };
+        for g in &groups {
+            plan.request_worms.push(PlannedWorm::multicast(g.members.clone(), true));
+            for &m in &g.members[..g.members.len() - 1] {
+                plan.actions.push((m, AckAction::Post));
+            }
+            let gather = PlannedWorm::gather(group_gather_dests(g, home), 1, false);
+            plan.actions.push((g.farthest(), AckAction::InitGather(gather)));
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::validate_plan;
+    use wormdsm_mesh::routing::{is_conformant, PathRule};
+
+    #[test]
+    fn gathers_per_group_and_posts_in_between() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(2, 4);
+        let sharers = vec![
+            mesh.node_at(5, 1),
+            mesh.node_at(5, 3),
+            mesh.node_at(5, 6),
+            mesh.node_at(0, 4),
+        ];
+        let plan = MiMaCol.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        assert!(plan.request_worms.iter().all(|w| w.reserve_iack));
+        let gathers: Vec<_> = plan
+            .actions
+            .iter()
+            .filter_map(|(n, a)| match a {
+                AckAction::InitGather(w) => Some((*n, w)),
+                _ => None,
+            })
+            .collect();
+        // One gather per group (3 groups here).
+        assert_eq!(gathers.len(), 3);
+        // Every gather ends at home and is YX-conformant from its
+        // initiator.
+        for (init, w) in &gathers {
+            assert_eq!(*w.dests.last().unwrap(), home);
+            assert_eq!(w.initial_acks, 1);
+            assert!(!w.gather_deposit);
+            assert!(is_conformant(PathRule::YX, &mesh, *init, &w.dests), "{init} {:?}", w.dests);
+        }
+        // Home receives 3 messages instead of 4 unicast acks; total home
+        // message involvement is 3 sends + 3 receives < 2d = 8.
+        assert_eq!(plan.home_sends(), 3);
+    }
+
+    #[test]
+    fn mid_group_members_post() {
+        let mesh = Mesh2D::square(16);
+        let home = mesh.node_at(0, 0);
+        let sharers: Vec<NodeId> = (2..7).map(|y| mesh.node_at(5, y)).collect();
+        let plan = MiMaCol.plan(&mesh, home, &sharers);
+        let posts = plan.actions.iter().filter(|(_, a)| *a == AckAction::Post).count();
+        assert_eq!(posts, 4);
+        // Farthest sharer (5, 6) initiates.
+        let (init, _) = plan
+            .actions
+            .iter()
+            .find(|(_, a)| matches!(a, AckAction::InitGather(_)))
+            .unwrap();
+        assert_eq!(*init, mesh.node_at(5, 6));
+    }
+
+    #[test]
+    fn singleton_group_gather_goes_straight_home() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(2, 4);
+        let sharers = vec![mesh.node_at(6, 2)];
+        let plan = MiMaCol.plan(&mesh, home, &sharers);
+        let AckAction::InitGather(w) = &plan.actions[0].1 else { panic!("expected gather") };
+        assert_eq!(w.dests, vec![home]);
+        assert_eq!(w.initial_acks, 1);
+    }
+}

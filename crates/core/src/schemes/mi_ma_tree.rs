@@ -1,0 +1,192 @@
+//! MI-MA(tree): hierarchical request distribution.
+//!
+//! The home sends at most two *relay* worms along its own row (pure-X
+//! multidestination paths) to one delegate per sharer column; each
+//! delegate injects the column invalidation worms for its column (pure-Y
+//! paths). The home's request-phase occupancy drops to O(1) sends
+//! regardless of how many columns hold sharers. Acknowledgements use
+//! per-group i-gathers as in MI-MA(col).
+
+use super::grouping::{column_groups, Group};
+use super::{group_gather_dests, InvalidationScheme, SchemeKind};
+use crate::plan::{AckAction, InvalPlan, PlannedWorm};
+use wormdsm_mesh::routing::BaseRouting;
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+
+/// Multidestination Invalidation via row-relay tree, Multidestination
+/// Acknowledgment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiMaTree;
+
+impl InvalidationScheme for MiMaTree {
+    fn name(&self) -> &'static str {
+        SchemeKind::MiMaTree.name()
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::MiMaTree
+    }
+
+    fn compatible_with(&self, _routing: BaseRouting) -> bool {
+        // Pure-row and pure-column segments are legal under both base
+        // routings (a westward relay worm is a west-run prefix under
+        // west-first).
+        true
+    }
+
+    fn plan(&self, mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> InvalPlan {
+        let h = mesh.coord(home);
+        let (hx, hy) = (h.x as usize, h.y as usize);
+        let groups = column_groups(mesh, home, sharers);
+        let mut plan = InvalPlan { needed: sharers.len() as u32, ..Default::default() };
+
+        // Partition groups by column side relative to home.
+        let mut west_cols: Vec<usize> = Vec::new();
+        let mut east_cols: Vec<usize> = Vec::new();
+        let mut by_col: std::collections::BTreeMap<usize, Vec<&Group>> = Default::default();
+        for g in &groups {
+            by_col.entry(g.col).or_default().push(g);
+        }
+        for &c in by_col.keys() {
+            if c < hx {
+                west_cols.push(c);
+            } else if c > hx {
+                east_cols.push(c);
+            }
+        }
+        west_cols.sort_unstable_by(|a, b| b.cmp(a)); // nearest-first going west
+        east_cols.sort_unstable(); // nearest-first going east
+
+        // Home-column groups: home injects their column worms directly.
+        if let Some(gs) = by_col.get(&hx) {
+            for g in gs {
+                plan.request_worms.push(column_worm(mesh, g, home));
+            }
+        }
+
+        // Relay worms to delegates at (col, hy).
+        for cols in [west_cols, east_cols] {
+            if cols.is_empty() {
+                continue;
+            }
+            let delegates: Vec<NodeId> = cols.iter().map(|&c| mesh.node_at(c, hy)).collect();
+            let mut relay = PlannedWorm::multicast(delegates, false);
+            relay.relay = true;
+            plan.request_worms.push(relay);
+            for &c in &cols {
+                let delegate = mesh.node_at(c, hy);
+                let worms: Vec<PlannedWorm> =
+                    by_col[&c].iter().map(|g| column_worm(mesh, g, delegate)).collect();
+                plan.relays.push((delegate, worms.into_iter().filter(|w| !w.dests.is_empty()).collect()));
+            }
+        }
+
+        // Ack phase: per-group gathers, as MI-MA(col).
+        for g in &groups {
+            for &m in &g.members[..g.members.len() - 1] {
+                plan.actions.push((m, AckAction::Post));
+            }
+            let gather = PlannedWorm::gather(group_gather_dests(g, home), 1, false);
+            plan.actions.push((g.farthest(), AckAction::InitGather(gather)));
+        }
+        plan
+    }
+}
+
+/// The column worm a source at `src` injects for group `g`, excluding
+/// `src` itself from the destination list (a delegate that is also a
+/// sharer invalidates locally when it processes the relay).
+fn column_worm(mesh: &Mesh2D, g: &Group, src: NodeId) -> PlannedWorm {
+    let _ = mesh;
+    let dests: Vec<NodeId> = g.members.iter().copied().filter(|&m| m != src).collect();
+    PlannedWorm::multicast(dests, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::validate_plan;
+    use wormdsm_mesh::routing::{is_conformant, PathRule};
+
+    #[test]
+    fn home_sends_at_most_two_relays_plus_own_column() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(3, 4);
+        let sharers: Vec<NodeId> = [(0, 1), (1, 2), (5, 1), (6, 2), (6, 6), (3, 7)]
+            .iter()
+            .map(|&(x, y)| mesh.node_at(x, y))
+            .collect();
+        let plan = MiMaTree.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        // 1 west relay + 1 east relay + 1 home-column worm.
+        assert_eq!(plan.request_worms.len(), 3);
+        assert_eq!(plan.request_worms.iter().filter(|w| w.relay).count(), 2);
+        // Relay worms are pure-row, XY-conformant.
+        for w in plan.request_worms.iter().filter(|w| w.relay) {
+            assert!(is_conformant(PathRule::XY, &mesh, home, &w.dests));
+            assert!(w.dests.iter().all(|d| mesh.coord(*d).y == 4));
+        }
+        // Delegates cover columns 0, 1, 5, 6.
+        assert_eq!(plan.relays.len(), 4);
+        for (delegate, worms) in &plan.relays {
+            for w in worms {
+                assert!(w.reserve_iack);
+                assert!(
+                    is_conformant(PathRule::XY, &mesh, *delegate, &w.dests),
+                    "column worm from {delegate}: {:?}",
+                    w.dests
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delegate_that_is_a_sharer_is_excluded_from_its_worm() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(3, 4);
+        // (6,4) is both delegate and sharer.
+        let sharers = vec![mesh.node_at(6, 4), mesh.node_at(6, 1)];
+        let plan = MiMaTree.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        let (delegate, worms) = &plan.relays[0];
+        assert_eq!(*delegate, mesh.node_at(6, 4));
+        assert_eq!(worms.len(), 1);
+        assert_eq!(worms[0].dests, vec![mesh.node_at(6, 1)]);
+        // The delegate-sharer still has an ack action.
+        assert!(plan.action_for(mesh.node_at(6, 4)).is_some());
+    }
+
+    #[test]
+    fn lone_home_row_sharer_gets_empty_relay_worm_list() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(3, 4);
+        let sharers = vec![mesh.node_at(6, 4)];
+        let plan = MiMaTree.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        // The delegate IS the only sharer: relay delivers, no column worm.
+        assert_eq!(plan.relays.len(), 1);
+        assert!(plan.relays[0].1.is_empty());
+        // Its gather goes straight home.
+        let AckAction::InitGather(w) = plan.action_for(mesh.node_at(6, 4)).unwrap() else {
+            panic!("expected gather")
+        };
+        assert_eq!(w.dests, vec![home]);
+    }
+
+    #[test]
+    fn gathers_are_yx_conformant() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(3, 4);
+        let sharers: Vec<NodeId> = [(0, 1), (0, 3), (6, 6), (6, 7)]
+            .iter()
+            .map(|&(x, y)| mesh.node_at(x, y))
+            .collect();
+        let plan = MiMaTree.plan(&mesh, home, &sharers);
+        for (init, a) in &plan.actions {
+            if let AckAction::InitGather(w) = a {
+                assert!(is_conformant(PathRule::YX, &mesh, *init, &w.dests));
+                assert_eq!(*w.dests.last().unwrap(), home);
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! MI-MA(wf): the turn-model serpentine request worm combined with the
+//! two-phase gathered acknowledgement. The home's involvement per
+//! transaction shrinks to ~1 send and at most 2 receives, independent of
+//! the sharer count — the aggressive end of the paper's scheme spectrum.
+//!
+//! A single *gather* cannot legally end at an interior home under
+//! west-first or its dual (it would need east hops after vertical moves),
+//! so the ack phase reuses the two-phase i-ack-buffer machinery on the YX
+//! reply network; sharers post acks allocated on demand (no i-reserve
+//! flag: the serpentine visits gather initiators mid-path, so path-order
+//! reservation would leak entries at them).
+
+use super::grouping::{column_groups, serpentine};
+use super::two_phase_acks::two_phase_acks;
+use super::{InvalidationScheme, SchemeKind};
+use crate::plan::{InvalPlan, PlannedWorm};
+use wormdsm_mesh::routing::BaseRouting;
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_mesh::worm::WormKind;
+
+/// Serpentine Multidestination Invalidation, two-phase Multidestination
+/// Acknowledgment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiMaWf;
+
+impl InvalidationScheme for MiMaWf {
+    fn name(&self) -> &'static str {
+        SchemeKind::MiMaWf.name()
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::MiMaWf
+    }
+
+    fn compatible_with(&self, routing: BaseRouting) -> bool {
+        routing == BaseRouting::TurnModel
+    }
+
+    fn plan(&self, mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> InvalPlan {
+        let worms = serpentine(mesh, home, sharers);
+        let groups = column_groups(mesh, home, sharers);
+        let acks = two_phase_acks(mesh, home, &groups);
+        InvalPlan {
+            request_worms: worms
+                .into_iter()
+                .map(|w| {
+                    let all_deliver = w.deliver.iter().all(|&d| d);
+                    PlannedWorm {
+                        kind: WormKind::Multicast,
+                        dests: w.dests,
+                        deliver: if all_deliver { None } else { Some(w.deliver) },
+                        reserve_iack: false,
+                        gather_deposit: false,
+                        initial_acks: 0,
+                        relay: false,
+                    }
+                })
+                .collect(),
+            actions: acks.actions,
+            relays: vec![],
+            triggers: acks.triggers,
+            needed: sharers.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{validate_plan, AckAction};
+    use wormdsm_mesh::routing::{is_conformant, PathRule};
+
+    #[test]
+    fn minimal_home_involvement() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(4, 4);
+        let sharers: Vec<NodeId> = [(1, 2), (2, 6), (5, 1), (6, 5), (7, 7), (0, 3)]
+            .iter()
+            .map(|&(x, y)| mesh.node_at(x, y))
+            .collect();
+        let plan = MiMaWf.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        // One serpentine send; at most 2 sweep receives.
+        assert_eq!(plan.request_worms.len(), 1);
+        assert!(plan.triggers.len() <= 2);
+        assert!(is_conformant(PathRule::WestFirst, &mesh, home, &plan.request_worms[0].dests));
+        // Gathers and sweeps ride the YX reply net.
+        for (init, a) in &plan.actions {
+            if let AckAction::InitGather(w) = a {
+                assert!(is_conformant(PathRule::YX, &mesh, *init, &w.dests));
+            }
+        }
+        // No i-reserve on the serpentine (see module docs).
+        assert!(!plan.request_worms[0].reserve_iack);
+    }
+
+    #[test]
+    fn single_sharer_degenerates_cleanly() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(4, 4);
+        let sharers = vec![mesh.node_at(6, 2)];
+        let plan = MiMaWf.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        assert_eq!(plan.request_worms.len(), 1);
+        assert!(plan.triggers.is_empty());
+        let AckAction::InitGather(w) = &plan.actions[0].1 else { panic!("gather expected") };
+        assert_eq!(*w.dests.last().unwrap(), home);
+    }
+}

@@ -1,0 +1,84 @@
+//! MI-UA(col): column-grouped multidestination invalidation worms with
+//! unicast acknowledgements. Cuts the home's request-phase sends from `d`
+//! to the number of column groups; the ack phase is unchanged.
+
+use super::grouping::column_groups;
+use super::{InvalidationScheme, SchemeKind};
+use crate::plan::{AckAction, InvalPlan, PlannedWorm};
+use wormdsm_mesh::routing::BaseRouting;
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+
+/// Multidestination Invalidation (column grouping), Unicast Acknowledgment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiUaCol;
+
+impl InvalidationScheme for MiUaCol {
+    fn name(&self) -> &'static str {
+        SchemeKind::MiUaCol.name()
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::MiUaCol
+    }
+
+    fn compatible_with(&self, _routing: BaseRouting) -> bool {
+        // Row-then-monotone-column paths are legal under XY e-cube and
+        // (as west-run or east-zigzag prefixes) under west-first.
+        true
+    }
+
+    fn plan(&self, mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> InvalPlan {
+        let groups = column_groups(mesh, home, sharers);
+        InvalPlan {
+            request_worms: groups
+                .iter()
+                .map(|g| PlannedWorm::multicast(g.members.clone(), false))
+                .collect(),
+            actions: sharers.iter().map(|&s| (s, AckAction::Unicast)).collect(),
+            relays: vec![],
+            triggers: vec![],
+            needed: sharers.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::validate_plan;
+    use wormdsm_mesh::routing::{is_conformant, PathRule};
+
+    #[test]
+    fn groups_become_multicast_worms() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(2, 4);
+        let sharers = vec![
+            mesh.node_at(5, 1),
+            mesh.node_at(5, 3),
+            mesh.node_at(5, 6),
+            mesh.node_at(0, 4),
+        ];
+        let plan = MiUaCol.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        // Column 0: 1 group; column 5: north + south = 2 groups.
+        assert_eq!(plan.request_worms.len(), 3);
+        assert!(plan.request_worms.iter().all(|w| !w.reserve_iack));
+        for w in &plan.request_worms {
+            assert!(is_conformant(PathRule::XY, &mesh, home, &w.dests));
+        }
+        // Fewer sends than UI-UA (3 < 4), same d acks.
+        assert!(plan.home_sends() < sharers.len());
+        assert_eq!(plan.needed, 4);
+    }
+
+    #[test]
+    fn single_column_single_worm() {
+        let mesh = Mesh2D::square(16);
+        let home = mesh.node_at(0, 0);
+        let sharers: Vec<NodeId> = (2..10).map(|y| mesh.node_at(7, y)).collect();
+        let plan = MiUaCol.plan(&mesh, home, &sharers);
+        assert_eq!(plan.request_worms.len(), 1);
+        assert_eq!(plan.request_worms[0].dests.len(), 8);
+        assert_eq!(plan.home_sends(), 1);
+    }
+}

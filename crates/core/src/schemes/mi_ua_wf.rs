@@ -1,0 +1,91 @@
+//! MI-UA(wf): turn-model serpentine invalidation, unicast acks.
+//!
+//! Under west-first routing a single multidestination worm can run west
+//! along the home row and then serpentine eastward through every sharer
+//! column — the request phase collapses to one worm (two when the westmost
+//! column straddles the home row) no matter how many sharers there are.
+
+use super::grouping::serpentine;
+use super::{InvalidationScheme, SchemeKind};
+use crate::plan::{AckAction, InvalPlan, PlannedWorm};
+use wormdsm_mesh::routing::BaseRouting;
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_mesh::worm::WormKind;
+
+/// Serpentine Multidestination Invalidation, Unicast Acknowledgment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MiUaWf;
+
+impl InvalidationScheme for MiUaWf {
+    fn name(&self) -> &'static str {
+        SchemeKind::MiUaWf.name()
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::MiUaWf
+    }
+
+    fn compatible_with(&self, routing: BaseRouting) -> bool {
+        routing == BaseRouting::TurnModel
+    }
+
+    fn plan(&self, mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> InvalPlan {
+        let worms = serpentine(mesh, home, sharers);
+        InvalPlan {
+            request_worms: worms
+                .into_iter()
+                .map(|w| {
+                    let all_deliver = w.deliver.iter().all(|&d| d);
+                    PlannedWorm {
+                        kind: WormKind::Multicast,
+                        dests: w.dests,
+                        deliver: if all_deliver { None } else { Some(w.deliver) },
+                        reserve_iack: false,
+                        gather_deposit: false,
+                        initial_acks: 0,
+                        relay: false,
+                    }
+                })
+                .collect(),
+            actions: sharers.iter().map(|&s| (s, AckAction::Unicast)).collect(),
+            relays: vec![],
+            triggers: vec![],
+            needed: sharers.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::validate_plan;
+    use wormdsm_mesh::routing::{is_conformant, PathRule};
+
+    #[test]
+    fn one_worm_covers_scattered_sharers() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(4, 4);
+        let sharers: Vec<NodeId> = [(1, 2), (2, 6), (5, 1), (6, 5), (7, 7)]
+            .iter()
+            .map(|&(x, y)| mesh.node_at(x, y))
+            .collect();
+        let plan = MiUaWf.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        assert_eq!(plan.request_worms.len(), 1, "single serpentine worm");
+        assert!(is_conformant(PathRule::WestFirst, &mesh, home, &plan.request_worms[0].dests));
+        assert_eq!(plan.request_worms[0].delivering(), 5);
+        assert!(plan.actions.iter().all(|(_, a)| *a == AckAction::Unicast));
+    }
+
+    #[test]
+    fn straddled_west_column_needs_two_worms() {
+        let mesh = Mesh2D::square(8);
+        let home = mesh.node_at(4, 4);
+        let sharers = vec![mesh.node_at(1, 1), mesh.node_at(1, 7), mesh.node_at(6, 3)];
+        let plan = MiUaWf.plan(&mesh, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        assert_eq!(plan.request_worms.len(), 2);
+        let total: usize = plan.request_worms.iter().map(|w| w.delivering()).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Invalidation grouping schemes — the paper's contribution.
+//!
+//! Each scheme maps an invalidation transaction (home node + sharer set)
+//! onto a set of base-routing-conformant worms for the request phase and a
+//! per-sharer acknowledgement discipline for the ack phase:
+//!
+//! | scheme | framework | request worms | acknowledgements |
+//! |---|---|---|---|
+//! | [`UiUa`] | UI-UA | `d` unicasts | `d` unicast acks |
+//! | [`MiUaCol`] | MI-UA | 1 multicast per column group | `d` unicast acks |
+//! | [`MiMaCol`] | MI-MA | i-reserve worm per column group | 1 i-gather per group to home |
+//! | [`MiMaTree`] | MI-MA | 1-2 row relay worms; delegates inject column worms | 1 i-gather per group to home |
+//! | [`MiMaTwoPhase`] | MI-MA | i-reserve worm per column group | per-group gathers deposit at home-column i-ack buffers; <= 2 sweep gathers reach home |
+//! | [`MiUaWf`] | MI-UA (turn model) | 1 serpentine worm (2 if the west column straddles) | `d` unicast acks |
+//! | [`MiMaWf`] | MI-MA (turn model) | 1 serpentine i-reserve worm | two-phase deposits + sweeps |
+
+pub mod grouping;
+
+mod mi_ma_col;
+mod mi_ma_tree;
+mod mi_ma_two_phase;
+mod mi_ma_wf;
+mod mi_ua_col;
+mod mi_ua_wf;
+mod two_phase_acks;
+mod ui_ua;
+
+pub use mi_ma_col::MiMaCol;
+pub use mi_ma_tree::MiMaTree;
+pub use mi_ma_two_phase::MiMaTwoPhase;
+pub use mi_ma_wf::MiMaWf;
+pub use mi_ua_col::MiUaCol;
+pub use mi_ua_wf::MiUaWf;
+pub use ui_ua::UiUa;
+
+use crate::plan::InvalPlan;
+use wormdsm_mesh::routing::BaseRouting;
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+
+/// A grouping scheme: turns (home, sharers) into an invalidation plan.
+///
+/// `sharers` excludes the writer and the home node itself (the system
+/// handles those locally) and is never empty.
+pub trait InvalidationScheme: Send + Sync {
+    /// Human-readable name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// The scheme's enum tag.
+    fn kind(&self) -> SchemeKind;
+
+    /// True when the scheme's worms are conformant under `routing`.
+    fn compatible_with(&self, routing: BaseRouting) -> bool;
+
+    /// Build the plan for one invalidation transaction.
+    fn plan(&self, mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> InvalPlan;
+}
+
+/// Enumeration of the implemented schemes (the paper's six grouping
+/// schemes plus the UI-UA baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Unicast invalidations, unicast acks (baseline).
+    UiUa,
+    /// Column multicast worms, unicast acks.
+    MiUaCol,
+    /// Column i-reserve worms, per-group i-gathers.
+    MiMaCol,
+    /// Row relay worm to delegates, delegate column worms, per-group
+    /// i-gathers.
+    MiMaTree,
+    /// Column i-reserve worms, two-phase gather via home-column i-ack
+    /// buffers.
+    MiMaTwoPhase,
+    /// West-first serpentine worm, unicast acks.
+    MiUaWf,
+    /// West-first serpentine i-reserve worm, two-phase gathers.
+    MiMaWf,
+}
+
+impl SchemeKind {
+    /// All schemes, baseline first.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::UiUa,
+        SchemeKind::MiUaCol,
+        SchemeKind::MiMaCol,
+        SchemeKind::MiMaTree,
+        SchemeKind::MiMaTwoPhase,
+        SchemeKind::MiUaWf,
+        SchemeKind::MiMaWf,
+    ];
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::UiUa => "UI-UA",
+            SchemeKind::MiUaCol => "MI-UA(col)",
+            SchemeKind::MiMaCol => "MI-MA(col)",
+            SchemeKind::MiMaTree => "MI-MA(tree)",
+            SchemeKind::MiMaTwoPhase => "MI-MA(2ph)",
+            SchemeKind::MiUaWf => "MI-UA(wf)",
+            SchemeKind::MiMaWf => "MI-MA(wf)",
+        }
+    }
+
+    /// The base routing the scheme is designed for.
+    pub fn natural_routing(self) -> BaseRouting {
+        match self {
+            SchemeKind::MiUaWf | SchemeKind::MiMaWf => BaseRouting::TurnModel,
+            _ => BaseRouting::ECube,
+        }
+    }
+
+    /// Instantiate the scheme.
+    pub fn build(self) -> Box<dyn InvalidationScheme> {
+        match self {
+            SchemeKind::UiUa => Box::new(UiUa),
+            SchemeKind::MiUaCol => Box::new(MiUaCol),
+            SchemeKind::MiMaCol => Box::new(MiMaCol),
+            SchemeKind::MiMaTree => Box::new(MiMaTree),
+            SchemeKind::MiMaTwoPhase => Box::new(MiMaTwoPhase),
+            SchemeKind::MiUaWf => Box::new(MiUaWf),
+            SchemeKind::MiMaWf => Box::new(MiMaWf),
+        }
+    }
+}
+
+impl core::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-group gather construction shared by the MA column schemes: the
+/// farthest member initiates a gather visiting the rest of the group
+/// (far-to-near) and ending at `tail`.
+pub(crate) fn group_gather_dests(group: &grouping::Group, tail: NodeId) -> Vec<NodeId> {
+    let mut dests: Vec<NodeId> = group.members.iter().rev().skip(1).copied().collect();
+    dests.push(tail);
+    dests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_build_and_name() {
+        for k in SchemeKind::ALL {
+            let s = k.build();
+            assert_eq!(s.kind(), k);
+            assert!(!s.name().is_empty());
+            assert!(s.compatible_with(k.natural_routing()), "{k} incompatible with its routing");
+        }
+    }
+
+    #[test]
+    fn wf_schemes_need_turn_model() {
+        assert!(!SchemeKind::MiUaWf.build().compatible_with(BaseRouting::ECube));
+        assert!(!SchemeKind::MiMaWf.build().compatible_with(BaseRouting::ECube));
+        // Column schemes are conformant under both.
+        assert!(SchemeKind::MiMaCol.build().compatible_with(BaseRouting::TurnModel));
+        assert!(SchemeKind::UiUa.build().compatible_with(BaseRouting::TurnModel));
+    }
+
+    #[test]
+    fn group_gather_dest_order() {
+        let g = grouping::Group { col: 2, members: vec![NodeId(10), NodeId(20), NodeId(30)] };
+        // Initiator = farthest (30); dests = 20, 10, tail.
+        assert_eq!(group_gather_dests(&g, NodeId(99)), vec![NodeId(20), NodeId(10), NodeId(99)]);
+        let single = grouping::Group { col: 2, members: vec![NodeId(10)] };
+        assert_eq!(group_gather_dests(&single, NodeId(99)), vec![NodeId(99)]);
+    }
+}

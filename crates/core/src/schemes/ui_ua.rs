@@ -1,0 +1,56 @@
+//! UI-UA: the baseline framework — unicast invalidations, unicast
+//! acknowledgements. `2d` messages per transaction, all serialized through
+//! the home node's controllers (the hot-spot the paper attacks).
+
+use super::{InvalidationScheme, SchemeKind};
+use crate::plan::{AckAction, InvalPlan, PlannedWorm};
+use wormdsm_mesh::routing::BaseRouting;
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+
+/// Unicast Invalidation, Unicast Acknowledgment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UiUa;
+
+impl InvalidationScheme for UiUa {
+    fn name(&self) -> &'static str {
+        SchemeKind::UiUa.name()
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::UiUa
+    }
+
+    fn compatible_with(&self, _routing: BaseRouting) -> bool {
+        true // unicasts are conformant everywhere
+    }
+
+    fn plan(&self, _mesh: &Mesh2D, _home: NodeId, sharers: &[NodeId]) -> InvalPlan {
+        InvalPlan {
+            request_worms: sharers.iter().map(|&s| PlannedWorm::unicast(s)).collect(),
+            actions: sharers.iter().map(|&s| (s, AckAction::Unicast)).collect(),
+            relays: vec![],
+            triggers: vec![],
+            needed: sharers.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::validate_plan;
+
+    #[test]
+    fn one_worm_and_one_ack_per_sharer() {
+        let mesh = Mesh2D::square(8);
+        let sharers: Vec<NodeId> = [10u16, 20, 30].into_iter().map(NodeId).collect();
+        let plan = UiUa.plan(&mesh, NodeId(0), &sharers);
+        assert_eq!(plan.request_worms.len(), 3);
+        assert_eq!(plan.needed, 3);
+        assert!(plan.request_worms.iter().all(|w| w.dests.len() == 1 && !w.reserve_iack));
+        assert!(plan.actions.iter().all(|(_, a)| *a == AckAction::Unicast));
+        validate_plan(&plan, &sharers).unwrap();
+        // Home sends d messages and will receive d acks: 2d total.
+        assert_eq!(plan.home_sends(), 3);
+    }
+}

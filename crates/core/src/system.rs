@@ -1,0 +1,1259 @@
+//! The full DSM system model: processors, caches, directories, controllers
+//! and the invalidation scheme, driven against the wormhole mesh.
+//!
+//! [`DsmSystem`] is the execution engine behind every experiment. Each call
+//! to [`DsmSystem::step`] advances one 5 ns cycle:
+//!
+//! 1. the network moves flits ([`Network::tick`]);
+//! 2. new deliveries enter the receiving node's controller (directory
+//!    controller DC for home-bound messages, cache controller CC
+//!    otherwise), which queues behind its busy time;
+//! 3. due calendar events fire: message handlers run the protocol FSM,
+//!    worms inject, i-acks post.
+//!
+//! Processors obey sequential consistency: one outstanding memory
+//! operation, stalling on every miss until the protocol completes it.
+
+use crate::config::{ConsistencyModel, SystemConfig};
+use crate::metrics::Metrics;
+use crate::plan::{AckAction, InvalPlan, PlannedWorm};
+use crate::schemes::InvalidationScheme;
+use std::collections::{HashMap, VecDeque};
+use wormdsm_coherence::{
+    Addr, BlockId, Cache, DirState, Directory, Evicted, LineState, MemGeometry, MsgTable, ProtoMsg,
+    WbBuffer,
+};
+use wormdsm_mesh::nic::{Delivery, DeliveryKind};
+use wormdsm_mesh::topology::NodeId;
+use wormdsm_mesh::worm::{TxnId, VNet, WormKind, WormSpec};
+use wormdsm_mesh::Network;
+use wormdsm_sim::stats::BusyTime;
+use wormdsm_sim::{Calendar, Cycle};
+
+/// Cycles an early fetch waits before retrying at a node whose ownership
+/// grant is still in flight (window-of-vulnerability deferral).
+const FETCH_RETRY_DELAY: Cycle = 16;
+
+/// Cycles between i-ack post retries when the buffer is full.
+const POST_RETRY_DELAY: Cycle = 20;
+
+/// Cycles before the home re-examines a writeback that raced with an
+/// outstanding fetch (directory entry in `Waiting`).
+const WRITEBACK_RETRY_DELAY: Cycle = 16;
+
+/// A processor memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Local computation for the given number of cycles.
+    Compute(u64),
+    /// Shared-memory read.
+    Read(Addr),
+    /// Shared-memory write.
+    Write(Addr),
+    /// Barrier with the given id and participant count.
+    Barrier {
+        /// Barrier identifier (homed at node `id % nodes`).
+        id: u16,
+        /// Number of arrivals that release the barrier.
+        participants: u32,
+    },
+    /// Acquire a queue lock.
+    Lock(u16),
+    /// Release a queue lock (does not stall).
+    Unlock(u16),
+}
+
+/// Processor execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Idle,
+    BusyUntil(Cycle),
+    Stalled { kind: StallKind, since: Cycle },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallKind {
+    Read(BlockId),
+    Write(BlockId),
+    Barrier(u16),
+    Lock(u16),
+    /// Release consistency: the operation is deferred until the write
+    /// buffer drains (sync ops), frees a slot (buffer full), or the
+    /// conflicting pending write completes; retried on each completion.
+    Deferred(MemOp),
+}
+
+/// Per-node mutable state.
+#[derive(Debug)]
+struct NodeCtx {
+    cache: Cache,
+    wb: WbBuffer,
+    dc: BusyTime,
+    cc: BusyTime,
+    mem: BusyTime,
+    proc: ProcState,
+    /// Release consistency: writes in flight (block -> issue cycle).
+    pending_writes: HashMap<BlockId, Cycle>,
+    /// An invalidation arrived for the block this node's outstanding read
+    /// fill targets: serve the read once but do not install the line.
+    poisoned_fill: Option<BlockId>,
+}
+
+/// An in-flight invalidation transaction at its home node.
+#[derive(Debug)]
+struct TxnState {
+    block: BlockId,
+    home: NodeId,
+    writer: NodeId,
+    needed: u32,
+    got: u32,
+    plan: InvalPlan,
+    with_data: bool,
+    started: Cycle,
+    /// Messages sent from / received at the home so far in this
+    /// transaction (occupancy proxy).
+    home_msgs: u32,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    expected: u32,
+    arrived: Vec<NodeId>,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+/// Calendar events.
+#[derive(Debug)]
+enum Ev {
+    /// A message reached a controller's input; occupy the controller then
+    /// handle.
+    Recv { node: NodeId, key: u64, acks: u32, kind: DeliveryKind, src: NodeId },
+    /// Controller finished processing; run the protocol handler.
+    Handle { node: NodeId, key: u64, acks: u32, kind: DeliveryKind, src: NodeId },
+    /// Hand a fully built worm to the NIC.
+    Inject(WormSpec),
+    /// Post an i-ack signal at `node` for `txn`; fall back to a unicast
+    /// ack if the buffer is full.
+    PostIack { node: NodeId, txn: TxnId },
+}
+
+/// The complete simulated DSM machine.
+pub struct DsmSystem {
+    cfg: SystemConfig,
+    scheme: Box<dyn InvalidationScheme>,
+    net: Network,
+    geom: MemGeometry,
+    msgs: MsgTable,
+    nodes: Vec<NodeCtx>,
+    dirs: Vec<Directory>,
+    txns: HashMap<u64, TxnState>,
+    next_txn: u64,
+    cal: Calendar<Ev>,
+    metrics: Metrics,
+    barriers: HashMap<u16, BarrierState>,
+    locks: HashMap<u16, LockState>,
+    now: Cycle,
+}
+
+impl DsmSystem {
+    /// Build an idle system running `scheme`.
+    ///
+    /// Panics if the scheme's worms are not conformant under the
+    /// configured base routing.
+    pub fn new(cfg: SystemConfig, scheme: Box<dyn InvalidationScheme>) -> Self {
+        assert!(
+            scheme.compatible_with(cfg.mesh.routing),
+            "{} is not conformant under {:?}",
+            scheme.name(),
+            cfg.mesh.routing
+        );
+        let n = cfg.nodes();
+        let geom = MemGeometry::new(cfg.block_bytes, n);
+        let nodes = (0..n)
+            .map(|_| NodeCtx {
+                cache: Cache::new(cfg.cache_sets),
+                wb: WbBuffer::new(),
+                dc: BusyTime::new(),
+                cc: BusyTime::new(),
+                mem: BusyTime::new(),
+                proc: ProcState::Idle,
+                pending_writes: HashMap::new(),
+                poisoned_fill: None,
+            })
+            .collect();
+        let dirs = (0..n).map(|_| Directory::new(n)).collect();
+        let net = Network::new(cfg.mesh.clone());
+        Self {
+            cfg,
+            scheme,
+            net,
+            geom,
+            msgs: MsgTable::new(),
+            nodes,
+            dirs,
+            txns: HashMap::new(),
+            next_txn: 1,
+            cal: Calendar::new(),
+            metrics: Metrics::new(),
+            barriers: HashMap::new(),
+            locks: HashMap::new(),
+            now: 0,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Network statistics so far.
+    pub fn net_stats(&self) -> &wormdsm_mesh::NetStats {
+        self.net.stats()
+    }
+
+    /// The scheme driving invalidations.
+    pub fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Geometry (block/home mapping).
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geom
+    }
+
+    /// Directory-controller busy cycles at `node` (home occupancy).
+    pub fn dc_busy(&self, node: NodeId) -> u64 {
+        self.nodes[node.idx()].dc.total()
+    }
+
+    /// True when `node`'s processor can issue a new operation.
+    pub fn proc_idle(&self, node: NodeId) -> bool {
+        match self.nodes[node.idx()].proc {
+            ProcState::Idle => true,
+            ProcState::BusyUntil(t) => t <= self.now,
+            ProcState::Stalled { .. } => false,
+        }
+    }
+
+    /// True when every processor is idle and no protocol or network
+    /// activity remains.
+    pub fn idle(&self) -> bool {
+        self.txns.is_empty()
+            && self.cal.is_empty()
+            && self.net.quiescent()
+            && (0..self.nodes.len()).all(|i| self.proc_idle(NodeId(i as u16)))
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        self.net.tick();
+        self.now = self.net.now();
+        // Route fresh deliveries into controllers.
+        for i in 0..self.nodes.len() {
+            let node = NodeId(i as u16);
+            if self.net.has_deliveries(node) {
+                for d in self.net.take_deliveries(node) {
+                    self.on_delivery(d);
+                }
+            }
+        }
+        // Fire due events.
+        while let Some((t, ev)) = self.cal.pop_due(self.now) {
+            self.handle_event(t.max(self.now), ev);
+        }
+    }
+
+    /// Run `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Run until [`DsmSystem::idle`] or `max` cycles pass; Err on timeout
+    /// (deadlock or lost message).
+    pub fn run_until_idle(&mut self, max: Cycle) -> Result<Cycle, String> {
+        let deadline = self.now + max;
+        while !self.idle() {
+            if self.now >= deadline {
+                return Err(format!(
+                    "system not idle after {max} cycles: {} txns, {} events, {} live worms",
+                    self.txns.len(),
+                    self.cal.len(),
+                    self.net.live_worms()
+                ));
+            }
+            self.step();
+        }
+        Ok(self.now)
+    }
+
+    // ------------------------------------------------------------------
+    // Processor interface.
+    // ------------------------------------------------------------------
+
+    /// Issue a memory operation on `node`'s processor. Panics when the
+    /// processor is not idle (callers poll [`DsmSystem::proc_idle`]).
+    pub fn issue(&mut self, node: NodeId, op: MemOp) {
+        assert!(self.proc_idle(node), "{node} issued {op:?} while busy");
+        let now = self.now;
+        let costs = self.cfg.costs;
+        match op {
+            MemOp::Compute(c) => {
+                self.nodes[node.idx()].proc = ProcState::BusyUntil(now + c.max(1));
+            }
+            MemOp::Read(a) => {
+                let block = self.geom.block_of(a);
+                if self.nodes[node.idx()].pending_writes.contains_key(&block)
+                    || self.nodes[node.idx()].wb.contains(block)
+                {
+                    // Re-touching a block whose own writeback is still
+                    // unacknowledged would let the stale writeback race a
+                    // re-acquired copy (writeback ABA); wait for the ack.
+                    self.nodes[node.idx()].proc =
+                        ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+                    return;
+                }
+                if self.nodes[node.idx()].cache.read_hit(block) {
+                    self.metrics.read_hits += 1;
+                    self.nodes[node.idx()].proc = ProcState::BusyUntil(now + costs.cache_access);
+                } else {
+                    self.metrics.read_misses += 1;
+                    self.nodes[node.idx()].proc =
+                        ProcState::Stalled { kind: StallKind::Read(block), since: now };
+                    let home = self.geom.home_of(block);
+                    let msg = ProtoMsg::ReadReq { block, requester: node };
+                    self.send_cc(node, now + costs.cache_access, msg, home, VNet::Req);
+                }
+            }
+            MemOp::Write(a) => {
+                let block = self.geom.block_of(a);
+                // A read or write to a block with a write already in
+                // flight — or with this node's own writeback still
+                // unacknowledged (writeback ABA) — waits for it.
+                if self.nodes[node.idx()].pending_writes.contains_key(&block)
+                    || self.nodes[node.idx()].wb.contains(block)
+                {
+                    self.nodes[node.idx()].proc =
+                        ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+                    return;
+                }
+                if self.nodes[node.idx()].cache.write_hit(block) {
+                    self.metrics.write_hits += 1;
+                    self.nodes[node.idx()].proc = ProcState::BusyUntil(now + costs.cache_access);
+                    return;
+                }
+                match self.cfg.consistency {
+                    ConsistencyModel::Sequential => {
+                        self.metrics.write_misses += 1;
+                        self.nodes[node.idx()].proc =
+                            ProcState::Stalled { kind: StallKind::Write(block), since: now };
+                    }
+                    ConsistencyModel::Release { write_buffer } => {
+                        if self.nodes[node.idx()].pending_writes.len() >= write_buffer {
+                            // Buffer full: retry when a write retires
+                            // (deferral is not a miss yet).
+                            self.nodes[node.idx()].proc =
+                                ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+                            return;
+                        }
+                        self.metrics.write_misses += 1;
+                        self.nodes[node.idx()].pending_writes.insert(block, now);
+                        self.nodes[node.idx()].proc = ProcState::BusyUntil(now + costs.cache_access);
+                    }
+                }
+                let home = self.geom.home_of(block);
+                let msg = if self.nodes[node.idx()].cache.read_hit(block) {
+                    ProtoMsg::UpgradeReq { block, requester: node }
+                } else {
+                    ProtoMsg::WriteReq { block, requester: node }
+                };
+                self.send_cc(node, now + costs.cache_access, msg, home, VNet::Req);
+            }
+            MemOp::Barrier { id, participants } => {
+                if self.release_fence_pending(node, op, now) {
+                    return;
+                }
+                self.nodes[node.idx()].proc =
+                    ProcState::Stalled { kind: StallKind::Barrier(id), since: now };
+                let home = self.service_home(id);
+                let msg = ProtoMsg::BarrierArrive { barrier: id, participants };
+                self.send_cc(node, now, msg, home, VNet::Req);
+            }
+            MemOp::Lock(l) => {
+                self.nodes[node.idx()].proc =
+                    ProcState::Stalled { kind: StallKind::Lock(l), since: now };
+                let home = self.service_home(l);
+                self.send_cc(node, now, ProtoMsg::LockReq { lock: l, requester: node }, home, VNet::Req);
+            }
+            MemOp::Unlock(l) => {
+                if self.release_fence_pending(node, op, now) {
+                    return;
+                }
+                let home = self.service_home(l);
+                self.send_cc(node, now, ProtoMsg::LockRelease { lock: l }, home, VNet::Req);
+                // Release costs the CC but does not stall the processor.
+                self.nodes[node.idx()].proc = ProcState::BusyUntil(now + costs.cc_send);
+            }
+        }
+    }
+
+    /// Home node of a barrier/lock id.
+    fn service_home(&self, id: u16) -> NodeId {
+        NodeId(id % self.nodes.len() as u16)
+    }
+
+    /// Release-consistency fence: a releasing synchronization operation
+    /// waits until the write buffer drains. Returns true when the op was
+    /// deferred.
+    fn release_fence_pending(&mut self, node: NodeId, op: MemOp, now: Cycle) -> bool {
+        if !self.nodes[node.idx()].pending_writes.is_empty() {
+            self.nodes[node.idx()].proc = ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A deferred op retries whenever a pending write retires.
+    fn retry_deferred(&mut self, now: Cycle, node: NodeId) {
+        if let ProcState::Stalled { kind: StallKind::Deferred(op), .. } = self.nodes[node.idx()].proc {
+            self.nodes[node.idx()].proc = ProcState::Idle;
+            self.issue_at(node, op, now);
+        }
+    }
+
+    /// Internal re-issue path used by deferred retries (bypasses the
+    /// public `proc_idle` gate which compares against `self.now`).
+    fn issue_at(&mut self, node: NodeId, op: MemOp, now: Cycle) {
+        let saved = self.now;
+        self.now = now;
+        self.issue(node, op);
+        self.now = saved.max(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Coherence invariant checking.
+    // ------------------------------------------------------------------
+
+    /// Verify the global coherence invariants. Intended to be called when
+    /// the system is idle (no transient states in flight):
+    ///
+    /// * **SWMR** — a block in `Exclusive(o)` is cached Modified at `o`
+    ///   and nowhere else; no two caches ever hold it writable.
+    /// * **Shared agreement** — a block in `Shared` is held (if at all)
+    ///   only in `Shared` state, and only by nodes whose presence bit is
+    ///   set (silent clean eviction makes presence a superset).
+    /// * **Uncached purity** — an `Uncached` block is in no cache.
+    /// * **No residue** — no directory entry is left `Waiting` and no
+    ///   invalidation transaction is open.
+    ///
+    /// Returns a diagnostic for the first violation found.
+    pub fn verify_coherence(&self) -> Result<(), String> {
+        if !self.txns.is_empty() {
+            return Err(format!("{} invalidation transactions still open", self.txns.len()));
+        }
+        for (h, dir) in self.dirs.iter().enumerate() {
+            let home = NodeId(h as u16);
+            for block in dir.blocks() {
+                let entry = dir.entry(block).expect("listed block exists");
+                match entry.state {
+                    DirState::Uncached => {
+                        for (i, n) in self.nodes.iter().enumerate() {
+                            if let Some(st) = n.cache.state(block) {
+                                return Err(format!(
+                                    "{block} uncached at home {home} but cached {st:?} at n{i}"
+                                ));
+                            }
+                        }
+                    }
+                    DirState::Shared => {
+                        for (i, n) in self.nodes.iter().enumerate() {
+                            match n.cache.state(block) {
+                                Some(LineState::Modified) => {
+                                    return Err(format!(
+                                        "{block} shared at home {home} but Modified at n{i}"
+                                    ));
+                                }
+                                Some(LineState::Shared) if !entry.has_presence(NodeId(i as u16)) => {
+                                    return Err(format!(
+                                        "{block} cached at n{i} without a presence bit"
+                                    ));
+                                }
+                                Some(LineState::Shared) => {}
+                                None => {}
+                            }
+                        }
+                    }
+                    DirState::Exclusive(owner) => {
+                        for (i, n) in self.nodes.iter().enumerate() {
+                            let st = n.cache.state(block);
+                            if NodeId(i as u16) == owner {
+                                // The owner may have a writeback in flight
+                                // only while the system is not idle; at
+                                // idle it must hold the line Modified.
+                                if st != Some(LineState::Modified) {
+                                    return Err(format!(
+                                        "{block} exclusive at {owner} but its cache holds {st:?}"
+                                    ));
+                                }
+                            } else if st.is_some() {
+                                return Err(format!(
+                                    "{block} exclusive at {owner} but also cached {st:?} at n{i} (SWMR violation)"
+                                ));
+                            }
+                        }
+                    }
+                    DirState::Waiting => {
+                        return Err(format!("{block} left in Waiting at home {home}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Test/bench seams.
+    // ------------------------------------------------------------------
+
+    /// Seed `block` as Shared at `sharers` (directory + caches), bypassing
+    /// the protocol — used by single-transaction experiments to set up an
+    /// invalidation pattern directly.
+    pub fn seed_shared(&mut self, block: BlockId, sharers: &[NodeId]) {
+        let home = self.geom.home_of(block);
+        let entry = self.dirs[home.idx()].entry_mut(block);
+        assert_eq!(entry.state, DirState::Uncached, "seed on a fresh block");
+        entry.state = DirState::Shared;
+        for &s in sharers {
+            entry.set_presence(s);
+            self.nodes[s.idx()].cache.insert(block, LineState::Shared);
+        }
+    }
+
+    /// Cache state of `block` at `node` (tests).
+    pub fn cache_state(&self, node: NodeId, block: BlockId) -> Option<LineState> {
+        self.nodes[node.idx()].cache.state(block)
+    }
+
+    /// Directory state of `block` (tests).
+    pub fn dir_state(&self, block: BlockId) -> DirState {
+        let home = self.geom.home_of(block);
+        self.dirs[home.idx()].state(block)
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing.
+    // ------------------------------------------------------------------
+
+    /// Send `msg` from `node`'s cache controller at `start` (occupying it
+    /// for the compose cost) to `dest`.
+    fn send_cc(&mut self, node: NodeId, start: Cycle, msg: ProtoMsg, dest: NodeId, vnet: VNet) -> Cycle {
+        let t = self.nodes[node.idx()].cc.occupy(start.max(self.now), self.cfg.costs.cc_send);
+        self.dispatch_unicast(node, t, msg, dest, vnet);
+        t
+    }
+
+    /// Send `msg` from `node`'s directory controller at `start`.
+    fn send_dc(&mut self, node: NodeId, start: Cycle, msg: ProtoMsg, dest: NodeId, vnet: VNet) -> Cycle {
+        let t = self.nodes[node.idx()].dc.occupy(start.max(self.now), self.cfg.costs.dc_send);
+        self.dispatch_unicast(node, t, msg, dest, vnet);
+        t
+    }
+
+    fn dispatch_unicast(&mut self, node: NodeId, t: Cycle, msg: ProtoMsg, dest: NodeId, vnet: VNet) {
+        let key = self.msgs.push(msg);
+        if dest == node {
+            // Local shortcut: no network, straight to the co-located
+            // controller input.
+            self.cal.schedule(t, Ev::Recv { node: dest, key, acks: 0, kind: DeliveryKind::Final, src: node });
+        } else {
+            let len = self.cfg.sizes.unicast_len(&msg);
+            let spec = WormSpec::unicast(node, dest, vnet, len, key);
+            self.cal.schedule(t, Ev::Inject(spec));
+        }
+    }
+
+    /// Build the network worm for a planned worm of transaction `txn`.
+    fn build_spec(&mut self, src: NodeId, w: &PlannedWorm, txn: TxnId, block: BlockId, home: NodeId) -> WormSpec {
+        let msg = match w.kind {
+            WormKind::Gather => {
+                let last = *w.dests.last().expect("non-empty");
+                if last == home || w.gather_deposit {
+                    ProtoMsg::GatherAck { block, txn }
+                } else {
+                    ProtoMsg::SweepTrigger { block, txn }
+                }
+            }
+            _ if w.relay => ProtoMsg::RelayInval { block, txn, home },
+            _ => ProtoMsg::Inval { block, txn, home },
+        };
+        let key = self.msgs.push(msg);
+        let len = match w.kind {
+            WormKind::Gather => self.cfg.sizes.gather_len(),
+            WormKind::Unicast => self.cfg.sizes.unicast_len(&msg),
+            WormKind::Multicast => self.cfg.sizes.multicast_len(&msg, w.delivering()),
+        };
+        WormSpec {
+            src,
+            vnet: if w.kind == WormKind::Gather { VNet::Reply } else { VNet::Req },
+            kind: w.kind,
+            dests: w.dests.clone(),
+            len_flits: len,
+            payload: key,
+            reserve_iack: w.reserve_iack,
+            txn,
+            initial_acks: w.initial_acks,
+            gather_deposit: w.gather_deposit,
+            deliver: w.deliver.clone(),
+        }
+    }
+
+    /// Route a network delivery into the right controller.
+    fn on_delivery(&mut self, d: Delivery) {
+        self.recv(self.now, d.node, d.payload, d.acks, d.kind, d.src);
+    }
+
+    /// A message arrived at `node`: occupy the owning controller, then
+    /// schedule the protocol handler.
+    fn recv(&mut self, now: Cycle, node: NodeId, key: u64, acks: u32, kind: DeliveryKind, src: NodeId) {
+        let msg = self.msgs.get(key);
+        let costs = self.cfg.costs;
+        let _ = kind;
+        let is_dc = self.is_dc_message(node, &msg);
+        let t = if is_dc {
+            self.nodes[node.idx()].dc.occupy(now, costs.dc_proc)
+        } else {
+            self.nodes[node.idx()].cc.occupy(now, costs.cc_proc)
+        };
+        self.cal.schedule(t, Ev::Handle { node, key, acks, kind, src });
+    }
+
+    /// Directory-controller messages (home-bound protocol traffic).
+    fn is_dc_message(&self, node: NodeId, msg: &ProtoMsg) -> bool {
+        match msg {
+            ProtoMsg::ReadReq { .. }
+            | ProtoMsg::WriteReq { .. }
+            | ProtoMsg::UpgradeReq { .. }
+            | ProtoMsg::InvAck { .. }
+            | ProtoMsg::FetchWb { .. }
+            | ProtoMsg::Writeback { .. }
+            | ProtoMsg::BarrierArrive { .. }
+            | ProtoMsg::LockReq { .. }
+            | ProtoMsg::LockRelease { .. } => true,
+            ProtoMsg::GatherAck { txn, .. } => {
+                debug_assert!(self.txns.get(&txn.0).is_none_or(|t| t.home == node));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn handle_event(&mut self, now: Cycle, ev: Ev) {
+        match ev {
+            Ev::Recv { node, key, acks, kind, src } => self.recv(now, node, key, acks, kind, src),
+            Ev::Handle { node, key, acks, kind, src } => {
+                let msg = self.msgs.get(key);
+                self.dispatch(now, node, msg, key, acks, kind, src);
+            }
+            Ev::Inject(spec) => {
+                self.net.inject(spec);
+            }
+            Ev::PostIack { node, txn } => {
+                if !self.net.post_iack(node, txn) {
+                    // Buffer full: retry. The retry always eventually
+                    // succeeds — once this post's own gather parks in an
+                    // entry, the post resolves into it without needing a
+                    // free slot — and falling back to a unicast ack would
+                    // strand that gather forever.
+                    self.metrics.iack_fallbacks += 1;
+                    self.cal.schedule(now + POST_RETRY_DELAY, Ev::PostIack { node, txn });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol FSM.
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(&mut self, now: Cycle, node: NodeId, msg: ProtoMsg, key: u64, acks: u32, _kind: DeliveryKind, src: NodeId) {
+        match msg {
+            ProtoMsg::ReadReq { block, requester } => self.h_read_req(now, node, block, requester, key),
+            ProtoMsg::WriteReq { block, requester } | ProtoMsg::UpgradeReq { block, requester } => {
+                self.h_write_req(now, node, block, requester, key)
+            }
+            ProtoMsg::ReadReply { block } => self.h_read_reply(now, node, block),
+            ProtoMsg::Inval { block, txn, home } => self.h_inval(now, node, block, txn, home),
+            ProtoMsg::RelayInval { block, txn, home } => self.h_relay(now, node, block, txn, home),
+            ProtoMsg::InvAck { txn, count, .. } => self.h_acks(now, node, txn, count),
+            ProtoMsg::GatherAck { txn, .. } => self.h_acks(now, node, txn, acks),
+            ProtoMsg::SweepTrigger { block, txn } => self.h_sweep_trigger(now, node, block, txn, acks),
+            ProtoMsg::WriteGrant { block, with_data } => self.h_write_grant(now, node, block, with_data),
+            ProtoMsg::Fetch { block, requester, for_write } => {
+                self.h_fetch(now, node, block, requester, for_write)
+            }
+            ProtoMsg::OwnerData { block, exclusive } => self.h_owner_data(now, node, block, exclusive),
+            ProtoMsg::FetchWb { block, requester, was_write } => {
+                self.h_fetch_wb(now, node, block, requester, was_write, src)
+            }
+            ProtoMsg::Writeback { block, owner } => self.h_writeback(now, node, block, owner, key),
+            ProtoMsg::WritebackAck { block } => {
+                self.nodes[node.idx()].wb.release(block);
+                // An access deferred behind this writeback can now retry.
+                self.retry_deferred(now, node);
+            }
+            ProtoMsg::BarrierArrive { barrier, participants } => {
+                self.h_barrier_arrive(now, node, barrier, participants, src)
+            }
+            ProtoMsg::BarrierRelease { barrier } => self.resume_sync(now, node, StallKind::Barrier(barrier)),
+            ProtoMsg::LockReq { lock, requester } => self.h_lock_req(now, node, lock, requester),
+            ProtoMsg::LockGrant { lock } => self.resume_sync(now, node, StallKind::Lock(lock)),
+            ProtoMsg::LockRelease { lock } => self.h_lock_release(now, node, lock),
+        }
+    }
+
+    fn h_read_req(&mut self, now: Cycle, home: NodeId, block: BlockId, requester: NodeId, key: u64) {
+        let costs = self.cfg.costs;
+        match self.dirs[home.idx()].state(block) {
+            DirState::Uncached | DirState::Shared => {
+                let t = self.nodes[home.idx()].mem.occupy(now, costs.mem_access);
+                let entry = self.dirs[home.idx()].entry_mut(block);
+                entry.state = DirState::Shared;
+                entry.set_presence(requester);
+                self.send_dc(home, t, ProtoMsg::ReadReply { block }, requester, VNet::Reply);
+            }
+            DirState::Exclusive(owner) => {
+                let entry = self.dirs[home.idx()].entry_mut(block);
+                entry.state = DirState::Waiting;
+                self.send_dc(home, now, ProtoMsg::Fetch { block, requester, for_write: false }, owner, VNet::Req);
+            }
+            DirState::Waiting => {
+                self.dirs[home.idx()]
+                    .entry_mut(block)
+                    .queue
+                    .push_back(wormdsm_coherence::QueuedReq { node: requester, msg_key: key });
+            }
+        }
+    }
+
+    fn h_write_req(&mut self, now: Cycle, home: NodeId, block: BlockId, requester: NodeId, key: u64) {
+        let costs = self.cfg.costs;
+        match self.dirs[home.idx()].state(block) {
+            DirState::Uncached => {
+                let t = self.nodes[home.idx()].mem.occupy(now, costs.mem_access);
+                let entry = self.dirs[home.idx()].entry_mut(block);
+                entry.state = DirState::Exclusive(requester);
+                entry.clear_all();
+                self.send_dc(home, t, ProtoMsg::WriteGrant { block, with_data: true }, requester, VNet::Reply);
+            }
+            DirState::Shared => self.start_invalidation(now, home, block, requester),
+            DirState::Exclusive(owner) => {
+                debug_assert_ne!(owner, requester, "owner write-missing its own block");
+                let entry = self.dirs[home.idx()].entry_mut(block);
+                entry.state = DirState::Waiting;
+                self.send_dc(home, now, ProtoMsg::Fetch { block, requester, for_write: true }, owner, VNet::Req);
+            }
+            DirState::Waiting => {
+                self.dirs[home.idx()]
+                    .entry_mut(block)
+                    .queue
+                    .push_back(wormdsm_coherence::QueuedReq { node: requester, msg_key: key });
+            }
+        }
+    }
+
+    /// The heart of the reproduction: run the configured scheme over the
+    /// sharer set.
+    fn start_invalidation(&mut self, now: Cycle, home: NodeId, block: BlockId, writer: NodeId) {
+        let costs = self.cfg.costs;
+        let with_data = !self.dirs[home.idx()].entry_mut(block).has_presence(writer);
+
+        // Invalidate the home's own copy locally (no network message).
+        if home != writer && self.dirs[home.idx()].entry_mut(block).has_presence(home) {
+            self.invalidate_local(home, block);
+            self.dirs[home.idx()].entry_mut(block).clear_presence(home);
+        }
+
+        let remote: Vec<NodeId> = self.dirs[home.idx()]
+            .entry_mut(block)
+            .sharers_except(writer)
+            .into_iter()
+            .filter(|&s| s != home)
+            .collect();
+
+        if remote.is_empty() {
+            // Fast path: nothing remote to invalidate.
+            let entry = self.dirs[home.idx()].entry_mut(block);
+            entry.state = DirState::Exclusive(writer);
+            entry.clear_all();
+            self.send_dc(home, now, ProtoMsg::WriteGrant { block, with_data }, writer, VNet::Reply);
+            return;
+        }
+
+        let mesh = self.cfg.mesh.mesh;
+        let plan = self.scheme.plan(&mesh, home, &remote);
+        debug_assert!(crate::plan::validate_plan(&plan, &remote).is_ok(), "{:?}", crate::plan::validate_plan(&plan, &remote));
+        let txn_id = TxnId(self.next_txn);
+        self.next_txn += 1;
+
+        self.dirs[home.idx()].entry_mut(block).state = DirState::Waiting;
+
+        // Inject request worms, serializing through the DC (the occupancy
+        // effect the paper measures).
+        let mut t = now;
+        let mut home_msgs = 1; // the write request itself
+        for w in &plan.request_worms.clone() {
+            let spec = self.build_spec(home, w, txn_id, block, home);
+            t = self.nodes[home.idx()].dc.occupy(t, costs.dc_send);
+            self.cal.schedule(t, Ev::Inject(spec));
+            home_msgs += 1;
+        }
+
+        self.txns.insert(
+            txn_id.0,
+            TxnState {
+                block,
+                home,
+                writer,
+                needed: plan.needed,
+                got: 0,
+                plan,
+                with_data,
+                started: now,
+                home_msgs,
+            },
+        );
+    }
+
+    /// Invalidate `block` in `node`'s cache, handling the late-fill race:
+    /// if the line is absent because a read fill is still in flight, the
+    /// fill is *poisoned* — the read's value is still returned (it is
+    /// ordered before the write under the directory's serialization), but
+    /// the stale line is not installed.
+    fn invalidate_local(&mut self, node: NodeId, block: BlockId) {
+        if self.nodes[node.idx()].cache.invalidate(block).is_some() {
+            return;
+        }
+        let fill_in_flight = matches!(
+            self.nodes[node.idx()].proc,
+            ProcState::Stalled { kind: StallKind::Read(b), .. } if b == block
+        );
+        if fill_in_flight {
+            // Idempotent: a second transaction can invalidate the same
+            // outstanding fill (its FetchWb re-set our presence bit at the
+            // home before the OwnerData reached us). One outstanding read
+            // means any existing poison is for this same block.
+            debug_assert!(
+                self.nodes[node.idx()].poisoned_fill.is_none_or(|b| b == block),
+                "poison for a different block than the outstanding read"
+            );
+            self.nodes[node.idx()].poisoned_fill = Some(block);
+            self.metrics.poisoned_fills += 1;
+        } else {
+            self.metrics.spurious_invals += 1;
+        }
+    }
+
+    fn h_inval(&mut self, now: Cycle, node: NodeId, block: BlockId, txn: TxnId, home: NodeId) {
+        let costs = self.cfg.costs;
+        self.invalidate_local(node, block);
+        let action = self
+            .txns
+            .get(&txn.0)
+            .and_then(|t| t.plan.action_for(node))
+            .cloned()
+            .expect("invalidation delivered to a node with no planned action");
+        self.perform_ack_action(now + costs.cache_access, node, block, txn, home, &action);
+    }
+
+    fn perform_ack_action(&mut self, start: Cycle, node: NodeId, block: BlockId, txn: TxnId, home: NodeId, action: &AckAction) {
+        let costs = self.cfg.costs;
+        match action {
+            AckAction::Unicast => {
+                self.send_cc(node, start, ProtoMsg::InvAck { block, txn, count: 1 }, home, VNet::Reply);
+            }
+            AckAction::Post => {
+                let t = self.nodes[node.idx()].cc.occupy(start, costs.iack_post);
+                self.cal.schedule(t, Ev::PostIack { node, txn });
+            }
+            AckAction::InitGather(w) => {
+                let spec = self.build_spec(node, w, txn, block, home);
+                let t = self.nodes[node.idx()].cc.occupy(start, costs.cc_send);
+                self.cal.schedule(t, Ev::Inject(spec));
+            }
+        }
+    }
+
+    fn h_relay(&mut self, now: Cycle, node: NodeId, block: BlockId, txn: TxnId, home: NodeId) {
+        let costs = self.cfg.costs;
+        let (worms, action) = {
+            let t = self.txns.get(&txn.0).expect("txn live");
+            let worms: Vec<PlannedWorm> = t
+                .plan
+                .relays
+                .iter()
+                .find(|(n, _)| *n == node)
+                .map(|(_, ws)| ws.clone())
+                .unwrap_or_default();
+            (worms, t.plan.action_for(node).cloned())
+        };
+        let mut t = now;
+        for w in &worms {
+            let spec = self.build_spec(node, w, txn, block, home);
+            t = self.nodes[node.idx()].cc.occupy(t, costs.cc_send);
+            self.cal.schedule(t, Ev::Inject(spec));
+        }
+        // A delegate that is itself a sharer invalidates and acks too.
+        if let Some(action) = action {
+            self.invalidate_local(node, block);
+            self.perform_ack_action(t + costs.cache_access, node, block, txn, home, &action);
+        }
+    }
+
+    fn h_sweep_trigger(&mut self, now: Cycle, node: NodeId, block: BlockId, txn: TxnId, acks: u32) {
+        let costs = self.cfg.costs;
+        let (mut sweep, home) = {
+            let t = self.txns.get(&txn.0).expect("txn live");
+            (
+                t.plan.trigger_for(node).cloned().expect("sweep trigger has a planned worm"),
+                t.home,
+            )
+        };
+        sweep.initial_acks += acks;
+        let spec = self.build_spec(node, &sweep, txn, block, home);
+        let t = self.nodes[node.idx()].cc.occupy(now, costs.cc_send);
+        self.cal.schedule(t, Ev::Inject(spec));
+    }
+
+    /// Acks arrived at the home (unicast count or gathered count).
+    fn h_acks(&mut self, now: Cycle, home: NodeId, txn: TxnId, count: u32) {
+        let done = {
+            let t = self.txns.get_mut(&txn.0).expect("acks for a dead transaction");
+            debug_assert_eq!(t.home, home);
+            t.got += count;
+            t.home_msgs += 1;
+            t.got >= t.needed
+        };
+        if done {
+            self.complete_invalidation(now, txn);
+        }
+    }
+
+    fn complete_invalidation(&mut self, now: Cycle, txn: TxnId) {
+        let t = self.txns.remove(&txn.0).expect("completing a live txn");
+        debug_assert!(t.got == t.needed, "over-collected acks");
+        self.metrics.inval_txns += 1;
+        self.metrics.inval_latency.record((now - t.started) as f64);
+        self.metrics.inval_set_size.record(t.needed as u64);
+        // +1: the grant the home is about to send.
+        self.metrics.inval_home_msgs.record((t.home_msgs + 1) as f64);
+
+        let entry = self.dirs[t.home.idx()].entry_mut(t.block);
+        entry.state = DirState::Exclusive(t.writer);
+        entry.clear_all();
+        let queued: Vec<wormdsm_coherence::QueuedReq> = entry.queue.drain(..).collect();
+        self.send_dc(
+            t.home,
+            now,
+            ProtoMsg::WriteGrant { block: t.block, with_data: t.with_data },
+            t.writer,
+            VNet::Reply,
+        );
+        // Replay queued requests against the settled directory state.
+        for q in queued {
+            self.recv(now, t.home, q.msg_key, 0, DeliveryKind::Final, q.node);
+        }
+    }
+
+    fn h_read_reply(&mut self, now: Cycle, node: NodeId, block: BlockId) {
+        if self.take_poison(node, block) {
+            // Serve the read without installing the invalidated line.
+            self.resume_mem(now, node, StallKind::Read(block));
+            return;
+        }
+        self.install_line(now, node, block, LineState::Shared);
+        self.resume_mem(now, node, StallKind::Read(block));
+    }
+
+    /// Consume a pending fill poison for `block`, if set.
+    fn take_poison(&mut self, node: NodeId, block: BlockId) -> bool {
+        if self.nodes[node.idx()].poisoned_fill == Some(block) {
+            self.nodes[node.idx()].poisoned_fill = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn h_write_grant(&mut self, now: Cycle, node: NodeId, block: BlockId, with_data: bool) {
+        if with_data {
+            self.install_line(now, node, block, LineState::Modified);
+        } else if !self.nodes[node.idx()].cache.upgrade(block) {
+            // The copy vanished between the upgrade request and the grant
+            // (conflict eviction is impossible while stalled, so this is a
+            // protocol bug if it fires).
+            self.install_line(now, node, block, LineState::Modified);
+        }
+        self.complete_write(now, node, block);
+    }
+
+    /// A write's permission arrived: resume a stalled SC writer or retire
+    /// the RC write-buffer entry.
+    fn complete_write(&mut self, now: Cycle, node: NodeId, block: BlockId) {
+        if let ProcState::Stalled { kind: StallKind::Write(b), .. } = self.nodes[node.idx()].proc {
+            debug_assert_eq!(b, block);
+            self.resume_mem(now, node, StallKind::Write(block));
+            return;
+        }
+        let issued = self.nodes[node.idx()]
+            .pending_writes
+            .remove(&block)
+            .expect("write completion matches a pending write");
+        self.metrics.write_latency.record((now - issued) as f64);
+        self.retry_deferred(now, node);
+    }
+
+    fn h_fetch(&mut self, now: Cycle, owner: NodeId, block: BlockId, requester: NodeId, for_write: bool) {
+        let costs = self.cfg.costs;
+        let in_cache = self.nodes[owner.idx()].cache.state(block) == Some(LineState::Modified);
+        let in_wb = self.nodes[owner.idx()].wb.contains(block);
+        if !in_cache && !in_wb {
+            // Window of vulnerability [23]: the fetch (short, request net)
+            // overtook this node's own data-carrying grant (long, reply
+            // net). Defer and retry once the grant lands.
+            self.metrics.fetch_retries += 1;
+            let key = self.msgs.push(ProtoMsg::Fetch { block, requester, for_write });
+            self.cal.schedule(now + FETCH_RETRY_DELAY, Ev::Recv {
+                node: owner,
+                key,
+                acks: 0,
+                kind: DeliveryKind::Final,
+                src: owner,
+            });
+            return;
+        }
+        if in_cache {
+            if for_write {
+                self.nodes[owner.idx()].cache.invalidate(block);
+            } else {
+                self.nodes[owner.idx()].cache.downgrade(block);
+            }
+        }
+        let t = self.send_cc(owner, now + costs.cache_access, ProtoMsg::OwnerData { block, exclusive: for_write }, requester, VNet::Reply);
+        self.send_cc(owner, t, ProtoMsg::FetchWb { block, requester, was_write: for_write }, self.geom.home_of(block), VNet::Reply);
+    }
+
+    fn h_owner_data(&mut self, now: Cycle, node: NodeId, block: BlockId, exclusive: bool) {
+        if exclusive {
+            self.install_line(now, node, block, LineState::Modified);
+            self.complete_write(now, node, block);
+        } else {
+            if self.take_poison(node, block) {
+                self.resume_mem(now, node, StallKind::Read(block));
+                return;
+            }
+            self.install_line(now, node, block, LineState::Shared);
+            self.resume_mem(now, node, StallKind::Read(block));
+        }
+    }
+
+    fn h_fetch_wb(&mut self, now: Cycle, home: NodeId, block: BlockId, requester: NodeId, was_write: bool, old_owner: NodeId) {
+        let costs = self.cfg.costs;
+        let _t = self.nodes[home.idx()].mem.occupy(now, costs.mem_access);
+        let entry = self.dirs[home.idx()].entry_mut(block);
+        entry.clear_all();
+        if was_write {
+            entry.state = DirState::Exclusive(requester);
+        } else {
+            entry.state = DirState::Shared;
+            entry.set_presence(old_owner);
+            entry.set_presence(requester);
+        }
+        let queued: Vec<wormdsm_coherence::QueuedReq> = entry.queue.drain(..).collect();
+        for q in queued {
+            self.recv(now, home, q.msg_key, 0, DeliveryKind::Final, q.node);
+        }
+    }
+
+    fn h_writeback(&mut self, now: Cycle, home: NodeId, block: BlockId, owner: NodeId, key: u64) {
+        let costs = self.cfg.costs;
+        match self.dirs[home.idx()].state(block) {
+            DirState::Exclusive(o) if o == owner => {
+                let t = self.nodes[home.idx()].mem.occupy(now, costs.mem_access);
+                let entry = self.dirs[home.idx()].entry_mut(block);
+                entry.state = DirState::Uncached;
+                entry.clear_all();
+                self.send_dc(home, t, ProtoMsg::WritebackAck { block }, owner, VNet::Reply);
+            }
+            DirState::Waiting => {
+                // The writeback raced with a fetch the home already sent.
+                // Acknowledging now would let the owner free its writeback
+                // buffer before the fetch reaches it, losing the data.
+                // Defer until the fetch transaction settles the entry.
+                self.metrics.wb_retries += 1;
+                self.cal.schedule(now + WRITEBACK_RETRY_DELAY, Ev::Recv {
+                    node: home,
+                    key,
+                    acks: 0,
+                    kind: DeliveryKind::Final,
+                    src: owner,
+                });
+            }
+            _ => {
+                // Stale writeback: a fetch already transferred ownership;
+                // the data was supplied by the FetchWb.
+                self.send_dc(home, now, ProtoMsg::WritebackAck { block }, owner, VNet::Reply);
+            }
+        }
+    }
+
+    fn h_barrier_arrive(&mut self, now: Cycle, home: NodeId, barrier: u16, participants: u32, src: NodeId) {
+        let st = self
+            .barriers
+            .entry(barrier)
+            .or_insert_with(|| BarrierState { expected: participants, arrived: Vec::new() });
+        st.arrived.push(src);
+        if st.arrived.len() as u32 >= st.expected {
+            let arrived = std::mem::take(&mut st.arrived);
+            self.barriers.remove(&barrier);
+            self.metrics.barriers += 1;
+            if self.cfg.multicast_barriers {
+                self.release_barrier_multicast(now, home, barrier, arrived);
+            } else {
+                self.release_barrier_unicast(now, home, barrier, arrived);
+            }
+        }
+    }
+
+    /// Per-participant unicast releases (the baseline used by the paper's
+    /// systems).
+    fn release_barrier_unicast(&mut self, now: Cycle, home: NodeId, barrier: u16, arrived: Vec<NodeId>) {
+        let mut t = now;
+        for n in arrived {
+            t = self.nodes[home.idx()].dc.occupy(t, self.cfg.costs.dc_send);
+            let key = self.msgs.push(ProtoMsg::BarrierRelease { barrier });
+            if n == home {
+                self.cal.schedule(t, Ev::Recv { node: n, key, acks: 0, kind: DeliveryKind::Final, src: home });
+            } else {
+                let len = self.cfg.sizes.control;
+                let spec = WormSpec::unicast(home, n, VNet::Reply, len, key);
+                self.cal.schedule(t, Ev::Inject(spec));
+            }
+        }
+    }
+
+    /// Release with multidestination worms on the reply network: one worm
+    /// per YX row group, so the barrier home sends O(rows) messages
+    /// instead of O(participants) — the collective-communication variant
+    /// from the group's barrier work.
+    fn release_barrier_multicast(&mut self, now: Cycle, home: NodeId, barrier: u16, arrived: Vec<NodeId>) {
+        let mesh = self.cfg.mesh.mesh;
+        let remote: Vec<NodeId> = arrived.iter().copied().filter(|&n| n != home).collect();
+        let mut t = now;
+        if arrived.len() > remote.len() {
+            // The home itself participates: local release.
+            let key = self.msgs.push(ProtoMsg::BarrierRelease { barrier });
+            t = self.nodes[home.idx()].dc.occupy(t, self.cfg.costs.dc_send);
+            self.cal.schedule(t, Ev::Recv { node: home, key, acks: 0, kind: DeliveryKind::Final, src: home });
+        }
+        for g in crate::schemes::grouping::row_groups(&mesh, home, &remote) {
+            let key = self.msgs.push(ProtoMsg::BarrierRelease { barrier });
+            let msg = ProtoMsg::BarrierRelease { barrier };
+            let len = self.cfg.sizes.multicast_len(&msg, g.members.len());
+            t = self.nodes[home.idx()].dc.occupy(t, self.cfg.costs.dc_send);
+            let spec = WormSpec {
+                src: home,
+                vnet: VNet::Reply,
+                kind: if g.members.len() == 1 { WormKind::Unicast } else { WormKind::Multicast },
+                dests: g.members,
+                len_flits: len,
+                payload: key,
+                reserve_iack: false,
+                txn: TxnId(0),
+                initial_acks: 0,
+                gather_deposit: false,
+                deliver: None,
+            };
+            self.cal.schedule(t, Ev::Inject(spec));
+        }
+    }
+
+    fn h_lock_req(&mut self, now: Cycle, home: NodeId, lock: u16, requester: NodeId) {
+        let st = self.locks.entry(lock).or_default();
+        if st.holder.is_none() {
+            st.holder = Some(requester);
+            self.send_dc(home, now, ProtoMsg::LockGrant { lock }, requester, VNet::Reply);
+        } else {
+            st.queue.push_back(requester);
+        }
+    }
+
+    fn h_lock_release(&mut self, now: Cycle, home: NodeId, lock: u16) {
+        let st = self.locks.get_mut(&lock).expect("release of unknown lock");
+        st.holder = None;
+        if let Some(next) = st.queue.pop_front() {
+            st.holder = Some(next);
+            self.send_dc(home, now, ProtoMsg::LockGrant { lock }, next, VNet::Reply);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cache install / processor resume helpers.
+    // ------------------------------------------------------------------
+
+    /// Install a line, sending a writeback when a dirty victim falls out.
+    fn install_line(&mut self, now: Cycle, node: NodeId, block: BlockId, state: LineState) {
+        match self.nodes[node.idx()].cache.insert(block, state) {
+            Evicted::None | Evicted::Clean(_) => {}
+            Evicted::Dirty(victim) => {
+                self.metrics.writebacks += 1;
+                self.nodes[node.idx()].wb.insert(victim);
+                let home = self.geom.home_of(victim);
+                self.send_cc(node, now, ProtoMsg::Writeback { block: victim, owner: node }, home, VNet::Req);
+            }
+        }
+    }
+
+    /// Resume a processor stalled on a memory operation.
+    fn resume_mem(&mut self, now: Cycle, node: NodeId, expect: StallKind) {
+        let ProcState::Stalled { kind, since } = self.nodes[node.idx()].proc else {
+            panic!("{node} got a completion while not stalled");
+        };
+        debug_assert_eq!(kind, expect, "completion does not match the stall");
+        let stall = now - since;
+        self.metrics.stall_cycles += stall;
+        match kind {
+            StallKind::Read(_) => self.metrics.read_latency.record(stall as f64),
+            StallKind::Write(_) => self.metrics.write_latency.record(stall as f64),
+            _ => {}
+        }
+        self.nodes[node.idx()].proc = ProcState::BusyUntil(now + self.cfg.costs.cache_access);
+    }
+
+    /// Resume a processor stalled on a synchronization operation.
+    fn resume_sync(&mut self, now: Cycle, node: NodeId, expect: StallKind) {
+        let ProcState::Stalled { kind, since } = self.nodes[node.idx()].proc else {
+            panic!("{node} got a sync completion while not stalled");
+        };
+        debug_assert_eq!(kind, expect);
+        self.metrics.sync_stall_cycles += now - since;
+        self.nodes[node.idx()].proc = ProcState::Idle;
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests over the scheme geometry: for arbitrary sharer
+//! sets on arbitrary meshes, every scheme must produce structurally valid,
+//! base-routing-conformant plans that cover the sharer set exactly.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wormdsm_core::plan::{validate_plan, AckAction, InvalPlan};
+use wormdsm_core::schemes::{InvalidationScheme, SchemeKind};
+use wormdsm_mesh::routing::{is_conformant, PathRule};
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+
+/// Strategy: a mesh size, a home node, and a distinct sharer set
+/// excluding the home.
+fn scenario() -> impl Strategy<Value = (usize, u16, Vec<u16>)> {
+    (4usize..=12).prop_flat_map(|k| {
+        let n = (k * k) as u16;
+        (
+            Just(k),
+            0..n,
+            proptest::collection::hash_set(0..n, 1..=(n as usize - 2).min(40)),
+        )
+            .prop_map(|(k, home, set)| {
+                let sharers: Vec<u16> = set.into_iter().filter(|&s| s != home).collect();
+                (k, home, sharers)
+            })
+            .prop_filter("need at least one sharer", |(_, _, s)| !s.is_empty())
+    })
+}
+
+/// Check every worm path in a plan for conformance.
+fn check_plan_conformance(scheme: &dyn InvalidationScheme, mesh: &Mesh2D, home: NodeId, plan: &InvalPlan) {
+    let req_rule = scheme.kind().natural_routing().request_rule();
+    for w in &plan.request_worms {
+        prop_assert_conf(req_rule, mesh, home, &w.dests);
+    }
+    for (delegate, worms) in &plan.relays {
+        for w in worms {
+            prop_assert_conf(req_rule, mesh, *delegate, &w.dests);
+        }
+    }
+    for (init, a) in &plan.actions {
+        if let AckAction::InitGather(w) = a {
+            prop_assert_conf(PathRule::YX, mesh, *init, &w.dests);
+        }
+    }
+    for (node, w) in &plan.triggers {
+        prop_assert_conf(PathRule::YX, mesh, *node, &w.dests);
+    }
+}
+
+fn prop_assert_conf(rule: PathRule, mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) {
+    assert!(
+        is_conformant(rule, mesh, src, dests),
+        "non-conformant {rule:?} path: src {src} dests {dests:?}"
+    );
+}
+
+/// Delivering destinations across request + relay worms must equal the
+/// sharer set exactly (every sharer invalidated exactly once), modulo the
+/// tree scheme's delegate-local invalidations.
+fn check_coverage(scheme: SchemeKind, plan: &InvalPlan, sharers: &[NodeId]) {
+    let mut delivered: Vec<NodeId> = Vec::new();
+    for w in plan.request_worms.iter().filter(|w| !w.relay) {
+        for (j, d) in w.dests.iter().enumerate() {
+            if w.deliver.as_ref().is_none_or(|m| m[j]) {
+                delivered.push(*d);
+            }
+        }
+    }
+    let mut relay_locals: HashSet<NodeId> = HashSet::new();
+    for (delegate, worms) in &plan.relays {
+        if plan.action_for(*delegate).is_some() {
+            relay_locals.insert(*delegate);
+        }
+        for w in worms {
+            for (j, d) in w.dests.iter().enumerate() {
+                if w.deliver.as_ref().is_none_or(|m| m[j]) {
+                    delivered.push(*d);
+                }
+            }
+        }
+    }
+    let want: HashSet<NodeId> = sharers.iter().copied().collect();
+    let got_set: HashSet<NodeId> = delivered.iter().copied().chain(relay_locals.iter().copied()).collect();
+    assert_eq!(got_set, want, "{scheme}: delivered set mismatch");
+    assert_eq!(
+        delivered.len() + relay_locals.len(),
+        sharers.len(),
+        "{scheme}: sharer delivered more than once: {delivered:?}"
+    );
+}
+
+/// Deposits and sweep intermediate stops must avoid sharer router
+/// interfaces (i-ack entry collision freedom).
+fn check_deposit_safety(plan: &InvalPlan, sharers: &[NodeId]) {
+    let sharer_set: HashSet<NodeId> = sharers.iter().copied().collect();
+    for (_, a) in &plan.actions {
+        if let AckAction::InitGather(w) = a {
+            if w.gather_deposit {
+                let target = *w.dests.last().expect("non-empty");
+                assert!(!sharer_set.contains(&target), "deposit on sharer {target}");
+            }
+        }
+    }
+    for (_, sweep) in &plan.triggers {
+        for d in &sweep.dests[..sweep.dests.len() - 1] {
+            assert!(!sharer_set.contains(d), "sweep stops at sharer {d}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_schemes_produce_valid_conformant_plans((k, home, sharers) in scenario()) {
+        let mesh = Mesh2D::square(k);
+        let home = NodeId(home);
+        let sharers: Vec<NodeId> = sharers.into_iter().map(NodeId).collect();
+        for scheme in SchemeKind::ALL {
+            let s = scheme.build();
+            let plan = s.plan(&mesh, home, &sharers);
+            validate_plan(&plan, &sharers).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            check_plan_conformance(s.as_ref(), &mesh, home, &plan);
+            check_coverage(scheme, &plan, &sharers);
+            check_deposit_safety(&plan, &sharers);
+        }
+    }
+
+    #[test]
+    fn multidestination_schemes_never_send_more_than_ui_ua((k, home, sharers) in scenario()) {
+        let mesh = Mesh2D::square(k);
+        let home = NodeId(home);
+        let sharers: Vec<NodeId> = sharers.into_iter().map(NodeId).collect();
+        let d = sharers.len();
+        for scheme in SchemeKind::ALL {
+            let plan = scheme.build().plan(&mesh, home, &sharers);
+            assert!(plan.home_sends() <= d, "{scheme} sends {} > d = {d}", plan.home_sends());
+        }
+    }
+
+    #[test]
+    fn analytic_model_prices_every_plan((k, home, sharers) in scenario()) {
+        let mesh = Mesh2D::square(k);
+        let home = NodeId(home);
+        let sharers: Vec<NodeId> = sharers.into_iter().map(NodeId).collect();
+        for scheme in SchemeKind::ALL {
+            let s = scheme.build();
+            let e = wormdsm_analytic::estimate_invalidation(
+                &wormdsm_analytic::NetParams::default(),
+                &mesh,
+                scheme.natural_routing(),
+                s.as_ref(),
+                home,
+                &sharers,
+            );
+            assert!(e.latency > 0.0);
+            assert!(e.total_msgs >= 2, "{scheme}: at least one request and one ack path");
+            assert!(e.home_recvs >= 1);
+        }
+    }
+}

@@ -1,0 +1,867 @@
+//! The cycle-level network engine.
+//!
+//! [`Network`] owns every router and NIC plus the worm table, and advances
+//! the whole mesh one cycle at a time in three deterministic phases:
+//!
+//! 1. **Head processing** — head flits at input-VC fronts perform
+//!    destination processing (forward-and-absorb setup, i-ack reservation,
+//!    gather ack checks, parking) or route/VC allocation.
+//! 2. **Movement** — per output port, one flit crosses each link under
+//!    credit flow control (one flit per input port per cycle through the
+//!    crossbar); consumption channels accept one flit each; parked gather
+//!    worms drain into i-ack buffers.
+//! 3. **NIC work** — consumption channels drain to the node (deliveries),
+//!    resolved parked worms re-inject, and injection queues stream flits
+//!    into the local input port.
+//!
+//! Timing: a head flit pays `router_delay` cycles at every router
+//! (including intermediate-destination reprocessing charged at
+//! `strip_delay`/`iack_check_delay`); body flits stream at one flit per
+//! cycle per link. Credit return is same-cycle (documented idealization:
+//! real credit return takes one link cycle; the simplification affects
+//! back-to-back worm reuse of a VC by at most one cycle).
+
+use crate::nic::{Delivery, DeliveryKind, GatherCheck, IackMode, Nic, StreamState};
+use crate::router::{BufFlit, Router, VcMode};
+use crate::routing::{route_options, BaseRouting, PathRule};
+use crate::topology::{Direction, Mesh2D, NodeId, Port, NUM_PORTS};
+use crate::worm::{
+    Flit, FlitKind, TxnId, VNet, Worm, WormId, WormKind, WormSpec, WormState, WormTable,
+};
+use wormdsm_sim::{Cycle, NoProgress, Summary, Watchdog};
+
+/// Configuration of the wormhole mesh.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Mesh dimensions.
+    pub mesh: Mesh2D,
+    /// Base routing (request rule; reply net uses YX).
+    pub routing: BaseRouting,
+    /// Virtual channels per virtual network on every link (>= 1).
+    pub vcs_per_vnet: usize,
+    /// Input buffer depth per VC, in flits.
+    pub vc_buf_flits: usize,
+    /// Router pipeline delay paid by head flits at each router, in cycles
+    /// (20 ns = 4 cycles at the paper's parameters).
+    pub router_delay: Cycle,
+    /// Header-strip / absorb-setup delay at an intermediate destination.
+    pub strip_delay: Cycle,
+    /// i-ack buffer lookup delay for gather heads.
+    pub iack_check_delay: Cycle,
+    /// Consumption channels per router interface (the paper proves 4
+    /// suffice for deadlock freedom on a 2D mesh).
+    pub cons_channels: usize,
+    /// Consumption channel FIFO depth, in flits.
+    pub cons_buf_flits: usize,
+    /// i-ack buffer entries per router interface (the paper studies 2-4).
+    pub iack_buffers: usize,
+    /// Behaviour of gather worms whose ack has not been posted.
+    pub iack_mode: IackMode,
+}
+
+impl MeshConfig {
+    /// Defaults matching the paper's system parameters on a `k x k` mesh.
+    pub fn paper_defaults(k: usize) -> Self {
+        Self {
+            mesh: Mesh2D::square(k),
+            routing: BaseRouting::ECube,
+            vcs_per_vnet: 1,
+            vc_buf_flits: 4,
+            router_delay: 4,
+            strip_delay: 1,
+            iack_check_delay: 1,
+            cons_channels: 4,
+            cons_buf_flits: 8,
+            iack_buffers: 4,
+            iack_mode: IackMode::VctDefer,
+        }
+    }
+
+    /// Total VCs per port (both virtual networks).
+    pub fn vcs_total(&self) -> usize {
+        self.vcs_per_vnet * crate::worm::NUM_VNETS
+    }
+
+    /// VC index range `[lo, hi)` belonging to `vnet`.
+    pub fn vc_class(&self, vnet: VNet) -> (usize, usize) {
+        let lo = vnet.index() * self.vcs_per_vnet;
+        (lo, lo + self.vcs_per_vnet)
+    }
+
+    /// The virtual network a VC index belongs to.
+    pub fn vnet_of(&self, vc: usize) -> VNet {
+        if vc < self.vcs_per_vnet {
+            VNet::Req
+        } else {
+            VNet::Reply
+        }
+    }
+
+    /// The path rule used by `vnet`.
+    pub fn rule_for(&self, vnet: VNet) -> PathRule {
+        match vnet {
+            VNet::Req => self.routing.request_rule(),
+            VNet::Reply => self.routing.reply_rule(),
+        }
+    }
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone)]
+pub struct NetStats {
+    /// Router-to-router link traversals (the paper's network traffic
+    /// measure, in flit-hops).
+    pub flit_hops: u64,
+    /// Flits entered from NICs.
+    pub flits_injected: u64,
+    /// Flits ejected into consumption channels (final + absorb copies).
+    pub flits_consumed: u64,
+    /// Worms injected, indexed by virtual network.
+    pub worms_injected: [u64; 2],
+    /// Messages delivered to nodes (final + absorb).
+    pub deliveries: u64,
+    /// Cycles gather heads spent blocked waiting on unposted acks.
+    pub gather_blocked_cycles: u64,
+    /// Cycles multicast heads spent blocked on consumption channels or
+    /// i-ack reservations.
+    pub multicast_blocked_cycles: u64,
+    /// Gather worms parked (VCT deferred delivery events).
+    pub parks: u64,
+    /// Gather worms bounced through the local node because no i-ack entry
+    /// was free to park in.
+    pub bounces: u64,
+    /// Parked worms resumed.
+    pub resumes: u64,
+    /// Successful ack-count deposits into i-ack buffers.
+    pub deposits: u64,
+    /// Deposit attempts deferred because the i-ack buffer was full.
+    pub deposit_retries: u64,
+    /// Busy cycles per directed link, indexed `node * 4 + dir`.
+    pub link_busy: Vec<u64>,
+    /// Latency of delivered unicast worms (queue + network), cycles.
+    pub unicast_latency: Summary,
+    /// Latency of delivered multicast worms.
+    pub multicast_latency: Summary,
+    /// Latency of delivered gather worms.
+    pub gather_latency: Summary,
+}
+
+impl NetStats {
+    fn new(nodes: usize) -> Self {
+        Self {
+            flit_hops: 0,
+            flits_injected: 0,
+            flits_consumed: 0,
+            worms_injected: [0, 0],
+            deliveries: 0,
+            gather_blocked_cycles: 0,
+            multicast_blocked_cycles: 0,
+            parks: 0,
+            bounces: 0,
+            resumes: 0,
+            deposits: 0,
+            deposit_retries: 0,
+            link_busy: vec![0; nodes * 4],
+            unicast_latency: Summary::new(),
+            multicast_latency: Summary::new(),
+            gather_latency: Summary::new(),
+        }
+    }
+
+    /// Mean utilization of the busiest link over `elapsed` cycles.
+    pub fn max_link_utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.link_busy.iter().copied().max().unwrap_or(0) as f64 / elapsed as f64
+    }
+}
+
+const LOCAL: usize = 4;
+
+/// The whole wormhole-routed mesh: routers, NICs, worms, clock.
+#[derive(Debug)]
+pub struct Network {
+    cfg: MeshConfig,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    worms: WormTable,
+    now: Cycle,
+    stats: NetStats,
+    /// Worms not yet fully delivered (fast quiescence check).
+    live_worms: usize,
+}
+
+impl Network {
+    /// Build an idle network.
+    pub fn new(cfg: MeshConfig) -> Self {
+        assert!(cfg.vcs_per_vnet >= 1 && cfg.vc_buf_flits >= 1);
+        assert!(cfg.router_delay >= 1 && cfg.strip_delay >= 1 && cfg.iack_check_delay >= 1);
+        let nodes = cfg.mesh.nodes();
+        let vcs = cfg.vcs_total();
+        let routers = (0..nodes)
+            .map(|i| Router::new(NodeId(i as u16), NUM_PORTS, vcs, cfg.vc_buf_flits))
+            .collect();
+        let nics = (0..nodes)
+            .map(|i| {
+                Nic::new(NodeId(i as u16), cfg.cons_channels, cfg.cons_buf_flits, cfg.iack_buffers, vcs)
+            })
+            .collect();
+        let stats = NetStats::new(nodes);
+        Self { cfg, routers, nics, worms: WormTable::new(), now: 0, stats, live_worms: 0 }
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &MeshConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Access a worm record.
+    pub fn worm(&self, id: WormId) -> &Worm {
+        self.worms.get(id)
+    }
+
+    /// Number of worms not yet fully delivered.
+    pub fn live_worms(&self) -> usize {
+        self.live_worms
+    }
+
+    /// True when nothing is queued, streaming, in flight or parked.
+    pub fn quiescent(&self) -> bool {
+        self.live_worms == 0
+    }
+
+    /// Hand a worm to its source NIC for injection.
+    ///
+    /// Destination sequences must be conformant to the worm's virtual
+    /// network rule (checked in debug builds), must not start at the
+    /// source, and must not repeat nodes.
+    pub fn inject(&mut self, spec: WormSpec) -> WormId {
+        assert!(!spec.dests.is_empty());
+        assert_ne!(spec.dests[0], spec.src, "worm's first destination is its source");
+        debug_assert!(
+            {
+                let mut seen = std::collections::HashSet::new();
+                spec.dests.iter().all(|d| seen.insert(*d))
+            },
+            "duplicate destinations"
+        );
+        debug_assert!(
+            crate::routing::is_conformant(self.cfg.rule_for(spec.vnet), &self.cfg.mesh, spec.src, &spec.dests),
+            "non-conformant destination sequence for {:?}: src {} dests {:?}",
+            self.cfg.rule_for(spec.vnet),
+            spec.src,
+            spec.dests,
+        );
+        let vnet = spec.vnet;
+        let src = spec.src;
+        let id = self.worms.insert(spec, self.now);
+        self.nics[src.idx()].enqueue(vnet, id);
+        self.stats.worms_injected[vnet.index()] += 1;
+        self.live_worms += 1;
+        id
+    }
+
+    /// Node `node` posts its local invalidation acknowledgement for `txn`
+    /// into the router-interface i-ack buffer.
+    /// Returns false if no buffer entry was available (caller must fall
+    /// back to a unicast acknowledgement message).
+    pub fn post_iack(&mut self, node: NodeId, txn: TxnId) -> bool {
+        self.post_iack_count(node, txn, 1)
+    }
+
+    /// Post `count` acks worth for `txn` at `node`.
+    pub fn post_iack_count(&mut self, node: NodeId, txn: TxnId, count: u32) -> bool {
+        !matches!(
+            self.nics[node.idx()].post_iack_count(txn, count),
+            crate::nic::PostOutcome::NoSpace
+        )
+    }
+
+    /// Take all messages delivered to `node` so far.
+    pub fn take_deliveries(&mut self, node: NodeId) -> Vec<Delivery> {
+        self.nics[node.idx()].delivered.drain(..).collect()
+    }
+
+    /// True if `node` has pending deliveries.
+    pub fn has_deliveries(&self, node: NodeId) -> bool {
+        !self.nics[node.idx()].delivered.is_empty()
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        self.phase_heads(now);
+        self.phase_movement(now);
+        self.phase_nic(now);
+    }
+
+    /// Run until quiescent or `max` additional cycles elapse; uses a
+    /// watchdog so a deadlock reports instead of spinning forever.
+    pub fn run_until_quiescent(&mut self, max: Cycle) -> Result<Cycle, NoProgress> {
+        let mut wd = Watchdog::new(10_000.min(max));
+        let mut last_live = self.live_worms;
+        let mut last_hops = self.stats.flit_hops;
+        let deadline = self.now + max;
+        wd.progress(self.now);
+        while !self.quiescent() {
+            if self.now >= deadline {
+                return Err(NoProgress { since: self.now, now: self.now, limit: max });
+            }
+            self.tick();
+            if self.live_worms != last_live || self.stats.flit_hops != last_hops {
+                last_live = self.live_worms;
+                last_hops = self.stats.flit_hops;
+                wd.progress(self.now);
+            }
+            wd.check(self.now)?;
+        }
+        Ok(self.now)
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: head processing.
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::needless_range_loop)]
+    fn phase_heads(&mut self, now: Cycle) {
+        let nodes = self.cfg.mesh.nodes();
+        let vcs = self.cfg.vcs_total();
+        for r in 0..nodes {
+            if self.routers[r].flits == 0 {
+                continue;
+            }
+            for port in 0..NUM_PORTS {
+                for vc in 0..vcs {
+                    self.process_head(now, r, port, vc);
+                }
+            }
+        }
+    }
+
+    fn process_head(&mut self, now: Cycle, r: usize, port: usize, vc: usize) {
+        let ivc = &self.routers[r].inputs[port][vc];
+        if ivc.mode != VcMode::Normal {
+            return;
+        }
+        let Some(front) = ivc.buf.front() else { return };
+        if front.ready_at > now {
+            return;
+        }
+        debug_assert_eq!(front.flit.kind, FlitKind::Head, "non-head at front of unallocated VC");
+        let wid = front.flit.worm;
+        let here = self.routers[r].node;
+        let (kind, next_dest, at_last, reserve, txn, len, vnet) = {
+            let w = self.worms.get(wid);
+            (
+                w.spec.kind,
+                w.next_dest(),
+                w.at_last_dest_idx(),
+                w.spec.reserve_iack,
+                w.spec.txn,
+                w.spec.len_flits,
+                w.spec.vnet,
+            )
+        };
+
+        if next_dest == here {
+            if at_last {
+                self.process_final_dest(now, r, port, vc, wid, reserve, txn);
+            } else if !self.worms.get(wid).delivers_here() {
+                // Pure routing waypoint: strip the header hop and continue.
+                self.worms.get_mut(wid).dest_idx += 1;
+                self.routers[r].inputs[port][vc].buf.front_mut().expect("head present").ready_at =
+                    now + self.cfg.strip_delay;
+            } else {
+                match kind {
+                    WormKind::Unicast => unreachable!("unicast has a single destination"),
+                    WormKind::Multicast => self.process_multicast_intermediate(now, r, port, vc, wid, reserve, txn),
+                    WormKind::Gather => self.process_gather_intermediate(now, r, port, vc, wid, txn, len),
+                }
+            }
+        } else {
+            self.allocate_route(now, r, port, vc, wid, here, next_dest, vnet);
+        }
+    }
+
+    /// Final destination: acquire a consumption channel and switch the VC
+    /// toward the local port. An i-reserve worm does *not* reserve an i-ack
+    /// entry at its final destination — that node initiates the i-gather
+    /// and carries its own acknowledgement as the gather's initial count.
+    #[allow(clippy::too_many_arguments)]
+    fn process_final_dest(&mut self, now: Cycle, r: usize, port: usize, vc: usize, wid: WormId, _reserve: bool, txn: TxnId) {
+        let _ = (now, txn);
+        let Some(cc) = self.nics[r].free_cons() else {
+            self.stats.multicast_blocked_cycles += 1;
+            return;
+        };
+        self.nics[r].reserve_cons(cc, wid, false);
+        self.routers[r].inputs[port][vc].mode = VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
+    }
+
+    /// Intermediate destination of a multicast: acquire the i-ack entry
+    /// (i-reserve worms) and an absorb consumption channel, strip the
+    /// header, and continue routing next cycle.
+    #[allow(clippy::too_many_arguments)]
+    fn process_multicast_intermediate(&mut self, now: Cycle, r: usize, port: usize, vc: usize, wid: WormId, reserve: bool, txn: TxnId) {
+        if reserve && !self.nics[r].reserve_iack(txn) {
+            self.stats.multicast_blocked_cycles += 1;
+            return;
+        }
+        let Some(cc) = self.nics[r].free_cons() else {
+            self.stats.multicast_blocked_cycles += 1;
+            return;
+        };
+        self.nics[r].reserve_cons(cc, wid, true);
+        self.routers[r].inputs[port][vc].pending_absorb = Some(cc);
+        let w = self.worms.get_mut(wid);
+        w.dest_idx += 1;
+        self.routers[r].inputs[port][vc].buf.front_mut().expect("head present").ready_at =
+            now + self.cfg.strip_delay;
+    }
+
+    /// Intermediate destination of a gather: check the i-ack buffer;
+    /// absorb-and-go, block, or park.
+    #[allow(clippy::too_many_arguments)]
+    fn process_gather_intermediate(&mut self, now: Cycle, r: usize, port: usize, vc: usize, wid: WormId, txn: TxnId, len: u16) {
+        match self.nics[r].gather_check(txn) {
+            GatherCheck::Ready(count) => {
+                let w = self.worms.get_mut(wid);
+                w.acks += count;
+                w.dest_idx += 1;
+                self.routers[r].inputs[port][vc].buf.front_mut().expect("head present").ready_at =
+                    now + self.cfg.iack_check_delay;
+            }
+            GatherCheck::NotReady => match self.cfg.iack_mode {
+                IackMode::Block => {
+                    self.stats.gather_blocked_cycles += 1;
+                }
+                IackMode::VctDefer => {
+                    if let Some(entry) = self.nics[r].park(txn, wid, len) {
+                        self.routers[r].inputs[port][vc].mode = VcMode::DrainPark { entry };
+                        self.worms.get_mut(wid).state = WormState::Parked(self.routers[r].node);
+                        self.stats.parks += 1;
+                    } else if let Some(cc) = self.nics[r].free_cons() {
+                        // No entry to park in: *bounce* — consume the worm
+                        // at this node and re-inject it, so it never holds
+                        // network channels while waiting (holding them can
+                        // deadlock the reply network against the very
+                        // gathers that would free the entries).
+                        self.nics[r].reserve_cons(cc, wid, false);
+                        self.worms.get_mut(wid).bounced = true;
+                        self.routers[r].inputs[port][vc].mode =
+                            VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
+                        self.stats.bounces += 1;
+                    } else {
+                        self.stats.gather_blocked_cycles += 1;
+                    }
+                }
+            },
+        }
+    }
+
+    /// Normal route computation + output VC allocation.
+    #[allow(clippy::too_many_arguments)]
+    fn allocate_route(&mut self, now: Cycle, r: usize, port: usize, vc: usize, wid: WormId, here: NodeId, dest: NodeId, vnet: VNet) {
+        let _ = now;
+        let rule = self.cfg.rule_for(vnet);
+        let turned = self.worms.get(wid).turned;
+        let opts = route_options(rule, &self.cfg.mesh, here, dest, turned);
+        assert!(
+            !opts.is_empty(),
+            "worm {wid:?} at {here} cannot reach {dest} under {rule:?} (turned={turned}): scheme constructed a non-conformant path"
+        );
+        let (lo, hi) = self.cfg.vc_class(vnet);
+        // Among legal directions, pick the (dir, vc) with the most credits.
+        let mut best: Option<(usize, usize, usize)> = None; // (out_port, out_vc, credit)
+        for dir in opts {
+            let out_port = Port::Dir(dir).index();
+            if let Some((ovc, cr)) = self.routers[r].best_free_out_vc(out_port, lo, hi) {
+                if best.is_none_or(|(_, _, bc)| cr > bc) {
+                    best = Some((out_port, ovc, cr));
+                }
+            }
+        }
+        let Some((out_port, out_vc, _)) = best else { return };
+        let absorb = self.routers[r].inputs[port][vc].pending_absorb.take();
+        self.routers[r].inputs[port][vc].mode = VcMode::Active { out_port, out_vc, absorb };
+        self.routers[r].out_alloc[out_port][out_vc] = Some((port, vc));
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: movement.
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::needless_range_loop)]
+    fn phase_movement(&mut self, now: Cycle) {
+        let nodes = self.cfg.mesh.nodes();
+        let vcs = self.cfg.vcs_total();
+        for r in 0..nodes {
+            if self.routers[r].flits == 0 {
+                continue;
+            }
+            let mut used_in_port = [false; NUM_PORTS];
+
+            // Link outputs (E, W, N, S): one flit per port per cycle.
+            for out_port in 0..4 {
+                let winner = self.pick_link_winner(now, r, out_port, vcs, &used_in_port);
+                if let Some((in_port, in_vc, out_vc)) = winner {
+                    used_in_port[in_port] = true;
+                    self.routers[r].rr[out_port] = in_port * vcs + in_vc + 1;
+                    self.apply_forward(now, r, in_port, in_vc, out_port, out_vc);
+                }
+            }
+
+            // Local consumption: one flit per consumption channel per cycle.
+            for in_port in 0..NUM_PORTS {
+                if used_in_port[in_port] {
+                    continue;
+                }
+                for in_vc in 0..vcs {
+                    let ivc = &self.routers[r].inputs[in_port][in_vc];
+                    let VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: _ } = ivc.mode else { continue };
+                    let Some(front) = ivc.buf.front() else { continue };
+                    if front.ready_at > now || !self.nics[r].cons[cc].has_space() {
+                        continue;
+                    }
+                    self.apply_consume(r, in_port, in_vc, cc);
+                    used_in_port[in_port] = true;
+                    break;
+                }
+            }
+
+            // Parked gather drains: absorbed at the router interface, no
+            // crossbar involvement.
+            for in_port in 0..NUM_PORTS {
+                for in_vc in 0..vcs {
+                    let ivc = &self.routers[r].inputs[in_port][in_vc];
+                    let VcMode::DrainPark { entry } = ivc.mode else { continue };
+                    let Some(front) = ivc.buf.front() else { continue };
+                    if front.ready_at > now {
+                        continue;
+                    }
+                    self.apply_park_drain(r, in_port, in_vc, entry);
+                }
+            }
+        }
+    }
+
+    /// Round-robin arbitration for a link output port: pick the eligible
+    /// allocated input VC at-or-after the RR pointer.
+    #[allow(clippy::type_complexity)]
+    fn pick_link_winner(
+        &self,
+        now: Cycle,
+        r: usize,
+        out_port: usize,
+        vcs: usize,
+        used_in_port: &[bool; NUM_PORTS],
+    ) -> Option<(usize, usize, usize)> {
+        let router = &self.routers[r];
+        let mut best: Option<(usize, (usize, usize, usize))> = None; // (rr-distance key, move)
+        let rr = router.rr[out_port];
+        let total = NUM_PORTS * vcs;
+        for out_vc in 0..vcs {
+            let Some((in_port, in_vc)) = router.out_alloc[out_port][out_vc] else { continue };
+            if used_in_port[in_port] {
+                continue;
+            }
+            if router.out_credit[out_port][out_vc] == 0 {
+                continue;
+            }
+            let ivc = &router.inputs[in_port][in_vc];
+            let Some(front) = ivc.buf.front() else { continue };
+            if front.ready_at > now {
+                continue;
+            }
+            if let VcMode::Active { absorb: Some(cc), .. } = ivc.mode {
+                if !self.nics[r].cons[cc].has_space() {
+                    continue;
+                }
+            }
+            let key = (in_port * vcs + in_vc + total - rr % total) % total;
+            if best.is_none_or(|(bk, _)| key < bk) {
+                best = Some((key, (in_port, in_vc, out_vc)));
+            }
+        }
+        best.map(|(_, m)| m)
+    }
+
+    fn apply_forward(&mut self, now: Cycle, r: usize, in_port: usize, in_vc: usize, out_port: usize, out_vc: usize) {
+        let bf = self.routers[r].pop(in_port, in_vc);
+        let flit = bf.flit;
+        let node = self.routers[r].node;
+        let dir = match Port::from_index(out_port) {
+            Port::Dir(d) => d,
+            Port::Local => unreachable!("apply_forward is for link ports"),
+        };
+
+        // Absorb copy (forward-and-absorb).
+        if let VcMode::Active { absorb: Some(cc), .. } = self.routers[r].inputs[in_port][in_vc].mode {
+            self.nics[r].cons[cc].fifo.push_back(flit);
+            self.stats.flits_consumed += 1;
+        }
+
+        // Stats + credits.
+        self.stats.flit_hops += 1;
+        self.stats.link_busy[r * 4 + out_port] += 1;
+        self.routers[r].out_credit[out_port][out_vc] -= 1;
+        self.return_credit(r, in_port, in_vc);
+
+        // Head bookkeeping: the worm may enter its "turned" phase.
+        if flit.kind == FlitKind::Head {
+            let w = self.worms.get_mut(flit.worm);
+            let rule = self.cfg.rule_for(w.spec.vnet);
+            w.turned |= match rule {
+                PathRule::XY => matches!(dir, Direction::North | Direction::South),
+                PathRule::YX => matches!(dir, Direction::East | Direction::West),
+                PathRule::WestFirst => dir != Direction::West,
+                PathRule::EastFirst => dir != Direction::East,
+            };
+        }
+
+        // Deposit downstream.
+        let nb = self
+            .cfg
+            .mesh
+            .neighbor(node, dir)
+            .expect("route computation never leaves the mesh");
+        let in_port_nb = Port::Dir(dir.opposite()).index();
+        let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
+        self.routers[nb.idx()].deposit(in_port_nb, out_vc, BufFlit { flit, ready_at: ready });
+
+        // Tail releases allocations.
+        if flit.kind == FlitKind::Tail {
+            self.routers[r].inputs[in_port][in_vc].mode = VcMode::Normal;
+            self.routers[r].out_alloc[out_port][out_vc] = None;
+        }
+    }
+
+    fn apply_consume(&mut self, r: usize, in_port: usize, in_vc: usize, cc: usize) {
+        let bf = self.routers[r].pop(in_port, in_vc);
+        self.nics[r].cons[cc].fifo.push_back(bf.flit);
+        self.stats.flits_consumed += 1;
+        self.return_credit(r, in_port, in_vc);
+        if bf.flit.kind == FlitKind::Tail {
+            self.routers[r].inputs[in_port][in_vc].mode = VcMode::Normal;
+        }
+    }
+
+    fn apply_park_drain(&mut self, r: usize, in_port: usize, in_vc: usize, entry: usize) {
+        let bf = self.routers[r].pop(in_port, in_vc);
+        self.return_credit(r, in_port, in_vc);
+        let is_tail = bf.flit.kind == FlitKind::Tail;
+        self.nics[r].park_drain(entry, is_tail);
+        if is_tail {
+            self.routers[r].inputs[in_port][in_vc].mode = VcMode::Normal;
+        }
+    }
+
+    /// Return one credit to the upstream router for the vacated slot.
+    fn return_credit(&mut self, r: usize, in_port: usize, in_vc: usize) {
+        if in_port == LOCAL {
+            return; // NIC injection checks buffer space directly.
+        }
+        let dir = match Port::from_index(in_port) {
+            Port::Dir(d) => d,
+            Port::Local => unreachable!(),
+        };
+        let node = self.routers[r].node;
+        let up = self
+            .cfg
+            .mesh
+            .neighbor(node, dir)
+            .expect("input port faces a neighbor");
+        let up_out = Port::Dir(dir.opposite()).index();
+        self.routers[up.idx()].out_credit[up_out][in_vc] += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: NIC work.
+    // ------------------------------------------------------------------
+
+    fn phase_nic(&mut self, now: Cycle) {
+        let nodes = self.cfg.mesh.nodes();
+        for n in 0..nodes {
+            self.nic_flush_deposits(n);
+            self.nic_drain(now, n);
+            self.nic_resume(n);
+            self.nic_inject(now, n);
+        }
+    }
+
+    /// Retry deposits that previously found the i-ack buffer full.
+    fn nic_flush_deposits(&mut self, n: usize) {
+        let mut still_pending = std::collections::VecDeque::new();
+        while let Some((txn, acks)) = self.nics[n].pending_deposits.pop_front() {
+            if self.nics[n].post_iack_count(txn, acks).is_no_space() {
+                still_pending.push_back((txn, acks));
+            } else {
+                self.stats.deposits += 1;
+            }
+        }
+        self.nics[n].pending_deposits = still_pending;
+    }
+
+    /// Drain one flit per consumption channel; complete worms at tails.
+    fn nic_drain(&mut self, now: Cycle, n: usize) {
+        for cc in 0..self.nics[n].cons.len() {
+            let Some(flit) = self.nics[n].cons[cc].fifo.pop_front() else { continue };
+            if flit.kind != FlitKind::Tail {
+                continue;
+            }
+            let wid = self.nics[n].cons[cc].owner.expect("draining channel has an owner");
+            debug_assert_eq!(wid, flit.worm);
+            let absorb = self.nics[n].cons[cc].absorb;
+            self.nics[n].cons[cc].owner = None;
+            self.nics[n].cons[cc].absorb = false;
+            let node = self.nics[n].node;
+
+            let (src, payload, txn, acks, deposit, kind) = {
+                let w = self.worms.get(wid);
+                (w.spec.src, w.spec.payload, w.spec.txn, w.acks, w.spec.gather_deposit, w.spec.kind)
+            };
+
+            if absorb {
+                // Absorbed copy at an intermediate destination.
+                self.nics[n].delivered.push_back(Delivery {
+                    node,
+                    worm: wid,
+                    src,
+                    payload,
+                    kind: DeliveryKind::Absorb,
+                    acks: 0,
+                    at: now,
+                    txn,
+                });
+                self.stats.deliveries += 1;
+                continue;
+            }
+
+            if self.worms.get(wid).bounced {
+                // Bounced gather fully drained: requeue it at this NIC;
+                // it retries its i-ack check from here.
+                let vnet = {
+                    let w = self.worms.get_mut(wid);
+                    w.bounced = false;
+                    w.turned = false;
+                    w.state = WormState::Queued;
+                    w.spec.vnet
+                };
+                self.nics[n].enqueue(vnet, wid);
+                continue;
+            }
+
+            // Final consumption.
+            {
+                let w = self.worms.get_mut(wid);
+                w.state = WormState::Delivered;
+                w.delivered_at = Some(now);
+            }
+            self.live_worms -= 1;
+            let latency = (now - self.worms.get(wid).queued_at) as f64;
+            match kind {
+                WormKind::Unicast => self.stats.unicast_latency.record(latency),
+                WormKind::Multicast => self.stats.multicast_latency.record(latency),
+                WormKind::Gather => self.stats.gather_latency.record(latency),
+            }
+
+            if deposit {
+                // First-level gather of the two-phase scheme: deposit the
+                // accumulated count into the local i-ack buffer. A full
+                // buffer queues the deposit for per-cycle retry — a
+                // pending deposit whose sweep has already parked resolves
+                // into the parked entry without needing a free slot, so
+                // the queue always drains.
+                if self.nics[n].post_iack_count(txn, acks).is_no_space() {
+                    self.stats.deposit_retries += 1;
+                    self.nics[n].pending_deposits.push_back((txn, acks));
+                } else {
+                    self.stats.deposits += 1;
+                }
+            } else {
+                self.nics[n].delivered.push_back(Delivery {
+                    node,
+                    worm: wid,
+                    src,
+                    payload,
+                    kind: DeliveryKind::Final,
+                    acks,
+                    at: now,
+                    txn,
+                });
+                self.stats.deliveries += 1;
+            }
+        }
+    }
+
+    /// Re-inject parked gather worms whose ack arrived.
+    fn nic_resume(&mut self, n: usize) {
+        while let Some((wid, count)) = self.nics[n].resume_q.pop_front() {
+            {
+                let w = self.worms.get_mut(wid);
+                w.acks += count;
+                w.dest_idx += 1;
+                w.turned = false;
+                w.state = WormState::Queued;
+            }
+            let vnet = self.worms.get(wid).spec.vnet;
+            self.nics[n].enqueue(vnet, wid);
+            self.stats.resumes += 1;
+        }
+    }
+
+    /// Stream injection-queue worms into the router's local input port.
+    fn nic_inject(&mut self, now: Cycle, n: usize) {
+        let vcs = self.cfg.vcs_total();
+        for vc in 0..vcs {
+            // Start a new stream if this VC is idle and a worm of its
+            // virtual-network class is waiting.
+            if self.nics[n].streaming[vc].is_none() {
+                let vnet = self.cfg.vnet_of(vc);
+                if let Some(wid) = self.nics[n].inject_q[vnet.index()].pop_front() {
+                    let len = self.worms.get(wid).spec.len_flits;
+                    self.nics[n].streaming[vc] = Some(StreamState { worm: wid, next_seq: 0, len });
+                }
+            }
+            let Some(mut st) = self.nics[n].streaming[vc] else { continue };
+            if self.routers[n].inputs[LOCAL][vc].space() == 0 {
+                continue;
+            }
+            let flit = Flit {
+                worm: st.worm,
+                kind: if st.next_seq == 0 {
+                    FlitKind::Head
+                } else if st.next_seq + 1 == st.len {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                },
+                seq: st.next_seq,
+            };
+            let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
+            self.routers[n].deposit(LOCAL, vc, BufFlit { flit, ready_at: ready });
+            self.stats.flits_injected += 1;
+            if flit.kind == FlitKind::Head {
+                let w = self.worms.get_mut(st.worm);
+                if w.injected_at.is_none() {
+                    w.injected_at = Some(now);
+                }
+                w.state = WormState::InFlight;
+            }
+            st.next_seq += 1;
+            self.nics[n].streaming[vc] = if st.next_seq == st.len { None } else { Some(st) };
+        }
+    }
+}

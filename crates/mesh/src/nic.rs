@@ -1,0 +1,490 @@
+//! Network interface controller (router interface).
+//!
+//! Each node's NIC owns, per the paper's router-interface design:
+//!
+//! * **injection queues** (one per virtual network) feeding the router's
+//!   local input port,
+//! * **consumption channels** — the multiple parallel ejection channels
+//!   whose count bounds deadlock for multidestination worms (4 suffice on a
+//!   2D mesh \[39\]) and relieve hot-spot ejection pressure \[2\],
+//! * **i-ack buffers** — the small (2-4 entry) memory-mapped buffer pool
+//!   used to post invalidation acknowledgements for i-gather worms and to
+//!   park gather worms under virtual cut-through + deferred delivery,
+//! * the **delivered-message queue** consumed by the node model.
+
+use crate::topology::NodeId;
+use crate::worm::{Flit, TxnId, VNet, WormId, NUM_VNETS};
+use std::collections::VecDeque;
+use wormdsm_sim::Cycle;
+
+/// How a gather worm behaves when it reaches a router interface whose i-ack
+/// has not been posted yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IackMode {
+    /// Hold the worm in the network (hold-and-wait), retrying each cycle.
+    Block,
+    /// Virtual cut-through + deferred delivery: swallow the worm into the
+    /// i-ack buffer entry, release its channels, and re-inject it when the
+    /// local ack is posted (paper section 4.3.4).
+    VctDefer,
+}
+
+/// State of one i-ack buffer entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IackState {
+    /// Reserved by a passing i-reserve worm; ack not yet posted.
+    Reserved,
+    /// Ack(s) posted and waiting for a gather worm; `count` acks worth.
+    Posted {
+        /// Number of acknowledgements this entry represents.
+        count: u32,
+    },
+    /// A gather worm is parked here waiting for the local ack.
+    Parked {
+        /// The parked worm.
+        worm: WormId,
+        /// Flits drained into the buffer so far.
+        drained: u16,
+        /// Total flits of the worm.
+        total: u16,
+        /// Ack count posted while parked (None until posted).
+        posted: Option<u32>,
+    },
+}
+
+/// One i-ack buffer entry.
+#[derive(Debug, Clone)]
+pub struct IackEntry {
+    /// Transaction the entry belongs to.
+    pub txn: TxnId,
+    /// Entry state.
+    pub state: IackState,
+}
+
+/// Result of posting an i-ack at a NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostOutcome {
+    /// Stored into an entry (previously reserved or newly allocated).
+    Stored,
+    /// A parked gather worm absorbed the ack and is ready to resume; the
+    /// network layer must re-inject it (the absorbed count is queued on
+    /// [`Nic::resume_q`]).
+    ResumeParked(WormId),
+    /// A parked gather worm absorbed the ack but its flits are still
+    /// draining; it will resume when the tail arrives.
+    ResumePending,
+    /// No buffer entry available; caller must fall back to a unicast ack.
+    NoSpace,
+}
+
+impl PostOutcome {
+    /// True when the post found no buffer entry and must be retried.
+    pub fn is_no_space(&self) -> bool {
+        matches!(self, PostOutcome::NoSpace)
+    }
+}
+
+/// Result a router gets when a gather head checks the local i-ack buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherCheck {
+    /// Ack available; `count` acks were absorbed and the entry freed.
+    Ready(u32),
+    /// Not posted yet.
+    NotReady,
+}
+
+/// How a worm was delivered to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryKind {
+    /// Consumed at its final destination.
+    Final,
+    /// Absorbed copy at an intermediate destination (forward-and-absorb).
+    Absorb,
+}
+
+/// A message handed from the network to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving node.
+    pub node: NodeId,
+    /// The worm.
+    pub worm: WormId,
+    /// Source node of the worm.
+    pub src: NodeId,
+    /// Opaque payload from the [`crate::worm::WormSpec`].
+    pub payload: u64,
+    /// Final consumption vs. absorbed copy.
+    pub kind: DeliveryKind,
+    /// Accumulated ack count (gather worms; 0 otherwise).
+    pub acks: u32,
+    /// Cycle the tail drained.
+    pub at: Cycle,
+    /// Transaction id of the worm.
+    pub txn: TxnId,
+}
+
+/// A consumption channel: one of the parallel router-interface ejection
+/// FIFOs. A worm reserves a channel at header time and holds it until its
+/// tail drains.
+#[derive(Debug, Clone)]
+pub struct ConsChannel {
+    /// The worm currently holding the channel, if any.
+    pub owner: Option<WormId>,
+    /// True if this channel is receiving absorb copies (worm continues in
+    /// the network) rather than a final consumption.
+    pub absorb: bool,
+    /// Buffered flits waiting for the node to drain them.
+    pub fifo: VecDeque<Flit>,
+    /// Capacity in flits.
+    pub cap: usize,
+}
+
+impl ConsChannel {
+    fn new(cap: usize) -> Self {
+        Self { owner: None, absorb: false, fifo: VecDeque::new(), cap }
+    }
+
+    /// Free and able to accept a new worm.
+    pub fn is_free(&self) -> bool {
+        self.owner.is_none() && self.fifo.is_empty()
+    }
+
+    /// Space for one more flit.
+    pub fn has_space(&self) -> bool {
+        self.fifo.len() < self.cap
+    }
+}
+
+/// Streaming state of a worm being injected into a local input VC.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamState {
+    /// Worm being streamed.
+    pub worm: WormId,
+    /// Next flit sequence number to push.
+    pub next_seq: u16,
+    /// Total flits.
+    pub len: u16,
+}
+
+/// Per-node network interface state.
+#[derive(Debug)]
+pub struct Nic {
+    /// The node this NIC serves.
+    pub node: NodeId,
+    /// Worms waiting to enter the network, per virtual network.
+    pub inject_q: [VecDeque<WormId>; NUM_VNETS],
+    /// Per local-input-VC streaming state (indexed like router VCs).
+    pub streaming: Vec<Option<StreamState>>,
+    /// Consumption channels.
+    pub cons: Vec<ConsChannel>,
+    /// i-ack buffer entries (None = free).
+    pub iack: Vec<Option<IackEntry>>,
+    /// Messages delivered to the node, awaiting pickup.
+    pub delivered: VecDeque<Delivery>,
+    /// Worms whose parked state resolved and must be re-injected on the
+    /// reply network, with the ack count each absorbed (handled by the
+    /// network layer each cycle).
+    pub resume_q: VecDeque<(WormId, u32)>,
+    /// Ack-count deposits that found the buffer full and retry each cycle
+    /// (a pending deposit whose sweep has already parked resolves into the
+    /// parked entry without needing a free slot, so retries always drain).
+    pub pending_deposits: VecDeque<(TxnId, u32)>,
+}
+
+impl Nic {
+    /// Create a NIC with `cons_channels` consumption channels of
+    /// `cons_cap` flits each, `iack_entries` i-ack buffers, and
+    /// `local_vcs` local input virtual channels.
+    pub fn new(node: NodeId, cons_channels: usize, cons_cap: usize, iack_entries: usize, local_vcs: usize) -> Self {
+        assert!(cons_channels >= 1 && iack_entries >= 1 && local_vcs >= NUM_VNETS);
+        Self {
+            node,
+            inject_q: [VecDeque::new(), VecDeque::new()],
+            streaming: vec![None; local_vcs],
+            cons: (0..cons_channels).map(|_| ConsChannel::new(cons_cap)).collect(),
+            iack: vec![None; iack_entries],
+            delivered: VecDeque::new(),
+            resume_q: VecDeque::new(),
+            pending_deposits: VecDeque::new(),
+        }
+    }
+
+    /// Queue a worm for injection.
+    pub fn enqueue(&mut self, vnet: VNet, worm: WormId) {
+        self.inject_q[vnet.index()].push_back(worm);
+    }
+
+    /// Index of a free consumption channel, if any.
+    pub fn free_cons(&self) -> Option<usize> {
+        self.cons.iter().position(|c| c.is_free())
+    }
+
+    /// Number of free consumption channels.
+    pub fn free_cons_count(&self) -> usize {
+        self.cons.iter().filter(|c| c.is_free()).count()
+    }
+
+    /// Reserve consumption channel `idx` for `worm`.
+    pub fn reserve_cons(&mut self, idx: usize, worm: WormId, absorb: bool) {
+        let c = &mut self.cons[idx];
+        debug_assert!(c.is_free(), "consumption channel {idx} not free");
+        c.owner = Some(worm);
+        c.absorb = absorb;
+    }
+
+    /// Find the entry index holding `txn`, if any.
+    pub fn find_iack(&self, txn: TxnId) -> Option<usize> {
+        self.iack
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.txn == txn))
+    }
+
+    /// Index of a free i-ack entry, if any.
+    pub fn free_iack(&self) -> Option<usize> {
+        self.iack.iter().position(|e| e.is_none())
+    }
+
+    /// Reserve an i-ack entry for `txn` (i-reserve worm passing through).
+    /// Returns false if no entry is free and none is already reserved for
+    /// this transaction.
+    pub fn reserve_iack(&mut self, txn: TxnId) -> bool {
+        if self.find_iack(txn).is_some() {
+            return true; // idempotent for retried headers
+        }
+        match self.free_iack() {
+            Some(i) => {
+                self.iack[i] = Some(IackEntry { txn, state: IackState::Reserved });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Node posts its local invalidation acknowledgement for `txn`.
+    pub fn post_iack(&mut self, txn: TxnId) -> PostOutcome {
+        self.post_iack_count(txn, 1)
+    }
+
+    /// Post `count` acks worth for `txn` (used both for local acks and for
+    /// partial-count deposits from first-level gather worms).
+    pub fn post_iack_count(&mut self, txn: TxnId, count: u32) -> PostOutcome {
+        if let Some(i) = self.find_iack(txn) {
+            let entry = self.iack[i].as_mut().expect("found");
+            match &mut entry.state {
+                IackState::Reserved => {
+                    entry.state = IackState::Posted { count };
+                    PostOutcome::Stored
+                }
+                IackState::Posted { count: c } => {
+                    *c += count;
+                    PostOutcome::Stored
+                }
+                IackState::Parked { worm, drained, total, posted } => {
+                    debug_assert!(posted.is_none(), "double post on parked entry");
+                    *posted = Some(count);
+                    if drained == total {
+                        let w = *worm;
+                        self.iack[i] = None;
+                        self.resume_q.push_back((w, count));
+                        PostOutcome::ResumeParked(w)
+                    } else {
+                        PostOutcome::ResumePending
+                    }
+                }
+            }
+        } else {
+            match self.free_iack() {
+                Some(i) => {
+                    self.iack[i] = Some(IackEntry { txn, state: IackState::Posted { count } });
+                    PostOutcome::Stored
+                }
+                None => PostOutcome::NoSpace,
+            }
+        }
+    }
+
+    /// A gather head checks for its ack. On `Ready`, the entry is freed and
+    /// the count returned.
+    pub fn gather_check(&mut self, txn: TxnId) -> GatherCheck {
+        if let Some(i) = self.find_iack(txn) {
+            let entry = self.iack[i].as_ref().expect("found");
+            if let IackState::Posted { count } = entry.state {
+                self.iack[i] = None;
+                return GatherCheck::Ready(count);
+            }
+        }
+        GatherCheck::NotReady
+    }
+
+    /// Try to park gather worm `worm` (of `total` flits) for `txn`.
+    /// Returns the entry index, or None if no entry can hold it.
+    pub fn park(&mut self, txn: TxnId, worm: WormId, total: u16) -> Option<usize> {
+        let idx = match self.find_iack(txn) {
+            Some(i) => {
+                // Entry exists (reserved); it must not already be posted —
+                // gather_check would have consumed a posted entry.
+                match self.iack[i].as_ref().expect("found").state {
+                    IackState::Reserved => Some(i),
+                    _ => None,
+                }
+            }
+            None => self.free_iack(),
+        }?;
+        self.iack[idx] = Some(IackEntry {
+            txn,
+            state: IackState::Parked { worm, drained: 0, total, posted: None },
+        });
+        Some(idx)
+    }
+
+    /// One flit of a parked worm drained into entry `idx`. Returns the worm
+    /// (and the ack count it absorbs) if the park completed *and* the ack
+    /// was already posted, meaning it must resume.
+    pub fn park_drain(&mut self, idx: usize, is_tail: bool) -> Option<(WormId, u32)> {
+        let entry = self.iack[idx].as_mut().expect("parked entry");
+        let IackState::Parked { worm, drained, total, posted } = &mut entry.state else {
+            panic!("park_drain on non-parked entry");
+        };
+        *drained += 1;
+        if is_tail {
+            debug_assert_eq!(*drained, *total, "tail drained before all flits");
+        }
+        if drained == total {
+            if let Some(count) = *posted {
+                let w = *worm;
+                self.iack[idx] = None;
+                self.resume_q.push_back((w, count));
+                return Some((w, count));
+            }
+        }
+        None
+    }
+
+    /// Number of free i-ack buffer entries.
+    pub fn count_free_iack(&self) -> usize {
+        self.iack.iter().filter(|e| e.is_none()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> Nic {
+        Nic::new(NodeId(0), 4, 8, 4, 2)
+    }
+
+    #[test]
+    fn consumption_channel_lifecycle() {
+        let mut n = nic();
+        assert_eq!(n.free_cons_count(), 4);
+        let idx = n.free_cons().unwrap();
+        n.reserve_cons(idx, WormId(1), false);
+        assert_eq!(n.free_cons_count(), 3);
+        assert!(!n.cons[idx].is_free());
+        n.cons[idx].fifo.push_back(Flit { worm: WormId(1), kind: crate::worm::FlitKind::Head, seq: 0 });
+        assert!(n.cons[idx].has_space());
+        // Drain and release.
+        n.cons[idx].fifo.pop_front();
+        n.cons[idx].owner = None;
+        assert!(n.cons[idx].is_free());
+    }
+
+    #[test]
+    fn reserve_then_post_then_gather() {
+        let mut n = nic();
+        assert!(n.reserve_iack(TxnId(9)));
+        assert_eq!(n.gather_check(TxnId(9)), GatherCheck::NotReady);
+        assert_eq!(n.post_iack(TxnId(9)), PostOutcome::Stored);
+        assert_eq!(n.gather_check(TxnId(9)), GatherCheck::Ready(1));
+        // Entry freed.
+        assert_eq!(n.count_free_iack(), 4);
+        assert_eq!(n.gather_check(TxnId(9)), GatherCheck::NotReady);
+    }
+
+    #[test]
+    fn reserve_is_idempotent() {
+        let mut n = nic();
+        assert!(n.reserve_iack(TxnId(1)));
+        assert!(n.reserve_iack(TxnId(1)));
+        assert_eq!(n.count_free_iack(), 3);
+    }
+
+    #[test]
+    fn post_without_reservation_allocates() {
+        let mut n = nic();
+        assert_eq!(n.post_iack_count(TxnId(5), 3), PostOutcome::Stored);
+        assert_eq!(n.gather_check(TxnId(5)), GatherCheck::Ready(3));
+    }
+
+    #[test]
+    fn posts_accumulate() {
+        let mut n = nic();
+        n.post_iack_count(TxnId(5), 2);
+        n.post_iack_count(TxnId(5), 3);
+        assert_eq!(n.gather_check(TxnId(5)), GatherCheck::Ready(5));
+    }
+
+    #[test]
+    fn post_no_space_when_full() {
+        let mut n = nic();
+        for t in 0..4 {
+            assert!(n.reserve_iack(TxnId(t)));
+        }
+        assert_eq!(n.post_iack(TxnId(99)), PostOutcome::NoSpace);
+        // But posting for a reserved txn still works.
+        assert_eq!(n.post_iack(TxnId(2)), PostOutcome::Stored);
+    }
+
+    #[test]
+    fn park_then_post_resumes() {
+        let mut n = nic();
+        assert!(n.reserve_iack(TxnId(7)));
+        let idx = n.park(TxnId(7), WormId(3), 2).unwrap();
+        // Drain both flits, then post: resume at post time.
+        assert_eq!(n.park_drain(idx, false), None);
+        assert_eq!(n.park_drain(idx, true), None);
+        assert_eq!(n.post_iack(TxnId(7)), PostOutcome::ResumeParked(WormId(3)));
+        assert_eq!(n.resume_q.pop_front(), Some((WormId(3), 1)));
+        assert_eq!(n.count_free_iack(), 4);
+    }
+
+    #[test]
+    fn post_before_drain_completes_resumes_at_tail() {
+        let mut n = nic();
+        assert!(n.reserve_iack(TxnId(7)));
+        let idx = n.park(TxnId(7), WormId(3), 3).unwrap();
+        assert_eq!(n.park_drain(idx, false), None);
+        assert_eq!(n.post_iack(TxnId(7)), PostOutcome::ResumePending);
+        assert_eq!(n.park_drain(idx, false), None);
+        assert_eq!(n.park_drain(idx, true), Some((WormId(3), 1)));
+        assert_eq!(n.resume_q.pop_front(), Some((WormId(3), 1)));
+    }
+
+    #[test]
+    fn park_without_reservation_uses_free_entry() {
+        let mut n = nic();
+        assert!(n.park(TxnId(4), WormId(1), 2).is_some());
+        assert_eq!(n.count_free_iack(), 3);
+    }
+
+    #[test]
+    fn park_fails_when_full_with_other_txns() {
+        let mut n = nic();
+        for t in 0..4 {
+            assert!(n.reserve_iack(TxnId(100 + t)));
+        }
+        assert!(n.park(TxnId(4), WormId(1), 2).is_none());
+        // Parking on its own reserved entry still works.
+        assert!(n.park(TxnId(100), WormId(2), 2).is_some());
+    }
+
+    #[test]
+    fn injection_queues_per_vnet() {
+        let mut n = nic();
+        n.enqueue(VNet::Req, WormId(1));
+        n.enqueue(VNet::Reply, WormId(2));
+        assert_eq!(n.inject_q[VNet::Req.index()].len(), 1);
+        assert_eq!(n.inject_q[VNet::Reply.index()].len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! ASCII rendering of meshes and worm paths.
+//!
+//! Turns a destination sequence into a picture of the hop-by-hop path a
+//! conformant worm takes — the fastest way to see what a grouping scheme
+//! actually does. Used by the examples and handy in test failure output.
+//!
+//! ```
+//! use wormdsm_mesh::render::render_path;
+//! use wormdsm_mesh::routing::PathRule;
+//! use wormdsm_mesh::topology::Mesh2D;
+//!
+//! let mesh = Mesh2D::square(4);
+//! let pic = render_path(&mesh, PathRule::XY, mesh.node_at(0, 0), &[mesh.node_at(2, 2)]).unwrap();
+//! assert!(pic.contains('S') && pic.contains('D'));
+//! ```
+
+use crate::routing::{expand_path, PathRule, RuleViolation};
+use crate::topology::{Mesh2D, NodeId};
+
+/// Render the canonical conformant path from `src` through `dests`.
+///
+/// Legend: `S` source, `D` delivering destination, `o` waypoint-style pass
+/// through a listed destination that repeats, `*` path node, `.` untouched
+/// node. When a node plays several roles the most specific wins
+/// (S > D > *).
+pub fn render_path(
+    mesh: &Mesh2D,
+    rule: PathRule,
+    src: NodeId,
+    dests: &[NodeId],
+) -> Result<String, RuleViolation> {
+    render_path_with_mask(mesh, rule, src, dests, None)
+}
+
+/// [`render_path`] with a delivery mask: `false` entries render as `w`
+/// (routing waypoints).
+pub fn render_path_with_mask(
+    mesh: &Mesh2D,
+    rule: PathRule,
+    src: NodeId,
+    dests: &[NodeId],
+    deliver: Option<&[bool]>,
+) -> Result<String, RuleViolation> {
+    let path = expand_path(rule, mesh, src, dests)?;
+    let mut grid: Vec<Vec<char>> = vec![vec!['.'; mesh.width()]; mesh.height()];
+    for n in &path {
+        let c = mesh.coord(*n);
+        grid[c.y as usize][c.x as usize] = '*';
+    }
+    for (i, d) in dests.iter().enumerate() {
+        let c = mesh.coord(*d);
+        let delivering = deliver.is_none_or(|m| m[i]);
+        grid[c.y as usize][c.x as usize] = if delivering { 'D' } else { 'w' };
+    }
+    let sc = mesh.coord(src);
+    grid[sc.y as usize][sc.x as usize] = 'S';
+    let mut out = String::new();
+    for row in grid {
+        for (x, ch) in row.into_iter().enumerate() {
+            if x > 0 {
+                out.push(' ');
+            }
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Render several worms of one plan into one picture, numbering each
+/// worm's path nodes `1`, `2`, ... (destinations upper-cased as `D`).
+/// Overlapping paths show the latest worm's digit.
+pub fn render_worms(
+    mesh: &Mesh2D,
+    rule: PathRule,
+    src: NodeId,
+    worms: &[(&[NodeId], Option<&[bool]>)],
+) -> Result<String, RuleViolation> {
+    let mut grid: Vec<Vec<char>> = vec![vec!['.'; mesh.width()]; mesh.height()];
+    for (i, (dests, deliver)) in worms.iter().enumerate() {
+        let digit = char::from_digit(((i % 9) + 1) as u32, 10).expect("1..=9");
+        let path = expand_path(rule, mesh, src, dests)?;
+        for n in &path {
+            let c = mesh.coord(*n);
+            grid[c.y as usize][c.x as usize] = digit;
+        }
+        for (j, d) in dests.iter().enumerate() {
+            let c = mesh.coord(*d);
+            let delivering = deliver.is_none_or(|m| m[j]);
+            grid[c.y as usize][c.x as usize] = if delivering { 'D' } else { 'w' };
+        }
+    }
+    let sc = mesh.coord(src);
+    grid[sc.y as usize][sc.x as usize] = 'S';
+    let mut out = String::new();
+    for row in grid {
+        for (x, ch) in row.into_iter().enumerate() {
+            if x > 0 {
+                out.push(' ');
+            }
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_path_renders_l_shape() {
+        let m = Mesh2D::square(4);
+        let pic = render_path(&m, PathRule::XY, m.node_at(0, 0), &[m.node_at(2, 2)]).unwrap();
+        let rows: Vec<&str> = pic.lines().collect();
+        assert_eq!(rows[0], "S * * .");
+        assert_eq!(rows[1], ". . * .");
+        assert_eq!(rows[2], ". . D .");
+        assert_eq!(rows[3], ". . . .");
+    }
+
+    #[test]
+    fn waypoints_render_as_w() {
+        let m = Mesh2D::square(4);
+        let dests = [m.node_at(1, 0), m.node_at(3, 0)];
+        let mask = [false, true];
+        let pic =
+            render_path_with_mask(&m, PathRule::XY, m.node_at(0, 0), &dests, Some(&mask)).unwrap();
+        assert_eq!(pic.lines().next().unwrap(), "S w * D");
+    }
+
+    #[test]
+    fn violation_propagates() {
+        let m = Mesh2D::square(4);
+        // Two columns under XY: not conformant.
+        let err = render_path(&m, PathRule::XY, m.node_at(0, 0), &[m.node_at(1, 2), m.node_at(2, 3)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn multi_worm_rendering_numbers_paths() {
+        let m = Mesh2D::square(4);
+        let w1 = [m.node_at(1, 2)];
+        let w2 = [m.node_at(3, 1)];
+        let pic = render_worms(
+            &m,
+            PathRule::XY,
+            m.node_at(0, 0),
+            &[(&w1, None), (&w2, None)],
+        )
+        .unwrap();
+        assert!(pic.contains('1') || pic.contains('D'));
+        assert!(pic.contains('2'));
+        assert!(pic.starts_with('S'));
+    }
+}

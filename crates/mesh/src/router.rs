@@ -1,0 +1,185 @@
+//! Per-node wormhole router state.
+//!
+//! A router has five ports (E, W, N, S, Local); each input port carries
+//! `vcs_per_vnet * NUM_VNETS` virtual channels with small flit FIFOs and
+//! credit-based flow control toward the upstream sender. All *behaviour*
+//! (routing, arbitration, movement) lives in [`crate::network`]; this module
+//! is the state container plus small invariant-preserving helpers.
+
+use crate::topology::NodeId;
+use crate::worm::Flit;
+use std::collections::VecDeque;
+use wormdsm_sim::Cycle;
+
+/// A flit sitting in a router buffer, with the cycle at which it becomes
+/// eligible to move (head flits pay the router pipeline delay, body flits
+/// one cycle).
+#[derive(Debug, Clone, Copy)]
+pub struct BufFlit {
+    /// The flit.
+    pub flit: Flit,
+    /// First cycle at which this flit may be processed/moved.
+    pub ready_at: Cycle,
+}
+
+/// Allocation state of one input virtual channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcMode {
+    /// No allocation; a head flit at the front awaits processing.
+    Normal,
+    /// Allocated a path through the switch.
+    Active {
+        /// Output port index (may be `Port::Local.index()` for consumption).
+        out_port: usize,
+        /// Output VC index (or consumption channel index when local).
+        out_vc: usize,
+        /// Forward-and-absorb: consumption channel receiving copies.
+        absorb: Option<usize>,
+    },
+    /// Gather worm parked at this node: remaining flits drain into the
+    /// i-ack buffer entry instead of moving through the switch.
+    DrainPark {
+        /// Target i-ack entry index at the local NIC.
+        entry: usize,
+    },
+}
+
+/// One input virtual channel.
+#[derive(Debug, Clone)]
+pub struct InputVc {
+    /// Flit FIFO.
+    pub buf: VecDeque<BufFlit>,
+    /// Capacity in flits (credits granted to the upstream sender).
+    pub cap: usize,
+    /// Allocation state.
+    pub mode: VcMode,
+    /// Absorb channel acquired during destination processing, consumed into
+    /// [`VcMode::Active`] when the output VC is allocated.
+    pub pending_absorb: Option<usize>,
+}
+
+impl InputVc {
+    fn new(cap: usize) -> Self {
+        Self { buf: VecDeque::with_capacity(cap), cap, mode: VcMode::Normal, pending_absorb: None }
+    }
+
+    /// Free buffer slots.
+    pub fn space(&self) -> usize {
+        self.cap - self.buf.len()
+    }
+}
+
+/// Router state for one node.
+#[derive(Debug)]
+pub struct Router {
+    /// The node this router serves.
+    pub node: NodeId,
+    /// Input VCs, indexed `[port][vc]`.
+    pub inputs: Vec<Vec<InputVc>>,
+    /// Output VC allocations, `[port][vc] -> (in_port, in_vc)` currently
+    /// holding that output VC. The `Local` row is unused (consumption
+    /// channels are allocated at the NIC).
+    pub out_alloc: Vec<Vec<Option<(usize, usize)>>>,
+    /// Credits available toward the downstream input buffer, `[port][vc]`.
+    /// The `Local` row is unused.
+    pub out_credit: Vec<Vec<usize>>,
+    /// Round-robin arbitration pointer per output port.
+    pub rr: Vec<usize>,
+    /// Number of flits currently buffered in this router (fast-skip).
+    pub flits: usize,
+}
+
+impl Router {
+    /// Build a router with `ports` x `vcs` input VCs of `vc_cap` flits, and
+    /// matching output credit counters initialized to the downstream
+    /// capacity.
+    pub fn new(node: NodeId, ports: usize, vcs: usize, vc_cap: usize) -> Self {
+        Self {
+            node,
+            inputs: (0..ports).map(|_| (0..vcs).map(|_| InputVc::new(vc_cap)).collect()).collect(),
+            out_alloc: vec![vec![None; vcs]; ports],
+            out_credit: vec![vec![vc_cap; vcs]; ports],
+            rr: vec![0; ports],
+            flits: 0,
+        }
+    }
+
+    /// Deposit a flit into input `(port, vc)`. Panics on overflow (credit
+    /// discipline must prevent it).
+    pub fn deposit(&mut self, port: usize, vc: usize, bf: BufFlit) {
+        let ivc = &mut self.inputs[port][vc];
+        assert!(ivc.buf.len() < ivc.cap, "input buffer overflow at {} port {port} vc {vc}", self.node);
+        ivc.buf.push_back(bf);
+        self.flits += 1;
+    }
+
+    /// Pop the front flit of input `(port, vc)`.
+    pub fn pop(&mut self, port: usize, vc: usize) -> BufFlit {
+        let bf = self.inputs[port][vc].buf.pop_front().expect("pop from empty input VC");
+        self.flits -= 1;
+        bf
+    }
+
+    /// Find a free, credited output VC on `port` within the VC index range
+    /// `lo..hi` (the worm's virtual-network class). Returns the VC with the
+    /// most credits (head-of-line freedom), ties to the lowest index.
+    pub fn best_free_out_vc(&self, port: usize, lo: usize, hi: usize) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        for vc in lo..hi {
+            if self.out_alloc[port][vc].is_none() && self.out_credit[port][vc] > 0 {
+                let cr = self.out_credit[port][vc];
+                if best.is_none_or(|(_, bc)| cr > bc) {
+                    best = Some((vc, cr));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worm::{FlitKind, WormId};
+
+    fn bf(seq: u16) -> BufFlit {
+        BufFlit {
+            flit: Flit { worm: WormId(0), kind: if seq == 0 { FlitKind::Head } else { FlitKind::Body }, seq },
+            ready_at: 0,
+        }
+    }
+
+    #[test]
+    fn deposit_and_pop_track_counts() {
+        let mut r = Router::new(NodeId(0), 5, 2, 4);
+        r.deposit(0, 1, bf(0));
+        r.deposit(0, 1, bf(1));
+        assert_eq!(r.flits, 2);
+        assert_eq!(r.inputs[0][1].space(), 2);
+        let f = r.pop(0, 1);
+        assert_eq!(f.flit.seq, 0);
+        assert_eq!(r.flits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn deposit_overflow_panics() {
+        let mut r = Router::new(NodeId(0), 5, 1, 2);
+        r.deposit(0, 0, bf(0));
+        r.deposit(0, 0, bf(1));
+        r.deposit(0, 0, bf(2));
+    }
+
+    #[test]
+    fn best_free_out_vc_prefers_credits() {
+        let mut r = Router::new(NodeId(0), 5, 4, 4);
+        r.out_credit[2][0] = 1;
+        r.out_credit[2][1] = 3;
+        // vcs 2..4 belong to the other vnet; restrict to 0..2.
+        assert_eq!(r.best_free_out_vc(2, 0, 2), Some((1, 3)));
+        r.out_alloc[2][1] = Some((0, 0));
+        assert_eq!(r.best_free_out_vc(2, 0, 2), Some((0, 1)));
+        r.out_credit[2][0] = 0;
+        assert_eq!(r.best_free_out_vc(2, 0, 2), None);
+    }
+}

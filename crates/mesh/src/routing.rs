@@ -1,0 +1,477 @@
+//! Base routing schemes and path legality.
+//!
+//! The BRCP (Base-Routing-Conformed-Path) model requires every
+//! multidestination worm to follow a path that a *unicast* message could
+//! legally take under the network's base routing. This module provides:
+//!
+//! * the per-hop routing decision used by routers ([`route_options`]),
+//! * a path-legality automaton ([`PathChecker`]) used by tests and by the
+//!   scheme constructors,
+//! * canonical path expansion ([`expand_path`]) for analytic path lengths.
+//!
+//! Four rules are supported, paired per virtual network:
+//!
+//! | base routing | request net | reply net |
+//! |---|---|---|
+//! | deterministic e-cube | [`PathRule::XY`] | [`PathRule::YX`] |
+//! | turn-model adaptive | [`PathRule::WestFirst`] | [`PathRule::YX`] |
+//!
+//! The reply net uses YX ordering in both configurations so that
+//! acknowledgement gathers — which collect along a column and finish with
+//! row travel toward the home in *either* X direction — remain base-routing
+//! conformant. ([`PathRule::EastFirst`], the west-first dual, is provided
+//! for completeness and for experiments with eastward-monotone reply
+//! worms.)
+
+use crate::topology::{Direction, Mesh2D, NodeId};
+
+/// A deadlock-free base routing rule for one virtual network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathRule {
+    /// E-cube, row (X) hops then column (Y) hops.
+    XY,
+    /// E-cube dual, column (Y) hops then row (X) hops.
+    YX,
+    /// Turn model: all westward hops first, then adaptive among {N, E, S}.
+    WestFirst,
+    /// Turn-model dual: all eastward hops first, then adaptive among {N, W, S}.
+    EastFirst,
+}
+
+/// Base routing selection for a network (request-net rule; the reply net
+/// uses the dual).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseRouting {
+    /// Deterministic e-cube (XY requests, YX replies).
+    ECube,
+    /// Turn-model adaptive (west-first requests, YX replies).
+    TurnModel,
+}
+
+impl BaseRouting {
+    /// Rule used by the request virtual network.
+    pub fn request_rule(self) -> PathRule {
+        match self {
+            BaseRouting::ECube => PathRule::XY,
+            BaseRouting::TurnModel => PathRule::WestFirst,
+        }
+    }
+
+    /// Rule used by the reply virtual network (YX in both configurations;
+    /// see the module docs).
+    pub fn reply_rule(self) -> PathRule {
+        match self {
+            BaseRouting::ECube | BaseRouting::TurnModel => PathRule::YX,
+        }
+    }
+}
+
+/// Error describing why a hop sequence violates a [`PathRule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleViolation {
+    /// Index of the offending hop.
+    pub hop: usize,
+    /// Offending direction.
+    pub dir: Direction,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl core::fmt::Display for RuleViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "hop {} ({:?}): {}", self.hop, self.dir, self.reason)
+    }
+}
+
+impl std::error::Error for RuleViolation {}
+
+/// Incremental legality checker for a hop sequence under a [`PathRule`].
+///
+/// Semantics of "turned": for XY, a Y hop forbids later X hops; for YX the
+/// dual; for west-first, any non-west hop forbids later west hops; for
+/// east-first the dual. 180-degree immediate reversals are always illegal
+/// (they would revisit the previous node).
+#[derive(Debug, Clone)]
+pub struct PathChecker {
+    rule: PathRule,
+    turned: bool,
+    last: Option<Direction>,
+    hops: usize,
+}
+
+impl PathChecker {
+    /// New checker at the start of a path.
+    pub fn new(rule: PathRule) -> Self {
+        Self { rule, turned: false, last: None, hops: 0 }
+    }
+
+    /// Whether the restricted phase has ended (e.g. a Y hop seen under XY).
+    pub fn turned(&self) -> bool {
+        self.turned
+    }
+
+    /// Feed the next hop; returns `Err` if it violates the rule.
+    pub fn step(&mut self, dir: Direction) -> Result<(), RuleViolation> {
+        let hop = self.hops;
+        if self.last == Some(dir.opposite()) {
+            return Err(RuleViolation { hop, dir, reason: "immediate 180-degree reversal" });
+        }
+        let violation = match self.rule {
+            PathRule::XY => {
+                let is_x = matches!(dir, Direction::East | Direction::West);
+                if is_x && self.turned {
+                    Some("X hop after Y phase began (e-cube XY)")
+                } else {
+                    if !is_x {
+                        self.turned = true;
+                    }
+                    None
+                }
+            }
+            PathRule::YX => {
+                let is_y = matches!(dir, Direction::North | Direction::South);
+                if is_y && self.turned {
+                    Some("Y hop after X phase began (e-cube YX)")
+                } else {
+                    if !is_y {
+                        self.turned = true;
+                    }
+                    None
+                }
+            }
+            PathRule::WestFirst => {
+                if dir == Direction::West && self.turned {
+                    Some("west hop after a non-west hop (west-first)")
+                } else {
+                    if dir != Direction::West {
+                        self.turned = true;
+                    }
+                    None
+                }
+            }
+            PathRule::EastFirst => {
+                if dir == Direction::East && self.turned {
+                    Some("east hop after a non-east hop (east-first)")
+                } else {
+                    if dir != Direction::East {
+                        self.turned = true;
+                    }
+                    None
+                }
+            }
+        };
+        if let Some(reason) = violation {
+            return Err(RuleViolation { hop, dir, reason });
+        }
+        self.last = Some(dir);
+        self.hops += 1;
+        Ok(())
+    }
+}
+
+/// Legal productive output directions from `cur` toward `dst` under `rule`,
+/// given whether the worm has already `turned`.
+///
+/// Deterministic rules return exactly one direction. Adaptive rules may
+/// return two (the router then picks, e.g. by downstream credit). Returns an
+/// empty vector when `cur == dst` **or** when the destination is
+/// unreachable without violating the rule (e.g. XY needs an X hop after the
+/// Y phase began) — the latter indicates a non-conformant destination
+/// sequence, which [`expand_path`] reports and the router treats as a
+/// scheme bug.
+pub fn route_options(
+    rule: PathRule,
+    mesh: &Mesh2D,
+    cur: NodeId,
+    dst: NodeId,
+    turned: bool,
+) -> Vec<Direction> {
+    let (c, d) = (mesh.coord(cur), mesh.coord(dst));
+    let dx = d.x as i16 - c.x as i16;
+    let dy = d.y as i16 - c.y as i16;
+    if dx == 0 && dy == 0 {
+        return vec![];
+    }
+    let xdir = if dx > 0 {
+        Some(Direction::East)
+    } else if dx < 0 {
+        Some(Direction::West)
+    } else {
+        None
+    };
+    let ydir = if dy > 0 {
+        Some(Direction::South)
+    } else if dy < 0 {
+        Some(Direction::North)
+    } else {
+        None
+    };
+    match rule {
+        PathRule::XY => {
+            if let Some(x) = xdir {
+                if turned {
+                    return vec![];
+                }
+                vec![x]
+            } else {
+                vec![ydir.expect("dx==0, dy!=0")]
+            }
+        }
+        PathRule::YX => {
+            if let Some(y) = ydir {
+                if turned {
+                    return vec![];
+                }
+                vec![y]
+            } else {
+                vec![xdir.expect("dy==0, dx!=0")]
+            }
+        }
+        PathRule::WestFirst => {
+            if xdir == Some(Direction::West) {
+                if turned {
+                    return vec![];
+                }
+                vec![Direction::West]
+            } else {
+                // Adaptive among productive {E, N, S}.
+                let mut opts = Vec::with_capacity(2);
+                if let Some(x) = xdir {
+                    opts.push(x);
+                }
+                if let Some(y) = ydir {
+                    opts.push(y);
+                }
+                opts
+            }
+        }
+        PathRule::EastFirst => {
+            if xdir == Some(Direction::East) {
+                if turned {
+                    return vec![];
+                }
+                vec![Direction::East]
+            } else {
+                let mut opts = Vec::with_capacity(2);
+                if let Some(x) = xdir {
+                    opts.push(x);
+                }
+                if let Some(y) = ydir {
+                    opts.push(y);
+                }
+                opts
+            }
+        }
+    }
+}
+
+/// Expand the canonical full hop path visiting `dests` in order from `src`
+/// under `rule`. Returns the node sequence including `src` and every visited
+/// node, or the rule violation that makes the visit order non-conformant.
+///
+/// Canonical choice within the adaptive rules: take the X hop before the Y
+/// hop whenever both are legal (this matches how the schemes build
+/// staircases and keeps path lengths deterministic for the analytic model).
+pub fn expand_path(
+    rule: PathRule,
+    mesh: &Mesh2D,
+    src: NodeId,
+    dests: &[NodeId],
+) -> Result<Vec<NodeId>, RuleViolation> {
+    let mut checker = PathChecker::new(rule);
+    let mut path = vec![src];
+    let mut cur = src;
+    for &d in dests {
+        while cur != d {
+            let opts = route_options(rule, mesh, cur, d, checker.turned());
+            // Canonical: prefer the first option whose step passes; options
+            // are ordered X-before-Y by construction.
+            if opts.is_empty() {
+                return Err(RuleViolation {
+                    hop: path.len() - 1,
+                    dir: Direction::West,
+                    reason: "destination unreachable without violating the base routing",
+                });
+            }
+            let mut advanced = false;
+            let mut last_err = None;
+            for dir in opts {
+                let mut trial = checker.clone();
+                match trial.step(dir) {
+                    Ok(()) => {
+                        checker = trial;
+                        cur = mesh.neighbor(cur, dir).expect("productive hop stays in mesh");
+                        path.push(cur);
+                        advanced = true;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if !advanced {
+                return Err(last_err.expect("non-empty options"));
+            }
+        }
+    }
+    Ok(path)
+}
+
+/// Total hop count of the canonical path visiting `dests` from `src`.
+pub fn path_hops(rule: PathRule, mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) -> Option<usize> {
+    expand_path(rule, mesh, src, dests).ok().map(|p| p.len() - 1)
+}
+
+/// True when the visit order is conformant under `rule`.
+pub fn is_conformant(rule: PathRule, mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) -> bool {
+    expand_path(rule, mesh, src, dests).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m8() -> Mesh2D {
+        Mesh2D::square(8)
+    }
+
+    #[test]
+    fn xy_unicast_path_is_row_then_column() {
+        let m = m8();
+        let p = expand_path(PathRule::XY, &m, m.node_at(1, 1), &[m.node_at(4, 5)]).unwrap();
+        assert_eq!(p.len(), 1 + 3 + 4);
+        // Row segment first.
+        assert_eq!(p[1], m.node_at(2, 1));
+        assert_eq!(p[3], m.node_at(4, 1));
+        // Then column.
+        assert_eq!(p[4], m.node_at(4, 2));
+        assert_eq!(*p.last().unwrap(), m.node_at(4, 5));
+    }
+
+    #[test]
+    fn yx_unicast_path_is_column_then_row() {
+        let m = m8();
+        let p = expand_path(PathRule::YX, &m, m.node_at(1, 1), &[m.node_at(4, 5)]).unwrap();
+        assert_eq!(p[1], m.node_at(1, 2));
+        assert_eq!(p[4], m.node_at(1, 5));
+        assert_eq!(p[5], m.node_at(2, 5));
+    }
+
+    #[test]
+    fn xy_column_multicast_is_conformant() {
+        let m = m8();
+        // Home at (1,3), sharers up column 5, visited monotonically north.
+        let dests = [m.node_at(5, 2), m.node_at(5, 1), m.node_at(5, 0)];
+        assert!(is_conformant(PathRule::XY, &m, m.node_at(1, 3), &dests));
+        // And monotonically south.
+        let dests = [m.node_at(5, 4), m.node_at(5, 6), m.node_at(5, 7)];
+        assert!(is_conformant(PathRule::XY, &m, m.node_at(1, 3), &dests));
+    }
+
+    #[test]
+    fn xy_two_columns_not_conformant() {
+        let m = m8();
+        let dests = [m.node_at(5, 1), m.node_at(6, 4)];
+        assert!(!is_conformant(PathRule::XY, &m, m.node_at(1, 3), &dests));
+    }
+
+    #[test]
+    fn xy_column_zigzag_not_conformant() {
+        let m = m8();
+        // Reaching (5,1) then going back down to (5,4) from home row 3:
+        // home row is 3, so going to y=1 (north) then y=4 (south) reverses.
+        let dests = [m.node_at(5, 1), m.node_at(5, 4)];
+        assert!(!is_conformant(PathRule::XY, &m, m.node_at(1, 3), &dests));
+        // Monotone order is fine.
+        let dests = [m.node_at(5, 4), m.node_at(5, 6)];
+        assert!(is_conformant(PathRule::XY, &m, m.node_at(1, 3), &dests));
+    }
+
+    #[test]
+    fn west_first_staircase_conformant() {
+        let m = m8();
+        // Home at (4,4); sharers west and east; staircase: go west first to
+        // column 1, then snake east covering columns 1, 3, 6.
+        let dests = [m.node_at(1, 2), m.node_at(3, 5), m.node_at(6, 1)];
+        assert!(is_conformant(PathRule::WestFirst, &m, m.node_at(4, 4), &dests));
+    }
+
+    #[test]
+    fn west_first_rejects_late_west() {
+        let m = m8();
+        // East then west again is illegal under west-first.
+        let dests = [m.node_at(6, 4), m.node_at(2, 4)];
+        assert!(!is_conformant(PathRule::WestFirst, &m, m.node_at(4, 4), &dests));
+    }
+
+    #[test]
+    fn east_first_is_dual() {
+        let m = m8();
+        let dests = [m.node_at(6, 2), m.node_at(3, 5), m.node_at(1, 1)];
+        assert!(is_conformant(PathRule::EastFirst, &m, m.node_at(4, 4), &dests));
+        let dests = [m.node_at(1, 4), m.node_at(6, 4)];
+        assert!(!is_conformant(PathRule::EastFirst, &m, m.node_at(4, 4), &dests));
+    }
+
+    #[test]
+    fn checker_rejects_reversal() {
+        let mut c = PathChecker::new(PathRule::WestFirst);
+        c.step(Direction::North).unwrap();
+        let e = c.step(Direction::South).unwrap_err();
+        assert_eq!(e.reason, "immediate 180-degree reversal");
+    }
+
+    #[test]
+    fn route_options_deterministic_rules() {
+        let m = m8();
+        let o = route_options(PathRule::XY, &m, m.node_at(1, 1), m.node_at(4, 5), false);
+        assert_eq!(o, vec![Direction::East]);
+        let o = route_options(PathRule::XY, &m, m.node_at(4, 1), m.node_at(4, 5), true);
+        assert_eq!(o, vec![Direction::South]);
+        let o = route_options(PathRule::YX, &m, m.node_at(1, 1), m.node_at(4, 5), false);
+        assert_eq!(o, vec![Direction::South]);
+    }
+
+    #[test]
+    fn route_options_adaptive_offers_both() {
+        let m = m8();
+        let o = route_options(PathRule::WestFirst, &m, m.node_at(1, 1), m.node_at(4, 5), true);
+        assert_eq!(o.len(), 2);
+        assert!(o.contains(&Direction::East) && o.contains(&Direction::South));
+        // Westward target: single forced option.
+        let o = route_options(PathRule::WestFirst, &m, m.node_at(4, 1), m.node_at(1, 5), false);
+        assert_eq!(o, vec![Direction::West]);
+    }
+
+    #[test]
+    fn route_options_empty_at_destination() {
+        let m = m8();
+        assert!(route_options(PathRule::XY, &m, m.node_at(2, 2), m.node_at(2, 2), false).is_empty());
+    }
+
+    #[test]
+    fn route_options_empty_on_impossible() {
+        let m = m8();
+        // Turned under XY but still needs an X hop.
+        let o = route_options(PathRule::XY, &m, m.node_at(1, 1), m.node_at(4, 5), true);
+        assert!(o.is_empty());
+        let o = route_options(PathRule::WestFirst, &m, m.node_at(4, 1), m.node_at(1, 5), true);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn path_hops_matches_manhattan_for_unicast() {
+        let m = m8();
+        for rule in [PathRule::XY, PathRule::YX, PathRule::WestFirst, PathRule::EastFirst] {
+            let h = path_hops(rule, &m, m.node_at(1, 2), &[m.node_at(6, 7)]).unwrap();
+            assert_eq!(h, 5 + 5, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn base_routing_rule_pairs() {
+        assert_eq!(BaseRouting::ECube.request_rule(), PathRule::XY);
+        assert_eq!(BaseRouting::ECube.reply_rule(), PathRule::YX);
+        assert_eq!(BaseRouting::TurnModel.request_rule(), PathRule::WestFirst);
+        assert_eq!(BaseRouting::TurnModel.reply_rule(), PathRule::YX);
+    }
+}

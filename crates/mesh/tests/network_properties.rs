@@ -1,0 +1,157 @@
+//! Property-based tests on the network engine: conservation laws,
+//! delivery completeness, credit restoration, and deterministic replay
+//! under arbitrary traffic.
+
+use proptest::prelude::*;
+use wormdsm_mesh::network::{MeshConfig, Network};
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_mesh::worm::{TxnId, VNet, WormKind, WormSpec};
+
+/// A batch of random unicasts on a k x k mesh.
+fn unicast_batch() -> impl Strategy<Value = (usize, Vec<(u16, u16, u16, bool)>)> {
+    (4usize..=8).prop_flat_map(|k| {
+        let n = (k * k) as u16;
+        (
+            Just(k),
+            proptest::collection::vec((0..n, 0..n, 4u16..=40, any::<bool>()), 1..40),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_unicast_is_delivered_exactly_once((k, batch) in unicast_batch()) {
+        let mut net = Network::new(MeshConfig::paper_defaults(k));
+        let mut expected = vec![0usize; k * k];
+        let mut injected_flits = 0u64;
+        for (src, dst, len, reply) in &batch {
+            if src == dst {
+                continue;
+            }
+            let vnet = if *reply { VNet::Reply } else { VNet::Req };
+            net.inject(WormSpec::unicast(NodeId(*src), NodeId(*dst), vnet, *len, 0));
+            expected[*dst as usize] += 1;
+            injected_flits += *len as u64;
+        }
+        net.run_until_quiescent(1_000_000).expect("quiesces");
+        // Delivery completeness.
+        for (i, want) in expected.iter().enumerate() {
+            let got = net.take_deliveries(NodeId(i as u16)).len();
+            prop_assert_eq!(got, *want, "node {}", i);
+        }
+        // Flit conservation: everything injected was consumed.
+        prop_assert_eq!(net.stats().flits_injected, injected_flits);
+        prop_assert_eq!(net.stats().flits_consumed, injected_flits);
+    }
+
+    #[test]
+    fn deterministic_replay_arbitrary_batch((k, batch) in unicast_batch()) {
+        let run = || {
+            let mut net = Network::new(MeshConfig::paper_defaults(k));
+            for (src, dst, len, reply) in &batch {
+                if src == dst {
+                    continue;
+                }
+                let vnet = if *reply { VNet::Reply } else { VNet::Req };
+                net.inject(WormSpec::unicast(NodeId(*src), NodeId(*dst), vnet, *len, 0));
+            }
+            net.run_until_quiescent(1_000_000).expect("quiesces");
+            (net.now(), net.stats().flit_hops, net.stats().unicast_latency.mean())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn column_multicasts_deliver_to_every_destination(
+        k in 5usize..=8,
+        col in 0usize..5,
+        rows in proptest::collection::btree_set(0usize..5, 1..5),
+        src_x in 0usize..5,
+        reserve in any::<bool>(),
+    ) {
+        let mesh = Mesh2D::square(k);
+        // Source on row 0; destinations down one column, monotone south,
+        // excluding the source position.
+        let src = mesh.node_at(src_x, 0);
+        let dests: Vec<NodeId> = rows
+            .iter()
+            .map(|&r| mesh.node_at(col, r + (k - 5)))
+            .filter(|&d| d != src)
+            .collect();
+        prop_assume!(!dests.is_empty());
+        let mut net = Network::new(MeshConfig::paper_defaults(k));
+        net.inject(WormSpec {
+            src,
+            vnet: VNet::Req,
+            kind: WormKind::Multicast,
+            dests: dests.clone(),
+            len_flits: 8,
+            payload: 9,
+            reserve_iack: reserve,
+            txn: TxnId(3),
+            initial_acks: 0,
+            gather_deposit: false,
+            deliver: None,
+        });
+        net.run_until_quiescent(1_000_000).expect("quiesces");
+        for d in &dests {
+            prop_assert_eq!(net.take_deliveries(*d).len(), 1, "at {}", d);
+        }
+        // Absorb copies + final consumption all drained.
+        prop_assert_eq!(net.stats().flits_consumed, dests.len() as u64 * 8);
+    }
+
+    #[test]
+    fn reserve_post_gather_roundtrip(
+        k in 5usize..=8,
+        rows in proptest::collection::btree_set(1usize..5, 2..5),
+    ) {
+        let mesh = Mesh2D::square(k);
+        let home = mesh.node_at(0, 0);
+        let col = 3;
+        let dests: Vec<NodeId> = rows.iter().map(|&r| mesh.node_at(col, r)).collect();
+        let txn = TxnId(77);
+        let mut net = Network::new(MeshConfig::paper_defaults(k));
+        net.inject(WormSpec {
+            src: home,
+            vnet: VNet::Req,
+            kind: WormKind::Multicast,
+            dests: dests.clone(),
+            len_flits: 8,
+            payload: 1,
+            reserve_iack: true,
+            txn,
+            initial_acks: 0,
+            gather_deposit: false,
+            deliver: None,
+        });
+        net.run_until_quiescent(1_000_000).expect("multicast done");
+        // Post at every intermediate destination (all but the last).
+        for d in &dests[..dests.len() - 1] {
+            prop_assert!(net.post_iack(*d, txn));
+        }
+        // Gather retraces the group and ends at home.
+        let mut gd: Vec<NodeId> = dests.iter().rev().skip(1).copied().collect();
+        gd.push(home);
+        let initiator = *dests.last().expect("non-empty");
+        net.inject(WormSpec {
+            src: initiator,
+            vnet: VNet::Reply,
+            kind: WormKind::Gather,
+            dests: gd,
+            len_flits: 6,
+            payload: 2,
+            reserve_iack: false,
+            txn,
+            initial_acks: 1,
+            gather_deposit: false,
+            deliver: None,
+        });
+        net.run_until_quiescent(1_000_000).expect("gather done");
+        let ds = net.take_deliveries(home);
+        prop_assert_eq!(ds.len(), 1);
+        prop_assert_eq!(ds[0].acks as usize, dests.len(), "one ack per sharer");
+    }
+}

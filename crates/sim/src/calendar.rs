@@ -1,0 +1,194 @@
+//! Deterministic event calendar.
+//!
+//! A min-heap keyed by `(time, sequence)` so that events scheduled for the
+//! same cycle fire in insertion order — the property that makes whole-system
+//! runs reproducible regardless of heap internals.
+
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Opaque handle identifying a scheduled event; can be used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Event calendar: schedule payloads at future cycles, pop them in
+/// deterministic `(time, insertion-order)` order.
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Create an empty calendar.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedule `payload` to fire at absolute cycle `at`.
+    pub fn schedule(&mut self, at: Cycle, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, h: EventHandle) {
+        self.cancelled.insert(h.0);
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Cycle> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pop the next event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
+        self.skip_cancelled();
+        if self.heap.peek().is_some_and(|Reverse(e)| e.at <= now) {
+            let Reverse(e) = self.heap.pop().expect("peeked");
+            Some((e.at, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event unconditionally (advancing time), if any.
+    pub fn pop_next(&mut self) -> Option<(Cycle, E)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    ///
+    /// O(n) over the retained heap; intended for tests and diagnostics.
+    pub fn len(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.seq))
+            .count()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if self.cancelled.remove(&e.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut c = Calendar::new();
+        c.schedule(30, "c");
+        c.schedule(10, "a");
+        c.schedule(20, "b");
+        assert_eq!(c.pop_next(), Some((10, "a")));
+        assert_eq!(c.pop_next(), Some((20, "b")));
+        assert_eq!(c.pop_next(), Some((30, "c")));
+        assert_eq!(c.pop_next(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut c = Calendar::new();
+        for i in 0..100 {
+            c.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(c.pop_next(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut c = Calendar::new();
+        c.schedule(5, 'x');
+        c.schedule(10, 'y');
+        assert_eq!(c.pop_due(4), None);
+        assert_eq!(c.pop_due(5), Some((5, 'x')));
+        assert_eq!(c.pop_due(5), None);
+        assert_eq!(c.pop_due(100), Some((10, 'y')));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut c = Calendar::new();
+        let h = c.schedule(5, 1);
+        c.schedule(6, 2);
+        c.cancel(h);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pop_next(), Some((6, 2)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut c = Calendar::new();
+        let h = c.schedule(5, 1);
+        assert_eq!(c.pop_next(), Some((5, 1)));
+        c.cancel(h);
+        c.schedule(9, 2);
+        assert_eq!(c.pop_next(), Some((9, 2)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut c = Calendar::new();
+        let h = c.schedule(5, 1);
+        c.schedule(8, 2);
+        c.cancel(h);
+        assert_eq!(c.peek_time(), Some(8));
+    }
+}

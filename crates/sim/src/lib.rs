@@ -1,0 +1,156 @@
+//! # wormdsm-sim — deterministic simulation kernel
+//!
+//! A small, dependency-free discrete-event / cycle-level simulation kernel.
+//! It plays the role CSIM played for the original paper: a clock, an event
+//! calendar, deterministic pseudo-randomness, and statistics collection
+//! (counters, histograms, time-weighted utilization) used by every other
+//! crate in the workspace.
+//!
+//! Design goals:
+//!
+//! * **Determinism.** Two runs with the same inputs produce bit-identical
+//!   results. Event ordering ties are broken by insertion sequence number;
+//!   all randomness flows from a seeded [`Rng`].
+//! * **Cycle-level.** The network model advances in fixed 5 ns cycles
+//!   ([`NS_PER_CYCLE`]); node-level activity uses the event calendar. Both
+//!   share the same `Cycle` timebase.
+//! * **Zero unsafe, zero deps.** The kernel is plain safe Rust.
+
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod rng;
+pub mod stats;
+
+pub use calendar::{Calendar, EventHandle};
+pub use rng::Rng;
+pub use stats::{Counter, Histogram, Summary, TimeWeighted};
+
+/// Simulated time, measured in network cycles.
+///
+/// One cycle is [`NS_PER_CYCLE`] nanoseconds (5 ns), matching the paper's
+/// convention of reporting latencies "in 5ns cycles".
+pub type Cycle = u64;
+
+/// Nanoseconds per simulated network cycle.
+pub const NS_PER_CYCLE: u64 = 5;
+
+/// Network cycles per 100 MHz processor clock (10 ns / 5 ns).
+pub const CYCLES_PER_CPU_CLOCK: u64 = 2;
+
+/// Convert a cycle count to nanoseconds.
+#[inline]
+pub fn cycles_to_ns(c: Cycle) -> u64 {
+    c * NS_PER_CYCLE
+}
+
+/// Convert a nanosecond duration to cycles, rounding up.
+#[inline]
+pub fn ns_to_cycles(ns: u64) -> Cycle {
+    ns.div_ceil(NS_PER_CYCLE)
+}
+
+/// Convert microseconds to cycles.
+#[inline]
+pub fn us_to_cycles(us: u64) -> Cycle {
+    ns_to_cycles(us * 1_000)
+}
+
+/// Watchdog that detects lack of forward progress (e.g. a deadlocked
+/// network or a protocol that lost a message).
+///
+/// The caller reports progress events; [`Watchdog::check`] returns an error
+/// once `limit` cycles elapse with no progress.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    last_progress: Cycle,
+    limit: Cycle,
+}
+
+impl Watchdog {
+    /// Create a watchdog that trips after `limit` progress-free cycles.
+    pub fn new(limit: Cycle) -> Self {
+        Self { last_progress: 0, limit }
+    }
+
+    /// Record that useful work happened at time `now`.
+    pub fn progress(&mut self, now: Cycle) {
+        self.last_progress = now;
+    }
+
+    /// Returns `Err` with a diagnostic if no progress has been recorded in
+    /// the last `limit` cycles.
+    pub fn check(&self, now: Cycle) -> Result<(), NoProgress> {
+        if now.saturating_sub(self.last_progress) > self.limit {
+            Err(NoProgress { since: self.last_progress, now, limit: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Error produced by [`Watchdog::check`] when the simulation stalls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoProgress {
+    /// Last cycle at which progress was observed.
+    pub since: Cycle,
+    /// Cycle at which the watchdog tripped.
+    pub now: Cycle,
+    /// Configured progress-free limit.
+    pub limit: Cycle,
+}
+
+impl core::fmt::Display for NoProgress {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "no simulation progress for {} cycles (last progress at {}, now {})",
+            self.now - self.since,
+            self.since,
+            self.now
+        )
+    }
+}
+
+impl std::error::Error for NoProgress {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_cycle_roundtrip() {
+        assert_eq!(cycles_to_ns(4), 20);
+        assert_eq!(ns_to_cycles(20), 4);
+        assert_eq!(ns_to_cycles(21), 5, "round up partial cycles");
+        assert_eq!(ns_to_cycles(0), 0);
+        assert_eq!(us_to_cycles(1), 200);
+    }
+
+    #[test]
+    fn cpu_clock_ratio_matches_paper() {
+        // 100 MHz processor = 10 ns period = 2 network cycles.
+        assert_eq!(CYCLES_PER_CPU_CLOCK * NS_PER_CYCLE, 10);
+    }
+
+    #[test]
+    fn watchdog_trips_only_after_limit() {
+        let mut w = Watchdog::new(100);
+        w.progress(50);
+        assert!(w.check(149).is_ok());
+        assert!(w.check(150).is_ok());
+        let err = w.check(151).unwrap_err();
+        assert_eq!(err.since, 50);
+        assert_eq!(err.limit, 100);
+        w.progress(151);
+        assert!(w.check(251).is_ok());
+    }
+
+    #[test]
+    fn no_progress_displays_diagnostics() {
+        let e = NoProgress { since: 10, now: 200, limit: 100 };
+        let s = e.to_string();
+        assert!(s.contains("190 cycles"));
+        assert!(s.contains("last progress at 10"));
+    }
+}

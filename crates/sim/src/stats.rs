@@ -1,0 +1,423 @@
+//! Statistics collection: counters, running summaries, histograms, and
+//! time-weighted averages (for occupancy / queue-length style metrics).
+
+use crate::Cycle;
+
+/// A simple monotonically increasing event counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Running univariate summary (count / mean / min / max / variance) using
+/// Welford's numerically stable online algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// New empty summary.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record an integer observation (convenience for cycle counts).
+    pub fn record_u64(&mut self, x: u64) {
+        self.record(x as f64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population standard deviation; 0 if fewer than 2 observations.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 { 0.0 } else { (self.m2 / self.n as f64).sqrt() }
+    }
+
+    /// Minimum observation; 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.min }
+    }
+
+    /// Maximum observation; 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.max }
+    }
+
+    /// Merge another summary into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bucket histogram over `u64` values with an overflow bucket.
+///
+/// Bucket `i` counts values in `[i * width, (i+1) * width)`; values at or
+/// beyond `buckets * width` land in the overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    width: u64,
+    counts: Vec<u64>,
+    overflow: u64,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// Histogram with `buckets` buckets of `width` each.
+    pub fn new(width: u64, buckets: usize) -> Self {
+        assert!(width > 0 && buckets > 0);
+        Self { width, counts: vec![0; buckets], overflow: 0, summary: Summary::new() }
+    }
+
+    /// Record an observation.
+    pub fn record(&mut self, x: u64) {
+        let b = (x / self.width) as usize;
+        if b < self.counts.len() {
+            self.counts[b] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.summary.record(x as f64);
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of regular buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bucket width.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Count of values beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Underlying summary statistics.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Value below which `q` (0..=1) of observations fall, estimated from
+    /// bucket midpoints. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return i as u64 * self.width + self.width / 2;
+            }
+        }
+        self.counts.len() as u64 * self.width
+    }
+}
+
+/// Time-weighted value tracker: integrates `value x time` so that
+/// `average()` is the time average — used for home-node occupancy, queue
+/// lengths, and link utilization.
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: Cycle,
+    integral: f64,
+    start: Cycle,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at time 0 with value 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the tracked value at time `now`.
+    pub fn set(&mut self, now: Cycle, value: f64) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        self.integral += self.value * (now - self.last_change) as f64;
+        self.last_change = now;
+        self.value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Adjust the tracked value by `delta` at time `now`.
+    pub fn add(&mut self, now: Cycle, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current instantaneous value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Maximum value seen so far.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time average over `[start, now]`. Returns 0 over an empty interval.
+    pub fn average(&self, now: Cycle) -> f64 {
+        let span = now.saturating_sub(self.start);
+        if span == 0 {
+            return 0.0;
+        }
+        let integral = self.integral + self.value * (now - self.last_change) as f64;
+        integral / span as f64
+    }
+}
+
+/// Busy-time accumulator: tracks the total cycles a resource was busy, for
+/// utilization and occupancy metrics where the resource is either busy or
+/// idle (e.g. the directory controller).
+#[derive(Debug, Clone, Default)]
+pub struct BusyTime {
+    total_busy: u64,
+    busy_until: Cycle,
+}
+
+impl BusyTime {
+    /// New accumulator (idle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Occupy the resource for `dur` cycles starting no earlier than `now`;
+    /// if the resource is still busy, the work queues behind it.
+    /// Returns the cycle at which this work completes.
+    pub fn occupy(&mut self, now: Cycle, dur: Cycle) -> Cycle {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + dur;
+        self.total_busy += dur;
+        self.busy_until
+    }
+
+    /// Earliest cycle at which the resource is free.
+    pub fn free_at(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Total busy cycles accumulated.
+    pub fn total(&self) -> u64 {
+        self.total_busy
+    }
+
+    /// Utilization over `[0, now]`.
+    pub fn utilization(&self, now: Cycle) -> f64 {
+        if now == 0 { 0.0 } else { self.total_busy as f64 / now as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn summary_mean_min_max_stddev() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 7 % 13) as f64).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 5);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(49);
+        h.record(50); // overflow
+        h.record(1000); // overflow
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(4), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new(1, 100);
+        for x in 0..100 {
+            h.record(x);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        assert!(q50 <= q90);
+        assert!((45..=55).contains(&q50), "median {q50}");
+        assert!((85..=95).contains(&q90), "p90 {q90}");
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut t = TimeWeighted::new();
+        t.set(0, 0.0);
+        t.set(10, 2.0); // value 0 for [0,10)
+        t.set(30, 4.0); // value 2 for [10,30)
+        // value 4 for [30,40)
+        let avg = t.average(40);
+        // (0*10 + 2*20 + 4*10) / 40 = 80/40 = 2
+        assert!((avg - 2.0).abs() < 1e-12);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut t = TimeWeighted::new();
+        t.add(0, 1.0);
+        t.add(10, 1.0);
+        t.add(20, -2.0);
+        // 1 for [0,10), 2 for [10,20), 0 after
+        assert!((t.average(20) - 1.5).abs() < 1e-12);
+        assert_eq!(t.current(), 0.0);
+    }
+
+    #[test]
+    fn busy_time_queues_work() {
+        let mut b = BusyTime::new();
+        let done1 = b.occupy(100, 10);
+        assert_eq!(done1, 110);
+        // Arrives while busy: queues behind.
+        let done2 = b.occupy(105, 10);
+        assert_eq!(done2, 120);
+        // Arrives after idle period.
+        let done3 = b.occupy(200, 5);
+        assert_eq!(done3, 205);
+        assert_eq!(b.total(), 25);
+        assert!((b.utilization(250) - 0.1).abs() < 1e-12);
+    }
+}

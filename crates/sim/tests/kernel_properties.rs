@@ -1,0 +1,111 @@
+//! Property tests on the simulation kernel: calendar ordering, statistics
+//! correctness against naive references, RNG contracts.
+
+use proptest::prelude::*;
+use wormdsm_sim::{Calendar, Histogram, Rng, Summary, TimeWeighted};
+
+proptest! {
+    #[test]
+    fn calendar_pops_sorted_stable(events in proptest::collection::vec((0u64..1000, 0u32..1000), 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, (t, v)) in events.iter().enumerate() {
+            cal.schedule(*t, (*v, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut count = 0;
+        while let Some((t, (_, i))) = cal.pop_next() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "stable time order violated");
+            }
+            last = Some((t, i));
+            count += 1;
+        }
+        prop_assert_eq!(count, events.len());
+    }
+
+    #[test]
+    fn summary_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.stddev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn summary_merge_any_split(xs in proptest::collection::vec(-1e3f64..1e3, 2..200), split in 0usize..200) {
+        let split = split % xs.len();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let (mut a, mut b) = (Summary::new(), Summary::new());
+        for &x in &xs[..split] {
+            a.record(x);
+        }
+        for &x in &xs[split..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.stddev() - whole.stddev()).abs() < 1e-7 * (1.0 + whole.stddev()));
+    }
+
+    #[test]
+    fn histogram_total_and_bounds(xs in proptest::collection::vec(0u64..500, 1..200)) {
+        let mut h = Histogram::new(10, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        let bucketed: u64 = (0..h.buckets()).map(|i| h.bucket(i)).sum();
+        prop_assert_eq!(bucketed + h.overflow(), xs.len() as u64);
+        let q0 = h.quantile(0.0);
+        let q1 = h.quantile(1.0);
+        prop_assert!(q0 <= q1);
+    }
+
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_sample_distinct_contract(seed in any::<u64>(), n in 1usize..100, frac in 0usize..100) {
+        let k = (n * frac / 100).min(n);
+        let mut r = Rng::new(seed);
+        let s = r.sample_distinct(n, k);
+        prop_assert_eq!(s.len(), k);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(s.iter().all(|&v| v < n));
+    }
+
+    #[test]
+    fn time_weighted_piecewise_reference(steps in proptest::collection::vec((1u64..50, -100i32..100), 1..50)) {
+        let mut tw = TimeWeighted::new();
+        let mut t = 0u64;
+        let mut integral = 0f64;
+        let mut value = 0f64;
+        for (dt, v) in steps {
+            integral += value * dt as f64;
+            t += dt;
+            value = v as f64;
+            tw.set(t, value);
+        }
+        // Advance a final interval.
+        integral += value * 10.0;
+        let avg = tw.average(t + 10);
+        let want = integral / (t + 10) as f64;
+        prop_assert!((avg - want).abs() < 1e-9 * (1.0 + want.abs()), "{avg} vs {want}");
+    }
+}

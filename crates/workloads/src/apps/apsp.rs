@@ -1,0 +1,114 @@
+//! All Pairs Shortest Path (blocked Floyd-Warshall), the paper's third
+//! application.
+//!
+//! The distance matrix is row-partitioned across processors. Iteration
+//! `k` reads the pivot row `k` on *every* processor and updates each
+//! owned row in place, with a barrier between iterations. The pivot row's
+//! owner rewrites it on later iterations, so each rewrite invalidates up
+//! to `P - 1` sharers — the workload with the largest invalidation sets,
+//! and the one that separates the schemes most.
+
+use super::emit_flag_barrier;
+use super::layout::APSP_D;
+use crate::driver::Workload;
+use wormdsm_core::MemOp;
+
+/// APSP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ApspConfig {
+    /// Vertices (matrix is `n x n`).
+    pub n: usize,
+    /// Processors (= mesh nodes).
+    pub procs: usize,
+    /// Compute cycles charged per row relaxation.
+    pub relax_cost: u64,
+}
+
+impl Default for ApspConfig {
+    fn default() -> Self {
+        Self { n: 64, procs: 64, relax_cost: 32 }
+    }
+}
+
+/// Blocks per matrix row (n x 4-byte entries / 32-byte blocks).
+pub fn blocks_per_row(n: usize) -> u64 {
+    ((n * 4) as u64).div_ceil(32).max(1)
+}
+
+/// Generate the APSP op streams.
+pub fn generate(cfg: &ApspConfig) -> Workload {
+    assert!(cfg.procs >= 1 && cfg.n >= cfg.procs);
+    let bpr = blocks_per_row(cfg.n);
+    let row_block = |row: usize, b: u64| APSP_D.block(row as u64 * bpr + b);
+    let owner = |row: usize| row % cfg.procs;
+    let mut w = Workload::new(cfg.procs);
+    let mut barrier = 0u16;
+
+    // Initialization: each owner writes its rows.
+    for row in 0..cfg.n {
+        let p = owner(row);
+        for b in 0..bpr {
+            w.push(p, MemOp::Write(row_block(row, b)));
+        }
+    }
+    emit_flag_barrier(&mut w, &mut barrier, cfg.procs);
+
+    // Floyd-Warshall iterations.
+    for k in 0..cfg.n {
+        for p in 0..cfg.procs {
+            // Read the pivot row (shared by everyone).
+            for b in 0..bpr {
+                w.push(p, MemOp::Read(row_block(k, b)));
+            }
+            // Relax every owned row.
+            for row in (0..cfg.n).filter(|r| owner(*r) == p) {
+                for b in 0..bpr {
+                    w.push(p, MemOp::Read(row_block(row, b)));
+                }
+                w.push(p, MemOp::Compute(cfg.relax_cost));
+                for b in 0..bpr {
+                    w.push(p, MemOp::Write(row_block(row, b)));
+                }
+            }
+        }
+        emit_flag_barrier(&mut w, &mut barrier, cfg.procs);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_match_structure() {
+        let cfg = ApspConfig { n: 8, procs: 4, relax_cost: 10 };
+        let w = generate(&cfg);
+        let bpr = blocks_per_row(8) as usize; // 1
+        assert_eq!(bpr, 1);
+        // Init: 8 rows x 1 block writes, then 9 flag barriers (each:
+        // 4 Barrier ops + 4 flag reads + a master flag write except the
+        // first).
+        // Per iteration (8): per proc: 1 pivot read + 2 owned rows x
+        // (1 read + 1 compute + 1 write).
+        let per_proc_iter = 1 + 2 * 3;
+        let barrier_ops = 9 * (4 + 4) + 8; // 9 episodes, 8 master writes
+        let expected = 8 + 8 * 4 * per_proc_iter + barrier_ops;
+        assert_eq!(w.total_ops(), expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ApspConfig { n: 8, procs: 4, relax_cost: 10 };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(format!("{:?}", a.ops), format!("{:?}", b.ops));
+    }
+
+    #[test]
+    fn blocks_per_row_rounding() {
+        assert_eq!(blocks_per_row(8), 1);
+        assert_eq!(blocks_per_row(64), 8);
+        assert_eq!(blocks_per_row(65), 9);
+    }
+}

@@ -1,0 +1,157 @@
+//! Barnes-Hut N-body (SPLASH-2), 128 bodies / 4 time steps — the paper's
+//! first application.
+//!
+//! Per time step: (1) the tree-build phase — processor 0 reads every body
+//! position and writes the shared tree cells (the sequentialized-build
+//! simplification; the original's parallel build with locks contributes
+//! little coherence traffic at 128 bodies); (2) the force phase — every
+//! processor reads the top tree cells (wide sharing) and a deterministic
+//! pseudo-random interaction subset of body positions, then writes its
+//! bodies' accelerations; (3) the update phase — each owner rewrites its
+//! bodies' positions, invalidating last step's force-phase readers.
+
+use super::emit_flag_barrier;
+use super::layout::{BH_ACC, BH_POS, BH_TREE};
+use crate::driver::Workload;
+use wormdsm_core::MemOp;
+use wormdsm_sim::Rng;
+
+/// Barnes-Hut configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BarnesHutConfig {
+    /// Bodies (128 in the paper).
+    pub bodies: usize,
+    /// Time steps (4 in the paper).
+    pub steps: usize,
+    /// Processors.
+    pub procs: usize,
+    /// Bodies sampled per force interaction list.
+    pub interactions: usize,
+    /// Compute cycles per body-body interaction.
+    pub force_cost: u64,
+    /// RNG seed for the interaction lists.
+    pub seed: u64,
+}
+
+impl Default for BarnesHutConfig {
+    fn default() -> Self {
+        Self { bodies: 128, steps: 4, procs: 64, interactions: 24, force_cost: 8, seed: 0xB0D1E5 }
+    }
+}
+
+/// Number of shared tree cells (about half the body count, as in
+/// oct-trees over clustered distributions).
+fn tree_cells(cfg: &BarnesHutConfig) -> usize {
+    (cfg.bodies / 2).max(1)
+}
+
+/// Top-of-tree cells every processor reads each force phase.
+const TOP_CELLS: usize = 8;
+
+/// Generate the Barnes-Hut op streams.
+pub fn generate(cfg: &BarnesHutConfig) -> Workload {
+    assert!(cfg.procs >= 1 && cfg.bodies >= cfg.procs);
+    let mut w = Workload::new(cfg.procs);
+    let mut rng = Rng::new(cfg.seed);
+    let owner = |b: usize| b % cfg.procs;
+    let cells = tree_cells(cfg);
+    let mut barrier = 0u16;
+    let bar = |w: &mut Workload, barrier: &mut u16| {
+        emit_flag_barrier(w, barrier, cfg.procs);
+    };
+
+    // Owners initialize their bodies.
+    for b in 0..cfg.bodies {
+        w.push(owner(b), MemOp::Write(BH_POS.block(b as u64)));
+        w.push(owner(b), MemOp::Write(BH_ACC.block(b as u64)));
+    }
+    bar(&mut w, &mut barrier);
+
+    for _step in 0..cfg.steps {
+        // Phase 1: tree build on processor 0.
+        for b in 0..cfg.bodies {
+            w.push(0, MemOp::Read(BH_POS.block(b as u64)));
+        }
+        for c in 0..cells {
+            w.push(0, MemOp::Write(BH_TREE.block(c as u64)));
+        }
+        bar(&mut w, &mut barrier);
+
+        // Phase 2: force computation.
+        for b in 0..cfg.bodies {
+            let p = owner(b);
+            for c in 0..TOP_CELLS.min(cells) {
+                w.push(p, MemOp::Read(BH_TREE.block(c as u64)));
+            }
+            // Deterministic interaction subset (excluding self).
+            for _ in 0..cfg.interactions {
+                let mut other = rng.index(cfg.bodies);
+                if other == b {
+                    other = (other + 1) % cfg.bodies;
+                }
+                w.push(p, MemOp::Read(BH_POS.block(other as u64)));
+            }
+            w.push(p, MemOp::Compute(cfg.force_cost * cfg.interactions as u64));
+            w.push(p, MemOp::Write(BH_ACC.block(b as u64)));
+        }
+        bar(&mut w, &mut barrier);
+
+        // Phase 3: position update.
+        for b in 0..cfg.bodies {
+            let p = owner(b);
+            w.push(p, MemOp::Read(BH_ACC.block(b as u64)));
+            w.push(p, MemOp::Write(BH_POS.block(b as u64)));
+        }
+        bar(&mut w, &mut barrier);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let cfg = BarnesHutConfig { bodies: 32, steps: 2, procs: 8, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(format!("{:?}", a.ops), format!("{:?}", b.ops));
+    }
+
+    #[test]
+    fn phase_structure_counts() {
+        let cfg = BarnesHutConfig {
+            bodies: 16,
+            steps: 1,
+            procs: 4,
+            interactions: 4,
+            force_cost: 1,
+            seed: 7,
+        };
+        let w = generate(&cfg);
+        // Barriers: init + 3 per step.
+        let barriers: usize = w
+            .ops
+            .iter()
+            .map(|q| q.iter().filter(|o| matches!(o, MemOp::Barrier { .. })).count())
+            .sum();
+        assert_eq!(barriers, 4 * 4);
+        // Position writes: init (16) + update phase (16).
+        let pos_writes: usize = w
+            .ops
+            .iter()
+            .flatten()
+            .filter(|o| matches!(o, MemOp::Write(a) if a.0 >= BH_POS.block(0).0 && a.0 < BH_ACC.block(0).0))
+            .count();
+        assert_eq!(pos_writes, 32);
+    }
+
+    #[test]
+    fn bodies_partitioned_round_robin() {
+        let cfg = BarnesHutConfig { bodies: 16, steps: 1, procs: 4, ..Default::default() };
+        let w = generate(&cfg);
+        // Every processor gets work.
+        assert!(w.ops.iter().all(|q| !q.is_empty()));
+    }
+}

@@ -1,0 +1,175 @@
+//! Blocked dense LU factorization (SPLASH-2 LU kernel), 128x128 matrix
+//! with 8x8 element blocks — the paper's exact problem size.
+//!
+//! The matrix is a `NB x NB` grid of 8x8 blocks (NB = 16), 2D-scattered
+//! over processors. Each step `k`: the diagonal owner factorizes
+//! `A[k][k]`; perimeter owners update row/column `k` blocks (reading the
+//! diagonal — a multi-reader sharing pattern); interior owners update
+//! `A[i][j] -= A[i][k] * A[k][j]` (reading two perimeter blocks each).
+//! Barriers separate the three phases. Writes to perimeter blocks
+//! invalidate the previous step's interior readers: moderate, clustered
+//! invalidation sets.
+
+use super::emit_flag_barrier;
+use super::layout::LU_A;
+use crate::driver::Workload;
+use wormdsm_core::MemOp;
+
+/// LU configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LuConfig {
+    /// Matrix dimension in elements (128 in the paper).
+    pub n: usize,
+    /// Element block dimension (8 in the paper).
+    pub block: usize,
+    /// Processors.
+    pub procs: usize,
+    /// Compute cycles per 8x8 block multiply-add.
+    pub flop_cost: u64,
+}
+
+impl Default for LuConfig {
+    fn default() -> Self {
+        Self { n: 128, block: 8, procs: 64, flop_cost: 64 }
+    }
+}
+
+impl LuConfig {
+    /// Blocks per matrix dimension.
+    pub fn nb(&self) -> usize {
+        self.n / self.block
+    }
+
+    /// 32-byte memory blocks per 8x8 double block (512 B).
+    pub fn mem_blocks(&self) -> u64 {
+        ((self.block * self.block * 8) as u64).div_ceil(32)
+    }
+}
+
+/// 2D scatter ownership: block (i, j) belongs to processor
+/// `(i % pr) * pc + (j % pc)` where `pr * pc = procs`.
+fn owner(cfg: &LuConfig, i: usize, j: usize) -> usize {
+    let pr = (cfg.procs as f64).sqrt() as usize;
+    let pr = pr.max(1);
+    let pc = cfg.procs / pr;
+    (i % pr) * pc + (j % pc)
+}
+
+/// Generate the blocked-LU op streams.
+pub fn generate(cfg: &LuConfig) -> Workload {
+    assert_eq!(cfg.n % cfg.block, 0);
+    let nb = cfg.nb();
+    let mb = cfg.mem_blocks();
+    let blk = |i: usize, j: usize, b: u64| LU_A.block(((i * nb + j) as u64) * mb + b);
+    let mut w = Workload::new(cfg.procs);
+    let mut barrier = 0u16;
+    let bar = |w: &mut Workload, barrier: &mut u16| {
+        emit_flag_barrier(w, barrier, cfg.procs);
+    };
+
+    // Initialization: owners write their blocks.
+    for i in 0..nb {
+        for j in 0..nb {
+            let p = owner(cfg, i, j);
+            for b in 0..mb {
+                w.push(p, MemOp::Write(blk(i, j, b)));
+            }
+        }
+    }
+    bar(&mut w, &mut barrier);
+
+    for k in 0..nb {
+        // Phase 1: factorize the diagonal block.
+        {
+            let p = owner(cfg, k, k);
+            for b in 0..mb {
+                w.push(p, MemOp::Read(blk(k, k, b)));
+            }
+            w.push(p, MemOp::Compute(cfg.flop_cost * 2));
+            for b in 0..mb {
+                w.push(p, MemOp::Write(blk(k, k, b)));
+            }
+        }
+        bar(&mut w, &mut barrier);
+
+        // Phase 2: perimeter row and column.
+        for t in k + 1..nb {
+            for (i, j) in [(k, t), (t, k)] {
+                let p = owner(cfg, i, j);
+                for b in 0..mb {
+                    w.push(p, MemOp::Read(blk(k, k, b))); // shared diagonal
+                }
+                for b in 0..mb {
+                    w.push(p, MemOp::Read(blk(i, j, b)));
+                }
+                w.push(p, MemOp::Compute(cfg.flop_cost));
+                for b in 0..mb {
+                    w.push(p, MemOp::Write(blk(i, j, b)));
+                }
+            }
+        }
+        bar(&mut w, &mut barrier);
+
+        // Phase 3: interior update.
+        for i in k + 1..nb {
+            for j in k + 1..nb {
+                let p = owner(cfg, i, j);
+                for b in 0..mb {
+                    w.push(p, MemOp::Read(blk(i, k, b))); // shared perimeter
+                }
+                for b in 0..mb {
+                    w.push(p, MemOp::Read(blk(k, j, b))); // shared perimeter
+                }
+                for b in 0..mb {
+                    w.push(p, MemOp::Read(blk(i, j, b)));
+                }
+                w.push(p, MemOp::Compute(cfg.flop_cost));
+                for b in 0..mb {
+                    w.push(p, MemOp::Write(blk(i, j, b)));
+                }
+            }
+        }
+        bar(&mut w, &mut barrier);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_size_shape() {
+        let cfg = LuConfig::default();
+        assert_eq!(cfg.nb(), 16);
+        assert_eq!(cfg.mem_blocks(), 16);
+    }
+
+    #[test]
+    fn ownership_is_balanced_2d_scatter() {
+        let cfg = LuConfig { n: 32, block: 8, procs: 16, flop_cost: 1 };
+        let mut counts = vec![0usize; 16];
+        for i in 0..cfg.nb() {
+            for j in 0..cfg.nb() {
+                counts[owner(&cfg, i, j)] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn small_instance_generates_and_is_deterministic() {
+        let cfg = LuConfig { n: 16, block: 8, procs: 4, flop_cost: 8 };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(format!("{:?}", a.ops), format!("{:?}", b.ops));
+        assert!(a.total_ops() > 0);
+        // Every processor participates in every barrier.
+        let barriers_per_proc: Vec<usize> = a
+            .ops
+            .iter()
+            .map(|q| q.iter().filter(|o| matches!(o, MemOp::Barrier { .. })).count())
+            .collect();
+        assert!(barriers_per_proc.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,297 @@
+//! Synthetic invalidation patterns and background traffic.
+//!
+//! Single-transaction experiments (latency / occupancy / traffic vs.
+//! sharer count) need controlled sharer placements; loaded-network
+//! experiments need tunable background traffic. Both are generated here,
+//! deterministically from a seed.
+
+use crate::driver::Workload;
+use wormdsm_coherence::Addr;
+use wormdsm_core::MemOp;
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_sim::Rng;
+
+/// Spatial distribution of a sharer set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Sharers uniformly random over the mesh.
+    UniformRandom,
+    /// All sharers in one random column (the best case for column worms).
+    SameColumn,
+    /// All sharers in one random row (the stress case for column
+    /// grouping: every sharer is its own group).
+    SameRow,
+    /// Sharers clustered within a Chebyshev radius of a random center.
+    Cluster {
+        /// Cluster radius in hops.
+        radius: usize,
+    },
+}
+
+/// A generated invalidation scenario.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Home node of the written block.
+    pub home: NodeId,
+    /// The writing node (not a sharer, not the home).
+    pub writer: NodeId,
+    /// Sharer set (excludes home and writer).
+    pub sharers: Vec<NodeId>,
+}
+
+/// Generate a `d`-sharer pattern of the given kind.
+///
+/// Panics if the mesh cannot host `d` sharers plus a distinct home and
+/// writer under the kind's constraints.
+pub fn gen_pattern(mesh: &Mesh2D, kind: PatternKind, d: usize, rng: &mut Rng) -> Pattern {
+    let n = mesh.nodes();
+    assert!(d + 2 <= n, "mesh too small for d={d}");
+    let home = NodeId(rng.index(n) as u16);
+    let candidates: Vec<NodeId> = match kind {
+        PatternKind::UniformRandom => mesh.iter_nodes().filter(|&x| x != home).collect(),
+        PatternKind::SameColumn => {
+            let col = rng.index(mesh.width());
+            (0..mesh.height())
+                .map(|y| mesh.node_at(col, y))
+                .filter(|&x| x != home)
+                .collect()
+        }
+        PatternKind::SameRow => {
+            let row = rng.index(mesh.height());
+            (0..mesh.width())
+                .map(|x| mesh.node_at(x, row))
+                .filter(|&x| x != home)
+                .collect()
+        }
+        PatternKind::Cluster { radius } => {
+            let cx = rng.index(mesh.width());
+            let cy = rng.index(mesh.height());
+            mesh.iter_nodes()
+                .filter(|&x| {
+                    let c = mesh.coord(x);
+                    x != home
+                        && (c.x as usize).abs_diff(cx) <= radius
+                        && (c.y as usize).abs_diff(cy) <= radius
+                })
+                .collect()
+        }
+    };
+    assert!(
+        candidates.len() > d,
+        "{kind:?} offers {} nodes for d={d} + writer",
+        candidates.len()
+    );
+    let picks = rng.sample_distinct(candidates.len(), d + 1);
+    let mut chosen: Vec<NodeId> = picks.into_iter().map(|i| candidates[i]).collect();
+    let writer = chosen.pop().expect("d+1 picks");
+    chosen.sort_unstable();
+    Pattern { home, writer, sharers: chosen }
+}
+
+/// Background traffic: every processor alternates a compute gap with a
+/// read of a fresh *private* remote block (guaranteed miss, no coherence
+/// interference with the measured transaction). Smaller `gap` = higher
+/// network load.
+///
+/// Private regions start at block `BG_BASE_BLOCK` and are spaced so no
+/// two processors touch the same block.
+pub fn background_workload(nodes: usize, ops_per_proc: usize, gap: u64, seed: u64) -> Workload {
+    let mut w = Workload::new(nodes);
+    let mut rng = Rng::new(seed);
+    for p in 0..nodes {
+        let mut r = rng.fork();
+        for i in 0..ops_per_proc {
+            if gap > 0 {
+                w.push(p, wormdsm_core::MemOp::Compute(gap.max(1)));
+            }
+            let block = BG_BASE_BLOCK + (p as u64) * BG_REGION_BLOCKS + i as u64;
+            // Jitter start order so processors don't phase-lock.
+            if i == 0 {
+                w.ops[p].push_front(MemOp::Compute(1 + r.below(32)));
+            }
+            w.push(p, MemOp::Read(Addr(block * 32)));
+        }
+    }
+    w
+}
+
+/// First block of the background-traffic private regions (far above the
+/// blocks any experiment shares).
+pub const BG_BASE_BLOCK: u64 = 1 << 32;
+/// Blocks reserved per processor for background traffic.
+pub const BG_REGION_BLOCKS: u64 = 1 << 20;
+
+/// First block of the synthetic sharing-pattern region.
+pub const SHARING_BASE_BLOCK: u64 = 1 << 24;
+
+/// Migratory sharing: a set of blocks is read-modify-written by one
+/// processor after another under a per-block lock (the classic
+/// lock-protected data pattern). Every handoff is a dirty cache-to-cache
+/// transfer; invalidation sets stay at 0-1 — the regime where the paper's
+/// schemes cannot help, useful as a negative control.
+pub fn migratory_workload(nodes: usize, blocks: usize, rounds: usize, compute: u64) -> Workload {
+    let mut w = Workload::new(nodes);
+    for r in 0..rounds {
+        for b in 0..blocks {
+            let holder = (r * blocks + b) % nodes;
+            let addr = Addr((SHARING_BASE_BLOCK + b as u64) * 32);
+            w.push(holder, MemOp::Lock(b as u16));
+            w.push(holder, MemOp::Read(addr));
+            w.push(holder, MemOp::Compute(compute.max(1)));
+            w.push(holder, MemOp::Write(addr));
+            w.push(holder, MemOp::Unlock(b as u16));
+        }
+    }
+    w
+}
+
+/// Producer-consumer sharing: one producer rewrites a set of blocks each
+/// round; every consumer re-reads them. Each round's writes invalidate
+/// all `nodes - 1` consumers — the regime where multidestination
+/// invalidation pays off most; round boundaries use flag barriers.
+pub fn producer_consumer_workload(nodes: usize, blocks: usize, rounds: usize, compute: u64) -> Workload {
+    let mut w = Workload::new(nodes);
+    let producer = 0usize;
+    let mut barrier = 0u16;
+    for _ in 0..rounds {
+        for b in 0..blocks {
+            let addr = Addr((SHARING_BASE_BLOCK + (1 << 16) + b as u64) * 32);
+            w.push(producer, MemOp::Write(addr));
+        }
+        for p in 0..nodes {
+            w.push(p, MemOp::Barrier { id: barrier, participants: nodes as u32 });
+        }
+        barrier += 1;
+        for p in 0..nodes {
+            if p != producer {
+                for b in 0..blocks {
+                    let addr = Addr((SHARING_BASE_BLOCK + (1 << 16) + b as u64) * 32);
+                    w.push(p, MemOp::Read(addr));
+                }
+                w.push(p, MemOp::Compute(compute.max(1)));
+            }
+        }
+        for p in 0..nodes {
+            w.push(p, MemOp::Barrier { id: barrier, participants: nodes as u32 });
+        }
+        barrier += 1;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh2D {
+        Mesh2D::square(8)
+    }
+
+    #[test]
+    fn patterns_have_right_shape() {
+        let m = mesh();
+        let mut rng = Rng::new(1);
+        for kind in [
+            PatternKind::UniformRandom,
+            PatternKind::SameColumn,
+            PatternKind::SameRow,
+            PatternKind::Cluster { radius: 2 },
+        ] {
+            for d in [1, 3, 6] {
+                let p = gen_pattern(&m, kind, d, &mut rng);
+                assert_eq!(p.sharers.len(), d, "{kind:?}");
+                assert!(!p.sharers.contains(&p.home));
+                assert!(!p.sharers.contains(&p.writer));
+                assert_ne!(p.home, p.writer);
+                let set: std::collections::HashSet<_> = p.sharers.iter().collect();
+                assert_eq!(set.len(), d, "distinct sharers");
+            }
+        }
+    }
+
+    #[test]
+    fn same_column_really_is_one_column() {
+        let m = mesh();
+        let mut rng = Rng::new(2);
+        let p = gen_pattern(&m, PatternKind::SameColumn, 5, &mut rng);
+        let col = m.coord(p.sharers[0]).x;
+        assert!(p.sharers.iter().all(|s| m.coord(*s).x == col));
+    }
+
+    #[test]
+    fn same_row_really_is_one_row() {
+        let m = mesh();
+        let mut rng = Rng::new(3);
+        let p = gen_pattern(&m, PatternKind::SameRow, 5, &mut rng);
+        let row = m.coord(p.sharers[0]).y;
+        assert!(p.sharers.iter().all(|s| m.coord(*s).y == row));
+    }
+
+    #[test]
+    fn cluster_respects_radius() {
+        let m = mesh();
+        let mut rng = Rng::new(4);
+        let p = gen_pattern(&m, PatternKind::Cluster { radius: 2 }, 6, &mut rng);
+        let max_span = |f: fn(&Mesh2D, NodeId) -> usize| {
+            let vals: Vec<usize> = p.sharers.iter().map(|&s| f(&m, s)).collect();
+            vals.iter().max().unwrap() - vals.iter().min().unwrap()
+        };
+        assert!(max_span(|m, n| m.coord(n).x as usize) <= 4);
+        assert!(max_span(|m, n| m.coord(n).y as usize) <= 4);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let m = mesh();
+        let a = gen_pattern(&m, PatternKind::UniformRandom, 7, &mut Rng::new(9));
+        let b = gen_pattern(&m, PatternKind::UniformRandom, 7, &mut Rng::new(9));
+        assert_eq!(a.sharers, b.sharers);
+        assert_eq!(a.home, b.home);
+        assert_eq!(a.writer, b.writer);
+    }
+
+    #[test]
+    fn migratory_workload_hands_blocks_around() {
+        let w = migratory_workload(4, 2, 3, 5);
+        // 3 rounds x 2 blocks x 5 ops (lock, read, compute, write, unlock).
+        assert_eq!(w.total_ops(), 30);
+        // Each block visits multiple holders.
+        let mut holders = std::collections::HashSet::new();
+        for (p, q) in w.ops.iter().enumerate() {
+            if !q.is_empty() {
+                holders.insert(p);
+            }
+        }
+        assert!(holders.len() >= 3);
+    }
+
+    #[test]
+    fn producer_consumer_rounds_shape() {
+        let w = producer_consumer_workload(4, 3, 2, 5);
+        // Producer writes 3 blocks per round; consumers read them.
+        let producer_writes = w.ops[0]
+            .iter()
+            .filter(|o| matches!(o, MemOp::Write(_)))
+            .count();
+        assert_eq!(producer_writes, 6);
+        let consumer_reads = w.ops[1]
+            .iter()
+            .filter(|o| matches!(o, MemOp::Read(_)))
+            .count();
+        assert_eq!(consumer_reads, 6);
+    }
+
+    #[test]
+    fn background_blocks_are_private() {
+        let w = background_workload(16, 10, 5, 42);
+        let mut seen = std::collections::HashSet::new();
+        for q in &w.ops {
+            for op in q {
+                if let MemOp::Read(a) = op {
+                    assert!(seen.insert(a.0), "block reused across processors");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 160);
+    }
+}

@@ -1,0 +1,69 @@
+//! Dissect what each grouping scheme plans for one sharer pattern:
+//! the worms it sends, the per-sharer acknowledgement actions, and the
+//! closed-form cost estimate — without running the simulator.
+//!
+//! Run with: `cargo run --release --example scheme_anatomy`
+
+use wormdsm::analytic::{estimate_invalidation, NetParams};
+use wormdsm::core::plan::AckAction;
+use wormdsm::core::SchemeKind;
+use wormdsm::mesh::render::render_worms;
+use wormdsm::mesh::topology::Mesh2D;
+
+fn main() {
+    let mesh = Mesh2D::square(8);
+    let home = mesh.node_at(2, 4);
+    let sharers: Vec<_> = [(0, 1), (0, 6), (4, 2), (4, 6), (6, 3), (7, 3)]
+        .iter()
+        .map(|&(x, y)| mesh.node_at(x, y))
+        .collect();
+    println!("home {home} at (2,4); sharers at (0,1) (0,6) (4,2) (4,6) (6,3) (7,3)\n");
+
+    for scheme in SchemeKind::ALL {
+        let s = scheme.build();
+        let plan = s.plan(&mesh, home, &sharers);
+        println!("=== {} ===", scheme.name());
+        for (i, w) in plan.request_worms.iter().enumerate() {
+            let kind = if w.relay { "relay" } else { "inval" };
+            let dests: Vec<String> = w
+                .dests
+                .iter()
+                .enumerate()
+                .map(|(j, d)| {
+                    let c = mesh.coord(*d);
+                    let wp = w.deliver.as_ref().is_some_and(|m| !m[j]);
+                    format!("({},{}){}", c.x, c.y, if wp { "*" } else { "" })
+                })
+                .collect();
+            println!("  worm {i} [{kind}{}]: {}", if w.reserve_iack { "+reserve" } else { "" }, dests.join(" -> "));
+        }
+        // Picture of the request-phase worms (S = home, D = delivery,
+        // w = routing waypoint, digits = worm paths).
+        let rule = scheme.natural_routing().request_rule();
+        let worm_views: Vec<(&[_], Option<&[bool]>)> = plan
+            .request_worms
+            .iter()
+            .map(|w| (w.dests.as_slice(), w.deliver.as_deref()))
+            .collect();
+        if let Ok(pic) = render_worms(&mesh, rule, home, &worm_views) {
+            for line in pic.lines() {
+                println!("    {line}");
+            }
+        }
+        let (mut unicasts, mut posts, mut gathers) = (0, 0, 0);
+        for (_, a) in &plan.actions {
+            match a {
+                AckAction::Unicast => unicasts += 1,
+                AckAction::Post => posts += 1,
+                AckAction::InitGather(_) => gathers += 1,
+            }
+        }
+        println!("  acks: {unicasts} unicast, {posts} posted, {gathers} gather initiators, {} sweeps", plan.triggers.len());
+        let e = estimate_invalidation(&NetParams::default(), &mesh, scheme.natural_routing(), s.as_ref(), home, &sharers);
+        println!(
+            "  analytic: home {}+{} msgs, {} total, {} flit-hops, ~{:.0} cycles\n",
+            e.home_sends, e.home_recvs, e.total_msgs, e.traffic_flit_hops, e.latency
+        );
+    }
+    println!("(* = non-delivering routing waypoint)");
+}
