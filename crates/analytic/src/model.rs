@@ -157,12 +157,12 @@ impl Replay<'_> {
                 let t = t_inj + delay + delivery_latency(self.p, prefixes[j], j as u64, len);
                 return (d, t);
             }
-            let nominal = t_inj + delay + head_latency(self.p, prefixes[j], j as u64) + self.p.iack_check_delay;
-            let posted = self
-                .ack_ready
-                .get(&d)
-                .copied()
-                .or_else(|| self.deposit_ready.get(&d).copied());
+            let nominal = t_inj
+                + delay
+                + head_latency(self.p, prefixes[j], j as u64)
+                + self.p.iack_check_delay;
+            let posted =
+                self.ack_ready.get(&d).copied().or_else(|| self.deposit_ready.get(&d).copied());
             if let Some(ready) = posted {
                 if ready > nominal {
                     // Parked: wait for the ack, pay the resume overhead.
@@ -387,8 +387,22 @@ mod tests {
         let sharers: Vec<NodeId> = (1..7).map(|y| mesh.node_at(5, y)).collect();
         let home = mesh.node_at(0, 0);
         let p = NetParams::default();
-        let ui = estimate_invalidation(&p, &mesh, BaseRouting::ECube, SchemeKind::UiUa.build().as_ref(), home, &sharers);
-        let mi = estimate_invalidation(&p, &mesh, BaseRouting::ECube, SchemeKind::MiUaCol.build().as_ref(), home, &sharers);
+        let ui = estimate_invalidation(
+            &p,
+            &mesh,
+            BaseRouting::ECube,
+            SchemeKind::UiUa.build().as_ref(),
+            home,
+            &sharers,
+        );
+        let mi = estimate_invalidation(
+            &p,
+            &mesh,
+            BaseRouting::ECube,
+            SchemeKind::MiUaCol.build().as_ref(),
+            home,
+            &sharers,
+        );
         assert!(
             mi.traffic_flit_hops < ui.traffic_flit_hops,
             "multicast {} >= unicast {}",
@@ -414,13 +428,22 @@ mod tests {
         let home = mesh.node_at(0, 0);
         let sharers: Vec<NodeId> = (1..16).map(|y| mesh.node_at(8, y)).collect();
         let p = NetParams::default();
-        let ui = estimate_invalidation(&p, &mesh, BaseRouting::ECube, SchemeKind::UiUa.build().as_ref(), home, &sharers);
-        let ma = estimate_invalidation(&p, &mesh, BaseRouting::ECube, SchemeKind::MiMaCol.build().as_ref(), home, &sharers);
-        assert!(
-            ma.latency < ui.latency,
-            "MI-MA {} >= UI-UA {}",
-            ma.latency,
-            ui.latency
+        let ui = estimate_invalidation(
+            &p,
+            &mesh,
+            BaseRouting::ECube,
+            SchemeKind::UiUa.build().as_ref(),
+            home,
+            &sharers,
         );
+        let ma = estimate_invalidation(
+            &p,
+            &mesh,
+            BaseRouting::ECube,
+            SchemeKind::MiMaCol.build().as_ref(),
+            home,
+            &sharers,
+        );
+        assert!(ma.latency < ui.latency, "MI-MA {} >= UI-UA {}", ma.latency, ui.latency);
     }
 }

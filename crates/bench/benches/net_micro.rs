@@ -2,69 +2,56 @@
 //! itself (cycles simulated per second under load) and of end-to-end worm
 //! delivery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wormdsm_bench::time_it;
 use wormdsm_mesh::network::{MeshConfig, Network};
 use wormdsm_mesh::topology::Mesh2D;
 use wormdsm_mesh::worm::{VNet, WormSpec};
 
 /// Tick a saturated 8x8 mesh: every node keeps one unicast in flight.
-fn bench_tick_loaded(c: &mut Criterion) {
-    c.bench_function("network_tick_loaded_8x8", |b| {
-        let mesh = Mesh2D::square(8);
-        b.iter_batched(
-            || {
-                let mut net = Network::new(MeshConfig::paper_defaults(8));
-                for n in mesh.iter_nodes() {
-                    let csrc = mesh.coord(n);
-                    let dst = mesh.node_at(7 - csrc.x as usize, 7 - csrc.y as usize);
-                    if dst != n {
-                        net.inject(WormSpec::unicast(n, dst, VNet::Req, 16, 0));
-                    }
-                }
-                net
-            },
-            |mut net| {
-                for _ in 0..100 {
-                    net.tick();
-                }
-                black_box(net.stats().flit_hops)
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_tick_loaded() {
+    let mesh = Mesh2D::square(8);
+    time_it("network_tick_loaded_8x8 (100 ticks)", 50, || {
+        let mut net = Network::new(MeshConfig::paper_defaults(8));
+        for n in mesh.iter_nodes() {
+            let csrc = mesh.coord(n);
+            let dst = mesh.node_at(7 - csrc.x as usize, 7 - csrc.y as usize);
+            if dst != n {
+                net.inject(WormSpec::unicast(n, dst, VNet::Req, 16, 0));
+            }
+        }
+        for _ in 0..100 {
+            net.tick();
+        }
+        black_box(net.stats().flit_hops)
     });
 }
 
 /// Full delivery of one cross-mesh unicast (simulated transaction cost in
 /// host time).
-fn bench_unicast_delivery(c: &mut Criterion) {
-    c.bench_function("unicast_delivery_8x8", |b| {
-        let mesh = Mesh2D::square(8);
-        b.iter(|| {
-            let mut net = Network::new(MeshConfig::paper_defaults(8));
-            net.inject(WormSpec::unicast(mesh.node_at(0, 0), mesh.node_at(7, 7), VNet::Req, 40, 1));
-            net.run_until_quiescent(10_000).expect("delivers");
-            black_box(net.now())
-        })
+fn bench_unicast_delivery() {
+    let mesh = Mesh2D::square(8);
+    time_it("unicast_delivery_8x8", 200, || {
+        let mut net = Network::new(MeshConfig::paper_defaults(8));
+        net.inject(WormSpec::unicast(mesh.node_at(0, 0), mesh.node_at(7, 7), VNet::Req, 40, 1));
+        net.run_until_quiescent(10_000).expect("delivers");
+        black_box(net.now())
     });
 }
 
 /// Idle ticking (fast-skip path).
-fn bench_tick_idle(c: &mut Criterion) {
-    c.bench_function("network_tick_idle_16x16", |b| {
-        let mut net = Network::new(MeshConfig::paper_defaults(16));
-        b.iter(|| {
-            for _ in 0..1000 {
-                net.tick();
-            }
-            black_box(net.now())
-        })
+fn bench_tick_idle() {
+    let mut net = Network::new(MeshConfig::paper_defaults(16));
+    time_it("network_tick_idle_16x16 (1000 ticks)", 200, || {
+        for _ in 0..1000 {
+            net.tick();
+        }
+        black_box(net.now())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tick_loaded, bench_unicast_delivery, bench_tick_idle
+fn main() {
+    bench_tick_loaded();
+    bench_unicast_delivery();
+    bench_tick_idle();
 }
-criterion_main!(benches);

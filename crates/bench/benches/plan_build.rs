@@ -3,26 +3,21 @@
 //! would do per transaction, so it should be far cheaper than the
 //! transaction itself).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wormdsm_bench::time_it;
 use wormdsm_core::SchemeKind;
 use wormdsm_mesh::topology::Mesh2D;
 use wormdsm_sim::Rng;
 use wormdsm_workloads::{gen_pattern, PatternKind};
 
-fn bench_plan(c: &mut Criterion) {
+fn main() {
     let mesh = Mesh2D::square(16);
     let mut rng = Rng::new(7);
     let pattern = gen_pattern(&mesh, PatternKind::UniformRandom, 48, &mut rng);
-    let mut g = c.benchmark_group("plan_d48_16x16");
     for scheme in SchemeKind::ALL {
         let s = scheme.build();
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &s, |b, s| {
-            b.iter(|| black_box(s.plan(&mesh, pattern.home, &pattern.sharers)))
+        time_it(&format!("plan_d48_16x16/{}", scheme.name()), 500, || {
+            black_box(s.plan(&mesh, pattern.home, &pattern.sharers))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_plan);
-criterion_main!(benches);

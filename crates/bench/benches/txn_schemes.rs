@@ -2,27 +2,20 @@
 //! host-time cost of one full seeded transaction (d = 16 scattered
 //! sharers) under every scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use wormdsm_bench::measure_single_txn;
+use wormdsm_bench::{measure_single_txn, time_it};
 use wormdsm_core::SchemeKind;
 use wormdsm_mesh::topology::Mesh2D;
 use wormdsm_sim::Rng;
 use wormdsm_workloads::{gen_pattern, PatternKind};
 
-fn bench_txn(c: &mut Criterion) {
+fn main() {
     let mesh = Mesh2D::square(8);
     let mut rng = Rng::new(42);
     let pattern = gen_pattern(&mesh, PatternKind::UniformRandom, 16, &mut rng);
-    let mut g = c.benchmark_group("inval_txn_d16");
-    g.sample_size(20);
     for scheme in SchemeKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &s| {
-            b.iter(|| black_box(measure_single_txn(s, 8, &pattern).inval_latency))
+        time_it(&format!("inval_txn_d16/{}", scheme.name()), 20, || {
+            black_box(measure_single_txn(scheme, 8, &pattern).inval_latency)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_txn);
-criterion_main!(benches);

@@ -73,7 +73,9 @@ fn main() {
         let r = w.run(&mut sys, 500_000_000).expect("completes");
         (r.cycles, sys.metrics().sync_stall_cycles, sys.metrics().barriers)
     });
-    println!("\n== Ablation B: barrier release via unicasts vs multidestination worms, Barnes-Hut ==");
+    println!(
+        "\n== Ablation B: barrier release via unicasts vs multidestination worms, Barnes-Hut =="
+    );
     println!(
         "{:>12} {:>10} {:>12} {:>16} {:>9}",
         "scheme", "release", "cycles", "sync stall cyc", "barriers"

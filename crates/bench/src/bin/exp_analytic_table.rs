@@ -18,7 +18,9 @@ fn main() {
     let seed: u64 = arg("--seed", 1);
     for k in [arg("--k", 8usize), 16] {
         let mesh = Mesh2D::square(k);
-        println!("\n== E1: analytic estimates, {k}x{k} mesh, uniform-random sharers, {trials} trials ==");
+        println!(
+            "\n== E1: analytic estimates, {k}x{k} mesh, uniform-random sharers, {trials} trials =="
+        );
         println!(
             "{:>12} {:>4} {:>10} {:>10} {:>10} {:>12} {:>12}",
             "scheme", "d", "home_send", "home_recv", "msgs", "traffic", "latency(cy)"

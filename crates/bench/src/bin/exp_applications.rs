@@ -83,11 +83,14 @@ fn main() {
         }],
     };
 
-    println!("\n== E11: applications on {0}x{0} ({1} procs){2} ==", k, k * k, if quick { ", quick sizes" } else { "" });
-    let jobs: Vec<(&str, SchemeKind)> = apps
-        .iter()
-        .flat_map(|&a| SchemeKind::ALL.into_iter().map(move |s| (a, s)))
-        .collect();
+    println!(
+        "\n== E11: applications on {0}x{0} ({1} procs){2} ==",
+        k,
+        k * k,
+        if quick { ", quick sizes" } else { "" }
+    );
+    let jobs: Vec<(&str, SchemeKind)> =
+        apps.iter().flat_map(|&a| SchemeKind::ALL.into_iter().map(move |s| (a, s))).collect();
     let results = par_map(jobs.clone(), |(app, scheme)| run(app, scheme, k, quick));
 
     for &app in &apps {
@@ -100,7 +103,15 @@ fn main() {
         println!("\n-- {name} --");
         println!(
             "{:>12} {:>12} {:>7} {:>8} {:>7} {:>10} {:>10} {:>12} {:>12}",
-            "scheme", "cycles", "norm", "invals", "mean d", "inval lat", "home msgs", "traffic", "stall cyc"
+            "scheme",
+            "cycles",
+            "norm",
+            "invals",
+            "mean d",
+            "inval lat",
+            "home msgs",
+            "traffic",
+            "stall cyc"
         );
         let base = jobs
             .iter()

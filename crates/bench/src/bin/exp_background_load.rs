@@ -77,10 +77,7 @@ fn main() {
     let d: usize = arg("--d", 8);
     let probes: usize = arg("--probes", 5);
     println!("\n== E9: invalidation latency under background load, {k}x{k}, d = {d} ==");
-    println!(
-        "{:>12} {:>10} {:>12} {:>14}",
-        "scheme", "bg gap", "latency(cy)", "max link util"
-    );
+    println!("{:>12} {:>10} {:>12} {:>14}", "scheme", "bg gap", "latency(cy)", "max link util");
     for scheme in [SchemeKind::UiUa, SchemeKind::MiUaCol, SchemeKind::MiMaCol, SchemeKind::MiMaWf] {
         for gap in [0u64, 50, 150, 400, 1_000_000] {
             let label = if gap >= 1_000_000 { "idle".to_string() } else { format!("{gap}") };

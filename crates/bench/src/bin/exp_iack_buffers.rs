@@ -16,7 +16,14 @@ use wormdsm_mesh::topology::Mesh2D;
 use wormdsm_mesh::IackMode;
 use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
 
-fn run(scheme: SchemeKind, k: usize, buffers: usize, mode: IackMode, concurrent: usize, d: usize) -> (f64, u64, u64, u64) {
+fn run(
+    scheme: SchemeKind,
+    k: usize,
+    buffers: usize,
+    mode: IackMode,
+    concurrent: usize,
+    d: usize,
+) -> (f64, u64, u64, u64) {
     let mut cfg = SystemConfig::for_scheme(k, scheme);
     cfg.mesh.iack_buffers = buffers;
     cfg.mesh.iack_mode = mode;
@@ -29,7 +36,8 @@ fn run(scheme: SchemeKind, k: usize, buffers: usize, mode: IackMode, concurrent:
     // contend for the entries exactly as the paper's buffer-sizing
     // analysis considers.
     let depth = 6.min(k - 2);
-    let sharers: Vec<_> = (0..d).map(|i| mesh.node_at(2 + 2 * (i / depth), 1 + i % depth)).collect();
+    let sharers: Vec<_> =
+        (0..d).map(|i| mesh.node_at(2 + 2 * (i / depth), 1 + i % depth)).collect();
     let mut writers = Vec::new();
     for i in 0..concurrent {
         let block = (i as u64 + 1) * nodes; // homed at node 0
@@ -55,7 +63,12 @@ fn run_app(scheme: SchemeKind, k: usize, mode: IackMode) -> Option<(u64, u64, u6
     let mut cfg = SystemConfig::for_scheme(k, scheme);
     cfg.mesh.iack_mode = mode;
     let mut sys = DsmSystem::new(cfg, scheme.build());
-    let w = barnes_hut::generate(&BarnesHutConfig { procs: k * k, bodies: 64, steps: 2, ..Default::default() });
+    let w = barnes_hut::generate(&BarnesHutConfig {
+        procs: k * k,
+        bodies: 64,
+        steps: 2,
+        ..Default::default()
+    });
     match w.run(&mut sys, 2_000_000) {
         Ok(r) => Some((r.cycles, sys.net_stats().parks, sys.net_stats().gather_blocked_cycles)),
         Err(_) => None, // blocked gathers wedged the run
@@ -66,7 +79,9 @@ fn main() {
     let k: usize = arg("--k", 8);
     let concurrent: usize = arg("--concurrent", 6);
     let d: usize = arg("--d", 12);
-    println!("\n== E7: i-ack buffer sensitivity, {k}x{k}, {concurrent} concurrent txns, d = {d} ==");
+    println!(
+        "\n== E7: i-ack buffer sensitivity, {k}x{k}, {concurrent} concurrent txns, d = {d} =="
+    );
     println!(
         "{:>12} {:>9} {:>9} {:>12} {:>8} {:>12} {:>10}",
         "scheme", "buffers", "mode", "latency(cy)", "parks", "blocked(cy)", "retries"
@@ -92,9 +107,14 @@ fn main() {
         }
     }
 
-    println!("
-== E7b: VCT deferred delivery vs blocking gathers, Barnes-Hut (64 bodies, 2 steps) ==");
-    println!("{:>12} {:>9} {:>12} {:>8} {:>14}", "scheme", "mode", "exec cycles", "parks", "blocked cycles");
+    println!(
+        "
+== E7b: VCT deferred delivery vs blocking gathers, Barnes-Hut (64 bodies, 2 steps) =="
+    );
+    println!(
+        "{:>12} {:>9} {:>12} {:>8} {:>14}",
+        "scheme", "mode", "exec cycles", "parks", "blocked cycles"
+    );
     for scheme in [SchemeKind::MiMaCol, SchemeKind::MiMaTwoPhase] {
         for mode in [IackMode::VctDefer, IackMode::Block] {
             let mode_name = match mode {

@@ -62,12 +62,7 @@ fn main() {
             }
             cells.push(100.0 * c as f64 / total as f64);
         }
-        print!(
-            "{:>12} {:>8} {:>7.1} |",
-            app,
-            h.count(),
-            h.summary().mean()
-        );
+        print!("{:>12} {:>8} {:>7.1} |", app, h.count(), h.summary().mean());
         for c in cells {
             print!(" {c:>5.1}%");
         }

@@ -32,10 +32,8 @@ fn main() {
     println!("\n== E2/E3: invalidation latency (cycles) vs sharers, {k}x{k}, {kind:?}, {trials} trials ==");
     header("d", &SchemeKind::ALL.iter().map(|s| s.name().to_string()).collect::<Vec<_>>());
 
-    let jobs: Vec<(usize, SchemeKind)> = ds
-        .iter()
-        .flat_map(|&d| SchemeKind::ALL.into_iter().map(move |s| (d, s)))
-        .collect();
+    let jobs: Vec<(usize, SchemeKind)> =
+        ds.iter().flat_map(|&d| SchemeKind::ALL.into_iter().map(move |s| (d, s))).collect();
     let results = par_map(jobs, |(d, scheme)| {
         (d, scheme, mean_over_patterns(scheme, k, kind, d, trials, seed))
     });

@@ -19,10 +19,12 @@ fn fresh(k: usize) -> DsmSystem {
 
 /// Issue `op` on `node` and return the processor stall in cycles.
 fn stalled(sys: &mut DsmSystem, node: NodeId, op: MemOp, read: bool) -> f64 {
-    let before = if read { sys.metrics().read_latency.sum() } else { sys.metrics().write_latency.sum() };
+    let before =
+        if read { sys.metrics().read_latency.sum() } else { sys.metrics().write_latency.sum() };
     sys.issue(node, op);
     sys.run_until_idle(1_000_000).expect("completes");
-    let after = if read { sys.metrics().read_latency.sum() } else { sys.metrics().write_latency.sum() };
+    let after =
+        if read { sys.metrics().read_latency.sum() } else { sys.metrics().write_latency.sum() };
     after - before
 }
 
@@ -50,7 +52,8 @@ fn main() {
     {
         let mut sys = fresh(k);
         let home = 5u64;
-        let lat = stalled(&mut sys, NodeId(home as u16), MemOp::Read(Addr((nodes + home) * 32)), true);
+        let lat =
+            stalled(&mut sys, NodeId(home as u16), MemOp::Read(Addr((nodes + home) * 32)), true);
         print_row("clean read miss, local memory", lat);
     }
 

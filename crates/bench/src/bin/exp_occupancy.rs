@@ -16,10 +16,8 @@ fn main() {
     let seed: u64 = arg("--seed", 1);
     let ds = d_sweep(k);
 
-    let jobs: Vec<(usize, SchemeKind)> = ds
-        .iter()
-        .flat_map(|&d| SchemeKind::ALL.into_iter().map(move |s| (d, s)))
-        .collect();
+    let jobs: Vec<(usize, SchemeKind)> =
+        ds.iter().flat_map(|&d| SchemeKind::ALL.into_iter().map(move |s| (d, s))).collect();
     let results = par_map(jobs, |(d, scheme)| {
         (d, scheme, mean_over_patterns(scheme, k, PatternKind::UniformRandom, d, trials, seed))
     });
@@ -30,7 +28,13 @@ fn main() {
     for &d in &ds {
         let cells: Vec<f64> = SchemeKind::ALL
             .iter()
-            .map(|s| results.iter().find(|(rd, rs, _)| *rd == d && rs == s).map(|(_, _, m)| m.home_msgs).expect("ran"))
+            .map(|s| {
+                results
+                    .iter()
+                    .find(|(rd, rs, _)| *rd == d && rs == s)
+                    .map(|(_, _, m)| m.home_msgs)
+                    .expect("ran")
+            })
             .collect();
         row(&format!("{d}"), &cells);
     }
@@ -39,7 +43,13 @@ fn main() {
     for &d in &ds {
         let cells: Vec<f64> = SchemeKind::ALL
             .iter()
-            .map(|s| results.iter().find(|(rd, rs, _)| *rd == d && rs == s).map(|(_, _, m)| m.dc_busy).expect("ran"))
+            .map(|s| {
+                results
+                    .iter()
+                    .find(|(rd, rs, _)| *rd == d && rs == s)
+                    .map(|(_, _, m)| m.dc_busy)
+                    .expect("ran")
+            })
             .collect();
         row(&format!("{d}"), &cells);
     }

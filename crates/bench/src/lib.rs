@@ -150,20 +150,41 @@ where
     let queue: std::sync::Mutex<std::vec::IntoIter<(usize, T)>> =
         std::sync::Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>().into_iter());
     let out: std::sync::Mutex<Vec<(usize, R)>> = std::sync::Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let item = queue.lock().expect("work queue").next();
                 let Some((i, t)) = item else { break };
                 let r = f(t);
                 out.lock().expect("results").push((i, r));
             });
         }
-    })
-    .expect("worker panicked");
+    });
     let mut results = out.into_inner().expect("results");
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Minimal wall-clock micro-bench runner used by the `benches/` targets
+/// (self-contained substitute for an external bench harness): runs `f`
+/// for a warmup pass plus `iters` timed passes and prints min/mean per
+/// iteration.
+pub fn time_it<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) {
+    assert!(iters >= 1);
+    std::hint::black_box(f()); // warmup
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<40} min {:>12.3} us   mean {:>12.3} us   ({iters} iters)",
+        min * 1e6,
+        mean * 1e6
+    );
 }
 
 /// Parse a simple `--key value` command line.

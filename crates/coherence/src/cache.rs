@@ -70,6 +70,16 @@ impl Cache {
         self.state(b) == Some(LineState::Modified)
     }
 
+    /// Non-mutating presence probe: the state of `b` without any lookup
+    /// side effects, ever. `read_hit`/`write_hit` model processor accesses
+    /// and may one day perturb replacement state; `probe` is the contract
+    /// for protocol decisions (e.g. upgrade-vs-write-miss detection) that
+    /// must merely *inspect* the cache.
+    pub fn probe(&self, b: BlockId) -> Option<LineState> {
+        let l = self.sets[self.slot(b)]?;
+        (l.block == b).then_some(l.state)
+    }
+
     /// Install `b` in `state`, returning what was evicted.
     pub fn insert(&mut self, b: BlockId, state: LineState) -> Evicted {
         let s = self.slot(b);

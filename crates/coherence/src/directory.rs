@@ -46,7 +46,11 @@ pub struct DirEntry {
 
 impl DirEntry {
     fn new(nodes: usize) -> Self {
-        Self { state: DirState::Uncached, presence: vec![0; nodes.div_ceil(64)], queue: VecDeque::new() }
+        Self {
+            state: DirState::Uncached,
+            presence: vec![0; nodes.div_ceil(64)],
+            queue: VecDeque::new(),
+        }
     }
 
     /// Set the presence bit for `n`.
@@ -100,10 +104,7 @@ impl DirEntry {
         for n in self.sharers_except(exclude) {
             cols[mesh.coord(n).x as usize].push(n);
         }
-        cols.into_iter()
-            .enumerate()
-            .filter(|(_, v)| !v.is_empty())
-            .collect()
+        cols.into_iter().enumerate().filter(|(_, v)| !v.is_empty()).collect()
     }
 }
 
@@ -168,10 +169,7 @@ mod tests {
         assert_eq!(e.sharer_count(), 5);
         assert!(e.has_presence(NodeId(64)));
         assert!(!e.has_presence(NodeId(1)));
-        assert_eq!(
-            e.sharers(),
-            vec![NodeId(0), NodeId(63), NodeId(64), NodeId(127), NodeId(255)]
-        );
+        assert_eq!(e.sharers(), vec![NodeId(0), NodeId(63), NodeId(64), NodeId(127), NodeId(255)]);
         e.clear_presence(NodeId(64));
         assert!(!e.has_presence(NodeId(64)));
         assert_eq!(e.sharer_count(), 4);

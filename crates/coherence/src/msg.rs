@@ -240,7 +240,9 @@ mod tests {
         assert!(ProtoMsg::ReadReply { block: BlockId(0) }.carries_data());
         assert!(ProtoMsg::WriteGrant { block: BlockId(0), with_data: true }.carries_data());
         assert!(!ProtoMsg::WriteGrant { block: BlockId(0), with_data: false }.carries_data());
-        assert!(!ProtoMsg::Inval { block: BlockId(0), txn: TxnId(1), home: NodeId(0) }.carries_data());
+        assert!(
+            !ProtoMsg::Inval { block: BlockId(0), txn: TxnId(1), home: NodeId(0) }.carries_data()
+        );
         assert!(!ProtoMsg::InvAck { block: BlockId(0), txn: TxnId(1), count: 1 }.carries_data());
         assert!(ProtoMsg::Writeback { block: BlockId(0), owner: NodeId(1) }.carries_data());
     }

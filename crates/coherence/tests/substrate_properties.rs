@@ -1,11 +1,14 @@
-//! Property tests on the coherence substrate: cache behaves like a model
-//! map, directory presence bits behave like a model set, home mapping is
-//! total and balanced.
+//! Randomized property tests on the coherence substrate: cache behaves
+//! like a model map, directory presence bits behave like a model set,
+//! home mapping is total and balanced.
+//!
+//! Cases are generated from the workspace's deterministic [`Rng`] with
+//! fixed seeds, so every run exercises the same cases.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use wormdsm_coherence::{Addr, BlockId, Cache, DirEntry, Evicted, LineState, MemGeometry};
 use wormdsm_mesh::topology::NodeId;
+use wormdsm_sim::Rng;
 
 /// Operations against the cache under test.
 #[derive(Debug, Clone)]
@@ -16,21 +19,26 @@ enum CacheOp {
     Downgrade(u64),
 }
 
-fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..64, any::<bool>()).prop_map(|(b, m)| CacheOp::Insert(b, m)),
-            (0u64..64).prop_map(CacheOp::Invalidate),
-            (0u64..64).prop_map(CacheOp::Upgrade),
-            (0u64..64).prop_map(CacheOp::Downgrade),
-        ],
-        1..200,
-    )
+fn cache_ops(rng: &mut Rng) -> Vec<CacheOp> {
+    let n = rng.range(1, 199) as usize;
+    (0..n)
+        .map(|_| {
+            let b = rng.below(64);
+            match rng.index(4) {
+                0 => CacheOp::Insert(b, rng.chance(0.5)),
+                1 => CacheOp::Invalidate(b),
+                2 => CacheOp::Upgrade(b),
+                _ => CacheOp::Downgrade(b),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn cache_matches_reference_model(ops in cache_ops()) {
+#[test]
+fn cache_matches_reference_model() {
+    let mut rng = Rng::new(0xC0DE_0001);
+    for _ in 0..64 {
+        let ops = cache_ops(&mut rng);
         // Reference: a map slot -> (block, state), 16 direct-mapped slots.
         let sets = 16usize;
         let mut cache = Cache::new(sets);
@@ -47,7 +55,7 @@ proptest! {
                         Some(&(ob, LineState::Modified)) => Evicted::Dirty(BlockId(ob)),
                     };
                     let got = cache.insert(BlockId(b), state);
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect);
                     model.insert(slot, (b, state));
                 }
                 CacheOp::Invalidate(b) => {
@@ -56,7 +64,7 @@ proptest! {
                         Some(&(ob, st)) if ob == b => Some(st),
                         _ => None,
                     };
-                    prop_assert_eq!(cache.invalidate(BlockId(b)), expect);
+                    assert_eq!(cache.invalidate(BlockId(b)), expect);
                     if expect.is_some() {
                         model.remove(&slot);
                     }
@@ -64,7 +72,7 @@ proptest! {
                 CacheOp::Upgrade(b) => {
                     let slot = b as usize % sets;
                     let present = matches!(model.get(&slot), Some(&(ob, _)) if ob == b);
-                    prop_assert_eq!(cache.upgrade(BlockId(b)), present);
+                    assert_eq!(cache.upgrade(BlockId(b)), present);
                     if present {
                         model.insert(slot, (b, LineState::Modified));
                     }
@@ -72,23 +80,29 @@ proptest! {
                 CacheOp::Downgrade(b) => {
                     let slot = b as usize % sets;
                     let present = matches!(model.get(&slot), Some(&(ob, _)) if ob == b);
-                    prop_assert_eq!(cache.downgrade(BlockId(b)), present);
+                    assert_eq!(cache.downgrade(BlockId(b)), present);
                     if present {
                         model.insert(slot, (b, LineState::Shared));
                     }
                 }
             }
             // State agreement on every block after each step.
-            prop_assert_eq!(cache.occupancy(), model.len());
+            assert_eq!(cache.occupancy(), model.len());
         }
     }
+}
 
-    #[test]
-    fn presence_bits_match_reference_set(nodes in 1usize..300, ops in proptest::collection::vec((any::<bool>(), 0u16..300), 1..200)) {
+#[test]
+fn presence_bits_match_reference_set() {
+    let mut rng = Rng::new(0xC0DE_0002);
+    for _ in 0..64 {
+        let nodes = rng.range(1, 299) as usize;
+        let op_count = rng.range(1, 199) as usize;
         let mut e = DirEntry::new_for_test(nodes);
         let mut model = std::collections::BTreeSet::new();
-        for (set, raw) in ops {
-            let n = NodeId(raw % nodes as u16);
+        for _ in 0..op_count {
+            let set = rng.chance(0.5);
+            let n = NodeId(rng.below(300) as u16 % nodes as u16);
             if set {
                 e.set_presence(n);
                 model.insert(n);
@@ -97,23 +111,28 @@ proptest! {
                 model.remove(&n);
             }
         }
-        prop_assert_eq!(e.sharer_count(), model.len());
-        prop_assert_eq!(e.sharers(), model.iter().copied().collect::<Vec<_>>());
+        assert_eq!(e.sharer_count(), model.len());
+        assert_eq!(e.sharers(), model.iter().copied().collect::<Vec<_>>());
         for i in 0..nodes as u16 {
-            prop_assert_eq!(e.has_presence(NodeId(i)), model.contains(&NodeId(i)));
+            assert_eq!(e.has_presence(NodeId(i)), model.contains(&NodeId(i)));
         }
     }
+}
 
-    #[test]
-    fn home_mapping_total_and_block_roundtrip(nodes in 1usize..256, addr in 0u64..1_000_000_000) {
+#[test]
+fn home_mapping_total_and_block_roundtrip() {
+    let mut rng = Rng::new(0xC0DE_0003);
+    for _ in 0..256 {
+        let nodes = rng.range(1, 255) as usize;
+        let addr = rng.below(1_000_000_000);
         let g = MemGeometry::new(32, nodes);
         let b = g.block_of(Addr(addr));
         let home = g.home_of(b);
-        prop_assert!(home.idx() < nodes);
+        assert!(home.idx() < nodes);
         // Base address maps back to the same block.
-        prop_assert_eq!(g.block_of(g.base_of(b)), b);
+        assert_eq!(g.block_of(g.base_of(b)), b);
         // All addresses within a block share it.
-        prop_assert_eq!(g.block_of(Addr(addr | 31)), g.block_of(Addr(addr & !31)));
+        assert_eq!(g.block_of(Addr(addr | 31)), g.block_of(Addr(addr & !31)));
     }
 }
 

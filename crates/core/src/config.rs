@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn for_scheme_selects_routing() {
-        assert_eq!(SystemConfig::for_scheme(8, SchemeKind::MiMaCol).mesh.routing, BaseRouting::ECube);
+        assert_eq!(
+            SystemConfig::for_scheme(8, SchemeKind::MiMaCol).mesh.routing,
+            BaseRouting::ECube
+        );
         assert_eq!(
             SystemConfig::for_scheme(8, SchemeKind::MiUaWf).mesh.routing,
             BaseRouting::TurnModel

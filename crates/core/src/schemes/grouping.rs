@@ -212,7 +212,8 @@ pub fn serpentine(mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> Vec<Serpen
             dests.push(mesh.node_at(wp_x, y_ext));
             deliver.push(false);
             asc = !go_south_first;
-            let order: Vec<usize> = if asc { ys.clone() } else { ys.iter().rev().copied().collect() };
+            let order: Vec<usize> =
+                if asc { ys.clone() } else { ys.iter().rev().copied().collect() };
             for y in order {
                 dests.push(mesh.node_at(cx, y));
                 deliver.push(true);
@@ -236,7 +237,8 @@ pub fn serpentine(mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> Vec<Serpen
         // reversal is not turn-legal. Insert a one-hop vertical dogleg
         // waypoint so the turnaround is two legal 90-degree turns.
         if entered_westward && y_cur == hy && cols.len() > 1 {
-            let (dog_y, dir_south) = if hy + 1 < mesh.height() { (hy + 1, true) } else { (hy - 1, false) };
+            let (dog_y, dir_south) =
+                if hy + 1 < mesh.height() { (hy + 1, true) } else { (hy - 1, false) };
             dests.push(mesh.node_at(cx, dog_y));
             deliver.push(false);
             y_cur = dog_y;
@@ -323,10 +325,8 @@ mod tests {
     fn column_group_gather_paths_are_yx_conformant() {
         let m = m8();
         let home = n(&m, 3, 3);
-        let sharers: Vec<NodeId> = [(0, 0), (0, 7), (5, 3), (5, 5), (7, 2)]
-            .iter()
-            .map(|&(x, y)| n(&m, x, y))
-            .collect();
+        let sharers: Vec<NodeId> =
+            [(0, 0), (0, 7), (5, 3), (5, 5), (7, 2)].iter().map(|&(x, y)| n(&m, x, y)).collect();
         for g in column_groups(&m, home, &sharers) {
             // Gather: farthest -> ... -> nearest -> home.
             let mut dests: Vec<NodeId> = g.members.iter().rev().copied().collect();
@@ -370,13 +370,8 @@ mod tests {
         assert_eq!(ws.len(), 1);
         let w = &ws[0];
         assert!(is_conformant(PathRule::WestFirst, &m, home, &w.dests), "{:?}", w.dests);
-        let delivered: Vec<NodeId> = w
-            .dests
-            .iter()
-            .zip(&w.deliver)
-            .filter(|(_, &d)| d)
-            .map(|(&n, _)| n)
-            .collect();
+        let delivered: Vec<NodeId> =
+            w.dests.iter().zip(&w.deliver).filter(|(_, &d)| d).map(|(&n, _)| n).collect();
         let mut want = sharers.to_vec();
         want.sort();
         let mut got = delivered.clone();

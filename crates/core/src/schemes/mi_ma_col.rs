@@ -56,12 +56,8 @@ mod tests {
     fn gathers_per_group_and_posts_in_between() {
         let mesh = Mesh2D::square(8);
         let home = mesh.node_at(2, 4);
-        let sharers = vec![
-            mesh.node_at(5, 1),
-            mesh.node_at(5, 3),
-            mesh.node_at(5, 6),
-            mesh.node_at(0, 4),
-        ];
+        let sharers =
+            vec![mesh.node_at(5, 1), mesh.node_at(5, 3), mesh.node_at(5, 6), mesh.node_at(0, 4)];
         let plan = MiMaCol.plan(&mesh, home, &sharers);
         validate_plan(&plan, &sharers).unwrap();
         assert!(plan.request_worms.iter().all(|w| w.reserve_iack));
@@ -97,11 +93,8 @@ mod tests {
         let posts = plan.actions.iter().filter(|(_, a)| *a == AckAction::Post).count();
         assert_eq!(posts, 4);
         // Farthest sharer (5, 6) initiates.
-        let (init, _) = plan
-            .actions
-            .iter()
-            .find(|(_, a)| matches!(a, AckAction::InitGather(_)))
-            .unwrap();
+        let (init, _) =
+            plan.actions.iter().find(|(_, a)| matches!(a, AckAction::InitGather(_))).unwrap();
         assert_eq!(*init, mesh.node_at(5, 6));
     }
 

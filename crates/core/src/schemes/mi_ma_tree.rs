@@ -77,7 +77,8 @@ impl InvalidationScheme for MiMaTree {
                 let delegate = mesh.node_at(c, hy);
                 let worms: Vec<PlannedWorm> =
                     by_col[&c].iter().map(|g| column_worm(mesh, g, delegate)).collect();
-                plan.relays.push((delegate, worms.into_iter().filter(|w| !w.dests.is_empty()).collect()));
+                plan.relays
+                    .push((delegate, worms.into_iter().filter(|w| !w.dests.is_empty()).collect()));
             }
         }
 
@@ -177,10 +178,8 @@ mod tests {
     fn gathers_are_yx_conformant() {
         let mesh = Mesh2D::square(8);
         let home = mesh.node_at(3, 4);
-        let sharers: Vec<NodeId> = [(0, 1), (0, 3), (6, 6), (6, 7)]
-            .iter()
-            .map(|&(x, y)| mesh.node_at(x, y))
-            .collect();
+        let sharers: Vec<NodeId> =
+            [(0, 1), (0, 3), (6, 6), (6, 7)].iter().map(|&(x, y)| mesh.node_at(x, y)).collect();
         let plan = MiMaTree.plan(&mesh, home, &sharers);
         for (init, a) in &plan.actions {
             if let AckAction::InitGather(w) = a {

@@ -52,12 +52,8 @@ mod tests {
     fn groups_become_multicast_worms() {
         let mesh = Mesh2D::square(8);
         let home = mesh.node_at(2, 4);
-        let sharers = vec![
-            mesh.node_at(5, 1),
-            mesh.node_at(5, 3),
-            mesh.node_at(5, 6),
-            mesh.node_at(0, 4),
-        ];
+        let sharers =
+            vec![mesh.node_at(5, 1), mesh.node_at(5, 3), mesh.node_at(5, 6), mesh.node_at(0, 4)];
         let plan = MiUaCol.plan(&mesh, home, &sharers);
         validate_plan(&plan, &sharers).unwrap();
         // Column 0: 1 group; column 5: north + south = 2 groups.

@@ -15,8 +15,8 @@
 //! *trigger*: it terminates with a `SweepTrigger` delivery and its node
 //! injects the sweep.
 
-use super::grouping::Group;
 use super::group_gather_dests;
+use super::grouping::Group;
 use crate::plan::{AckAction, PlannedWorm};
 use wormdsm_mesh::topology::{Mesh2D, NodeId};
 
@@ -108,10 +108,14 @@ pub(crate) fn two_phase_acks(mesh: &Mesh2D, home: NodeId, groups: &[Group]) -> T
             if (row - near) * toward < 0 {
                 row = near;
             }
-            while row >= 0 && (row as usize) < mesh.height() && blocked_rows.contains(&(row as usize)) {
+            while row >= 0
+                && (row as usize) < mesh.height()
+                && blocked_rows.contains(&(row as usize))
+            {
                 row += toward;
             }
-            let past_home = (row as usize >= hy && toward > 0) || (row as usize <= hy && toward < 0);
+            let past_home =
+                (row as usize >= hy && toward > 0) || (row as usize <= hy && toward < 0);
             if past_home {
                 // No unique row left before the home: degrade to a direct
                 // gather.
@@ -175,11 +179,7 @@ mod tests {
         let mesh = Mesh2D::square(8);
         let home = mesh.node_at(3, 6);
         // Three north-side columns with distinct landing rows.
-        let sharers = vec![
-            mesh.node_at(0, 1),
-            mesh.node_at(1, 3),
-            mesh.node_at(6, 4),
-        ];
+        let sharers = vec![mesh.node_at(0, 1), mesh.node_at(1, 3), mesh.node_at(6, 4)];
         let groups = column_groups(&mesh, home, &sharers);
         let acks = two_phase_acks(&mesh, home, &groups);
         check_conformance(&mesh, &acks);
@@ -203,12 +203,8 @@ mod tests {
     fn both_sides_get_sweeps() {
         let mesh = Mesh2D::square(8);
         let home = mesh.node_at(4, 4);
-        let sharers = vec![
-            mesh.node_at(0, 1),
-            mesh.node_at(2, 2),
-            mesh.node_at(1, 6),
-            mesh.node_at(6, 7),
-        ];
+        let sharers =
+            vec![mesh.node_at(0, 1), mesh.node_at(2, 2), mesh.node_at(1, 6), mesh.node_at(6, 7)];
         let groups = column_groups(&mesh, home, &sharers);
         let acks = two_phase_acks(&mesh, home, &groups);
         check_conformance(&mesh, &acks);
@@ -297,12 +293,8 @@ mod tests {
         let mesh = Mesh2D::square(8);
         // Home at row 2: only rows 0..2 available on the north side.
         let home = mesh.node_at(4, 2);
-        let sharers = vec![
-            mesh.node_at(0, 1),
-            mesh.node_at(1, 1),
-            mesh.node_at(2, 1),
-            mesh.node_at(3, 1),
-        ];
+        let sharers =
+            vec![mesh.node_at(0, 1), mesh.node_at(1, 1), mesh.node_at(2, 1), mesh.node_at(3, 1)];
         let groups = column_groups(&mesh, home, &sharers);
         let acks = two_phase_acks(&mesh, home, &groups);
         check_conformance(&mesh, &acks);

@@ -158,6 +158,13 @@ pub struct DsmSystem {
     barriers: HashMap<u16, BarrierState>,
     locks: HashMap<u16, LockState>,
     now: Cycle,
+    /// When set (the default), [`DsmSystem::step`] fast-forwards over dead
+    /// cycles: if the network is fully idle, time jumps straight to the
+    /// next calendar event or processor wake-up instead of ticking empty
+    /// cycles one by one. Bit-identical to per-cycle stepping.
+    fast_forward: bool,
+    /// Cycles elided by dead-cycle fast-forwarding (diagnostics).
+    skipped_cycles: u64,
 }
 
 impl DsmSystem {
@@ -203,7 +210,22 @@ impl DsmSystem {
             barriers: HashMap::new(),
             locks: HashMap::new(),
             now: 0,
+            fast_forward: true,
+            skipped_cycles: 0,
         }
+    }
+
+    /// Enable or disable dead-cycle fast-forwarding (on by default).
+    /// Disabling forces per-cycle stepping; results are bit-identical
+    /// either way, so this exists for A/B equivalence tests and perf
+    /// comparison.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Cycles elided (never individually stepped) by fast-forwarding.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Current cycle.
@@ -260,10 +282,24 @@ impl DsmSystem {
     }
 
     /// Advance one cycle.
+    ///
+    /// With fast-forwarding on (the default), a step taken while the
+    /// network is fully idle first jumps the clock to just before the next
+    /// scheduled wake-up (calendar event or processor busy-expiry), then
+    /// performs one normal cycle. Every skipped cycle would have been a
+    /// complete no-op, so runs are bit-identical with or without the jump.
     pub fn step(&mut self) {
+        if self.fast_forward {
+            self.skip_dead_cycles(None);
+        }
+        self.step_inner();
+    }
+
+    /// One cycle of work: tick the network, route fresh deliveries into
+    /// controllers, fire due calendar events.
+    fn step_inner(&mut self) {
         self.net.tick();
         self.now = self.net.now();
-        // Route fresh deliveries into controllers.
         for i in 0..self.nodes.len() {
             let node = NodeId(i as u16);
             if self.net.has_deliveries(node) {
@@ -272,16 +308,56 @@ impl DsmSystem {
                 }
             }
         }
-        // Fire due events.
         while let Some((t, ev)) = self.cal.pop_due(self.now) {
             self.handle_event(t.max(self.now), ev);
         }
     }
 
-    /// Run `n` cycles.
+    /// If the network has no work at all, advance the clock to one cycle
+    /// before the next event that could change anything: the earliest
+    /// calendar entry or the earliest processor busy-expiry, clamped to
+    /// `horizon` when one is given. Processors whose busy time already
+    /// expired, stalled processors (they wake only via calendar-driven
+    /// protocol events) and idle processors impose no boundary. With no
+    /// boundary and no horizon, fall back to per-cycle stepping so
+    /// `run_until_idle` timeouts still fire on genuine deadlocks.
+    fn skip_dead_cycles(&mut self, horizon: Option<Cycle>) {
+        if !self.net.fully_idle() {
+            return;
+        }
+        let mut target = self.cal.peek_time();
+        for n in &self.nodes {
+            if let ProcState::BusyUntil(t) = n.proc {
+                if t > self.now {
+                    target = Some(target.map_or(t, |x| x.min(t)));
+                }
+            }
+        }
+        let t = match (target, horizon) {
+            (Some(t), Some(h)) => t.min(h),
+            (Some(t), None) => t,
+            (None, Some(h)) => h,
+            (None, None) => return,
+        };
+        if t > self.now + 1 {
+            self.skipped_cycles += t - 1 - self.now;
+            self.net.advance_to(t - 1);
+            self.now = t - 1;
+        }
+    }
+
+    /// Advance simulated time by exactly `n` cycles.
+    ///
+    /// Fast-forwarding still applies but is clamped to the `n`-cycle
+    /// horizon, so the clock lands exactly on `now + n` and the state
+    /// there matches per-cycle stepping bit for bit.
     pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step();
+        let deadline = self.now + n;
+        while self.now < deadline {
+            if self.fast_forward {
+                self.skip_dead_cycles(Some(deadline));
+            }
+            self.step_inner();
         }
     }
 
@@ -374,11 +450,15 @@ impl DsmSystem {
                         }
                         self.metrics.write_misses += 1;
                         self.nodes[node.idx()].pending_writes.insert(block, now);
-                        self.nodes[node.idx()].proc = ProcState::BusyUntil(now + costs.cache_access);
+                        self.nodes[node.idx()].proc =
+                            ProcState::BusyUntil(now + costs.cache_access);
                     }
                 }
                 let home = self.geom.home_of(block);
-                let msg = if self.nodes[node.idx()].cache.read_hit(block) {
+                // Upgrade detection must not count as a processor access:
+                // probe (side-effect-free) rather than read_hit, so a
+                // Shared copy upgrades and anything else is a write miss.
+                let msg = if self.nodes[node.idx()].cache.probe(block).is_some() {
                     ProtoMsg::UpgradeReq { block, requester: node }
                 } else {
                     ProtoMsg::WriteReq { block, requester: node }
@@ -399,7 +479,13 @@ impl DsmSystem {
                 self.nodes[node.idx()].proc =
                     ProcState::Stalled { kind: StallKind::Lock(l), since: now };
                 let home = self.service_home(l);
-                self.send_cc(node, now, ProtoMsg::LockReq { lock: l, requester: node }, home, VNet::Req);
+                self.send_cc(
+                    node,
+                    now,
+                    ProtoMsg::LockReq { lock: l, requester: node },
+                    home,
+                    VNet::Req,
+                );
             }
             MemOp::Unlock(l) => {
                 if self.release_fence_pending(node, op, now) {
@@ -423,7 +509,8 @@ impl DsmSystem {
     /// deferred.
     fn release_fence_pending(&mut self, node: NodeId, op: MemOp, now: Cycle) -> bool {
         if !self.nodes[node.idx()].pending_writes.is_empty() {
-            self.nodes[node.idx()].proc = ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+            self.nodes[node.idx()].proc =
+                ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
             true
         } else {
             false
@@ -432,7 +519,9 @@ impl DsmSystem {
 
     /// A deferred op retries whenever a pending write retires.
     fn retry_deferred(&mut self, now: Cycle, node: NodeId) {
-        if let ProcState::Stalled { kind: StallKind::Deferred(op), .. } = self.nodes[node.idx()].proc {
+        if let ProcState::Stalled { kind: StallKind::Deferred(op), .. } =
+            self.nodes[node.idx()].proc
+        {
             self.nodes[node.idx()].proc = ProcState::Idle;
             self.issue_at(node, op, now);
         }
@@ -490,7 +579,9 @@ impl DsmSystem {
                                         "{block} shared at home {home} but Modified at n{i}"
                                     ));
                                 }
-                                Some(LineState::Shared) if !entry.has_presence(NodeId(i as u16)) => {
+                                Some(LineState::Shared)
+                                    if !entry.has_presence(NodeId(i as u16)) =>
+                                {
                                     return Err(format!(
                                         "{block} cached at n{i} without a presence bit"
                                     ));
@@ -563,25 +654,49 @@ impl DsmSystem {
 
     /// Send `msg` from `node`'s cache controller at `start` (occupying it
     /// for the compose cost) to `dest`.
-    fn send_cc(&mut self, node: NodeId, start: Cycle, msg: ProtoMsg, dest: NodeId, vnet: VNet) -> Cycle {
+    fn send_cc(
+        &mut self,
+        node: NodeId,
+        start: Cycle,
+        msg: ProtoMsg,
+        dest: NodeId,
+        vnet: VNet,
+    ) -> Cycle {
         let t = self.nodes[node.idx()].cc.occupy(start.max(self.now), self.cfg.costs.cc_send);
         self.dispatch_unicast(node, t, msg, dest, vnet);
         t
     }
 
     /// Send `msg` from `node`'s directory controller at `start`.
-    fn send_dc(&mut self, node: NodeId, start: Cycle, msg: ProtoMsg, dest: NodeId, vnet: VNet) -> Cycle {
+    fn send_dc(
+        &mut self,
+        node: NodeId,
+        start: Cycle,
+        msg: ProtoMsg,
+        dest: NodeId,
+        vnet: VNet,
+    ) -> Cycle {
         let t = self.nodes[node.idx()].dc.occupy(start.max(self.now), self.cfg.costs.dc_send);
         self.dispatch_unicast(node, t, msg, dest, vnet);
         t
     }
 
-    fn dispatch_unicast(&mut self, node: NodeId, t: Cycle, msg: ProtoMsg, dest: NodeId, vnet: VNet) {
+    fn dispatch_unicast(
+        &mut self,
+        node: NodeId,
+        t: Cycle,
+        msg: ProtoMsg,
+        dest: NodeId,
+        vnet: VNet,
+    ) {
         let key = self.msgs.push(msg);
         if dest == node {
             // Local shortcut: no network, straight to the co-located
             // controller input.
-            self.cal.schedule(t, Ev::Recv { node: dest, key, acks: 0, kind: DeliveryKind::Final, src: node });
+            self.cal.schedule(
+                t,
+                Ev::Recv { node: dest, key, acks: 0, kind: DeliveryKind::Final, src: node },
+            );
         } else {
             let len = self.cfg.sizes.unicast_len(&msg);
             let spec = WormSpec::unicast(node, dest, vnet, len, key);
@@ -590,7 +705,14 @@ impl DsmSystem {
     }
 
     /// Build the network worm for a planned worm of transaction `txn`.
-    fn build_spec(&mut self, src: NodeId, w: &PlannedWorm, txn: TxnId, block: BlockId, home: NodeId) -> WormSpec {
+    fn build_spec(
+        &mut self,
+        src: NodeId,
+        w: &PlannedWorm,
+        txn: TxnId,
+        block: BlockId,
+        home: NodeId,
+    ) -> WormSpec {
         let msg = match w.kind {
             WormKind::Gather => {
                 let last = *w.dests.last().expect("non-empty");
@@ -631,7 +753,15 @@ impl DsmSystem {
 
     /// A message arrived at `node`: occupy the owning controller, then
     /// schedule the protocol handler.
-    fn recv(&mut self, now: Cycle, node: NodeId, key: u64, acks: u32, kind: DeliveryKind, src: NodeId) {
+    fn recv(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        key: u64,
+        acks: u32,
+        kind: DeliveryKind,
+        src: NodeId,
+    ) {
         let msg = self.msgs.get(key);
         let costs = self.cfg.costs;
         let _ = kind;
@@ -693,9 +823,20 @@ impl DsmSystem {
     // ------------------------------------------------------------------
 
     #[allow(clippy::too_many_arguments)]
-    fn dispatch(&mut self, now: Cycle, node: NodeId, msg: ProtoMsg, key: u64, acks: u32, _kind: DeliveryKind, src: NodeId) {
+    fn dispatch(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        msg: ProtoMsg,
+        key: u64,
+        acks: u32,
+        _kind: DeliveryKind,
+        src: NodeId,
+    ) {
         match msg {
-            ProtoMsg::ReadReq { block, requester } => self.h_read_req(now, node, block, requester, key),
+            ProtoMsg::ReadReq { block, requester } => {
+                self.h_read_req(now, node, block, requester, key)
+            }
             ProtoMsg::WriteReq { block, requester } | ProtoMsg::UpgradeReq { block, requester } => {
                 self.h_write_req(now, node, block, requester, key)
             }
@@ -704,12 +845,18 @@ impl DsmSystem {
             ProtoMsg::RelayInval { block, txn, home } => self.h_relay(now, node, block, txn, home),
             ProtoMsg::InvAck { txn, count, .. } => self.h_acks(now, node, txn, count),
             ProtoMsg::GatherAck { txn, .. } => self.h_acks(now, node, txn, acks),
-            ProtoMsg::SweepTrigger { block, txn } => self.h_sweep_trigger(now, node, block, txn, acks),
-            ProtoMsg::WriteGrant { block, with_data } => self.h_write_grant(now, node, block, with_data),
+            ProtoMsg::SweepTrigger { block, txn } => {
+                self.h_sweep_trigger(now, node, block, txn, acks)
+            }
+            ProtoMsg::WriteGrant { block, with_data } => {
+                self.h_write_grant(now, node, block, with_data)
+            }
             ProtoMsg::Fetch { block, requester, for_write } => {
                 self.h_fetch(now, node, block, requester, for_write)
             }
-            ProtoMsg::OwnerData { block, exclusive } => self.h_owner_data(now, node, block, exclusive),
+            ProtoMsg::OwnerData { block, exclusive } => {
+                self.h_owner_data(now, node, block, exclusive)
+            }
             ProtoMsg::FetchWb { block, requester, was_write } => {
                 self.h_fetch_wb(now, node, block, requester, was_write, src)
             }
@@ -722,14 +869,23 @@ impl DsmSystem {
             ProtoMsg::BarrierArrive { barrier, participants } => {
                 self.h_barrier_arrive(now, node, barrier, participants, src)
             }
-            ProtoMsg::BarrierRelease { barrier } => self.resume_sync(now, node, StallKind::Barrier(barrier)),
+            ProtoMsg::BarrierRelease { barrier } => {
+                self.resume_sync(now, node, StallKind::Barrier(barrier))
+            }
             ProtoMsg::LockReq { lock, requester } => self.h_lock_req(now, node, lock, requester),
             ProtoMsg::LockGrant { lock } => self.resume_sync(now, node, StallKind::Lock(lock)),
             ProtoMsg::LockRelease { lock } => self.h_lock_release(now, node, lock),
         }
     }
 
-    fn h_read_req(&mut self, now: Cycle, home: NodeId, block: BlockId, requester: NodeId, key: u64) {
+    fn h_read_req(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockId,
+        requester: NodeId,
+        key: u64,
+    ) {
         let costs = self.cfg.costs;
         match self.dirs[home.idx()].state(block) {
             DirState::Uncached | DirState::Shared => {
@@ -742,7 +898,13 @@ impl DsmSystem {
             DirState::Exclusive(owner) => {
                 let entry = self.dirs[home.idx()].entry_mut(block);
                 entry.state = DirState::Waiting;
-                self.send_dc(home, now, ProtoMsg::Fetch { block, requester, for_write: false }, owner, VNet::Req);
+                self.send_dc(
+                    home,
+                    now,
+                    ProtoMsg::Fetch { block, requester, for_write: false },
+                    owner,
+                    VNet::Req,
+                );
             }
             DirState::Waiting => {
                 self.dirs[home.idx()]
@@ -753,7 +915,14 @@ impl DsmSystem {
         }
     }
 
-    fn h_write_req(&mut self, now: Cycle, home: NodeId, block: BlockId, requester: NodeId, key: u64) {
+    fn h_write_req(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockId,
+        requester: NodeId,
+        key: u64,
+    ) {
         let costs = self.cfg.costs;
         match self.dirs[home.idx()].state(block) {
             DirState::Uncached => {
@@ -761,14 +930,26 @@ impl DsmSystem {
                 let entry = self.dirs[home.idx()].entry_mut(block);
                 entry.state = DirState::Exclusive(requester);
                 entry.clear_all();
-                self.send_dc(home, t, ProtoMsg::WriteGrant { block, with_data: true }, requester, VNet::Reply);
+                self.send_dc(
+                    home,
+                    t,
+                    ProtoMsg::WriteGrant { block, with_data: true },
+                    requester,
+                    VNet::Reply,
+                );
             }
             DirState::Shared => self.start_invalidation(now, home, block, requester),
             DirState::Exclusive(owner) => {
                 debug_assert_ne!(owner, requester, "owner write-missing its own block");
                 let entry = self.dirs[home.idx()].entry_mut(block);
                 entry.state = DirState::Waiting;
-                self.send_dc(home, now, ProtoMsg::Fetch { block, requester, for_write: true }, owner, VNet::Req);
+                self.send_dc(
+                    home,
+                    now,
+                    ProtoMsg::Fetch { block, requester, for_write: true },
+                    owner,
+                    VNet::Req,
+                );
             }
             DirState::Waiting => {
                 self.dirs[home.idx()]
@@ -809,7 +990,11 @@ impl DsmSystem {
 
         let mesh = self.cfg.mesh.mesh;
         let plan = self.scheme.plan(&mesh, home, &remote);
-        debug_assert!(crate::plan::validate_plan(&plan, &remote).is_ok(), "{:?}", crate::plan::validate_plan(&plan, &remote));
+        debug_assert!(
+            crate::plan::validate_plan(&plan, &remote).is_ok(),
+            "{:?}",
+            crate::plan::validate_plan(&plan, &remote)
+        );
         let txn_id = TxnId(self.next_txn);
         self.next_txn += 1;
 
@@ -883,11 +1068,25 @@ impl DsmSystem {
         self.perform_ack_action(now + costs.cache_access, node, block, txn, home, &action);
     }
 
-    fn perform_ack_action(&mut self, start: Cycle, node: NodeId, block: BlockId, txn: TxnId, home: NodeId, action: &AckAction) {
+    fn perform_ack_action(
+        &mut self,
+        start: Cycle,
+        node: NodeId,
+        block: BlockId,
+        txn: TxnId,
+        home: NodeId,
+        action: &AckAction,
+    ) {
         let costs = self.cfg.costs;
         match action {
             AckAction::Unicast => {
-                self.send_cc(node, start, ProtoMsg::InvAck { block, txn, count: 1 }, home, VNet::Reply);
+                self.send_cc(
+                    node,
+                    start,
+                    ProtoMsg::InvAck { block, txn, count: 1 },
+                    home,
+                    VNet::Reply,
+                );
             }
             AckAction::Post => {
                 let t = self.nodes[node.idx()].cc.occupy(start, costs.iack_post);
@@ -931,10 +1130,7 @@ impl DsmSystem {
         let costs = self.cfg.costs;
         let (mut sweep, home) = {
             let t = self.txns.get(&txn.0).expect("txn live");
-            (
-                t.plan.trigger_for(node).cloned().expect("sweep trigger has a planned worm"),
-                t.home,
-            )
+            (t.plan.trigger_for(node).cloned().expect("sweep trigger has a planned worm"), t.home)
         };
         sweep.initial_acks += acks;
         let spec = self.build_spec(node, &sweep, txn, block, home);
@@ -1030,7 +1226,14 @@ impl DsmSystem {
         self.retry_deferred(now, node);
     }
 
-    fn h_fetch(&mut self, now: Cycle, owner: NodeId, block: BlockId, requester: NodeId, for_write: bool) {
+    fn h_fetch(
+        &mut self,
+        now: Cycle,
+        owner: NodeId,
+        block: BlockId,
+        requester: NodeId,
+        for_write: bool,
+    ) {
         let costs = self.cfg.costs;
         let in_cache = self.nodes[owner.idx()].cache.state(block) == Some(LineState::Modified);
         let in_wb = self.nodes[owner.idx()].wb.contains(block);
@@ -1040,13 +1243,10 @@ impl DsmSystem {
             // net). Defer and retry once the grant lands.
             self.metrics.fetch_retries += 1;
             let key = self.msgs.push(ProtoMsg::Fetch { block, requester, for_write });
-            self.cal.schedule(now + FETCH_RETRY_DELAY, Ev::Recv {
-                node: owner,
-                key,
-                acks: 0,
-                kind: DeliveryKind::Final,
-                src: owner,
-            });
+            self.cal.schedule(
+                now + FETCH_RETRY_DELAY,
+                Ev::Recv { node: owner, key, acks: 0, kind: DeliveryKind::Final, src: owner },
+            );
             return;
         }
         if in_cache {
@@ -1056,8 +1256,20 @@ impl DsmSystem {
                 self.nodes[owner.idx()].cache.downgrade(block);
             }
         }
-        let t = self.send_cc(owner, now + costs.cache_access, ProtoMsg::OwnerData { block, exclusive: for_write }, requester, VNet::Reply);
-        self.send_cc(owner, t, ProtoMsg::FetchWb { block, requester, was_write: for_write }, self.geom.home_of(block), VNet::Reply);
+        let t = self.send_cc(
+            owner,
+            now + costs.cache_access,
+            ProtoMsg::OwnerData { block, exclusive: for_write },
+            requester,
+            VNet::Reply,
+        );
+        self.send_cc(
+            owner,
+            t,
+            ProtoMsg::FetchWb { block, requester, was_write: for_write },
+            self.geom.home_of(block),
+            VNet::Reply,
+        );
     }
 
     fn h_owner_data(&mut self, now: Cycle, node: NodeId, block: BlockId, exclusive: bool) {
@@ -1074,7 +1286,15 @@ impl DsmSystem {
         }
     }
 
-    fn h_fetch_wb(&mut self, now: Cycle, home: NodeId, block: BlockId, requester: NodeId, was_write: bool, old_owner: NodeId) {
+    fn h_fetch_wb(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockId,
+        requester: NodeId,
+        was_write: bool,
+        old_owner: NodeId,
+    ) {
         let costs = self.cfg.costs;
         let _t = self.nodes[home.idx()].mem.occupy(now, costs.mem_access);
         let entry = self.dirs[home.idx()].entry_mut(block);
@@ -1108,13 +1328,10 @@ impl DsmSystem {
                 // buffer before the fetch reaches it, losing the data.
                 // Defer until the fetch transaction settles the entry.
                 self.metrics.wb_retries += 1;
-                self.cal.schedule(now + WRITEBACK_RETRY_DELAY, Ev::Recv {
-                    node: home,
-                    key,
-                    acks: 0,
-                    kind: DeliveryKind::Final,
-                    src: owner,
-                });
+                self.cal.schedule(
+                    now + WRITEBACK_RETRY_DELAY,
+                    Ev::Recv { node: home, key, acks: 0, kind: DeliveryKind::Final, src: owner },
+                );
             }
             _ => {
                 // Stale writeback: a fetch already transferred ownership;
@@ -1124,7 +1341,14 @@ impl DsmSystem {
         }
     }
 
-    fn h_barrier_arrive(&mut self, now: Cycle, home: NodeId, barrier: u16, participants: u32, src: NodeId) {
+    fn h_barrier_arrive(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        barrier: u16,
+        participants: u32,
+        src: NodeId,
+    ) {
         let st = self
             .barriers
             .entry(barrier)
@@ -1144,13 +1368,22 @@ impl DsmSystem {
 
     /// Per-participant unicast releases (the baseline used by the paper's
     /// systems).
-    fn release_barrier_unicast(&mut self, now: Cycle, home: NodeId, barrier: u16, arrived: Vec<NodeId>) {
+    fn release_barrier_unicast(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        barrier: u16,
+        arrived: Vec<NodeId>,
+    ) {
         let mut t = now;
         for n in arrived {
             t = self.nodes[home.idx()].dc.occupy(t, self.cfg.costs.dc_send);
             let key = self.msgs.push(ProtoMsg::BarrierRelease { barrier });
             if n == home {
-                self.cal.schedule(t, Ev::Recv { node: n, key, acks: 0, kind: DeliveryKind::Final, src: home });
+                self.cal.schedule(
+                    t,
+                    Ev::Recv { node: n, key, acks: 0, kind: DeliveryKind::Final, src: home },
+                );
             } else {
                 let len = self.cfg.sizes.control;
                 let spec = WormSpec::unicast(home, n, VNet::Reply, len, key);
@@ -1163,7 +1396,13 @@ impl DsmSystem {
     /// per YX row group, so the barrier home sends O(rows) messages
     /// instead of O(participants) — the collective-communication variant
     /// from the group's barrier work.
-    fn release_barrier_multicast(&mut self, now: Cycle, home: NodeId, barrier: u16, arrived: Vec<NodeId>) {
+    fn release_barrier_multicast(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        barrier: u16,
+        arrived: Vec<NodeId>,
+    ) {
         let mesh = self.cfg.mesh.mesh;
         let remote: Vec<NodeId> = arrived.iter().copied().filter(|&n| n != home).collect();
         let mut t = now;
@@ -1171,7 +1410,10 @@ impl DsmSystem {
             // The home itself participates: local release.
             let key = self.msgs.push(ProtoMsg::BarrierRelease { barrier });
             t = self.nodes[home.idx()].dc.occupy(t, self.cfg.costs.dc_send);
-            self.cal.schedule(t, Ev::Recv { node: home, key, acks: 0, kind: DeliveryKind::Final, src: home });
+            self.cal.schedule(
+                t,
+                Ev::Recv { node: home, key, acks: 0, kind: DeliveryKind::Final, src: home },
+            );
         }
         for g in crate::schemes::grouping::row_groups(&mesh, home, &remote) {
             let key = self.msgs.push(ProtoMsg::BarrierRelease { barrier });
@@ -1226,7 +1468,13 @@ impl DsmSystem {
                 self.metrics.writebacks += 1;
                 self.nodes[node.idx()].wb.insert(victim);
                 let home = self.geom.home_of(victim);
-                self.send_cc(node, now, ProtoMsg::Writeback { block: victim, owner: node }, home, VNet::Req);
+                self.send_cc(
+                    node,
+                    now,
+                    ProtoMsg::Writeback { block: victim, owner: node },
+                    home,
+                    VNet::Req,
+                );
             }
         }
     }

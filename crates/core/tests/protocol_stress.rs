@@ -2,15 +2,21 @@
 //! all nodes and all schemes must (a) complete, (b) leave the machine in
 //! a state satisfying the global coherence invariants (SWMR, shared
 //! agreement, uncached purity, no transients).
+//!
+//! Op streams come from the workspace's deterministic [`Rng`] with fixed
+//! seeds; the regression cases at the bottom are shrunken counterexamples
+//! found by earlier property-test runs, kept as pinned deterministic
+//! tests.
 
-use proptest::prelude::*;
 use wormdsm_coherence::Addr;
 use wormdsm_core::{ConsistencyModel, DsmSystem, MemOp, SchemeKind, SystemConfig};
 use wormdsm_mesh::topology::NodeId;
+use wormdsm_sim::Rng;
 
 /// A compact op encoding: (node, block, is_write).
-fn op_stream() -> impl Strategy<Value = Vec<(u8, u8, bool)>> {
-    proptest::collection::vec((0u8..16, 0u8..12, any::<bool>()), 1..120)
+fn op_stream(rng: &mut Rng) -> Vec<(u8, u8, bool)> {
+    let n = rng.range(1, 119) as usize;
+    (0..n).map(|_| (rng.index(16) as u8, rng.index(12) as u8, rng.chance(0.5))).collect()
 }
 
 #[allow(clippy::needless_range_loop)]
@@ -46,20 +52,28 @@ fn drive(sys: &mut DsmSystem, ops: &[(u8, u8, bool)]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_ops_preserve_coherence_under_every_scheme(ops in op_stream()) {
-        for scheme in SchemeKind::ALL {
-            let mut sys = DsmSystem::new(SystemConfig::for_scheme(4, scheme), scheme.build());
-            drive(&mut sys, &ops);
-            sys.verify_coherence().unwrap_or_else(|e| panic!("{scheme}: {e}"));
-        }
+#[test]
+fn random_ops_preserve_coherence_under_every_scheme() {
+    let mut rng = Rng::new(0x57E5_0001);
+    for _ in 0..24 {
+        let ops = op_stream(&mut rng);
+        check_all_schemes(&ops);
     }
+}
 
-    #[test]
-    fn random_ops_preserve_coherence_under_release_consistency(ops in op_stream()) {
+fn check_all_schemes(ops: &[(u8, u8, bool)]) {
+    for scheme in SchemeKind::ALL {
+        let mut sys = DsmSystem::new(SystemConfig::for_scheme(4, scheme), scheme.build());
+        drive(&mut sys, ops);
+        sys.verify_coherence().unwrap_or_else(|e| panic!("{scheme}: {e}"));
+    }
+}
+
+#[test]
+fn random_ops_preserve_coherence_under_release_consistency() {
+    let mut rng = Rng::new(0x57E5_0002);
+    for _ in 0..24 {
+        let ops = op_stream(&mut rng);
         for scheme in [SchemeKind::UiUa, SchemeKind::MiMaCol, SchemeKind::MiMaWf] {
             let mut cfg = SystemConfig::for_scheme(4, scheme);
             cfg.consistency = ConsistencyModel::Release { write_buffer: 4 };
@@ -68,9 +82,13 @@ proptest! {
             sys.verify_coherence().unwrap_or_else(|e| panic!("{scheme}/RC: {e}"));
         }
     }
+}
 
-    #[test]
-    fn random_ops_with_conflict_heavy_cache(ops in op_stream()) {
+#[test]
+fn random_ops_with_conflict_heavy_cache() {
+    let mut rng = Rng::new(0x57E5_0003);
+    for _ in 0..24 {
+        let ops = op_stream(&mut rng);
         // One-set caches force an eviction/writeback storm alongside the
         // invalidation traffic.
         for scheme in [SchemeKind::UiUa, SchemeKind::MiMaTree, SchemeKind::MiMaTwoPhase] {
@@ -100,4 +118,166 @@ fn verify_coherence_passes_after_known_scenarios() {
     sys.issue(NodeId(3), MemOp::Read(a));
     sys.run_until_idle(100_000).unwrap();
     sys.verify_coherence().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Pinned regressions: shrunken counterexamples from earlier runs of the
+// property tests above (formerly proptest-regressions).
+// ---------------------------------------------------------------------
+
+#[test]
+fn regression_two_readers_then_remote_write() {
+    check_all_schemes(&[(0, 0, false), (0, 0, false), (1, 5, false), (13, 5, true)]);
+}
+
+#[test]
+fn regression_interleaved_mixed_29_ops() {
+    check_all_schemes(&[
+        (14, 11, true),
+        (0, 1, false),
+        (9, 8, true),
+        (15, 4, true),
+        (8, 1, false),
+        (8, 3, false),
+        (10, 3, true),
+        (6, 0, false),
+        (3, 7, false),
+        (11, 5, true),
+        (0, 10, true),
+        (8, 5, false),
+        (7, 4, true),
+        (5, 6, true),
+        (0, 2, true),
+        (2, 2, false),
+        (3, 0, true),
+        (4, 2, true),
+        (12, 11, false),
+        (11, 11, true),
+        (2, 1, false),
+        (1, 6, true),
+        (3, 3, true),
+        (14, 5, true),
+        (13, 7, true),
+        (3, 1, false),
+        (12, 2, true),
+        (7, 7, true),
+        (9, 11, false),
+    ]);
+}
+
+#[test]
+fn regression_write_heavy_85_ops() {
+    check_all_schemes(&[
+        (11, 2, false),
+        (5, 9, false),
+        (5, 0, true),
+        (6, 1, true),
+        (5, 8, true),
+        (12, 7, true),
+        (14, 3, true),
+        (8, 7, false),
+        (6, 6, true),
+        (3, 7, true),
+        (11, 7, true),
+        (8, 6, false),
+        (4, 11, false),
+        (14, 7, false),
+        (12, 9, true),
+        (9, 11, false),
+        (15, 7, false),
+        (9, 1, true),
+        (13, 8, true),
+        (3, 9, false),
+        (10, 9, false),
+        (10, 4, true),
+        (7, 5, false),
+        (15, 0, false),
+        (9, 2, true),
+        (0, 11, true),
+        (7, 9, true),
+        (4, 6, true),
+        (2, 5, true),
+        (13, 10, false),
+        (6, 3, false),
+        (9, 6, true),
+        (1, 0, false),
+        (3, 0, false),
+        (4, 8, false),
+        (7, 8, false),
+        (15, 3, false),
+        (13, 5, false),
+        (8, 10, false),
+        (1, 3, true),
+        (10, 4, false),
+        (5, 9, true),
+        (15, 6, true),
+        (9, 3, true),
+        (5, 0, true),
+        (10, 7, true),
+        (5, 8, false),
+        (11, 3, true),
+        (2, 4, false),
+        (7, 9, true),
+        (15, 10, false),
+        (10, 4, true),
+        (15, 11, false),
+        (9, 8, true),
+        (12, 6, false),
+        (11, 5, true),
+        (5, 2, true),
+        (4, 6, false),
+        (6, 2, false),
+        (6, 3, true),
+        (14, 1, false),
+        (3, 6, false),
+        (8, 4, false),
+        (14, 0, false),
+        (10, 7, false),
+        (11, 3, false),
+        (5, 7, true),
+        (11, 9, false),
+        (7, 3, false),
+        (14, 0, true),
+        (3, 0, false),
+        (12, 0, false),
+        (1, 10, true),
+        (15, 2, false),
+        (7, 6, false),
+        (15, 11, false),
+        (10, 7, true),
+        (11, 1, true),
+        (9, 1, false),
+        (11, 0, false),
+        (7, 9, true),
+        (14, 1, false),
+        (14, 1, false),
+        (2, 3, false),
+        (15, 1, false),
+        (11, 7, true),
+    ]);
+}
+
+#[test]
+fn regression_mixed_19_ops() {
+    check_all_schemes(&[
+        (5, 6, true),
+        (0, 0, false),
+        (11, 8, true),
+        (8, 10, false),
+        (6, 1, true),
+        (11, 5, false),
+        (10, 6, true),
+        (7, 5, false),
+        (7, 8, true),
+        (13, 11, true),
+        (15, 7, true),
+        (9, 3, true),
+        (5, 8, true),
+        (12, 6, true),
+        (10, 0, false),
+        (9, 10, true),
+        (10, 3, true),
+        (4, 6, false),
+        (9, 3, true),
+    ]);
 }

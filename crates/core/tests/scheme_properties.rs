@@ -1,54 +1,63 @@
-//! Property-based tests over the scheme geometry: for arbitrary sharer
-//! sets on arbitrary meshes, every scheme must produce structurally valid,
-//! base-routing-conformant plans that cover the sharer set exactly.
+//! Randomized property tests over the scheme geometry: for arbitrary
+//! sharer sets on arbitrary meshes, every scheme must produce structurally
+//! valid, base-routing-conformant plans that cover the sharer set exactly.
+//!
+//! Scenarios are generated from the workspace's deterministic [`Rng`]
+//! with fixed seeds, so every run exercises the same cases.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use wormdsm_core::plan::{validate_plan, AckAction, InvalPlan};
 use wormdsm_core::schemes::{InvalidationScheme, SchemeKind};
 use wormdsm_mesh::routing::{is_conformant, PathRule};
 use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_sim::Rng;
 
-/// Strategy: a mesh size, a home node, and a distinct sharer set
-/// excluding the home.
-fn scenario() -> impl Strategy<Value = (usize, u16, Vec<u16>)> {
-    (4usize..=12).prop_flat_map(|k| {
-        let n = (k * k) as u16;
-        (
-            Just(k),
-            0..n,
-            proptest::collection::hash_set(0..n, 1..=(n as usize - 2).min(40)),
-        )
-            .prop_map(|(k, home, set)| {
-                let sharers: Vec<u16> = set.into_iter().filter(|&s| s != home).collect();
-                (k, home, sharers)
-            })
-            .prop_filter("need at least one sharer", |(_, _, s)| !s.is_empty())
-    })
+/// A mesh size, a home node, and a distinct sharer set excluding the home.
+fn scenario(rng: &mut Rng) -> Option<(usize, u16, Vec<u16>)> {
+    let k = rng.range(4, 12) as usize;
+    let n = (k * k) as u16;
+    let home = rng.below(n as u64) as u16;
+    let want = rng.range(1, (n as u64 - 2).min(40)) as usize;
+    let sharers: Vec<u16> = rng
+        .sample_distinct(n as usize, want)
+        .into_iter()
+        .map(|s| s as u16)
+        .filter(|&s| s != home)
+        .collect();
+    if sharers.is_empty() {
+        None
+    } else {
+        Some((k, home, sharers))
+    }
 }
 
 /// Check every worm path in a plan for conformance.
-fn check_plan_conformance(scheme: &dyn InvalidationScheme, mesh: &Mesh2D, home: NodeId, plan: &InvalPlan) {
+fn check_plan_conformance(
+    scheme: &dyn InvalidationScheme,
+    mesh: &Mesh2D,
+    home: NodeId,
+    plan: &InvalPlan,
+) {
     let req_rule = scheme.kind().natural_routing().request_rule();
     for w in &plan.request_worms {
-        prop_assert_conf(req_rule, mesh, home, &w.dests);
+        assert_conf(req_rule, mesh, home, &w.dests);
     }
     for (delegate, worms) in &plan.relays {
         for w in worms {
-            prop_assert_conf(req_rule, mesh, *delegate, &w.dests);
+            assert_conf(req_rule, mesh, *delegate, &w.dests);
         }
     }
     for (init, a) in &plan.actions {
         if let AckAction::InitGather(w) = a {
-            prop_assert_conf(PathRule::YX, mesh, *init, &w.dests);
+            assert_conf(PathRule::YX, mesh, *init, &w.dests);
         }
     }
     for (node, w) in &plan.triggers {
-        prop_assert_conf(PathRule::YX, mesh, *node, &w.dests);
+        assert_conf(PathRule::YX, mesh, *node, &w.dests);
     }
 }
 
-fn prop_assert_conf(rule: PathRule, mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) {
+fn assert_conf(rule: PathRule, mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) {
     assert!(
         is_conformant(rule, mesh, src, dests),
         "non-conformant {rule:?} path: src {src} dests {dests:?}"
@@ -81,7 +90,8 @@ fn check_coverage(scheme: SchemeKind, plan: &InvalPlan, sharers: &[NodeId]) {
         }
     }
     let want: HashSet<NodeId> = sharers.iter().copied().collect();
-    let got_set: HashSet<NodeId> = delivered.iter().copied().chain(relay_locals.iter().copied()).collect();
+    let got_set: HashSet<NodeId> =
+        delivered.iter().copied().chain(relay_locals.iter().copied()).collect();
     assert_eq!(got_set, want, "{scheme}: delivered set mismatch");
     assert_eq!(
         delivered.len() + relay_locals.len(),
@@ -109,11 +119,11 @@ fn check_deposit_safety(plan: &InvalPlan, sharers: &[NodeId]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn all_schemes_produce_valid_conformant_plans((k, home, sharers) in scenario()) {
+#[test]
+fn all_schemes_produce_valid_conformant_plans() {
+    let mut rng = Rng::new(0x9EA0_0001);
+    for _ in 0..256 {
+        let Some((k, home, sharers)) = scenario(&mut rng) else { continue };
         let mesh = Mesh2D::square(k);
         let home = NodeId(home);
         let sharers: Vec<NodeId> = sharers.into_iter().map(NodeId).collect();
@@ -126,9 +136,13 @@ proptest! {
             check_deposit_safety(&plan, &sharers);
         }
     }
+}
 
-    #[test]
-    fn multidestination_schemes_never_send_more_than_ui_ua((k, home, sharers) in scenario()) {
+#[test]
+fn multidestination_schemes_never_send_more_than_ui_ua() {
+    let mut rng = Rng::new(0x9EA0_0002);
+    for _ in 0..256 {
+        let Some((k, home, sharers)) = scenario(&mut rng) else { continue };
         let mesh = Mesh2D::square(k);
         let home = NodeId(home);
         let sharers: Vec<NodeId> = sharers.into_iter().map(NodeId).collect();
@@ -138,9 +152,13 @@ proptest! {
             assert!(plan.home_sends() <= d, "{scheme} sends {} > d = {d}", plan.home_sends());
         }
     }
+}
 
-    #[test]
-    fn analytic_model_prices_every_plan((k, home, sharers) in scenario()) {
+#[test]
+fn analytic_model_prices_every_plan() {
+    let mut rng = Rng::new(0x9EA0_0003);
+    for _ in 0..256 {
+        let Some((k, home, sharers)) = scenario(&mut rng) else { continue };
         let mesh = Mesh2D::square(k);
         let home = NodeId(home);
         let sharers: Vec<NodeId> = sharers.into_iter().map(NodeId).collect();

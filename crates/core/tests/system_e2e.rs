@@ -148,9 +148,13 @@ fn home_message_count_ordering_matches_paper() {
     let ui = run_invalidation(SchemeKind::UiUa, 8, &SCATTER).metrics().inval_home_msgs.mean();
     let mi_ua = run_invalidation(SchemeKind::MiUaCol, 8, &SCATTER).metrics().inval_home_msgs.mean();
     let mi_ma = run_invalidation(SchemeKind::MiMaCol, 8, &SCATTER).metrics().inval_home_msgs.mean();
-    let two_ph = run_invalidation(SchemeKind::MiMaTwoPhase, 8, &SCATTER).metrics().inval_home_msgs.mean();
+    let two_ph =
+        run_invalidation(SchemeKind::MiMaTwoPhase, 8, &SCATTER).metrics().inval_home_msgs.mean();
     let wf = run_invalidation(SchemeKind::MiMaWf, 8, &SCATTER).metrics().inval_home_msgs.mean();
-    assert!(ui > mi_ua && mi_ua > mi_ma && mi_ma >= two_ph && two_ph >= wf, "{ui} {mi_ua} {mi_ma} {two_ph} {wf}");
+    assert!(
+        ui > mi_ua && mi_ua > mi_ma && mi_ma >= two_ph && two_ph >= wf,
+        "{ui} {mi_ua} {mi_ma} {two_ph} {wf}"
+    );
 }
 
 #[test]
@@ -168,8 +172,7 @@ fn every_scheme_handles_every_sharer_count() {
             sys.seed_shared(b, &sharers);
             let writer = mesh.node_at(7, 0);
             sys.issue(writer, MemOp::Write(a));
-            sys.run_until_idle(200_000)
-                .unwrap_or_else(|e| panic!("{scheme} d={d}: {e}"));
+            sys.run_until_idle(200_000).unwrap_or_else(|e| panic!("{scheme} d={d}: {e}"));
             assert_eq!(sys.metrics().inval_txns, 1, "{scheme} d={d}");
             for &s in &sharers {
                 assert_eq!(sys.cache_state(s, b), None, "{scheme} d={d} at {s}");
@@ -321,11 +324,7 @@ fn write_latency_reflects_invalidation_cost() {
 fn deterministic_across_runs() {
     let run = |scheme: SchemeKind| {
         let sys = run_invalidation(scheme, 8, &SCATTER);
-        (
-            sys.now(),
-            sys.metrics().inval_latency.mean(),
-            sys.net_stats().flit_hops,
-        )
+        (sys.now(), sys.metrics().inval_latency.mean(), sys.net_stats().flit_hops)
     };
     for scheme in SchemeKind::ALL {
         assert_eq!(run(scheme), run(scheme), "{scheme}");
@@ -380,8 +379,14 @@ fn rc_writes_do_not_stall_the_processor() {
     sys.run_until_idle(100_000).unwrap();
     assert_eq!(sys.metrics().write_misses, 2);
     // Both lines arrived Modified.
-    assert_eq!(sys.cache_state(n, sys.geometry().block_of(addr_of_block(&sys, 5))), Some(LineState::Modified));
-    assert_eq!(sys.cache_state(n, sys.geometry().block_of(addr_of_block(&sys, 9))), Some(LineState::Modified));
+    assert_eq!(
+        sys.cache_state(n, sys.geometry().block_of(addr_of_block(&sys, 5))),
+        Some(LineState::Modified)
+    );
+    assert_eq!(
+        sys.cache_state(n, sys.geometry().block_of(addr_of_block(&sys, 9))),
+        Some(LineState::Modified)
+    );
 }
 
 #[test]
@@ -506,8 +511,7 @@ fn writeback_fetch_race_scan() {
         sys.issue(o, MemOp::Write(b));
         sys.run_cycles(offset);
         sys.issue(w2, MemOp::Write(a));
-        sys.run_until_idle(500_000)
-            .unwrap_or_else(|e| panic!("offset {offset}: {e}"));
+        sys.run_until_idle(500_000).unwrap_or_else(|e| panic!("offset {offset}: {e}"));
         let blk = sys.geometry().block_of(a);
         assert_eq!(sys.cache_state(w2, blk), Some(LineState::Modified), "offset {offset}");
     }

@@ -180,6 +180,13 @@ impl NetStats {
 const LOCAL: usize = 4;
 
 /// The whole wormhole-routed mesh: routers, NICs, worms, clock.
+///
+/// `tick` iterates *worklists* rather than sweeping every node: a router
+/// is on the active list whenever it holds buffered flits, and a NIC
+/// whenever it has phase-3 work (queued injections, streaming, consumption
+/// FIFO contents, resumes, or deposit retries). Nodes off both lists are
+/// provably no-ops in every phase, so skipping them is bit-identical to
+/// the full sweep.
 #[derive(Debug)]
 pub struct Network {
     cfg: MeshConfig,
@@ -190,6 +197,14 @@ pub struct Network {
     stats: NetStats,
     /// Worms not yet fully delivered (fast quiescence check).
     live_worms: usize,
+    /// Membership flags for `active_routers` (one per node).
+    router_active: Vec<bool>,
+    /// Routers that may hold flits; superset of `{r : flits > 0}`.
+    active_routers: Vec<usize>,
+    /// Membership flags for `active_nics` (one per node).
+    nic_active: Vec<bool>,
+    /// NICs that may have phase-3 work.
+    active_nics: Vec<usize>,
 }
 
 impl Network {
@@ -204,11 +219,53 @@ impl Network {
             .collect();
         let nics = (0..nodes)
             .map(|i| {
-                Nic::new(NodeId(i as u16), cfg.cons_channels, cfg.cons_buf_flits, cfg.iack_buffers, vcs)
+                Nic::new(
+                    NodeId(i as u16),
+                    cfg.cons_channels,
+                    cfg.cons_buf_flits,
+                    cfg.iack_buffers,
+                    vcs,
+                )
             })
             .collect();
         let stats = NetStats::new(nodes);
-        Self { cfg, routers, nics, worms: WormTable::new(), now: 0, stats, live_worms: 0 }
+        Self {
+            cfg,
+            routers,
+            nics,
+            worms: WormTable::new(),
+            now: 0,
+            stats,
+            live_worms: 0,
+            router_active: vec![false; nodes],
+            active_routers: Vec::new(),
+            nic_active: vec![false; nodes],
+            active_nics: Vec::new(),
+        }
+    }
+
+    fn activate_router(&mut self, r: usize) {
+        if !self.router_active[r] {
+            self.router_active[r] = true;
+            self.active_routers.push(r);
+        }
+    }
+
+    fn activate_nic(&mut self, n: usize) {
+        if !self.nic_active[n] {
+            self.nic_active[n] = true;
+            self.active_nics.push(n);
+        }
+    }
+
+    /// True when this NIC still has phase-3 work queued.
+    fn nic_has_work(&self, n: usize) -> bool {
+        let nic = &self.nics[n];
+        !nic.pending_deposits.is_empty()
+            || !nic.resume_q.is_empty()
+            || nic.streaming.iter().any(|s| s.is_some())
+            || nic.inject_q.iter().any(|q| !q.is_empty())
+            || nic.cons.iter().any(|c| !c.fifo.is_empty())
     }
 
     /// Current simulated cycle.
@@ -257,7 +314,12 @@ impl Network {
             "duplicate destinations"
         );
         debug_assert!(
-            crate::routing::is_conformant(self.cfg.rule_for(spec.vnet), &self.cfg.mesh, spec.src, &spec.dests),
+            crate::routing::is_conformant(
+                self.cfg.rule_for(spec.vnet),
+                &self.cfg.mesh,
+                spec.src,
+                &spec.dests
+            ),
             "non-conformant destination sequence for {:?}: src {} dests {:?}",
             self.cfg.rule_for(spec.vnet),
             spec.src,
@@ -267,6 +329,7 @@ impl Network {
         let src = spec.src;
         let id = self.worms.insert(spec, self.now);
         self.nics[src.idx()].enqueue(vnet, id);
+        self.activate_nic(src.idx());
         self.stats.worms_injected[vnet.index()] += 1;
         self.live_worms += 1;
         id
@@ -282,6 +345,8 @@ impl Network {
 
     /// Post `count` acks worth for `txn` at `node`.
     pub fn post_iack_count(&mut self, node: NodeId, txn: TxnId, count: u32) -> bool {
+        // A post can resolve a parked worm onto the resume queue.
+        self.activate_nic(node.idx());
         !matches!(
             self.nics[node.idx()].post_iack_count(txn, count),
             crate::nic::PostOutcome::NoSpace
@@ -302,9 +367,53 @@ impl Network {
     pub fn tick(&mut self) {
         self.now += 1;
         let now = self.now;
-        self.phase_heads(now);
-        self.phase_movement(now);
-        self.phase_nic(now);
+
+        // Snapshot the router worklist for this cycle. Sorting restores
+        // the ascending node order of the historical full sweep, keeping
+        // runs bit-identical. Flags are cleared so that mid-phase deposits
+        // (which target the *next* cycle — their flits carry a future
+        // `ready_at`) re-arm receivers on the fresh list.
+        let mut router_work = std::mem::take(&mut self.active_routers);
+        router_work.sort_unstable();
+        for &r in &router_work {
+            self.router_active[r] = false;
+        }
+        self.phase_heads(now, &router_work);
+        self.phase_movement(now, &router_work);
+        // Routers that still hold flits stay active next cycle.
+        for &r in &router_work {
+            if self.routers[r].flits > 0 {
+                self.activate_router(r);
+            }
+        }
+
+        let mut nic_work = std::mem::take(&mut self.active_nics);
+        nic_work.sort_unstable();
+        for &n in &nic_work {
+            self.nic_active[n] = false;
+        }
+        self.phase_nic(now, &nic_work);
+        for &n in &nic_work {
+            if self.nic_has_work(n) {
+                self.activate_nic(n);
+            }
+        }
+    }
+
+    /// True when ticking would be a complete no-op: no worms live anywhere
+    /// and no NIC has queued work (deposit retries included). Undrained
+    /// `delivered` queues don't matter — `tick` never touches them.
+    pub fn fully_idle(&self) -> bool {
+        self.live_worms == 0 && self.active_routers.is_empty() && self.active_nics.is_empty()
+    }
+
+    /// Jump the clock to `t` without ticking. Only legal when
+    /// [`Network::fully_idle`] holds, in which case every skipped tick is
+    /// provably a no-op and the jump is bit-identical to ticking.
+    pub fn advance_to(&mut self, t: Cycle) {
+        debug_assert!(self.fully_idle(), "advance_to on a non-idle network");
+        debug_assert!(t >= self.now);
+        self.now = t;
     }
 
     /// Run until quiescent or `max` additional cycles elapse; uses a
@@ -334,11 +443,9 @@ impl Network {
     // Phase 1: head processing.
     // ------------------------------------------------------------------
 
-    #[allow(clippy::needless_range_loop)]
-    fn phase_heads(&mut self, now: Cycle) {
-        let nodes = self.cfg.mesh.nodes();
+    fn phase_heads(&mut self, now: Cycle, work: &[usize]) {
         let vcs = self.cfg.vcs_total();
-        for r in 0..nodes {
+        for &r in work {
             if self.routers[r].flits == 0 {
                 continue;
             }
@@ -386,8 +493,12 @@ impl Network {
             } else {
                 match kind {
                     WormKind::Unicast => unreachable!("unicast has a single destination"),
-                    WormKind::Multicast => self.process_multicast_intermediate(now, r, port, vc, wid, reserve, txn),
-                    WormKind::Gather => self.process_gather_intermediate(now, r, port, vc, wid, txn, len),
+                    WormKind::Multicast => {
+                        self.process_multicast_intermediate(now, r, port, vc, wid, reserve, txn)
+                    }
+                    WormKind::Gather => {
+                        self.process_gather_intermediate(now, r, port, vc, wid, txn, len)
+                    }
                 }
             }
         } else {
@@ -400,21 +511,40 @@ impl Network {
     /// entry at its final destination — that node initiates the i-gather
     /// and carries its own acknowledgement as the gather's initial count.
     #[allow(clippy::too_many_arguments)]
-    fn process_final_dest(&mut self, now: Cycle, r: usize, port: usize, vc: usize, wid: WormId, _reserve: bool, txn: TxnId) {
+    fn process_final_dest(
+        &mut self,
+        now: Cycle,
+        r: usize,
+        port: usize,
+        vc: usize,
+        wid: WormId,
+        _reserve: bool,
+        txn: TxnId,
+    ) {
         let _ = (now, txn);
         let Some(cc) = self.nics[r].free_cons() else {
             self.stats.multicast_blocked_cycles += 1;
             return;
         };
         self.nics[r].reserve_cons(cc, wid, false);
-        self.routers[r].inputs[port][vc].mode = VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
+        self.routers[r].inputs[port][vc].mode =
+            VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
     }
 
     /// Intermediate destination of a multicast: acquire the i-ack entry
     /// (i-reserve worms) and an absorb consumption channel, strip the
     /// header, and continue routing next cycle.
     #[allow(clippy::too_many_arguments)]
-    fn process_multicast_intermediate(&mut self, now: Cycle, r: usize, port: usize, vc: usize, wid: WormId, reserve: bool, txn: TxnId) {
+    fn process_multicast_intermediate(
+        &mut self,
+        now: Cycle,
+        r: usize,
+        port: usize,
+        vc: usize,
+        wid: WormId,
+        reserve: bool,
+        txn: TxnId,
+    ) {
         if reserve && !self.nics[r].reserve_iack(txn) {
             self.stats.multicast_blocked_cycles += 1;
             return;
@@ -434,7 +564,16 @@ impl Network {
     /// Intermediate destination of a gather: check the i-ack buffer;
     /// absorb-and-go, block, or park.
     #[allow(clippy::too_many_arguments)]
-    fn process_gather_intermediate(&mut self, now: Cycle, r: usize, port: usize, vc: usize, wid: WormId, txn: TxnId, len: u16) {
+    fn process_gather_intermediate(
+        &mut self,
+        now: Cycle,
+        r: usize,
+        port: usize,
+        vc: usize,
+        wid: WormId,
+        txn: TxnId,
+        len: u16,
+    ) {
         match self.nics[r].gather_check(txn) {
             GatherCheck::Ready(count) => {
                 let w = self.worms.get_mut(wid);
@@ -473,7 +612,17 @@ impl Network {
 
     /// Normal route computation + output VC allocation.
     #[allow(clippy::too_many_arguments)]
-    fn allocate_route(&mut self, now: Cycle, r: usize, port: usize, vc: usize, wid: WormId, here: NodeId, dest: NodeId, vnet: VNet) {
+    fn allocate_route(
+        &mut self,
+        now: Cycle,
+        r: usize,
+        port: usize,
+        vc: usize,
+        wid: WormId,
+        here: NodeId,
+        dest: NodeId,
+        vnet: VNet,
+    ) {
         let _ = now;
         let rule = self.cfg.rule_for(vnet);
         let turned = self.worms.get(wid).turned;
@@ -504,10 +653,9 @@ impl Network {
     // ------------------------------------------------------------------
 
     #[allow(clippy::needless_range_loop)]
-    fn phase_movement(&mut self, now: Cycle) {
-        let nodes = self.cfg.mesh.nodes();
+    fn phase_movement(&mut self, now: Cycle, work: &[usize]) {
         let vcs = self.cfg.vcs_total();
-        for r in 0..nodes {
+        for &r in work {
             if self.routers[r].flits == 0 {
                 continue;
             }
@@ -530,7 +678,9 @@ impl Network {
                 }
                 for in_vc in 0..vcs {
                     let ivc = &self.routers[r].inputs[in_port][in_vc];
-                    let VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: _ } = ivc.mode else { continue };
+                    let VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: _ } = ivc.mode else {
+                        continue;
+                    };
                     let Some(front) = ivc.buf.front() else { continue };
                     if front.ready_at > now || !self.nics[r].cons[cc].has_space() {
                         continue;
@@ -598,7 +748,15 @@ impl Network {
         best.map(|(_, m)| m)
     }
 
-    fn apply_forward(&mut self, now: Cycle, r: usize, in_port: usize, in_vc: usize, out_port: usize, out_vc: usize) {
+    fn apply_forward(
+        &mut self,
+        now: Cycle,
+        r: usize,
+        in_port: usize,
+        in_vc: usize,
+        out_port: usize,
+        out_vc: usize,
+    ) {
         let bf = self.routers[r].pop(in_port, in_vc);
         let flit = bf.flit;
         let node = self.routers[r].node;
@@ -608,9 +766,11 @@ impl Network {
         };
 
         // Absorb copy (forward-and-absorb).
-        if let VcMode::Active { absorb: Some(cc), .. } = self.routers[r].inputs[in_port][in_vc].mode {
+        if let VcMode::Active { absorb: Some(cc), .. } = self.routers[r].inputs[in_port][in_vc].mode
+        {
             self.nics[r].cons[cc].fifo.push_back(flit);
             self.stats.flits_consumed += 1;
+            self.activate_nic(r);
         }
 
         // Stats + credits.
@@ -632,14 +792,12 @@ impl Network {
         }
 
         // Deposit downstream.
-        let nb = self
-            .cfg
-            .mesh
-            .neighbor(node, dir)
-            .expect("route computation never leaves the mesh");
+        let nb =
+            self.cfg.mesh.neighbor(node, dir).expect("route computation never leaves the mesh");
         let in_port_nb = Port::Dir(dir.opposite()).index();
         let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
         self.routers[nb.idx()].deposit(in_port_nb, out_vc, BufFlit { flit, ready_at: ready });
+        self.activate_router(nb.idx());
 
         // Tail releases allocations.
         if flit.kind == FlitKind::Tail {
@@ -651,6 +809,7 @@ impl Network {
     fn apply_consume(&mut self, r: usize, in_port: usize, in_vc: usize, cc: usize) {
         let bf = self.routers[r].pop(in_port, in_vc);
         self.nics[r].cons[cc].fifo.push_back(bf.flit);
+        self.activate_nic(r);
         self.stats.flits_consumed += 1;
         self.return_credit(r, in_port, in_vc);
         if bf.flit.kind == FlitKind::Tail {
@@ -662,7 +821,10 @@ impl Network {
         let bf = self.routers[r].pop(in_port, in_vc);
         self.return_credit(r, in_port, in_vc);
         let is_tail = bf.flit.kind == FlitKind::Tail;
-        self.nics[r].park_drain(entry, is_tail);
+        if self.nics[r].park_drain(entry, is_tail).is_some() {
+            // Park resolved onto the resume queue.
+            self.activate_nic(r);
+        }
         if is_tail {
             self.routers[r].inputs[in_port][in_vc].mode = VcMode::Normal;
         }
@@ -678,11 +840,7 @@ impl Network {
             Port::Local => unreachable!(),
         };
         let node = self.routers[r].node;
-        let up = self
-            .cfg
-            .mesh
-            .neighbor(node, dir)
-            .expect("input port faces a neighbor");
+        let up = self.cfg.mesh.neighbor(node, dir).expect("input port faces a neighbor");
         let up_out = Port::Dir(dir.opposite()).index();
         self.routers[up.idx()].out_credit[up_out][in_vc] += 1;
     }
@@ -691,9 +849,8 @@ impl Network {
     // Phase 3: NIC work.
     // ------------------------------------------------------------------
 
-    fn phase_nic(&mut self, now: Cycle) {
-        let nodes = self.cfg.mesh.nodes();
-        for n in 0..nodes {
+    fn phase_nic(&mut self, now: Cycle, work: &[usize]) {
+        for &n in work {
             self.nic_flush_deposits(n);
             self.nic_drain(now, n);
             self.nic_resume(n);
@@ -852,6 +1009,7 @@ impl Network {
             };
             let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
             self.routers[n].deposit(LOCAL, vc, BufFlit { flit, ready_at: ready });
+            self.activate_router(n);
             self.stats.flits_injected += 1;
             if flit.kind == FlitKind::Head {
                 let w = self.worms.get_mut(st.worm);

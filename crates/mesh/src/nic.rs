@@ -195,7 +195,13 @@ impl Nic {
     /// Create a NIC with `cons_channels` consumption channels of
     /// `cons_cap` flits each, `iack_entries` i-ack buffers, and
     /// `local_vcs` local input virtual channels.
-    pub fn new(node: NodeId, cons_channels: usize, cons_cap: usize, iack_entries: usize, local_vcs: usize) -> Self {
+    pub fn new(
+        node: NodeId,
+        cons_channels: usize,
+        cons_cap: usize,
+        iack_entries: usize,
+        local_vcs: usize,
+    ) -> Self {
         assert!(cons_channels >= 1 && iack_entries >= 1 && local_vcs >= NUM_VNETS);
         Self {
             node,
@@ -234,9 +240,7 @@ impl Nic {
 
     /// Find the entry index holding `txn`, if any.
     pub fn find_iack(&self, txn: TxnId) -> Option<usize> {
-        self.iack
-            .iter()
-            .position(|e| e.as_ref().is_some_and(|e| e.txn == txn))
+        self.iack.iter().position(|e| e.as_ref().is_some_and(|e| e.txn == txn))
     }
 
     /// Index of a free i-ack entry, if any.
@@ -382,7 +386,11 @@ mod tests {
         n.reserve_cons(idx, WormId(1), false);
         assert_eq!(n.free_cons_count(), 3);
         assert!(!n.cons[idx].is_free());
-        n.cons[idx].fifo.push_back(Flit { worm: WormId(1), kind: crate::worm::FlitKind::Head, seq: 0 });
+        n.cons[idx].fifo.push_back(Flit {
+            worm: WormId(1),
+            kind: crate::worm::FlitKind::Head,
+            seq: 0,
+        });
         assert!(n.cons[idx].has_space());
         // Drain and release.
         n.cons[idx].fifo.pop_front();

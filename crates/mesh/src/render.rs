@@ -134,7 +134,8 @@ mod tests {
     fn violation_propagates() {
         let m = Mesh2D::square(4);
         // Two columns under XY: not conformant.
-        let err = render_path(&m, PathRule::XY, m.node_at(0, 0), &[m.node_at(1, 2), m.node_at(2, 3)]);
+        let err =
+            render_path(&m, PathRule::XY, m.node_at(0, 0), &[m.node_at(1, 2), m.node_at(2, 3)]);
         assert!(err.is_err());
     }
 
@@ -143,13 +144,8 @@ mod tests {
         let m = Mesh2D::square(4);
         let w1 = [m.node_at(1, 2)];
         let w2 = [m.node_at(3, 1)];
-        let pic = render_worms(
-            &m,
-            PathRule::XY,
-            m.node_at(0, 0),
-            &[(&w1, None), (&w2, None)],
-        )
-        .unwrap();
+        let pic =
+            render_worms(&m, PathRule::XY, m.node_at(0, 0), &[(&w1, None), (&w2, None)]).unwrap();
         assert!(pic.contains('1') || pic.contains('D'));
         assert!(pic.contains('2'));
         assert!(pic.starts_with('S'));

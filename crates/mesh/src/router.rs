@@ -108,7 +108,11 @@ impl Router {
     /// discipline must prevent it).
     pub fn deposit(&mut self, port: usize, vc: usize, bf: BufFlit) {
         let ivc = &mut self.inputs[port][vc];
-        assert!(ivc.buf.len() < ivc.cap, "input buffer overflow at {} port {port} vc {vc}", self.node);
+        assert!(
+            ivc.buf.len() < ivc.cap,
+            "input buffer overflow at {} port {port} vc {vc}",
+            self.node
+        );
         ivc.buf.push_back(bf);
         self.flits += 1;
     }
@@ -144,7 +148,11 @@ mod tests {
 
     fn bf(seq: u16) -> BufFlit {
         BufFlit {
-            flit: Flit { worm: WormId(0), kind: if seq == 0 { FlitKind::Head } else { FlitKind::Body }, seq },
+            flit: Flit {
+                worm: WormId(0),
+                kind: if seq == 0 { FlitKind::Head } else { FlitKind::Body },
+                seq,
+            },
             ready_at: 0,
         }
     }

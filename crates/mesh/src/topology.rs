@@ -55,7 +55,8 @@ pub enum Direction {
 
 impl Direction {
     /// All directions, in the fixed order used for port indexing.
-    pub const ALL: [Direction; 4] = [Direction::East, Direction::West, Direction::North, Direction::South];
+    pub const ALL: [Direction; 4] =
+        [Direction::East, Direction::West, Direction::North, Direction::South];
 
     /// The opposite direction.
     pub fn opposite(self) -> Direction {

@@ -103,7 +103,9 @@ fn multicast_absorbs_at_intermediate_and_consumes_at_final() {
     let d3 = m.node_at(7, 3);
     net.inject(multicast(src, vec![d1, d2, d3], false, 1));
     net.run_until_quiescent(10_000).unwrap();
-    for (n, expected) in [(d1, DeliveryKind::Absorb), (d2, DeliveryKind::Absorb), (d3, DeliveryKind::Final)] {
+    for (n, expected) in
+        [(d1, DeliveryKind::Absorb), (d2, DeliveryKind::Absorb), (d3, DeliveryKind::Final)]
+    {
         let ds = net.take_deliveries(n);
         assert_eq!(ds.len(), 1, "{n} got {} deliveries", ds.len());
         assert_eq!(ds[0].kind, expected, "at {n}");
@@ -277,10 +279,7 @@ fn different_vnets_do_not_serialize() {
     // Reply vnet shares the physical link (both worms still progress, the
     // difference must be far below full serialization).
     let serialized_gap = 16;
-    assert!(
-        lb < la + serialized_gap,
-        "vnets should share the link cycle-by-cycle ({la} vs {lb})"
-    );
+    assert!(lb < la + serialized_gap, "vnets should share the link cycle-by-cycle ({la} vs {lb})");
 }
 
 #[test]

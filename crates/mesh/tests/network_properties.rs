@@ -1,28 +1,38 @@
-//! Property-based tests on the network engine: conservation laws,
+//! Randomized property tests on the network engine: conservation laws,
 //! delivery completeness, credit restoration, and deterministic replay
 //! under arbitrary traffic.
+//!
+//! Traffic batches are generated from the workspace's deterministic
+//! [`Rng`] with fixed seeds, so every run exercises the same cases.
 
-use proptest::prelude::*;
 use wormdsm_mesh::network::{MeshConfig, Network};
 use wormdsm_mesh::topology::{Mesh2D, NodeId};
 use wormdsm_mesh::worm::{TxnId, VNet, WormKind, WormSpec};
+use wormdsm_sim::Rng;
 
-/// A batch of random unicasts on a k x k mesh.
-fn unicast_batch() -> impl Strategy<Value = (usize, Vec<(u16, u16, u16, bool)>)> {
-    (4usize..=8).prop_flat_map(|k| {
-        let n = (k * k) as u16;
-        (
-            Just(k),
-            proptest::collection::vec((0..n, 0..n, 4u16..=40, any::<bool>()), 1..40),
-        )
-    })
+/// A batch of random unicasts on a k x k mesh: (src, dst, len, reply).
+fn unicast_batch(rng: &mut Rng) -> (usize, Vec<(u16, u16, u16, bool)>) {
+    let k = rng.range(4, 8) as usize;
+    let n = (k * k) as u16;
+    let count = rng.range(1, 39) as usize;
+    let batch = (0..count)
+        .map(|_| {
+            (
+                rng.below(n as u64) as u16,
+                rng.below(n as u64) as u16,
+                rng.range(4, 40) as u16,
+                rng.chance(0.5),
+            )
+        })
+        .collect();
+    (k, batch)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_unicast_is_delivered_exactly_once((k, batch) in unicast_batch()) {
+#[test]
+fn every_unicast_is_delivered_exactly_once() {
+    let mut rng = Rng::new(0x0E57_0001);
+    for _ in 0..64 {
+        let (k, batch) = unicast_batch(&mut rng);
         let mut net = Network::new(MeshConfig::paper_defaults(k));
         let mut expected = vec![0usize; k * k];
         let mut injected_flits = 0u64;
@@ -39,15 +49,19 @@ proptest! {
         // Delivery completeness.
         for (i, want) in expected.iter().enumerate() {
             let got = net.take_deliveries(NodeId(i as u16)).len();
-            prop_assert_eq!(got, *want, "node {}", i);
+            assert_eq!(got, *want, "node {i}");
         }
         // Flit conservation: everything injected was consumed.
-        prop_assert_eq!(net.stats().flits_injected, injected_flits);
-        prop_assert_eq!(net.stats().flits_consumed, injected_flits);
+        assert_eq!(net.stats().flits_injected, injected_flits);
+        assert_eq!(net.stats().flits_consumed, injected_flits);
     }
+}
 
-    #[test]
-    fn deterministic_replay_arbitrary_batch((k, batch) in unicast_batch()) {
+#[test]
+fn deterministic_replay_arbitrary_batch() {
+    let mut rng = Rng::new(0x0E57_0002);
+    for _ in 0..32 {
+        let (k, batch) = unicast_batch(&mut rng);
         let run = || {
             let mut net = Network::new(MeshConfig::paper_defaults(k));
             for (src, dst, len, reply) in &batch {
@@ -60,27 +74,31 @@ proptest! {
             net.run_until_quiescent(1_000_000).expect("quiesces");
             (net.now(), net.stats().flit_hops, net.stats().unicast_latency.mean())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    #[test]
-    fn column_multicasts_deliver_to_every_destination(
-        k in 5usize..=8,
-        col in 0usize..5,
-        rows in proptest::collection::btree_set(0usize..5, 1..5),
-        src_x in 0usize..5,
-        reserve in any::<bool>(),
-    ) {
+#[test]
+fn column_multicasts_deliver_to_every_destination() {
+    let mut rng = Rng::new(0x0E57_0003);
+    for _ in 0..64 {
+        let k = rng.range(5, 8) as usize;
+        let col = rng.index(5);
+        let row_count = rng.range(1, 4) as usize;
+        let mut rows: Vec<usize> = rng.sample_distinct(5, row_count);
+        rows.sort_unstable();
+        let src_x = rng.index(5);
+        let reserve = rng.chance(0.5);
+
         let mesh = Mesh2D::square(k);
         // Source on row 0; destinations down one column, monotone south,
         // excluding the source position.
         let src = mesh.node_at(src_x, 0);
-        let dests: Vec<NodeId> = rows
-            .iter()
-            .map(|&r| mesh.node_at(col, r + (k - 5)))
-            .filter(|&d| d != src)
-            .collect();
-        prop_assume!(!dests.is_empty());
+        let dests: Vec<NodeId> =
+            rows.iter().map(|&r| mesh.node_at(col, r + (k - 5))).filter(|&d| d != src).collect();
+        if dests.is_empty() {
+            continue;
+        }
         let mut net = Network::new(MeshConfig::paper_defaults(k));
         net.inject(WormSpec {
             src,
@@ -97,17 +115,23 @@ proptest! {
         });
         net.run_until_quiescent(1_000_000).expect("quiesces");
         for d in &dests {
-            prop_assert_eq!(net.take_deliveries(*d).len(), 1, "at {}", d);
+            assert_eq!(net.take_deliveries(*d).len(), 1, "at {d}");
         }
         // Absorb copies + final consumption all drained.
-        prop_assert_eq!(net.stats().flits_consumed, dests.len() as u64 * 8);
+        assert_eq!(net.stats().flits_consumed, dests.len() as u64 * 8);
     }
+}
 
-    #[test]
-    fn reserve_post_gather_roundtrip(
-        k in 5usize..=8,
-        rows in proptest::collection::btree_set(1usize..5, 2..5),
-    ) {
+#[test]
+fn reserve_post_gather_roundtrip() {
+    let mut rng = Rng::new(0x0E57_0004);
+    for _ in 0..64 {
+        let k = rng.range(5, 8) as usize;
+        let row_count = rng.range(2, 4) as usize;
+        let mut rows: Vec<usize> =
+            rng.sample_distinct(4, row_count).into_iter().map(|r| r + 1).collect();
+        rows.sort_unstable();
+
         let mesh = Mesh2D::square(k);
         let home = mesh.node_at(0, 0);
         let col = 3;
@@ -130,7 +154,7 @@ proptest! {
         net.run_until_quiescent(1_000_000).expect("multicast done");
         // Post at every intermediate destination (all but the last).
         for d in &dests[..dests.len() - 1] {
-            prop_assert!(net.post_iack(*d, txn));
+            assert!(net.post_iack(*d, txn));
         }
         // Gather retraces the group and ends at home.
         let mut gd: Vec<NodeId> = dests.iter().rev().skip(1).copied().collect();
@@ -151,7 +175,7 @@ proptest! {
         });
         net.run_until_quiescent(1_000_000).expect("gather done");
         let ds = net.take_deliveries(home);
-        prop_assert_eq!(ds.len(), 1);
-        prop_assert_eq!(ds[0].acks as usize, dests.len(), "one ack per sharer");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].acks as usize, dests.len(), "one ack per sharer");
     }
 }

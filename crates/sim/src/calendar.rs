@@ -3,10 +3,15 @@
 //! A min-heap keyed by `(time, sequence)` so that events scheduled for the
 //! same cycle fire in insertion order — the property that makes whole-system
 //! runs reproducible regardless of heap internals.
+//!
+//! Cancellation is lazy (cancelled entries stay in the heap until they reach
+//! the top), but liveness is tracked eagerly through the `pending` set, so
+//! `len`/`is_empty` are O(1) and cancelling an event that already fired can
+//! never grow internal state.
 
 use crate::Cycle;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Opaque handle identifying a scheduled event; can be used to cancel it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,7 +47,12 @@ impl<E> Ord for Entry<E> {
 pub struct Calendar<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    /// Seqs scheduled but not yet popped or cancelled. `pending.len()` is
+    /// the live event count.
+    pending: HashSet<u64>,
+    /// Seqs cancelled while still pending; their heap entries are dropped
+    /// lazily when they surface at the top.
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for Calendar<E> {
@@ -57,7 +67,8 @@ impl<E> Calendar<E> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
         }
     }
 
@@ -66,13 +77,16 @@ impl<E> Calendar<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, seq, payload }));
+        self.pending.insert(seq);
         EventHandle(seq)
     }
 
     /// Cancel a previously scheduled event. Cancelling an already-fired or
     /// already-cancelled event is a no-op.
     pub fn cancel(&mut self, h: EventHandle) {
-        self.cancelled.insert(h.0);
+        if self.pending.remove(&h.0) {
+            self.cancelled.insert(h.0);
+        }
     }
 
     /// Time of the earliest pending event, if any.
@@ -86,6 +100,7 @@ impl<E> Calendar<E> {
         self.skip_cancelled();
         if self.heap.peek().is_some_and(|Reverse(e)| e.at <= now) {
             let Reverse(e) = self.heap.pop().expect("peeked");
+            self.pending.remove(&e.seq);
             Some((e.at, e.payload))
         } else {
             None
@@ -95,22 +110,20 @@ impl<E> Calendar<E> {
     /// Pop the earliest event unconditionally (advancing time), if any.
     pub fn pop_next(&mut self) -> Option<(Cycle, E)> {
         self.skip_cancelled();
-        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+        self.heap.pop().map(|Reverse(e)| {
+            self.pending.remove(&e.seq);
+            (e.at, e.payload)
+        })
     }
 
-    /// Number of live (non-cancelled) pending events.
-    ///
-    /// O(n) over the retained heap; intended for tests and diagnostics.
+    /// Number of live (non-cancelled) pending events. O(1).
     pub fn len(&self) -> usize {
-        self.heap
-            .iter()
-            .filter(|Reverse(e)| !self.cancelled.contains(&e.seq))
-            .count()
+        self.pending.len()
     }
 
-    /// True when no live events remain.
+    /// True when no live events remain. O(1).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.pending.is_empty()
     }
 
     fn skip_cancelled(&mut self) {
@@ -190,5 +203,56 @@ mod tests {
         c.schedule(8, 2);
         c.cancel(h);
         assert_eq!(c.peek_time(), Some(8));
+    }
+
+    /// Regression: cancelling handles of already-fired events used to insert
+    /// them into the tombstone set where nothing could ever remove them —
+    /// unbounded growth over a long run. A post-fire cancel must leave no
+    /// trace, and lazily-dropped tombstones must be reclaimed when their
+    /// entries surface.
+    #[test]
+    fn cancelled_set_never_leaks() {
+        let mut c = Calendar::new();
+        let mut handles = Vec::new();
+        for i in 0..1000 {
+            handles.push(c.schedule(i, i));
+        }
+        while c.pop_next().is_some() {}
+        for h in handles {
+            c.cancel(h); // all fired: every cancel is a no-op
+        }
+        assert!(c.cancelled.is_empty(), "post-fire cancels must not accumulate");
+        assert!(c.pending.is_empty());
+
+        // Live cancels are reclaimed once their entries are skipped.
+        let hs: Vec<_> = (0..100).map(|i| c.schedule(2000 + i, i)).collect();
+        for h in &hs {
+            c.cancel(*h);
+        }
+        assert!(c.is_empty());
+        assert_eq!(c.pop_next(), None);
+        assert!(c.cancelled.is_empty(), "skipped tombstones must be reclaimed");
+        assert_eq!(c.heap.len(), 0);
+    }
+
+    /// `len`/`is_empty` must agree with a naive recount under interleaved
+    /// schedule/cancel/pop traffic.
+    #[test]
+    fn live_count_tracks_heap_contents() {
+        let mut c = Calendar::new();
+        let h1 = c.schedule(10, 'a');
+        let h2 = c.schedule(20, 'b');
+        c.schedule(30, 'c');
+        assert_eq!(c.len(), 3);
+        c.cancel(h2);
+        assert_eq!(c.len(), 2);
+        c.cancel(h2); // double-cancel: no-op
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.pop_next(), Some((10, 'a')));
+        assert_eq!(c.len(), 1);
+        c.cancel(h1); // fired: no-op
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pop_next(), Some((30, 'c')));
+        assert!(c.is_empty());
     }
 }

@@ -80,22 +80,38 @@ impl Summary {
 
     /// Arithmetic mean; 0 if empty.
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population standard deviation; 0 if fewer than 2 observations.
     pub fn stddev(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { (self.m2 / self.n as f64).sqrt() }
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
     }
 
     /// Minimum observation; 0 if empty.
     pub fn min(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.min }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
     }
 
     /// Maximum observation; 0 if empty.
     pub fn max(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.max }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
     }
 
     /// Merge another summary into this one (parallel sweeps).
@@ -290,7 +306,11 @@ impl BusyTime {
 
     /// Utilization over `[0, now]`.
     pub fn utilization(&self, now: Cycle) -> f64 {
-        if now == 0 { 0.0 } else { self.total_busy as f64 / now as f64 }
+        if now == 0 {
+            0.0
+        } else {
+            self.total_busy as f64 / now as f64
+        }
     }
 }
 
@@ -387,7 +407,7 @@ mod tests {
         t.set(0, 0.0);
         t.set(10, 2.0); // value 0 for [0,10)
         t.set(30, 4.0); // value 2 for [10,30)
-        // value 4 for [30,40)
+                        // value 4 for [30,40)
         let avg = t.average(40);
         // (0*10 + 2*20 + 4*10) / 40 = 80/40 = 2
         assert!((avg - 2.0).abs() < 1e-12);

@@ -47,25 +47,26 @@ impl Workload {
         let start = sys.now();
         let deadline = start + max_cycles;
         let mut issued = 0u64;
+        // Poll only processors that still have queued ops. The set is kept
+        // in ascending node order and only ever shrinks, so issue order is
+        // identical to sweeping every node each cycle.
+        let ops = &mut self.ops;
+        let mut runnable: Vec<usize> = (0..ops.len()).filter(|&p| !ops[p].is_empty()).collect();
         loop {
-            let mut remaining = false;
-            for p in 0..self.ops.len() {
+            runnable.retain(|&p| {
                 let node = NodeId(p as u16);
-                if self.ops[p].is_empty() {
-                    continue;
-                }
-                remaining = true;
                 if sys.proc_idle(node) {
-                    let op = self.ops[p].pop_front().expect("non-empty");
+                    let op = ops[p].pop_front().expect("runnable implies non-empty");
                     sys.issue(node, op);
                     issued += 1;
                 }
-            }
-            if !remaining && sys.idle() {
+                !ops[p].is_empty()
+            });
+            if runnable.is_empty() && sys.idle() {
                 return Ok(RunResult { cycles: sys.now() - start, issued });
             }
             if sys.now() >= deadline {
-                let left = self.total_ops();
+                let left: usize = ops.iter().map(|q| q.len()).sum();
                 return Err(format!(
                     "workload incomplete after {max_cycles} cycles: {issued} issued, {left} queued"
                 ));

@@ -51,17 +51,11 @@ pub fn gen_pattern(mesh: &Mesh2D, kind: PatternKind, d: usize, rng: &mut Rng) ->
         PatternKind::UniformRandom => mesh.iter_nodes().filter(|&x| x != home).collect(),
         PatternKind::SameColumn => {
             let col = rng.index(mesh.width());
-            (0..mesh.height())
-                .map(|y| mesh.node_at(col, y))
-                .filter(|&x| x != home)
-                .collect()
+            (0..mesh.height()).map(|y| mesh.node_at(col, y)).filter(|&x| x != home).collect()
         }
         PatternKind::SameRow => {
             let row = rng.index(mesh.height());
-            (0..mesh.width())
-                .map(|x| mesh.node_at(x, row))
-                .filter(|&x| x != home)
-                .collect()
+            (0..mesh.width()).map(|x| mesh.node_at(x, row)).filter(|&x| x != home).collect()
         }
         PatternKind::Cluster { radius } => {
             let cx = rng.index(mesh.width());
@@ -76,11 +70,7 @@ pub fn gen_pattern(mesh: &Mesh2D, kind: PatternKind, d: usize, rng: &mut Rng) ->
                 .collect()
         }
     };
-    assert!(
-        candidates.len() > d,
-        "{kind:?} offers {} nodes for d={d} + writer",
-        candidates.len()
-    );
+    assert!(candidates.len() > d, "{kind:?} offers {} nodes for d={d} + writer", candidates.len());
     let picks = rng.sample_distinct(candidates.len(), d + 1);
     let mut chosen: Vec<NodeId> = picks.into_iter().map(|i| candidates[i]).collect();
     let writer = chosen.pop().expect("d+1 picks");
@@ -149,7 +139,12 @@ pub fn migratory_workload(nodes: usize, blocks: usize, rounds: usize, compute: u
 /// round; every consumer re-reads them. Each round's writes invalidate
 /// all `nodes - 1` consumers — the regime where multidestination
 /// invalidation pays off most; round boundaries use flag barriers.
-pub fn producer_consumer_workload(nodes: usize, blocks: usize, rounds: usize, compute: u64) -> Workload {
+pub fn producer_consumer_workload(
+    nodes: usize,
+    blocks: usize,
+    rounds: usize,
+    compute: u64,
+) -> Workload {
     let mut w = Workload::new(nodes);
     let producer = 0usize;
     let mut barrier = 0u16;
@@ -269,15 +264,9 @@ mod tests {
     fn producer_consumer_rounds_shape() {
         let w = producer_consumer_workload(4, 3, 2, 5);
         // Producer writes 3 blocks per round; consumers read them.
-        let producer_writes = w.ops[0]
-            .iter()
-            .filter(|o| matches!(o, MemOp::Write(_)))
-            .count();
+        let producer_writes = w.ops[0].iter().filter(|o| matches!(o, MemOp::Write(_))).count();
         assert_eq!(producer_writes, 6);
-        let consumer_reads = w.ops[1]
-            .iter()
-            .filter(|o| matches!(o, MemOp::Read(_)))
-            .count();
+        let consumer_reads = w.ops[1].iter().filter(|o| matches!(o, MemOp::Read(_))).count();
         assert_eq!(consumer_reads, 6);
     }
 

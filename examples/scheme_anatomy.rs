@@ -35,16 +35,17 @@ fn main() {
                     format!("({},{}){}", c.x, c.y, if wp { "*" } else { "" })
                 })
                 .collect();
-            println!("  worm {i} [{kind}{}]: {}", if w.reserve_iack { "+reserve" } else { "" }, dests.join(" -> "));
+            println!(
+                "  worm {i} [{kind}{}]: {}",
+                if w.reserve_iack { "+reserve" } else { "" },
+                dests.join(" -> ")
+            );
         }
         // Picture of the request-phase worms (S = home, D = delivery,
         // w = routing waypoint, digits = worm paths).
         let rule = scheme.natural_routing().request_rule();
-        let worm_views: Vec<(&[_], Option<&[bool]>)> = plan
-            .request_worms
-            .iter()
-            .map(|w| (w.dests.as_slice(), w.deliver.as_deref()))
-            .collect();
+        let worm_views: Vec<(&[_], Option<&[bool]>)> =
+            plan.request_worms.iter().map(|w| (w.dests.as_slice(), w.deliver.as_deref())).collect();
         if let Ok(pic) = render_worms(&mesh, rule, home, &worm_views) {
             for line in pic.lines() {
                 println!("    {line}");
@@ -58,8 +59,18 @@ fn main() {
                 AckAction::InitGather(_) => gathers += 1,
             }
         }
-        println!("  acks: {unicasts} unicast, {posts} posted, {gathers} gather initiators, {} sweeps", plan.triggers.len());
-        let e = estimate_invalidation(&NetParams::default(), &mesh, scheme.natural_routing(), s.as_ref(), home, &sharers);
+        println!(
+            "  acks: {unicasts} unicast, {posts} posted, {gathers} gather initiators, {} sweeps",
+            plan.triggers.len()
+        );
+        let e = estimate_invalidation(
+            &NetParams::default(),
+            &mesh,
+            scheme.natural_routing(),
+            s.as_ref(),
+            home,
+            &sharers,
+        );
         println!(
             "  analytic: home {}+{} msgs, {} total, {} flit-hops, ~{:.0} cycles\n",
             e.home_sends, e.home_recvs, e.total_msgs, e.traffic_flit_hops, e.latency

@@ -12,7 +12,12 @@ use wormdsm::workloads::apps::lu::{self, LuConfig};
 use wormdsm::workloads::{gen_pattern, PatternKind, Workload};
 
 fn run_app(scheme: SchemeKind, k: usize, w: Workload) -> (u64, DsmSystem) {
+    run_app_ff(scheme, k, w, true)
+}
+
+fn run_app_ff(scheme: SchemeKind, k: usize, w: Workload, fast_forward: bool) -> (u64, DsmSystem) {
     let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    sys.set_fast_forward(fast_forward);
     let r = w.run(&mut sys, 50_000_000).unwrap_or_else(|e| panic!("{scheme}: {e}"));
     (r.cycles, sys)
 }
@@ -34,7 +39,9 @@ fn apsp_runs_under_every_scheme_and_multidestination_wins() {
     let ui = cycles.iter().find(|(s, _)| *s == SchemeKind::UiUa).expect("baseline").1;
     let best_ma = cycles
         .iter()
-        .filter(|(s, _)| matches!(s, SchemeKind::MiMaCol | SchemeKind::MiMaTree | SchemeKind::MiMaTwoPhase))
+        .filter(|(s, _)| {
+            matches!(s, SchemeKind::MiMaCol | SchemeKind::MiMaTree | SchemeKind::MiMaTwoPhase)
+        })
         .map(|(_, c)| *c)
         .min()
         .expect("MA schemes ran");
@@ -72,6 +79,56 @@ fn app_runs_are_deterministic() {
     assert_eq!(c1, c2);
     assert_eq!(s1.net_stats().flit_hops, s2.net_stats().flit_hops);
     assert_eq!(s1.metrics().inval_latency.mean(), s2.metrics().inval_latency.mean());
+}
+
+/// Dead-cycle fast-forwarding must be invisible: a fast-forwarded run and
+/// a per-cycle-stepped run of the same app must agree on every cycle
+/// count, every flit hop, and the full invalidation-latency distribution.
+#[test]
+fn fast_forward_runs_are_bit_identical_to_per_cycle_stepping() {
+    type Gen = fn() -> Workload;
+    let apps: Vec<(&str, Gen)> = vec![
+        ("bh", || {
+            barnes_hut::generate(&BarnesHutConfig {
+                procs: 16,
+                bodies: 32,
+                steps: 2,
+                ..Default::default()
+            })
+        }),
+        ("lu", || lu::generate(&LuConfig { n: 32, block: 8, procs: 16, flop_cost: 16 })),
+        ("apsp", || apsp::generate(&ApspConfig { n: 16, procs: 16, relax_cost: 16 })),
+    ];
+    for (name, gen) in apps {
+        for scheme in [SchemeKind::UiUa, SchemeKind::MiMaCol] {
+            let (c_slow, slow) = run_app_ff(scheme, 4, gen(), false);
+            let (c_fast, fast) = run_app_ff(scheme, 4, gen(), true);
+            assert_eq!(c_slow, c_fast, "{name}/{scheme}: cycle count diverged");
+            assert_eq!(slow.now(), fast.now(), "{name}/{scheme}: clock diverged");
+            assert_eq!(
+                slow.net_stats().flit_hops,
+                fast.net_stats().flit_hops,
+                "{name}/{scheme}: flit hops diverged"
+            );
+            assert_eq!(
+                slow.net_stats().flits_injected,
+                fast.net_stats().flits_injected,
+                "{name}/{scheme}: injected flits diverged"
+            );
+            let (ms, mf) = (slow.metrics(), fast.metrics());
+            assert_eq!(ms.inval_txns, mf.inval_txns, "{name}/{scheme}: txn count diverged");
+            for (what, a, b) in [
+                ("count", ms.inval_latency.count() as f64, mf.inval_latency.count() as f64),
+                ("sum", ms.inval_latency.sum(), mf.inval_latency.sum()),
+                ("min", ms.inval_latency.min(), mf.inval_latency.min()),
+                ("max", ms.inval_latency.max(), mf.inval_latency.max()),
+                ("stddev", ms.inval_latency.stddev(), mf.inval_latency.stddev()),
+            ] {
+                assert_eq!(a, b, "{name}/{scheme}: inval latency {what} diverged");
+            }
+            assert_eq!(ms.stall_cycles, mf.stall_cycles, "{name}/{scheme}: stall cycles diverged");
+        }
+    }
 }
 
 #[test]
