@@ -34,7 +34,7 @@ fn cross_at_center(k: usize, channels: usize, len: u16) -> (u64, f64, u64) {
             src: *src,
             vnet: VNet::Req,
             kind: WormKind::Multicast,
-            dests: vec![hot, *end],
+            dests: [hot, *end].into(),
             len_flits: len,
             payload: i as u64,
             reserve_iack: false,

@@ -1,14 +1,21 @@
-//! Run every experiment (E1-E13) in sequence, mirroring the paper's full
-//! evaluation. Pass `--quick` to use reduced trial counts and problem
-//! sizes.
+//! Run every experiment (E1-E13), mirroring the paper's full evaluation.
 //!
-//! Usage: `run_all [--quick]`
+//! Experiments run concurrently across the machine's cores (each is an
+//! independent process), but their captured output is printed strictly in
+//! the fixed experiment order, so the combined report is byte-identical
+//! to a serial run. Pass `--serial` to fall back to one-at-a-time
+//! execution with inherited stdio (handy for watching progress), or
+//! `--quick` for reduced trial counts and problem sizes.
+//!
+//! Usage: `run_all [--quick] [--serial]`
 
+use std::io::Write;
 use std::process::Command;
-use wormdsm_bench::flag;
+use wormdsm_bench::{flag, par_map};
 
 fn main() {
     let quick = flag("--quick");
+    let serial = flag("--serial");
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("target dir");
     let experiments: &[(&str, &[&str])] = &[
@@ -27,12 +34,12 @@ fn main() {
         ("exp_ablations", &[]),
         ("exp_sharing_classes", &[]),
     ];
-    for (name, extra) in experiments {
-        let bin = dir.join(name);
-        let mut cmd = Command::new(&bin);
-        cmd.args(*extra);
+
+    let build = |name: &str, extra: &[&str]| {
+        let mut cmd = Command::new(dir.join(name));
+        cmd.args(extra);
         if quick {
-            match *name {
+            match name {
                 "exp_latency_vs_sharers" | "exp_occupancy" | "exp_traffic" | "exp_mesh_size" => {
                     cmd.args(["--trials", "5"]);
                 }
@@ -45,8 +52,29 @@ fn main() {
                 _ => {}
             }
         }
+        cmd
+    };
+
+    if serial {
+        for (name, extra) in experiments {
+            eprintln!("\n########## {name} ##########");
+            let status =
+                build(name, extra).status().unwrap_or_else(|e| panic!("running {name}: {e}"));
+            assert!(status.success(), "{name} failed");
+        }
+        return;
+    }
+
+    // Parallel: capture each experiment's output, then replay everything
+    // in the fixed order above.
+    let outputs = par_map(experiments.to_vec(), |(name, extra)| {
+        let out = build(name, extra).output().unwrap_or_else(|e| panic!("running {name}: {e}"));
+        (name, out)
+    });
+    for (name, out) in outputs {
         eprintln!("\n########## {name} ##########");
-        let status = cmd.status().unwrap_or_else(|e| panic!("running {name}: {e}"));
-        assert!(status.success(), "{name} failed");
+        std::io::stderr().write_all(&out.stderr).expect("stderr");
+        std::io::stdout().write_all(&out.stdout).expect("stdout");
+        assert!(out.status.success(), "{name} failed");
     }
 }

@@ -6,8 +6,9 @@
 //! worm headers, so the entry exposes per-column views.
 
 use crate::addr::BlockId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_sim::FlatMap;
 
 /// Directory entry state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,37 +111,48 @@ impl DirEntry {
 
 /// The directory of one home node: entries for every block homed there,
 /// allocated lazily (an absent entry is `Uncached`).
+///
+/// Entries live in an open-addressed [`FlatMap`]: directory lookups sit on
+/// the per-transaction hot path (every read miss, write miss, and ack
+/// touches the home's entry), and block ids are sparse `u64`s, so a dense
+/// index is infeasible but SipHash is overkill. Entries are never removed.
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: HashMap<BlockId, DirEntry>,
+    entries: FlatMap<DirEntry>,
     nodes: usize,
 }
 
 impl Directory {
     /// Directory for a system of `nodes` nodes.
     pub fn new(nodes: usize) -> Self {
-        Self { entries: HashMap::new(), nodes }
+        Self { entries: FlatMap::new(), nodes }
     }
 
     /// Entry for `b`, created Uncached if absent.
     pub fn entry_mut(&mut self, b: BlockId) -> &mut DirEntry {
         let nodes = self.nodes;
-        self.entries.entry(b).or_insert_with(|| DirEntry::new(nodes))
+        self.entries.get_or_insert_with(b.0, || DirEntry::new(nodes))
     }
 
     /// Entry for `b` if it exists.
     pub fn entry(&self, b: BlockId) -> Option<&DirEntry> {
-        self.entries.get(&b)
+        self.entries.get(b.0)
     }
 
     /// State of `b` (Uncached when no entry exists).
     pub fn state(&self, b: BlockId) -> DirState {
-        self.entries.get(&b).map_or(DirState::Uncached, |e| e.state)
+        self.entries.get(b.0).map_or(DirState::Uncached, |e| e.state)
     }
 
-    /// All materialized block ids (diagnostics / invariant checking).
+    /// All materialized block ids, ascending.
+    ///
+    /// **Cold path only** — collects and sorts on every call. Its one
+    /// caller is the end-of-run / debug coherence-invariant sweep
+    /// (`DsmSystem::verify_coherence`); keep it off the per-transaction
+    /// path, where [`Directory::entry`]/[`Directory::entry_mut`] are the
+    /// O(1) accessors.
     pub fn blocks(&self) -> Vec<BlockId> {
-        let mut v: Vec<BlockId> = self.entries.keys().copied().collect();
+        let mut v: Vec<BlockId> = self.entries.keys().map(BlockId).collect();
         v.sort_unstable();
         v
     }

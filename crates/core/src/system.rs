@@ -18,7 +18,7 @@ use crate::config::{ConsistencyModel, SystemConfig};
 use crate::metrics::Metrics;
 use crate::plan::{AckAction, InvalPlan, PlannedWorm};
 use crate::schemes::InvalidationScheme;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use wormdsm_coherence::{
     Addr, BlockId, Cache, DirState, Directory, Evicted, LineState, MemGeometry, MsgTable, ProtoMsg,
     WbBuffer,
@@ -93,10 +93,20 @@ struct NodeCtx {
     mem: BusyTime,
     proc: ProcState,
     /// Release consistency: writes in flight (block -> issue cycle).
-    pending_writes: HashMap<BlockId, Cycle>,
+    /// A plain vector scanned linearly: the write buffer is tiny (a few
+    /// entries), so the scan beats hashing and the capacity is recycled
+    /// across the run instead of reallocating per write.
+    pending_writes: Vec<(BlockId, Cycle)>,
     /// An invalidation arrived for the block this node's outstanding read
     /// fill targets: serve the read once but do not install the line.
     poisoned_fill: Option<BlockId>,
+}
+
+impl NodeCtx {
+    /// True when a write to `block` is still in flight.
+    fn write_pending(&self, block: BlockId) -> bool {
+        self.pending_writes.iter().any(|&(b, _)| b == block)
+    }
 }
 
 /// An in-flight invalidation transaction at its home node.
@@ -127,6 +137,87 @@ struct LockState {
     queue: VecDeque<NodeId>,
 }
 
+/// Slab of in-flight invalidation transactions.
+///
+/// Transaction ids are slot-encoded — `id = (seq << SLOT_BITS) | slot` —
+/// so the home's per-ack lookup is a direct index instead of a hash probe.
+/// The sequence half keeps ids unique across slot reuse (a stale id from a
+/// retired transaction misses the `ids[slot]` check instead of aliasing),
+/// and `seq` starts at 1 so no live id collides with the `TxnId(0)`
+/// sentinel that barrier-release worms carry.
+#[derive(Debug, Default)]
+struct TxnSlab {
+    slots: Vec<Option<TxnState>>,
+    /// Full id currently occupying each slot (0 = vacant).
+    ids: Vec<u64>,
+    /// LIFO free list of vacated slots.
+    free: Vec<u32>,
+    seq: u64,
+    live: usize,
+}
+
+/// Low bits of a transaction id that select the slab slot.
+const TXN_SLOT_BITS: u32 = 20;
+
+impl TxnSlab {
+    fn insert(&mut self, t: TxnState) -> TxnId {
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push(None);
+                self.ids.push(0);
+                self.slots.len() - 1
+            }
+        };
+        assert!(slot < (1 << TXN_SLOT_BITS), "transaction slab overflow");
+        self.seq += 1;
+        let id = (self.seq << TXN_SLOT_BITS) | slot as u64;
+        self.slots[slot] = Some(t);
+        self.ids[slot] = id;
+        self.live += 1;
+        TxnId(id)
+    }
+
+    fn slot_of(&self, id: u64) -> Option<usize> {
+        let slot = (id & ((1 << TXN_SLOT_BITS) - 1)) as usize;
+        (self.ids.get(slot) == Some(&id)).then_some(slot)
+    }
+
+    fn get(&self, id: TxnId) -> Option<&TxnState> {
+        self.slot_of(id.0).and_then(|s| self.slots[s].as_ref())
+    }
+
+    fn get_mut(&mut self, id: TxnId) -> Option<&mut TxnState> {
+        self.slot_of(id.0).and_then(|s| self.slots[s].as_mut())
+    }
+
+    /// The id the next [`TxnSlab::insert`] will assign, so callers can
+    /// stamp worms with it before constructing the transaction state.
+    fn next_id(&self) -> TxnId {
+        let slot = self.free.last().map_or(self.slots.len(), |&s| s as usize) as u64;
+        TxnId(((self.seq + 1) << TXN_SLOT_BITS) | slot)
+    }
+
+    fn remove(&mut self, id: TxnId) -> Option<TxnState> {
+        let slot = self.slot_of(id.0)?;
+        let t = self.slots[slot].take();
+        if t.is_some() {
+            self.ids[slot] = 0;
+            self.free.push(slot as u32);
+            self.live -= 1;
+        }
+        t
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
 /// Calendar events.
 #[derive(Debug)]
 enum Ev {
@@ -151,13 +242,18 @@ pub struct DsmSystem {
     msgs: MsgTable,
     nodes: Vec<NodeCtx>,
     dirs: Vec<Directory>,
-    txns: HashMap<u64, TxnState>,
-    next_txn: u64,
+    txns: TxnSlab,
     cal: Calendar<Ev>,
     metrics: Metrics,
-    barriers: HashMap<u16, BarrierState>,
-    locks: HashMap<u16, LockState>,
+    /// Barrier state, indexed by barrier id (ids are small and dense in
+    /// every workload, so a lazily grown slot vector replaces hashing).
+    barriers: Vec<Option<BarrierState>>,
+    /// Lock state, indexed by lock id (same dense-id rationale).
+    locks: Vec<Option<LockState>>,
     now: Cycle,
+    /// Scratch for draining per-tick delivery worklists without
+    /// reallocating (capacity persists across steps).
+    delivery_scratch: Vec<NodeId>,
     /// When set (the default), [`DsmSystem::step`] fast-forwards over dead
     /// cycles: if the network is fully idle, time jumps straight to the
     /// next calendar event or processor wake-up instead of ticking empty
@@ -189,12 +285,15 @@ impl DsmSystem {
                 cc: BusyTime::new(),
                 mem: BusyTime::new(),
                 proc: ProcState::Idle,
-                pending_writes: HashMap::new(),
+                pending_writes: Vec::new(),
                 poisoned_fill: None,
             })
             .collect();
         let dirs = (0..n).map(|_| Directory::new(n)).collect();
-        let net = Network::new(cfg.mesh.clone());
+        let mut net = Network::new(cfg.mesh.clone());
+        // The protocol layer never re-reads a worm after its final
+        // delivery, so retired worm slots can be recycled.
+        net.set_worm_recycling(true);
         Self {
             cfg,
             scheme,
@@ -203,15 +302,15 @@ impl DsmSystem {
             msgs: MsgTable::new(),
             nodes,
             dirs,
-            txns: HashMap::new(),
-            next_txn: 1,
+            txns: TxnSlab::default(),
             cal: Calendar::new(),
             metrics: Metrics::new(),
-            barriers: HashMap::new(),
-            locks: HashMap::new(),
+            barriers: Vec::new(),
+            locks: Vec::new(),
             now: 0,
             fast_forward: true,
             skipped_cycles: 0,
+            delivery_scratch: Vec::new(),
         }
     }
 
@@ -300,14 +399,17 @@ impl DsmSystem {
     fn step_inner(&mut self) {
         self.net.tick();
         self.now = self.net.now();
-        for i in 0..self.nodes.len() {
-            let node = NodeId(i as u16);
-            if self.net.has_deliveries(node) {
-                for d in self.net.take_deliveries(node) {
-                    self.on_delivery(d);
-                }
+        // Drain only the nodes the network flagged this tick (ascending,
+        // matching a full node sweep) instead of polling every node, and
+        // reuse one scratch buffer instead of collecting per node.
+        let mut flagged = std::mem::take(&mut self.delivery_scratch);
+        self.net.take_delivery_nodes(&mut flagged);
+        for &node in &flagged {
+            while let Some(d) = self.net.pop_delivery(node) {
+                self.on_delivery(d);
             }
         }
+        self.delivery_scratch = flagged;
         while let Some((t, ev)) = self.cal.pop_due(self.now) {
             self.handle_event(t.max(self.now), ev);
         }
@@ -395,7 +497,7 @@ impl DsmSystem {
             }
             MemOp::Read(a) => {
                 let block = self.geom.block_of(a);
-                if self.nodes[node.idx()].pending_writes.contains_key(&block)
+                if self.nodes[node.idx()].write_pending(block)
                     || self.nodes[node.idx()].wb.contains(block)
                 {
                     // Re-touching a block whose own writeback is still
@@ -422,7 +524,7 @@ impl DsmSystem {
                 // A read or write to a block with a write already in
                 // flight — or with this node's own writeback still
                 // unacknowledged (writeback ABA) — waits for it.
-                if self.nodes[node.idx()].pending_writes.contains_key(&block)
+                if self.nodes[node.idx()].write_pending(block)
                     || self.nodes[node.idx()].wb.contains(block)
                 {
                     self.nodes[node.idx()].proc =
@@ -449,7 +551,7 @@ impl DsmSystem {
                             return;
                         }
                         self.metrics.write_misses += 1;
-                        self.nodes[node.idx()].pending_writes.insert(block, now);
+                        self.nodes[node.idx()].pending_writes.push((block, now));
                         self.nodes[node.idx()].proc =
                             ProcState::BusyUntil(now + costs.cache_access);
                     }
@@ -735,14 +837,14 @@ impl DsmSystem {
             src,
             vnet: if w.kind == WormKind::Gather { VNet::Reply } else { VNet::Req },
             kind: w.kind,
-            dests: w.dests.clone(),
+            dests: w.dests.as_slice().into(),
             len_flits: len,
             payload: key,
             reserve_iack: w.reserve_iack,
             txn,
             initial_acks: w.initial_acks,
             gather_deposit: w.gather_deposit,
-            deliver: w.deliver.clone(),
+            deliver: w.deliver.as_deref().map(Into::into),
         }
     }
 
@@ -787,7 +889,7 @@ impl DsmSystem {
             | ProtoMsg::LockReq { .. }
             | ProtoMsg::LockRelease { .. } => true,
             ProtoMsg::GatherAck { txn, .. } => {
-                debug_assert!(self.txns.get(&txn.0).is_none_or(|t| t.home == node));
+                debug_assert!(self.txns.get(*txn).is_none_or(|t| t.home == node));
                 true
             }
             _ => false,
@@ -995,8 +1097,7 @@ impl DsmSystem {
             "{:?}",
             crate::plan::validate_plan(&plan, &remote)
         );
-        let txn_id = TxnId(self.next_txn);
-        self.next_txn += 1;
+        let txn_id = self.txns.next_id();
 
         self.dirs[home.idx()].entry_mut(block).state = DirState::Waiting;
 
@@ -1004,27 +1105,25 @@ impl DsmSystem {
         // effect the paper measures).
         let mut t = now;
         let mut home_msgs = 1; // the write request itself
-        for w in &plan.request_worms.clone() {
+        for w in &plan.request_worms {
             let spec = self.build_spec(home, w, txn_id, block, home);
             t = self.nodes[home.idx()].dc.occupy(t, costs.dc_send);
             self.cal.schedule(t, Ev::Inject(spec));
             home_msgs += 1;
         }
 
-        self.txns.insert(
-            txn_id.0,
-            TxnState {
-                block,
-                home,
-                writer,
-                needed: plan.needed,
-                got: 0,
-                plan,
-                with_data,
-                started: now,
-                home_msgs,
-            },
-        );
+        let inserted = self.txns.insert(TxnState {
+            block,
+            home,
+            writer,
+            needed: plan.needed,
+            got: 0,
+            plan,
+            with_data,
+            started: now,
+            home_msgs,
+        });
+        debug_assert_eq!(inserted, txn_id);
     }
 
     /// Invalidate `block` in `node`'s cache, handling the late-fill race:
@@ -1061,7 +1160,7 @@ impl DsmSystem {
         self.invalidate_local(node, block);
         let action = self
             .txns
-            .get(&txn.0)
+            .get(txn)
             .and_then(|t| t.plan.action_for(node))
             .cloned()
             .expect("invalidation delivered to a node with no planned action");
@@ -1103,7 +1202,7 @@ impl DsmSystem {
     fn h_relay(&mut self, now: Cycle, node: NodeId, block: BlockId, txn: TxnId, home: NodeId) {
         let costs = self.cfg.costs;
         let (worms, action) = {
-            let t = self.txns.get(&txn.0).expect("txn live");
+            let t = self.txns.get(txn).expect("txn live");
             let worms: Vec<PlannedWorm> = t
                 .plan
                 .relays
@@ -1129,7 +1228,7 @@ impl DsmSystem {
     fn h_sweep_trigger(&mut self, now: Cycle, node: NodeId, block: BlockId, txn: TxnId, acks: u32) {
         let costs = self.cfg.costs;
         let (mut sweep, home) = {
-            let t = self.txns.get(&txn.0).expect("txn live");
+            let t = self.txns.get(txn).expect("txn live");
             (t.plan.trigger_for(node).cloned().expect("sweep trigger has a planned worm"), t.home)
         };
         sweep.initial_acks += acks;
@@ -1141,7 +1240,7 @@ impl DsmSystem {
     /// Acks arrived at the home (unicast count or gathered count).
     fn h_acks(&mut self, now: Cycle, home: NodeId, txn: TxnId, count: u32) {
         let done = {
-            let t = self.txns.get_mut(&txn.0).expect("acks for a dead transaction");
+            let t = self.txns.get_mut(txn).expect("acks for a dead transaction");
             debug_assert_eq!(t.home, home);
             t.got += count;
             t.home_msgs += 1;
@@ -1153,7 +1252,7 @@ impl DsmSystem {
     }
 
     fn complete_invalidation(&mut self, now: Cycle, txn: TxnId) {
-        let t = self.txns.remove(&txn.0).expect("completing a live txn");
+        let t = self.txns.remove(txn).expect("completing a live txn");
         debug_assert!(t.got == t.needed, "over-collected acks");
         self.metrics.inval_txns += 1;
         self.metrics.inval_latency.record((now - t.started) as f64);
@@ -1218,10 +1317,12 @@ impl DsmSystem {
             self.resume_mem(now, node, StallKind::Write(block));
             return;
         }
-        let issued = self.nodes[node.idx()]
-            .pending_writes
-            .remove(&block)
+        let pw = &mut self.nodes[node.idx()].pending_writes;
+        let i = pw
+            .iter()
+            .position(|&(b, _)| b == block)
             .expect("write completion matches a pending write");
+        let (_, issued) = pw.swap_remove(i);
         self.metrics.write_latency.record((now - issued) as f64);
         self.retry_deferred(now, node);
     }
@@ -1349,20 +1450,22 @@ impl DsmSystem {
         participants: u32,
         src: NodeId,
     ) {
-        let st = self
-            .barriers
-            .entry(barrier)
-            .or_insert_with(|| BarrierState { expected: participants, arrived: Vec::new() });
+        let idx = barrier as usize;
+        if self.barriers.len() <= idx {
+            self.barriers.resize_with(idx + 1, || None);
+        }
+        let st = self.barriers[idx]
+            .get_or_insert_with(|| BarrierState { expected: participants, arrived: Vec::new() });
         st.arrived.push(src);
-        if st.arrived.len() as u32 >= st.expected {
-            let arrived = std::mem::take(&mut st.arrived);
-            self.barriers.remove(&barrier);
-            self.metrics.barriers += 1;
-            if self.cfg.multicast_barriers {
-                self.release_barrier_multicast(now, home, barrier, arrived);
-            } else {
-                self.release_barrier_unicast(now, home, barrier, arrived);
-            }
+        if (st.arrived.len() as u32) < st.expected {
+            return;
+        }
+        let arrived = self.barriers[idx].take().expect("barrier state present").arrived;
+        self.metrics.barriers += 1;
+        if self.cfg.multicast_barriers {
+            self.release_barrier_multicast(now, home, barrier, arrived);
+        } else {
+            self.release_barrier_unicast(now, home, barrier, arrived);
         }
     }
 
@@ -1424,7 +1527,7 @@ impl DsmSystem {
                 src: home,
                 vnet: VNet::Reply,
                 kind: if g.members.len() == 1 { WormKind::Unicast } else { WormKind::Multicast },
-                dests: g.members,
+                dests: g.members.into(),
                 len_flits: len,
                 payload: key,
                 reserve_iack: false,
@@ -1438,7 +1541,11 @@ impl DsmSystem {
     }
 
     fn h_lock_req(&mut self, now: Cycle, home: NodeId, lock: u16, requester: NodeId) {
-        let st = self.locks.entry(lock).or_default();
+        let idx = lock as usize;
+        if self.locks.len() <= idx {
+            self.locks.resize_with(idx + 1, || None);
+        }
+        let st = self.locks[idx].get_or_insert_with(LockState::default);
         if st.holder.is_none() {
             st.holder = Some(requester);
             self.send_dc(home, now, ProtoMsg::LockGrant { lock }, requester, VNet::Reply);
@@ -1448,7 +1555,11 @@ impl DsmSystem {
     }
 
     fn h_lock_release(&mut self, now: Cycle, home: NodeId, lock: u16) {
-        let st = self.locks.get_mut(&lock).expect("release of unknown lock");
+        let st = self
+            .locks
+            .get_mut(lock as usize)
+            .and_then(|s| s.as_mut())
+            .expect("release of unknown lock");
         st.holder = None;
         if let Some(next) = st.queue.pop_front() {
             st.holder = Some(next);

@@ -144,6 +144,14 @@ pub struct NetStats {
     pub multicast_latency: Summary,
     /// Latency of delivered gather worms.
     pub gather_latency: Summary,
+    /// Worm-table inserts served from a recycled slot instead of growing
+    /// the table (allocation-avoidance diagnostic; zero unless recycling
+    /// is enabled via [`Network::set_worm_recycling`]).
+    pub worm_slots_reused: u64,
+    /// Times a per-tick worklist scratch buffer had to grow. In steady
+    /// state this stays at its warm-up value: the per-cycle hot loop
+    /// reuses the same buffers and allocates nothing.
+    pub scratch_grows: u64,
 }
 
 impl NetStats {
@@ -165,6 +173,8 @@ impl NetStats {
             unicast_latency: Summary::new(),
             multicast_latency: Summary::new(),
             gather_latency: Summary::new(),
+            worm_slots_reused: 0,
+            scratch_grows: 0,
         }
     }
 
@@ -205,6 +215,16 @@ pub struct Network {
     nic_active: Vec<bool>,
     /// NICs that may have phase-3 work.
     active_nics: Vec<usize>,
+    /// Recycled worklist buffer for `tick`'s router snapshot (capacity
+    /// persists across cycles so the hot loop never reallocates).
+    router_scratch: Vec<usize>,
+    /// Recycled worklist buffer for `tick`'s NIC snapshot.
+    nic_scratch: Vec<usize>,
+    /// Membership flags for `delivered_nodes`.
+    delivered_flag: Vec<bool>,
+    /// Nodes holding undrained deliveries (fed by `phase_nic`, drained by
+    /// [`Network::take_delivery_nodes`]).
+    delivered_nodes: Vec<usize>,
 }
 
 impl Network {
@@ -241,7 +261,22 @@ impl Network {
             active_routers: Vec::new(),
             nic_active: vec![false; nodes],
             active_nics: Vec::new(),
+            router_scratch: Vec::new(),
+            nic_scratch: Vec::new(),
+            delivered_flag: vec![false; nodes],
+            delivered_nodes: Vec::new(),
         }
+    }
+
+    /// Enable worm-table slot recycling: retired worms (delivered, all
+    /// copies drained) free their slot for reuse by later injections.
+    ///
+    /// Callers that inspect worm records *after* delivery (diagnostics,
+    /// latency probes) must leave this off — a recycled slot's record is
+    /// overwritten by the next injection. The full-system protocol layer
+    /// only reads [`Delivery`] snapshots, so it opts in.
+    pub fn set_worm_recycling(&mut self, on: bool) {
+        self.worms.set_recycle(on);
     }
 
     fn activate_router(&mut self, r: usize) {
@@ -308,8 +343,17 @@ impl Network {
         assert_ne!(spec.dests[0], spec.src, "worm's first destination is its source");
         debug_assert!(
             {
-                let mut seen = std::collections::HashSet::new();
-                spec.dests.iter().all(|d| seen.insert(*d))
+                // Stack bitset (4096 nodes is far beyond any simulated
+                // mesh) — the old per-injection HashSet dominated
+                // debug-build injection cost.
+                let mut seen = [0u64; 64];
+                debug_assert!(self.cfg.mesh.nodes() <= 64 * 64);
+                spec.dests.iter().all(|d| {
+                    let (w, b) = (d.idx() / 64, d.idx() % 64);
+                    let fresh = seen[w] >> b & 1 == 0;
+                    seen[w] |= 1 << b;
+                    fresh
+                })
             },
             "duplicate destinations"
         );
@@ -327,6 +371,9 @@ impl Network {
         );
         let vnet = spec.vnet;
         let src = spec.src;
+        if self.worms.will_reuse_slot() {
+            self.stats.worm_slots_reused += 1;
+        }
         let id = self.worms.insert(spec, self.now);
         self.nics[src.idx()].enqueue(vnet, id);
         self.activate_nic(src.idx());
@@ -354,6 +401,9 @@ impl Network {
     }
 
     /// Take all messages delivered to `node` so far.
+    ///
+    /// Convenience API for tests and examples; the allocation-free path is
+    /// [`Network::take_delivery_nodes`] + [`Network::pop_delivery`].
     pub fn take_deliveries(&mut self, node: NodeId) -> Vec<Delivery> {
         self.nics[node.idx()].delivered.drain(..).collect()
     }
@@ -363,17 +413,51 @@ impl Network {
         !self.nics[node.idx()].delivered.is_empty()
     }
 
+    /// Drain the list of nodes with undrained deliveries into `buf`
+    /// (ascending node order), reusing the caller's buffer. Callers should
+    /// then [`Network::pop_delivery`] each listed node dry; a node whose
+    /// deliveries are left undrained is only re-listed when its next
+    /// delivery arrives.
+    pub fn take_delivery_nodes(&mut self, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        for n in self.delivered_nodes.drain(..) {
+            self.delivered_flag[n] = false;
+            buf.push(NodeId(n as u16));
+        }
+        // Worklist pushes occur in sorted phase-3 order within one tick,
+        // but deliveries can straddle ticks; sort to keep the handoff
+        // order identical to the historical ascending full sweep.
+        buf.sort_unstable();
+    }
+
+    /// Pop the oldest undrained delivery at `node`, if any.
+    pub fn pop_delivery(&mut self, node: NodeId) -> Option<Delivery> {
+        self.nics[node.idx()].delivered.pop_front()
+    }
+
+    fn note_delivery(&mut self, n: usize) {
+        if !self.delivered_flag[n] {
+            self.delivered_flag[n] = true;
+            self.delivered_nodes.push(n);
+        }
+    }
+
     /// Advance one cycle.
     pub fn tick(&mut self) {
         self.now += 1;
         let now = self.now;
 
-        // Snapshot the router worklist for this cycle. Sorting restores
-        // the ascending node order of the historical full sweep, keeping
-        // runs bit-identical. Flags are cleared so that mid-phase deposits
+        // Snapshot the router worklist for this cycle by swapping it with
+        // a persistent scratch buffer (both keep their capacity, so the
+        // steady-state hot loop allocates nothing). Sorting restores the
+        // ascending node order of the historical full sweep, keeping runs
+        // bit-identical. Flags are cleared so that mid-phase deposits
         // (which target the *next* cycle — their flits carry a future
         // `ready_at`) re-arm receivers on the fresh list.
-        let mut router_work = std::mem::take(&mut self.active_routers);
+        let mut router_work = std::mem::take(&mut self.router_scratch);
+        router_work.clear();
+        std::mem::swap(&mut router_work, &mut self.active_routers);
+        let router_cap = self.active_routers.capacity();
         router_work.sort_unstable();
         for &r in &router_work {
             self.router_active[r] = false;
@@ -386,8 +470,15 @@ impl Network {
                 self.activate_router(r);
             }
         }
+        if self.active_routers.capacity() != router_cap {
+            self.stats.scratch_grows += 1;
+        }
+        self.router_scratch = router_work;
 
-        let mut nic_work = std::mem::take(&mut self.active_nics);
+        let mut nic_work = std::mem::take(&mut self.nic_scratch);
+        nic_work.clear();
+        std::mem::swap(&mut nic_work, &mut self.active_nics);
+        let nic_cap = self.active_nics.capacity();
         nic_work.sort_unstable();
         for &n in &nic_work {
             self.nic_active[n] = false;
@@ -398,6 +489,10 @@ impl Network {
                 self.activate_nic(n);
             }
         }
+        if self.active_nics.capacity() != nic_cap {
+            self.stats.scratch_grows += 1;
+        }
+        self.nic_scratch = nic_work;
     }
 
     /// True when ticking would be a complete no-op: no worms live anywhere
@@ -446,13 +541,14 @@ impl Network {
     fn phase_heads(&mut self, now: Cycle, work: &[usize]) {
         let vcs = self.cfg.vcs_total();
         for &r in work {
-            if self.routers[r].flits == 0 {
-                continue;
-            }
-            for port in 0..NUM_PORTS {
-                for vc in 0..vcs {
-                    self.process_head(now, r, port, vc);
-                }
+            // Walk only occupied VC slots, ascending `(port, vc)` exactly
+            // like a full sweep. Head processing never moves flits, so the
+            // snapshot stays exact for the whole walk.
+            let mut bits = self.routers[r].occ;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.process_head(now, r, slot / vcs, slot % vcs);
             }
         }
     }
@@ -527,6 +623,7 @@ impl Network {
             return;
         };
         self.nics[r].reserve_cons(cc, wid, false);
+        self.worms.get_mut(wid).copies += 1;
         self.routers[r].inputs[port][vc].mode =
             VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
     }
@@ -554,6 +651,7 @@ impl Network {
             return;
         };
         self.nics[r].reserve_cons(cc, wid, true);
+        self.worms.get_mut(wid).copies += 1;
         self.routers[r].inputs[port][vc].pending_absorb = Some(cc);
         let w = self.worms.get_mut(wid);
         w.dest_idx += 1;
@@ -598,6 +696,7 @@ impl Network {
                         // deadlock the reply network against the very
                         // gathers that would free the entries).
                         self.nics[r].reserve_cons(cc, wid, false);
+                        self.worms.get_mut(wid).copies += 1;
                         self.worms.get_mut(wid).bounced = true;
                         self.routers[r].inputs[port][vc].mode =
                             VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
@@ -671,38 +770,43 @@ impl Network {
                 }
             }
 
-            // Local consumption: one flit per consumption channel per cycle.
-            for in_port in 0..NUM_PORTS {
+            // Local consumption: one flit per consumption channel per
+            // cycle. Occupancy bits ascend `(port, vc)` like the full
+            // sweep; the used-port flag keeps one consume per input port.
+            let mut bits = self.routers[r].occ;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (in_port, in_vc) = (slot / vcs, slot % vcs);
                 if used_in_port[in_port] {
                     continue;
                 }
-                for in_vc in 0..vcs {
-                    let ivc = &self.routers[r].inputs[in_port][in_vc];
-                    let VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: _ } = ivc.mode else {
-                        continue;
-                    };
-                    let Some(front) = ivc.buf.front() else { continue };
-                    if front.ready_at > now || !self.nics[r].cons[cc].has_space() {
-                        continue;
-                    }
-                    self.apply_consume(r, in_port, in_vc, cc);
-                    used_in_port[in_port] = true;
-                    break;
+                let ivc = &self.routers[r].inputs[in_port][in_vc];
+                let VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: _ } = ivc.mode else {
+                    continue;
+                };
+                let Some(front) = ivc.buf.front() else { continue };
+                if front.ready_at > now || !self.nics[r].cons[cc].has_space() {
+                    continue;
                 }
+                self.apply_consume(r, in_port, in_vc, cc);
+                used_in_port[in_port] = true;
             }
 
             // Parked gather drains: absorbed at the router interface, no
             // crossbar involvement.
-            for in_port in 0..NUM_PORTS {
-                for in_vc in 0..vcs {
-                    let ivc = &self.routers[r].inputs[in_port][in_vc];
-                    let VcMode::DrainPark { entry } = ivc.mode else { continue };
-                    let Some(front) = ivc.buf.front() else { continue };
-                    if front.ready_at > now {
-                        continue;
-                    }
-                    self.apply_park_drain(r, in_port, in_vc, entry);
+            let mut bits = self.routers[r].occ;
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (in_port, in_vc) = (slot / vcs, slot % vcs);
+                let ivc = &self.routers[r].inputs[in_port][in_vc];
+                let VcMode::DrainPark { entry } = ivc.mode else { continue };
+                let Some(front) = ivc.buf.front() else { continue };
+                if front.ready_at > now {
+                    continue;
                 }
+                self.apply_park_drain(r, in_port, in_vc, entry);
             }
         }
     }
@@ -859,16 +963,17 @@ impl Network {
     }
 
     /// Retry deposits that previously found the i-ack buffer full.
+    /// Rotates the queue in place (one pass, no fresh queue allocation):
+    /// failed retries go to the back, preserving relative order.
     fn nic_flush_deposits(&mut self, n: usize) {
-        let mut still_pending = std::collections::VecDeque::new();
-        while let Some((txn, acks)) = self.nics[n].pending_deposits.pop_front() {
+        for _ in 0..self.nics[n].pending_deposits.len() {
+            let (txn, acks) = self.nics[n].pending_deposits.pop_front().expect("counted");
             if self.nics[n].post_iack_count(txn, acks).is_no_space() {
-                still_pending.push_back((txn, acks));
+                self.nics[n].pending_deposits.push_back((txn, acks));
             } else {
                 self.stats.deposits += 1;
             }
         }
-        self.nics[n].pending_deposits = still_pending;
     }
 
     /// Drain one flit per consumption channel; complete worms at tails.
@@ -884,6 +989,7 @@ impl Network {
             self.nics[n].cons[cc].owner = None;
             self.nics[n].cons[cc].absorb = false;
             let node = self.nics[n].node;
+            self.worms.get_mut(wid).copies -= 1;
 
             let (src, payload, txn, acks, deposit, kind) = {
                 let w = self.worms.get(wid);
@@ -903,6 +1009,10 @@ impl Network {
                     txn,
                 });
                 self.stats.deliveries += 1;
+                self.note_delivery(n);
+                // An absorb copy can outlive the final consumption (its
+                // FIFO drains independently); it may be the last reference.
+                self.maybe_retire(wid);
                 continue;
             }
 
@@ -959,7 +1069,18 @@ impl Network {
                     txn,
                 });
                 self.stats.deliveries += 1;
+                self.note_delivery(n);
             }
+            self.maybe_retire(wid);
+        }
+    }
+
+    /// Free a worm's table slot once it is delivered with no outstanding
+    /// consumption copies (no-op while recycling is off).
+    fn maybe_retire(&mut self, wid: WormId) {
+        let w = self.worms.get(wid);
+        if w.state == WormState::Delivered && w.copies == 0 {
+            self.worms.retire(wid);
         }
     }
 

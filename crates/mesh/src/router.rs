@@ -87,6 +87,12 @@ pub struct Router {
     pub rr: Vec<usize>,
     /// Number of flits currently buffered in this router (fast-skip).
     pub flits: usize,
+    /// Occupancy bitmask: bit `port * vcs + vc` is set while that input VC
+    /// holds at least one flit, so per-cycle scans visit only live slots
+    /// instead of every `(port, vc)` pair.
+    pub occ: u64,
+    /// VC count per port (the occupancy bit stride).
+    vcs: usize,
 }
 
 impl Router {
@@ -94,6 +100,7 @@ impl Router {
     /// matching output credit counters initialized to the downstream
     /// capacity.
     pub fn new(node: NodeId, ports: usize, vcs: usize, vc_cap: usize) -> Self {
+        assert!(ports * vcs <= u64::BITS as usize, "occupancy mask limits ports * vcs to 64");
         Self {
             node,
             inputs: (0..ports).map(|_| (0..vcs).map(|_| InputVc::new(vc_cap)).collect()).collect(),
@@ -101,6 +108,8 @@ impl Router {
             out_credit: vec![vec![vc_cap; vcs]; ports],
             rr: vec![0; ports],
             flits: 0,
+            occ: 0,
+            vcs,
         }
     }
 
@@ -115,12 +124,17 @@ impl Router {
         );
         ivc.buf.push_back(bf);
         self.flits += 1;
+        self.occ |= 1 << (port * self.vcs + vc);
     }
 
     /// Pop the front flit of input `(port, vc)`.
     pub fn pop(&mut self, port: usize, vc: usize) -> BufFlit {
-        let bf = self.inputs[port][vc].buf.pop_front().expect("pop from empty input VC");
+        let ivc = &mut self.inputs[port][vc];
+        let bf = ivc.buf.pop_front().expect("pop from empty input VC");
         self.flits -= 1;
+        if ivc.buf.is_empty() {
+            self.occ &= !(1 << (port * self.vcs + vc));
+        }
         bf
     }
 

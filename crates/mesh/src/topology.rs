@@ -1,7 +1,9 @@
 //! 2D mesh topology: node coordinates, directions, ports.
 
 /// Node identifier: linear index `y * width + x` into the mesh.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// (`Default` exists so node lists can live in inline-storage vectors;
+/// the default value `n0` is not meaningful by itself.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u16);
 
 impl NodeId {

@@ -10,7 +10,15 @@
 //! [`WormTable`] so flits stay two words.
 
 use crate::topology::NodeId;
-use wormdsm_sim::Cycle;
+use wormdsm_sim::{Cycle, InlineVec};
+
+/// Destination list of one worm. Inline up to 16 destinations — one full
+/// mesh column plus slack — so the common invalidation worm never heap-
+/// allocates; serpentine near-broadcast worms spill once.
+pub type DestVec = InlineVec<NodeId, 16>;
+
+/// Per-destination delivery mask (parallel to [`DestVec`]).
+pub type DeliverMask = InlineVec<bool, 16>;
 
 /// Worm identifier (index into the [`WormTable`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,7 +103,7 @@ pub struct WormSpec {
     pub kind: WormKind,
     /// Ordered destination list (BRCP order). Must be non-empty; a unicast
     /// worm has exactly one destination.
-    pub dests: Vec<NodeId>,
+    pub dests: DestVec,
     /// Total length in flits (head + bodies + tail). Minimum 2.
     pub len_flits: u16,
     /// Opaque payload handed back on delivery (e.g. a protocol-message key).
@@ -118,7 +126,7 @@ pub struct WormSpec {
     /// routing *waypoints* — header hops that pin an adaptive path (e.g.
     /// serpentine corner turns) without absorbing anything. The final
     /// destination must always deliver.
-    pub deliver: Option<Vec<bool>>,
+    pub deliver: Option<DeliverMask>,
 }
 
 impl WormSpec {
@@ -128,7 +136,7 @@ impl WormSpec {
             src,
             vnet,
             kind: WormKind::Unicast,
-            dests: vec![dst],
+            dests: [dst].into(),
             len_flits,
             payload,
             reserve_iack: false,
@@ -182,6 +190,11 @@ pub struct Worm {
     /// (no i-ack entry available), so it is being consumed at the local
     /// node for re-injection instead of holding network channels.
     pub bounced: bool,
+    /// Outstanding consumption-channel reservations (final consumption,
+    /// absorb copies, bounces). A worm's table slot may only be recycled
+    /// once it is `Delivered` *and* this count is back to zero — absorb
+    /// copies at intermediate destinations can drain after the final tail.
+    pub copies: u32,
 }
 
 impl Worm {
@@ -207,10 +220,19 @@ impl Worm {
     }
 }
 
-/// Central store of all worms ever injected in a simulation run.
+/// Central store of all worms injected in a simulation run.
+///
+/// With recycling enabled (see [`WormTable::set_recycle`]), slots of fully
+/// retired worms (delivered, all copies drained) are reused by later
+/// inserts, so long runs stay at a working-set-sized table instead of
+/// growing per message. Off by default: some diagnostics (tests, examples)
+/// read a worm's record after delivery, which recycling would invalidate.
 #[derive(Debug, Default)]
 pub struct WormTable {
     worms: Vec<Worm>,
+    /// Retired slots available for reuse (LIFO; deterministic).
+    free: Vec<u32>,
+    recycle: bool,
 }
 
 impl WormTable {
@@ -219,7 +241,13 @@ impl WormTable {
         Self::default()
     }
 
-    /// Register a new worm; returns its id.
+    /// Enable or disable slot recycling for retired worms.
+    pub fn set_recycle(&mut self, on: bool) {
+        self.recycle = on;
+    }
+
+    /// Register a new worm; returns its id. Reuses a retired slot when
+    /// recycling is enabled, in which case `reused_slot` is set.
     pub fn insert(&mut self, spec: WormSpec, now: Cycle) -> WormId {
         assert!(!spec.dests.is_empty(), "worm must have at least one destination");
         assert!(spec.len_flits >= 2, "worm needs at least head and tail flits");
@@ -230,9 +258,12 @@ impl WormTable {
             assert_eq!(mask.len(), spec.dests.len(), "deliver mask length mismatch");
             assert_eq!(mask.last(), Some(&true), "final destination must deliver");
         }
-        let id = WormId(self.worms.len() as u32);
         let initial_acks = spec.initial_acks;
-        self.worms.push(Worm {
+        let id = match self.free.pop() {
+            Some(slot) => WormId(slot),
+            None => WormId(self.worms.len() as u32),
+        };
+        let worm = Worm {
             spec,
             id,
             dest_idx: 0,
@@ -243,8 +274,30 @@ impl WormTable {
             delivered_at: None,
             turned: false,
             bounced: false,
-        });
+            copies: 0,
+        };
+        if (id.0 as usize) < self.worms.len() {
+            self.worms[id.0 as usize] = worm;
+        } else {
+            self.worms.push(worm);
+        }
         id
+    }
+
+    /// True when the next insert will reuse a retired slot.
+    pub fn will_reuse_slot(&self) -> bool {
+        !self.free.is_empty()
+    }
+
+    /// Hand a fully retired worm's slot back for reuse (no-op unless
+    /// recycling is enabled). Caller guarantees the worm is `Delivered`
+    /// with no outstanding consumption copies and no live references.
+    pub fn retire(&mut self, id: WormId) {
+        if self.recycle {
+            debug_assert_eq!(self.worms[id.0 as usize].state, WormState::Delivered);
+            debug_assert_eq!(self.worms[id.0 as usize].copies, 0);
+            self.free.push(id.0);
+        }
     }
 
     /// Immutable access.
@@ -302,7 +355,7 @@ mod tests {
             src: NodeId(0),
             vnet: VNet::Req,
             kind,
-            dests,
+            dests: dests.into(),
             len_flits: 4,
             payload: 7,
             reserve_iack: false,
@@ -374,7 +427,7 @@ mod tests {
     fn deliver_mask_marks_waypoints() {
         let mut t = WormTable::new();
         let mut sp = spec2(vec![NodeId(1), NodeId(2), NodeId(3)], WormKind::Multicast);
-        sp.deliver = Some(vec![false, true, true]);
+        sp.deliver = Some([false, true, true].into());
         let id = t.insert(sp, 0);
         assert!(!t.get(id).delivers_here());
         t.get_mut(id).dest_idx = 1;
@@ -386,7 +439,7 @@ mod tests {
     fn waypoint_final_dest_rejected() {
         let mut t = WormTable::new();
         let mut sp = spec2(vec![NodeId(1), NodeId(2)], WormKind::Multicast);
-        sp.deliver = Some(vec![true, false]);
+        sp.deliver = Some([true, false].into());
         t.insert(sp, 0);
     }
 

@@ -16,7 +16,7 @@ fn multicast(src: NodeId, dests: Vec<NodeId>, reserve: bool, txn: u64) -> WormSp
         src,
         vnet: VNet::Req,
         kind: WormKind::Multicast,
-        dests,
+        dests: dests.into(),
         len_flits: 8,
         payload: 0xBEEF,
         reserve_iack: reserve,
@@ -32,7 +32,7 @@ fn gather(src: NodeId, dests: Vec<NodeId>, txn: u64, initial: u32) -> WormSpec {
         src,
         vnet: VNet::Reply,
         kind: WormKind::Gather,
-        dests,
+        dests: dests.into(),
         len_flits: 4,
         payload: 0xACC,
         reserve_iack: false,

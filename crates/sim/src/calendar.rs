@@ -43,15 +43,20 @@ impl<E> Ord for Entry<E> {
 
 /// Event calendar: schedule payloads at future cycles, pop them in
 /// deterministic `(time, insertion-order)` order.
+///
+/// Schedule and pop are pure heap operations plus a counter — the hot loop
+/// pays no hashing. Cancellation (rare; no production caller today) is the
+/// expensive side instead: a cancel scans the heap to validate the handle,
+/// and its tombstone costs one set lookup per subsequent pop only while
+/// tombstones remain outstanding.
 #[derive(Debug)]
 pub struct Calendar<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
-    /// Seqs scheduled but not yet popped or cancelled. `pending.len()` is
-    /// the live event count.
-    pending: HashSet<u64>,
+    /// Live (scheduled, not yet popped or cancelled) event count.
+    live: usize,
     /// Seqs cancelled while still pending; their heap entries are dropped
-    /// lazily when they surface at the top.
+    /// lazily when they surface at the top. Empty in cancel-free runs.
     cancelled: HashSet<u64>,
 }
 
@@ -64,12 +69,7 @@ impl<E> Default for Calendar<E> {
 impl<E> Calendar<E> {
     /// Create an empty calendar.
     pub fn new() -> Self {
-        Self {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
-        }
+        Self { heap: BinaryHeap::new(), next_seq: 0, live: 0, cancelled: HashSet::new() }
     }
 
     /// Schedule `payload` to fire at absolute cycle `at`.
@@ -77,15 +77,21 @@ impl<E> Calendar<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { at, seq, payload }));
-        self.pending.insert(seq);
+        self.live += 1;
         EventHandle(seq)
     }
 
     /// Cancel a previously scheduled event. Cancelling an already-fired or
     /// already-cancelled event is a no-op.
+    ///
+    /// O(pending): validating that the handle is still live scans the heap.
     pub fn cancel(&mut self, h: EventHandle) {
-        if self.pending.remove(&h.0) {
+        if self.cancelled.contains(&h.0) {
+            return;
+        }
+        if self.heap.iter().any(|Reverse(e)| e.seq == h.0) {
             self.cancelled.insert(h.0);
+            self.live -= 1;
         }
     }
 
@@ -100,7 +106,7 @@ impl<E> Calendar<E> {
         self.skip_cancelled();
         if self.heap.peek().is_some_and(|Reverse(e)| e.at <= now) {
             let Reverse(e) = self.heap.pop().expect("peeked");
-            self.pending.remove(&e.seq);
+            self.live -= 1;
             Some((e.at, e.payload))
         } else {
             None
@@ -111,27 +117,28 @@ impl<E> Calendar<E> {
     pub fn pop_next(&mut self) -> Option<(Cycle, E)> {
         self.skip_cancelled();
         self.heap.pop().map(|Reverse(e)| {
-            self.pending.remove(&e.seq);
+            self.live -= 1;
             (e.at, e.payload)
         })
     }
 
     /// Number of live (non-cancelled) pending events. O(1).
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True when no live events remain. O(1).
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     fn skip_cancelled(&mut self) {
-        while let Some(Reverse(e)) = self.heap.peek() {
-            if self.cancelled.remove(&e.seq) {
-                self.heap.pop();
-            } else {
-                break;
+        while !self.cancelled.is_empty() {
+            match self.heap.peek() {
+                Some(Reverse(e)) if self.cancelled.remove(&e.seq) => {
+                    self.heap.pop();
+                }
+                _ => break,
             }
         }
     }
@@ -222,7 +229,7 @@ mod tests {
             c.cancel(h); // all fired: every cancel is a no-op
         }
         assert!(c.cancelled.is_empty(), "post-fire cancels must not accumulate");
-        assert!(c.pending.is_empty());
+        assert!(c.is_empty());
 
         // Live cancels are reclaimed once their entries are skipped.
         let hs: Vec<_> = (0..100).map(|i| c.schedule(2000 + i, i)).collect();

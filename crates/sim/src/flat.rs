@@ -1,0 +1,223 @@
+//! Open-addressed map keyed by `u64` with dense, insertion-ordered values.
+//!
+//! [`FlatMap`] replaces `std::collections::HashMap` on the simulator's
+//! per-transaction paths: a power-of-two probe table of slot indices plus
+//! dense `keys`/`vals` vectors. Compared to the std map this avoids SipHash
+//! (one multiply + shift instead), keeps values contiguous, and iterates in
+//! deterministic insertion order — important because several observable
+//! results fold over map contents.
+//!
+//! Removal is deliberately unsupported: the consumers (directory entries,
+//! which are never deallocated) only insert and look up. State that is
+//! retired mid-run (transactions, barriers, locks) lives in slot vectors
+//! instead — see `wormdsm-core`.
+
+/// Fibonacci-style multiplicative hash spreading `u64` keys.
+#[inline]
+fn spread(key: u64) -> u64 {
+    // Knuth's 2^64 / phi multiplier; high bits are well mixed, so the
+    // probe mask is applied after a right shift.
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(29)
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// An insert-only hash map from `u64` keys to `V`, open-addressed with
+/// linear probing and dense insertion-ordered storage.
+#[derive(Debug, Clone)]
+pub struct FlatMap<V> {
+    /// Probe table of indices into `keys`/`vals`; length is a power of two.
+    index: Vec<u32>,
+    keys: Vec<u64>,
+    vals: Vec<V>,
+}
+
+impl<V> Default for FlatMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> FlatMap<V> {
+    /// Empty map (no allocation until first insert).
+    pub fn new() -> Self {
+        Self { index: Vec::new(), keys: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no entry was ever inserted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Dense slot of `key`, if present.
+    #[inline]
+    fn probe(&self, key: u64) -> Option<usize> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut i = spread(key) as usize & mask;
+        loop {
+            let slot = self.index[i];
+            if slot == EMPTY {
+                return None;
+            }
+            if self.keys[slot as usize] == key {
+                return Some(slot as usize);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Shared access to the value for `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.probe(key).map(|s| &self.vals[s])
+    }
+
+    /// Mutable access to the value for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.probe(key).map(|s| &mut self.vals[s])
+    }
+
+    /// True if `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.probe(key).is_some()
+    }
+
+    /// Value for `key`, inserting `make()` first if absent.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {
+        let slot = match self.probe(key) {
+            Some(s) => s,
+            None => self.push(key, make()),
+        };
+        &mut self.vals[slot]
+    }
+
+    /// Insert `val` for `key`; returns the previous value if any.
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        match self.probe(key) {
+            Some(s) => Some(std::mem::replace(&mut self.vals[s], val)),
+            None => {
+                self.push(key, val);
+                None
+            }
+        }
+    }
+
+    /// Append a new entry (key known absent) and index it; returns its slot.
+    fn push(&mut self, key: u64, val: V) -> usize {
+        // Grow at 7/8 load (or on first insert).
+        if (self.keys.len() + 1) * 8 > self.index.len() * 7 {
+            self.grow();
+        }
+        let slot = self.keys.len();
+        self.keys.push(key);
+        self.vals.push(val);
+        self.link(key, slot as u32);
+        slot
+    }
+
+    fn link(&mut self, key: u64, slot: u32) {
+        let mask = self.index.len() - 1;
+        let mut i = spread(key) as usize & mask;
+        while self.index[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.index[i] = slot;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.index.len() * 2).max(16);
+        self.index.clear();
+        self.index.resize(cap, EMPTY);
+        for slot in 0..self.keys.len() {
+            let key = self.keys[slot];
+            self.link(key, slot as u32);
+        }
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys.iter().copied()
+    }
+
+    /// `(key, &value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.keys.iter().copied().zip(self.vals.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m: FlatMap<String> = FlatMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(7), None);
+        assert_eq!(m.insert(7, "seven".into()), None);
+        assert_eq!(m.insert(7, "VII".into()), Some("seven".into()));
+        assert_eq!(m.get(7).map(String::as_str), Some("VII"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn survives_growth_with_many_sparse_keys() {
+        let mut m: FlatMap<u64> = FlatMap::new();
+        // Sparse, huge keys — the directory's block ids are in the
+        // billions for synthetic benchmarks.
+        let keys: Vec<u64> = (0..1000).map(|i| i * 0x1_0000_002B + 17).collect();
+        for &k in &keys {
+            m.insert(k, k * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        for &k in &keys {
+            assert_eq!(m.get(k), Some(&(k * 3)));
+            assert!(m.contains_key(k));
+        }
+        assert_eq!(m.get(5), None);
+    }
+
+    #[test]
+    fn get_or_insert_with_is_lazy() {
+        let mut m: FlatMap<Vec<u8>> = FlatMap::new();
+        m.get_or_insert_with(1, || vec![1]).push(9);
+        m.get_or_insert_with(1, || panic!("must not re-create"));
+        assert_eq!(m.get(1), Some(&vec![1, 9]));
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut m: FlatMap<char> = FlatMap::new();
+        for (i, k) in [900u64, 3, 77, 12, 500].iter().enumerate() {
+            m.insert(*k, (b'a' + i as u8) as char);
+        }
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec![900, 3, 77, 12, 500]);
+        assert_eq!(m.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec!['a', 'b', 'c', 'd', 'e']);
+    }
+
+    #[test]
+    fn colliding_keys_probe_linearly() {
+        // Keys engineered to share a bucket at small table sizes still
+        // resolve to distinct slots.
+        let mut m: FlatMap<u32> = FlatMap::new();
+        for k in 0..64u64 {
+            m.insert(k << 32, k as u32);
+        }
+        for k in 0..64u64 {
+            assert_eq!(m.get(k << 32), Some(&(k as u32)));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! A small-vector with inline storage (safe-Rust `SmallVec` analogue).
+//!
+//! [`InlineVec<T, N>`] stores up to `N` elements in a fixed array inside
+//! the struct; pushing past `N` moves everything to a heap `Vec` once and
+//! grows there. Elements must be `Copy + Default` so the inline buffer can
+//! be a plain initialized array (no `unsafe`, per the kernel's zero-unsafe
+//! design goal).
+//!
+//! The hot-path consumers are per-worm destination lists and delivery
+//! masks in the mesh crate: almost every worm has a handful of
+//! destinations, so the inline capacity removes a heap allocation per
+//! simulated message. Cloning an un-spilled `InlineVec` is a `memcpy`.
+
+/// A vector with `N` elements of inline storage before heap spill.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    len: usize,
+    buf: [T; N],
+    /// Holds *all* elements once `len > N` (the inline buffer is then
+    /// stale), so the contents are always one contiguous slice.
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        Self { len: 0, buf: [T::default(); N], spill: Vec::new() }
+    }
+
+    /// Build from a slice (inline when it fits).
+    #[inline]
+    pub fn from_slice(s: &[T]) -> Self {
+        let mut v = Self::new();
+        v.extend_from_slice(s);
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// View as a contiguous slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.len <= N {
+            &self.buf[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Mutable contiguous slice view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.len <= N {
+            &mut self.buf[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Append an element.
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        if self.len < N {
+            self.buf[self.len] = v;
+        } else {
+            if self.len == N {
+                self.spill.reserve(N + 1);
+                self.spill.extend_from_slice(&self.buf);
+            }
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.as_slice()[self.len - 1];
+        self.len -= 1;
+        if self.len == N {
+            // Dropped back to inline capacity: restore the inline buffer
+            // so the slice view switches over consistently.
+            self.buf.copy_from_slice(&self.spill[..N]);
+            self.spill.clear();
+        } else if self.len > N {
+            self.spill.pop();
+        }
+        Some(v)
+    }
+
+    /// Drop all elements, keeping any spill capacity for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Append every element of `s`.
+    #[inline]
+    pub fn extend_from_slice(&mut self, s: &[T]) {
+        for &v in s {
+            self.push(v);
+        }
+    }
+
+    /// Iterate by value.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, T>> {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_slice(&v)
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<&[T]> for InlineVec<T, N> {
+    fn from(s: &[T]) -> Self {
+        Self::from_slice(s)
+    }
+}
+
+impl<T: Copy + Default, const N: usize, const M: usize> From<[T; M]> for InlineVec<T, N> {
+    fn from(a: [T; M]) -> Self {
+        Self::from_slice(&a)
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(it: I) -> Self {
+        let mut v = Self::new();
+        for x in it {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert!(v.spill.is_empty(), "no heap spill at capacity");
+    }
+
+    #[test]
+    fn spills_past_capacity_and_stays_contiguous() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn pop_crosses_the_spill_boundary() {
+        let mut v: InlineVec<u32, 2> = InlineVec::from_slice(&[1, 2, 3, 4]);
+        assert_eq!(v.pop(), Some(4));
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.as_slice(), &[1, 2]);
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn conversions_and_equality() {
+        let a: InlineVec<u16, 3> = vec![1, 2, 3, 4].into();
+        let b: InlineVec<u16, 3> = (0..5).map(|x| x as u16).skip(1).collect();
+        assert_eq!(a, b);
+        assert_eq!(&a[1], &2);
+        let c: InlineVec<u16, 3> = [9u16; 2].into();
+        assert_eq!(c.as_slice(), &[9, 9]);
+    }
+
+    #[test]
+    fn deref_and_iter() {
+        let mut v: InlineVec<u8, 4> = InlineVec::from_slice(&[3, 1, 2]);
+        v.as_mut_slice().sort_unstable();
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(v.first(), Some(&1));
+        v.clear();
+        assert!(v.is_empty());
+    }
+}

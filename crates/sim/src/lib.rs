@@ -19,10 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod calendar;
+pub mod flat;
+pub mod inline_vec;
 pub mod rng;
 pub mod stats;
 
 pub use calendar::{Calendar, EventHandle};
+pub use flat::FlatMap;
+pub use inline_vec::InlineVec;
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, Summary, TimeWeighted};
 

@@ -71,6 +71,66 @@ fn lu_small_runs_everywhere() {
     }
 }
 
+/// Golden end-to-end metrics for the three small app configs on a 4x4
+/// mesh, recorded on the pre-optimization tree (commit f102984). The
+/// allocation-free flit path, flat directory/txn state, and occupancy
+/// masks are required to be *observationally invisible*: any divergence
+/// in these numbers is a behavior change, not an optimization.
+#[test]
+fn golden_small_config_metrics_are_bit_identical_to_pre_optimization_tree() {
+    struct Golden {
+        app: &'static str,
+        scheme: SchemeKind,
+        cycles: u64,
+        flit_hops: u64,
+        flits_injected: u64,
+        inval_txns: u64,
+        lat_count: u64,
+        lat_sum: f64,
+        lat_min: f64,
+        lat_max: f64,
+        lat_stddev: f64,
+        stall: u64,
+    }
+    #[rustfmt::skip]
+    let golden = [
+        Golden { app: "bh",   scheme: SchemeKind::UiUa,    cycles: 34994, flit_hops: 221816, flits_injected: 82352, inval_txns: 78, lat_count: 78, lat_sum: 26038.0, lat_min: 158.0, lat_max: 698.0, lat_stddev: 150.6781034565921,   stall: 286673 },
+        Golden { app: "bh",   scheme: SchemeKind::MiMaCol, cycles: 33714, flit_hops: 200918, flits_injected: 73289, inval_txns: 78, lat_count: 78, lat_sum: 14789.0, lat_min: 115.0, lat_max: 494.0, lat_stddev: 90.03907125464889,   stall: 272503 },
+        Golden { app: "lu",   scheme: SchemeKind::UiUa,    cycles: 35911, flit_hops: 162432, flits_injected: 67080, inval_txns: 12, lat_count: 12, lat_sum: 2658.0,  lat_min: 181.0, lat_max: 262.0, lat_stddev: 28.10842103949158,   stall: 227374 },
+        Golden { app: "lu",   scheme: SchemeKind::MiMaCol, cycles: 35175, flit_hops: 158898, flits_injected: 65496, inval_txns: 12, lat_count: 12, lat_sum: 1886.0,  lat_min: 126.0, lat_max: 203.0, lat_stddev: 24.569063655110856,  stall: 221887 },
+        Golden { app: "apsp", scheme: SchemeKind::UiUa,    cycles: 33396, flit_hops: 140288, flits_injected: 53720, inval_txns: 47, lat_count: 47, lat_sum: 12190.0, lat_min: 160.0, lat_max: 436.0, lat_stddev: 70.33579807409441,   stall: 337359 },
+        Golden { app: "apsp", scheme: SchemeKind::MiMaCol, cycles: 31978, flit_hops: 125854, flits_injected: 47403, inval_txns: 47, lat_count: 47, lat_sum: 7655.0,  lat_min: 118.0, lat_max: 327.0, lat_stddev: 46.92484576257612,   stall: 329309 },
+    ];
+    let gen = |app: &str| -> Workload {
+        match app {
+            "bh" => barnes_hut::generate(&BarnesHutConfig {
+                procs: 16,
+                bodies: 32,
+                steps: 2,
+                ..Default::default()
+            }),
+            "lu" => lu::generate(&LuConfig { n: 32, block: 8, procs: 16, flop_cost: 16 }),
+            "apsp" => apsp::generate(&ApspConfig { n: 16, procs: 16, relax_cost: 16 }),
+            other => panic!("unknown app {other}"),
+        }
+    };
+    for g in &golden {
+        let (cycles, sys) = run_app(g.scheme, 4, gen(g.app));
+        let tag = format!("{}/{}", g.app, g.scheme);
+        assert_eq!(cycles, g.cycles, "{tag}: cycles");
+        assert_eq!(sys.net_stats().flit_hops, g.flit_hops, "{tag}: flit hops");
+        assert_eq!(sys.net_stats().flits_injected, g.flits_injected, "{tag}: flits injected");
+        let m = sys.metrics();
+        assert_eq!(m.inval_txns, g.inval_txns, "{tag}: inval txns");
+        assert_eq!(m.inval_latency.count(), g.lat_count, "{tag}: latency count");
+        assert_eq!(m.inval_latency.sum(), g.lat_sum, "{tag}: latency sum");
+        assert_eq!(m.inval_latency.min(), g.lat_min, "{tag}: latency min");
+        assert_eq!(m.inval_latency.max(), g.lat_max, "{tag}: latency max");
+        assert_eq!(m.inval_latency.stddev(), g.lat_stddev, "{tag}: latency stddev");
+        assert_eq!(m.stall_cycles, g.stall, "{tag}: stall cycles");
+    }
+}
+
 #[test]
 fn app_runs_are_deterministic() {
     let cfg = ApspConfig { n: 16, procs: 16, relax_cost: 16 };
