@@ -15,11 +15,18 @@
 //! writes a busy-cycle report to `BENCH_busycycle.json` comparing
 //! against the recorded pre-optimization baseline throughput.
 //!
+//! With `--partick`, additionally sweeps the space-partitioned tick
+//! engine (`MeshConfig::tiles`) over T ∈ {1, 2, 4, 8} at k ∈ {8, 16} in
+//! the busy-cycle regime, asserts every partitioned run bit-identical to
+//! the serial T=1 schedule, and writes per-T throughput rows to
+//! `BENCH_partick.json`.
+//!
 //! Usage: `exp_hotloop [--k 4] [--scheme "MI-MA(col)"] [--compute-scale 256]
-//!                     [--out BENCH_hotloop.json] [--busy-out BENCH_busycycle.json]`
+//!                     [--out BENCH_hotloop.json] [--busy-out BENCH_busycycle.json]
+//!                     [--partick] [--partick-out BENCH_partick.json]`
 
 use std::time::Instant;
-use wormdsm_bench::arg;
+use wormdsm_bench::{arg, flag};
 use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig};
 use wormdsm_workloads::apps::apsp::{self, ApspConfig};
 use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
@@ -35,6 +42,7 @@ struct Arm {
     skipped: u64,
     worm_slots_reused: u64,
     scratch_grows: u64,
+    hazard_fallbacks: u64,
 }
 
 /// Golden busy-cycle reference for 4x4 MI-MA(col) at `--compute-scale 1`,
@@ -91,21 +99,39 @@ const BUSY_GOLDEN: [BusyGolden; 3] = [
 /// event-driven hot loop targets.
 fn workload(app: &str, procs: usize, scale: u64) -> Workload {
     match app {
+        // Problem sizes scale with the machine only once it outgrows the
+        // reference sizes (64 bodies / 64x64 matrices), so every k <= 8
+        // configuration is byte-identical to the historical fixed-size runs
+        // while k = 16 (256 processors) stays valid (`bodies >= procs`,
+        // `n >= procs`).
         "bh" => barnes_hut::generate(&BarnesHutConfig {
             procs,
-            bodies: 64,
+            bodies: 64.max(procs),
             steps: 2,
             force_cost: 200 * scale,
             ..Default::default()
         }),
         "lu" => lu::generate(&LuConfig { n: 64, block: 8, procs, flop_cost: 1024 * scale }),
-        "apsp" => apsp::generate(&ApspConfig { n: 64, procs, relax_cost: 256 * scale }),
+        "apsp" => apsp::generate(&ApspConfig { n: 64.max(procs), procs, relax_cost: 256 * scale }),
         other => panic!("unknown app {other}"),
     }
 }
 
 fn run_arm(app: &str, scheme: SchemeKind, k: usize, scale: u64, fast_forward: bool) -> Arm {
-    let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    run_arm_tiled(app, scheme, k, scale, fast_forward, 1)
+}
+
+fn run_arm_tiled(
+    app: &str,
+    scheme: SchemeKind,
+    k: usize,
+    scale: u64,
+    fast_forward: bool,
+    tiles: usize,
+) -> Arm {
+    let mut cfg = SystemConfig::for_scheme(k, scheme);
+    cfg.mesh.tiles = tiles;
+    let mut sys = DsmSystem::new(cfg, scheme.build());
     sys.set_fast_forward(fast_forward);
     let w = workload(app, k * k, scale);
     let t0 = Instant::now();
@@ -120,7 +146,131 @@ fn run_arm(app: &str, scheme: SchemeKind, k: usize, scale: u64, fast_forward: bo
         skipped: sys.skipped_cycles(),
         worm_slots_reused: sys.net_stats().worm_slots_reused,
         scratch_grows: sys.net_stats().scratch_grows,
+        hazard_fallbacks: sys.net_stats().hazard_fallbacks,
     }
+}
+
+/// Sweep the space-partitioned tick engine over tile counts at busy-cycle
+/// compute scale: every T must reproduce the serial T=1 run bit for bit,
+/// and the JSON rows record cycles/s per T plus the speedup over T=1 (the
+/// PR 2 single-thread schedule).
+/// PR 2 single-thread throughput (cycles/s) at k = 8, compute scale 1,
+/// recorded on the reference container (1 core) the same day as the first
+/// partitioned sweep — same convention as `BusyGolden::baseline_cps`.
+/// `speedup_vs_pr2_ref` in the JSON compares against these fixed numbers,
+/// so it only reads as a true speedup when the sweep runs on comparable
+/// hardware; `host_cores` in the header records the actual machine.
+const PR2_REF_CPS: [(&str, f64); 2] = [("bh", 372_990.0), ("apsp", 306_017.0)];
+
+fn partick_sweep(scheme: SchemeKind, out: &str) {
+    const TILE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut rows = Vec::new();
+    println!(
+        "\n== partitioned tick sweep, {} (compute scale 1, {} host core{}) ==",
+        scheme.name(),
+        host_cores,
+        if host_cores == 1 { "" } else { "s" }
+    );
+    println!(
+        "{:>4} {:>6} {:>3} {:>12} {:>12} {:>14} {:>8} {:>9}",
+        "k", "app", "T", "cycles", "wall s", "cycles/s", "speedup", "fallbacks"
+    );
+    // k = 16 sweeps Barnes-Hut only: APSP's smallest valid problem at 256
+    // processors (n = 256) simulates an order of magnitude more cycles per
+    // arm than everything else in the sweep combined — more wall time than
+    // a CI run can spend on one table row.
+    let sweep: [(usize, &[&str]); 2] = [(8, &["bh", "apsp"]), (16, &["bh"])];
+    for (k, apps) in sweep {
+        for &app in apps {
+            let mut serial: Option<Arm> = None;
+            for tiles in TILE_COUNTS {
+                let mut best = run_arm_tiled(app, scheme, k, 1, true, tiles);
+                // Best of two: parallel wall times are noisier than serial.
+                let rerun = run_arm_tiled(app, scheme, k, 1, true, tiles);
+                if rerun.wall_s < best.wall_s {
+                    best = rerun;
+                }
+                if let Some(s) = &serial {
+                    assert_eq!(best.cycles, s.cycles, "{app} k={k} T={tiles}: cycles diverged");
+                    assert_eq!(
+                        best.flit_hops, s.flit_hops,
+                        "{app} k={k} T={tiles}: flit hops diverged"
+                    );
+                    assert_eq!(
+                        best.inval_lat_sum, s.inval_lat_sum,
+                        "{app} k={k} T={tiles}: inval latency diverged"
+                    );
+                    assert_eq!(
+                        best.inval_lat_count, s.inval_lat_count,
+                        "{app} k={k} T={tiles}: txn count diverged"
+                    );
+                }
+                let cps = best.cycles as f64 / best.wall_s;
+                let speedup = match &serial {
+                    Some(s) => s.wall_s / best.wall_s,
+                    None => 1.0,
+                };
+                // Mirrors `Network::set_tiles`: the pool never outnumbers
+                // the host's spare cores, so T > cores degrades to a serial
+                // tile loop instead of oversubscribed spinning.
+                let pool_workers = (tiles - 1).min(host_cores - 1);
+                println!(
+                    "{:>4} {:>6} {:>3} {:>12} {:>12.3} {:>14.0} {:>7.2}x {:>9}",
+                    k, app, tiles, best.cycles, best.wall_s, cps, speedup, best.hazard_fallbacks
+                );
+                let pr2 = (k == 8)
+                    .then(|| PR2_REF_CPS.iter().find(|(a, _)| *a == app))
+                    .flatten()
+                    .map_or(String::new(), |(_, ref_cps)| {
+                        format!(", \"speedup_vs_pr2_ref\": {:.3}", cps / ref_cps)
+                    });
+                rows.push(format!(
+                    concat!(
+                        "    {{\"k\": {}, \"app\": \"{}\", \"tiles\": {}, ",
+                        "\"pool_workers\": {}, \"cycles\": {}, ",
+                        "\"wall_s\": {:.6}, \"cycles_per_s\": {:.0}, ",
+                        "\"speedup_vs_serial\": {:.3}{}, \"hazard_fallbacks\": {}, ",
+                        "\"bit_identical_to_serial\": true}}"
+                    ),
+                    k,
+                    app,
+                    tiles,
+                    pool_workers,
+                    best.cycles,
+                    best.wall_s,
+                    cps,
+                    speedup,
+                    pr2,
+                    best.hazard_fallbacks
+                ));
+                if serial.is_none() {
+                    serial = Some(best);
+                }
+            }
+        }
+    }
+    let pr2_ref = PR2_REF_CPS
+        .iter()
+        .map(|(app, cps)| format!("\"{app}_k8_cps\": {cps:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        concat!(
+            "{{\n  \"scheme\": \"{}\",\n  \"compute_scale\": 1,\n",
+            "  \"host_cores\": {},\n",
+            "  \"pr2_ref\": {{{}, ",
+            "\"note\": \"PR 2 binary, same reference container (1 core), ",
+            "fast arm, compute scale 1\"}},\n",
+            "  \"runs\": [\n{}\n  ]\n}}\n"
+        ),
+        scheme.name(),
+        host_cores,
+        pr2_ref,
+        rows.join(",\n")
+    );
+    std::fs::write(out, json).expect("write partitioned-tick results");
+    println!("\nwrote {out}");
 }
 
 fn main() {
@@ -129,6 +279,8 @@ fn main() {
     let scheme_name: String = arg("--scheme", "MI-MA(col)".to_string());
     let out: String = arg("--out", "BENCH_hotloop.json".to_string());
     let busy_out: String = arg("--busy-out", "BENCH_busycycle.json".to_string());
+    let partick = flag("--partick");
+    let partick_out: String = arg("--partick-out", "BENCH_partick.json".to_string());
     let scheme = SchemeKind::ALL
         .into_iter()
         .find(|s| s.name() == scheme_name)
@@ -170,6 +322,20 @@ fn main() {
             assert_eq!(
                 fast.inval_lat_sum, g.inval_lat_sum,
                 "{app}: inval latency diverged from golden"
+            );
+            // The partitioned engine must reproduce the same golden run:
+            // step the mesh as 4 concurrent row-band tiles and hold it to
+            // the pre-optimization numbers bit for bit.
+            let tiled = run_arm_tiled(app, scheme, k, scale, true, 4);
+            assert_eq!(tiled.cycles, g.cycles, "{app} T=4: cycles diverged from golden");
+            assert_eq!(tiled.flit_hops, g.flit_hops, "{app} T=4: flit hops diverged from golden");
+            assert_eq!(
+                tiled.inval_lat_count, g.inval_lat_count,
+                "{app} T=4: txn count diverged from golden"
+            );
+            assert_eq!(
+                tiled.inval_lat_sum, g.inval_lat_sum,
+                "{app} T=4: inval latency diverged from golden"
             );
             let cps = fast.cycles as f64 / fast.wall_s;
             busy_rows.push(format!(
@@ -238,5 +404,9 @@ fn main() {
         );
         std::fs::write(&busy_out, json).expect("write busy-cycle results");
         println!("wrote {busy_out}");
+    }
+
+    if partick {
+        partick_sweep(scheme, &partick_out);
     }
 }

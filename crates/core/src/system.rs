@@ -427,7 +427,9 @@ impl DsmSystem {
         if !self.net.fully_idle() {
             return;
         }
-        let mut target = self.cal.peek_time();
+        // Non-mutating earliest-event peek: single heap peek in the
+        // cancel-free common case, tombstone-aware scan otherwise.
+        let mut target = self.cal.peek_next_at();
         for n in &self.nodes {
             if let ProcState::BusyUntil(t) = n.proc {
                 if t > self.now {

@@ -20,15 +20,56 @@
 //! cycle per link. Credit return is same-cycle (documented idealization:
 //! real credit return takes one link cycle; the simplification affects
 //! back-to-back worm reuse of a VC by at most one cycle).
+//!
+//! # Space-partitioned parallel tick
+//!
+//! With [`MeshConfig::tiles`] > 1 the mesh is split into contiguous row
+//! bands ([`Mesh2D::row_bands`]) and all three phases run for every tile
+//! concurrently on a persistent worker pool, **bit-identically** to the
+//! serial schedule. The phase logic is written once, against a
+//! [`TileView`] holding the tile's disjoint slice of per-node state;
+//! `tiles = 1` is simply the single-tile instance of the same code.
+//! Bit-identity rests on four mechanisms:
+//!
+//! * **Lookahead on links.** A flit deposited downstream carries a future
+//!   `ready_at` (`now + router_delay` for heads, `now + 1` for bodies), and
+//!   every same-cycle reader checks `ready_at <= now` or an allocation
+//!   mode the fresh flit cannot have — so a deposit is behavior-invisible
+//!   in the cycle it is made, and deferring cross-tile deposits to the
+//!   cycle barrier changes nothing.
+//! * **One-writer buffers.** Each router input `(port, vc)` has exactly
+//!   one possible upstream writer per cycle, so deferred deposits commute.
+//! * **Credit-hazard fallback.** Credit return is same-cycle, and the
+//!   ascending serial sweep makes exactly one direction observable: a
+//!   router in the *first row of a tile* sending **north** across the
+//!   boundary could consume, in the same cycle, a credit returned by the
+//!   downstream router in the tile above. A pre-tick scan detects any
+//!   northbound boundary VC that is allocated, credit-starved, and fed by
+//!   a ready flit — and then follows the downstream blocking chain
+//!   (`vc_could_pop`) to check the credit could actually be produced this
+//!   cycle, since under sustained congestion the downstream is usually
+//!   just as stuck and no credit moves anywhere. Only then does the cycle
+//!   fall back to the single-tile schedule (counted in
+//!   [`NetStats::hazard_fallbacks`]; false positives only cost speed,
+//!   never accuracy). All other cross-tile credits are returned to
+//!   routers the serial sweep has already passed, so deferring them to the
+//!   barrier is exact.
+//! * **Ordered replay.** Worm-table mutations from phase 3 (copy counts,
+//!   delivery state, retire order, f64 latency accumulation) are recorded
+//!   as per-tile event lists and replayed at the barrier in tile order —
+//!   which is ascending node order, i.e. exactly the serial schedule.
+//!   Phase-1/2 worm access needs no replay: only the router holding a
+//!   worm's *head* mutates its record, and a head exists at one router.
 
 use crate::nic::{Delivery, DeliveryKind, GatherCheck, IackMode, Nic, StreamState};
 use crate::router::{BufFlit, Router, VcMode};
-use crate::routing::{route_options, BaseRouting, PathRule};
+use crate::routing::{BaseRouting, PathRule, RouteTable};
 use crate::topology::{Direction, Mesh2D, NodeId, Port, NUM_PORTS};
 use crate::worm::{
-    Flit, FlitKind, TxnId, VNet, Worm, WormId, WormKind, WormSpec, WormState, WormTable,
+    Flit, FlitKind, TxnId, VNet, Worm, WormId, WormKind, WormSpec, WormState, WormTable, NUM_VNETS,
 };
-use wormdsm_sim::{Cycle, NoProgress, Summary, Watchdog};
+use std::sync::Mutex;
+use wormdsm_sim::{Cycle, NoProgress, Summary, Watchdog, WorkerPool};
 
 /// Configuration of the wormhole mesh.
 #[derive(Debug, Clone)]
@@ -57,6 +98,9 @@ pub struct MeshConfig {
     pub iack_buffers: usize,
     /// Behaviour of gather worms whose ack has not been posted.
     pub iack_mode: IackMode,
+    /// Row-band tiles stepped concurrently each cycle (1 = serial; clamped
+    /// to the mesh height). Every value produces bit-identical results.
+    pub tiles: usize,
 }
 
 impl MeshConfig {
@@ -74,6 +118,7 @@ impl MeshConfig {
             cons_buf_flits: 8,
             iack_buffers: 4,
             iack_mode: IackMode::VctDefer,
+            tiles: 1,
         }
     }
 
@@ -152,6 +197,10 @@ pub struct NetStats {
     /// state this stays at its warm-up value: the per-cycle hot loop
     /// reuses the same buffers and allocates nothing.
     pub scratch_grows: u64,
+    /// Cycles the partitioned engine fell back to the single-tile schedule
+    /// because a northbound boundary VC could have consumed a same-cycle
+    /// credit (see the module docs). Zero when `tiles = 1`.
+    pub hazard_fallbacks: u64,
 }
 
 impl NetStats {
@@ -175,6 +224,7 @@ impl NetStats {
             gather_latency: Summary::new(),
             worm_slots_reused: 0,
             scratch_grows: 0,
+            hazard_fallbacks: 0,
         }
     }
 
@@ -189,6 +239,897 @@ impl NetStats {
 
 const LOCAL: usize = 4;
 
+/// Minimum worklist entries *per tile* before a cycle is dispatched to the
+/// worker pool. A worklist visit costs on the order of 100ns; the
+/// fan-out/barrier round trip costs a few microseconds even with spinning
+/// workers, so thin cycles are faster on the serial inline path. Purely a
+/// wall-time heuristic — both paths compute bit-identical state.
+const PARALLEL_WORK_PER_TILE: usize = 12;
+
+/// Per-tile counter deltas, summed into [`NetStats`] at the cycle barrier
+/// (u64 additions commute, so per-tile accumulation is exact).
+#[derive(Debug, Default, Clone)]
+struct TileStats {
+    flit_hops: u64,
+    flits_injected: u64,
+    flits_consumed: u64,
+    deliveries: u64,
+    gather_blocked_cycles: u64,
+    multicast_blocked_cycles: u64,
+    parks: u64,
+    bounces: u64,
+    resumes: u64,
+    deposits: u64,
+    deposit_retries: u64,
+}
+
+impl TileStats {
+    fn merge_into(&mut self, g: &mut NetStats) {
+        g.flit_hops += self.flit_hops;
+        g.flits_injected += self.flits_injected;
+        g.flits_consumed += self.flits_consumed;
+        g.deliveries += self.deliveries;
+        g.gather_blocked_cycles += self.gather_blocked_cycles;
+        g.multicast_blocked_cycles += self.multicast_blocked_cycles;
+        g.parks += self.parks;
+        g.bounces += self.bounces;
+        g.resumes += self.resumes;
+        g.deposits += self.deposits;
+        g.deposit_retries += self.deposit_retries;
+        *self = TileStats::default();
+    }
+}
+
+/// A flit handoff crossing a tile boundary, applied at the cycle barrier.
+#[derive(Debug, Clone, Copy)]
+struct XDeposit {
+    node: usize,
+    port: usize,
+    vc: usize,
+    bf: BufFlit,
+}
+
+/// A credit return crossing a tile boundary, applied at the cycle barrier.
+#[derive(Debug, Clone, Copy)]
+struct XCredit {
+    node: usize,
+    port: usize,
+    vc: usize,
+}
+
+/// A worm completion (tail drained at a NIC) recorded by a tile worker and
+/// replayed at the barrier: worm-table writes shared between tiles, the
+/// LIFO retire order, the live-worm count, and f64 latency accumulation
+/// are all order-sensitive, so they run in the exact serial schedule.
+#[derive(Debug, Clone, Copy)]
+struct WormEvent {
+    wid: WormId,
+    /// Final consumption (vs. an absorb-copy drain).
+    is_final: bool,
+    kind: WormKind,
+    latency: f64,
+}
+
+/// Per-tile deferred-work buffers. Persistent across cycles so the steady
+/// state hot loop allocates nothing.
+#[derive(Debug, Default)]
+struct TileScratch {
+    stats: TileStats,
+    deposits: Vec<XDeposit>,
+    credits: Vec<XCredit>,
+    events: Vec<WormEvent>,
+    /// Routers to put on the *next* cycle's worklist.
+    new_routers: Vec<usize>,
+    /// NICs to put on the *next* cycle's worklist.
+    new_nics: Vec<usize>,
+    /// Nodes with fresh undrained deliveries.
+    delivered: Vec<usize>,
+    /// This cycle's NIC worklist (pre-tick actives + phase-1/2
+    /// activations), built and consumed inside the tile pass.
+    nic_work: Vec<usize>,
+}
+
+/// Shared access to the worm table from concurrent tile workers.
+///
+/// # Safety
+///
+/// This is the engine's one `unsafe` aliasing construct; soundness rests
+/// on scheduling invariants of the tick, not on types:
+///
+/// * No insert or retire runs while workers hold the snapshot (injection
+///   is an inter-tick API; retire is replayed at the barrier), so the
+///   base pointer stays valid and no record moves.
+/// * `get_mut` is only called for worms the calling tile has *exclusive*
+///   dynamic ownership of: a worm's head flit sits in exactly one router
+///   (phase 1/2 mutations), and streaming/parked/bounced worms live at
+///   exactly one NIC (phase 3 mutations). Shared-worm completions are
+///   never mutated in workers — they defer to [`WormEvent`] replay.
+/// * `get` from workers only reads fields that are stable for the whole
+///   cycle (the immutable `spec`, plus `acks`/`bounced`/`queued_at` of
+///   fully-consumed worms, which nothing mutates until replay).
+#[derive(Debug, Clone, Copy)]
+struct SharedWorms {
+    base: *mut Worm,
+    len: usize,
+}
+
+unsafe impl Send for SharedWorms {}
+unsafe impl Sync for SharedWorms {}
+
+impl SharedWorms {
+    fn new(table: &mut WormTable) -> Self {
+        let (base, len) = table.raw();
+        Self { base, len }
+    }
+
+    #[inline]
+    fn get(&self, id: WormId) -> &Worm {
+        debug_assert!((id.0 as usize) < self.len);
+        unsafe { &*self.base.add(id.0 as usize) }
+    }
+
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // exclusivity is the documented invariant
+    fn get_mut(&self, id: WormId) -> &mut Worm {
+        debug_assert!((id.0 as usize) < self.len);
+        unsafe { &mut *self.base.add(id.0 as usize) }
+    }
+}
+
+/// One tile's view of the network for a single tick: an exclusive slice of
+/// every per-node structure, shared read-only configuration, and deferred
+/// queues for the few effects that cross tile boundaries. All phase logic
+/// is written against this view; the serial engine is the `tiles = 1`
+/// single-view instance, so there is exactly one code path to keep
+/// bit-identical.
+struct TileView<'a> {
+    /// First node index of the tile; global node `n` maps to local
+    /// `n - base` in every slice below.
+    base: usize,
+    /// One-past-last node index of the tile.
+    end: usize,
+    routers: &'a mut [Router],
+    nics: &'a mut [Nic],
+    router_active: &'a mut [bool],
+    nic_active: &'a mut [bool],
+    delivered_flag: &'a mut [bool],
+    /// This tile's `node * 4 + dir` slice of [`NetStats::link_busy`].
+    link_busy: &'a mut [u64],
+    worms: SharedWorms,
+    cfg: &'a MeshConfig,
+    /// Precomputed next-hop tables, indexed by `VNet::index()`.
+    tables: &'a [RouteTable; NUM_VNETS],
+    scratch: &'a mut TileScratch,
+}
+
+/// Work assigned to one tile for one tick.
+type TileJob<'a> = (TileView<'a>, &'a [usize], &'a [usize]);
+
+impl<'a> TileView<'a> {
+    #[inline]
+    fn rt(&self, r: usize) -> &Router {
+        &self.routers[r - self.base]
+    }
+
+    #[inline]
+    fn rt_mut(&mut self, r: usize) -> &mut Router {
+        &mut self.routers[r - self.base]
+    }
+
+    #[inline]
+    fn nic(&self, n: usize) -> &Nic {
+        &self.nics[n - self.base]
+    }
+
+    #[inline]
+    fn nic_mut(&mut self, n: usize) -> &mut Nic {
+        &mut self.nics[n - self.base]
+    }
+
+    #[inline]
+    fn in_tile(&self, n: usize) -> bool {
+        (self.base..self.end).contains(&n)
+    }
+
+    /// Put an in-tile router on the next cycle's worklist.
+    fn activate_router(&mut self, r: usize) {
+        let l = r - self.base;
+        if !self.router_active[l] {
+            self.router_active[l] = true;
+            self.scratch.new_routers.push(r);
+        }
+    }
+
+    /// Put an in-tile NIC on *this* cycle's phase-3 worklist (mirrors the
+    /// serial engine, whose NIC snapshot is taken after the router phases
+    /// and therefore includes same-cycle activations).
+    fn activate_nic(&mut self, n: usize) {
+        let l = n - self.base;
+        if !self.nic_active[l] {
+            self.nic_active[l] = true;
+            self.scratch.nic_work.push(n);
+        }
+    }
+
+    /// Put an in-tile NIC on the next cycle's worklist (post-phase-3
+    /// re-arm; flags were cleared at phase-3 start).
+    fn rearm_nic(&mut self, n: usize) {
+        let l = n - self.base;
+        if !self.nic_active[l] {
+            self.nic_active[l] = true;
+            self.scratch.new_nics.push(n);
+        }
+    }
+
+    fn note_delivery(&mut self, n: usize) {
+        let l = n - self.base;
+        if !self.delivered_flag[l] {
+            self.delivered_flag[l] = true;
+            self.scratch.delivered.push(n);
+        }
+    }
+
+    /// True when this NIC still has phase-3 work queued.
+    fn nic_has_work(&self, n: usize) -> bool {
+        let nic = self.nic(n);
+        !nic.pending_deposits.is_empty()
+            || !nic.resume_q.is_empty()
+            || nic.streaming.iter().any(|s| s.is_some())
+            || nic.inject_q.iter().any(|q| !q.is_empty())
+            || nic.cons.iter().any(|c| !c.fifo.is_empty())
+    }
+
+    /// Run all three phases for this tile. `router_work` and `nic_seed`
+    /// are this tile's (sorted) partitions of the global worklists.
+    fn run_pass(&mut self, now: Cycle, router_work: &[usize], nic_seed: &[usize]) {
+        // Clear membership flags so same-cycle deposits re-arm receivers
+        // on the fresh list, exactly like the serial engine.
+        for &r in router_work {
+            self.router_active[r - self.base] = false;
+        }
+        self.phase_heads(now, router_work);
+        self.phase_movement(now, router_work);
+        // Routers that still hold flits stay active next cycle. Cross-tile
+        // deposits into this tile are activated by the barrier instead.
+        for &r in router_work {
+            if self.rt(r).flits > 0 {
+                self.activate_router(r);
+            }
+        }
+
+        // Phase-3 worklist: phase-1/2 activations (pushed above) plus the
+        // pre-tick snapshot; flags dedupe the union, sorting restores the
+        // ascending order of the serial sweep.
+        self.scratch.nic_work.extend_from_slice(nic_seed);
+        let mut nw = std::mem::take(&mut self.scratch.nic_work);
+        nw.sort_unstable();
+        for &n in &nw {
+            self.nic_active[n - self.base] = false;
+        }
+        self.phase_nic(now, &nw);
+        for &n in &nw {
+            if self.nic_has_work(n) {
+                self.rearm_nic(n);
+            }
+        }
+        nw.clear();
+        self.scratch.nic_work = nw;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: head processing.
+    // ------------------------------------------------------------------
+
+    fn phase_heads(&mut self, now: Cycle, work: &[usize]) {
+        let vcs = self.cfg.vcs_total();
+        for &r in work {
+            // Walk only occupied VC slots, ascending `(port, vc)` exactly
+            // like a full sweep. Head processing never moves flits, so the
+            // snapshot stays exact for the whole walk.
+            let occ = self.rt(r).occ;
+            for slot in occ.iter() {
+                self.process_head(now, r, slot / vcs, slot % vcs);
+            }
+        }
+    }
+
+    fn process_head(&mut self, now: Cycle, r: usize, port: usize, vc: usize) {
+        let ivc = &self.rt(r).inputs[port][vc];
+        if ivc.mode != VcMode::Normal {
+            return;
+        }
+        let Some(front) = ivc.buf.front() else { return };
+        if front.ready_at > now {
+            return;
+        }
+        debug_assert_eq!(front.flit.kind, FlitKind::Head, "non-head at front of unallocated VC");
+        let wid = front.flit.worm;
+        let here = self.rt(r).node;
+        let worms = self.worms;
+        let (kind, next_dest, at_last, reserve, txn, len, vnet) = {
+            let w = worms.get(wid);
+            (
+                w.spec.kind,
+                w.next_dest(),
+                w.at_last_dest_idx(),
+                w.spec.reserve_iack,
+                w.spec.txn,
+                w.spec.len_flits,
+                w.spec.vnet,
+            )
+        };
+
+        if next_dest == here {
+            if at_last {
+                self.process_final_dest(r, port, vc, wid);
+            } else if !worms.get(wid).delivers_here() {
+                // Pure routing waypoint: strip the header hop and continue.
+                worms.get_mut(wid).dest_idx += 1;
+                self.rt_mut(r).inputs[port][vc].buf.front_mut().expect("head present").ready_at =
+                    now + self.cfg.strip_delay;
+            } else {
+                match kind {
+                    WormKind::Unicast => unreachable!("unicast has a single destination"),
+                    WormKind::Multicast => {
+                        self.process_multicast_intermediate(now, r, port, vc, wid, reserve, txn)
+                    }
+                    WormKind::Gather => {
+                        self.process_gather_intermediate(now, r, port, vc, wid, txn, len)
+                    }
+                }
+            }
+        } else {
+            self.allocate_route(r, port, vc, wid, here, next_dest, vnet);
+        }
+    }
+
+    /// Final destination: acquire a consumption channel and switch the VC
+    /// toward the local port. An i-reserve worm does *not* reserve an i-ack
+    /// entry at its final destination — that node initiates the i-gather
+    /// and carries its own acknowledgement as the gather's initial count.
+    fn process_final_dest(&mut self, r: usize, port: usize, vc: usize, wid: WormId) {
+        let Some(cc) = self.nic(r).free_cons() else {
+            self.scratch.stats.multicast_blocked_cycles += 1;
+            return;
+        };
+        self.nic_mut(r).reserve_cons(cc, wid, false);
+        self.worms.get_mut(wid).copies += 1;
+        self.rt_mut(r).inputs[port][vc].mode =
+            VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
+    }
+
+    /// Intermediate destination of a multicast: acquire the i-ack entry
+    /// (i-reserve worms) and an absorb consumption channel, strip the
+    /// header, and continue routing next cycle.
+    #[allow(clippy::too_many_arguments)]
+    fn process_multicast_intermediate(
+        &mut self,
+        now: Cycle,
+        r: usize,
+        port: usize,
+        vc: usize,
+        wid: WormId,
+        reserve: bool,
+        txn: TxnId,
+    ) {
+        if reserve && !self.nic_mut(r).reserve_iack(txn) {
+            self.scratch.stats.multicast_blocked_cycles += 1;
+            return;
+        }
+        let Some(cc) = self.nic(r).free_cons() else {
+            self.scratch.stats.multicast_blocked_cycles += 1;
+            return;
+        };
+        self.nic_mut(r).reserve_cons(cc, wid, true);
+        let worms = self.worms;
+        worms.get_mut(wid).copies += 1;
+        self.rt_mut(r).inputs[port][vc].pending_absorb = Some(cc);
+        worms.get_mut(wid).dest_idx += 1;
+        self.rt_mut(r).inputs[port][vc].buf.front_mut().expect("head present").ready_at =
+            now + self.cfg.strip_delay;
+    }
+
+    /// Intermediate destination of a gather: check the i-ack buffer;
+    /// absorb-and-go, block, or park.
+    #[allow(clippy::too_many_arguments)]
+    fn process_gather_intermediate(
+        &mut self,
+        now: Cycle,
+        r: usize,
+        port: usize,
+        vc: usize,
+        wid: WormId,
+        txn: TxnId,
+        len: u16,
+    ) {
+        let worms = self.worms;
+        match self.nic_mut(r).gather_check(txn) {
+            GatherCheck::Ready(count) => {
+                let w = worms.get_mut(wid);
+                w.acks += count;
+                w.dest_idx += 1;
+                self.rt_mut(r).inputs[port][vc].buf.front_mut().expect("head present").ready_at =
+                    now + self.cfg.iack_check_delay;
+            }
+            GatherCheck::NotReady => match self.cfg.iack_mode {
+                IackMode::Block => {
+                    self.scratch.stats.gather_blocked_cycles += 1;
+                }
+                IackMode::VctDefer => {
+                    if let Some(entry) = self.nic_mut(r).park(txn, wid, len) {
+                        self.rt_mut(r).inputs[port][vc].mode = VcMode::DrainPark { entry };
+                        worms.get_mut(wid).state = WormState::Parked(self.rt(r).node);
+                        self.scratch.stats.parks += 1;
+                    } else if let Some(cc) = self.nic(r).free_cons() {
+                        // No entry to park in: *bounce* — consume the worm
+                        // at this node and re-inject it, so it never holds
+                        // network channels while waiting (holding them can
+                        // deadlock the reply network against the very
+                        // gathers that would free the entries).
+                        self.nic_mut(r).reserve_cons(cc, wid, false);
+                        worms.get_mut(wid).copies += 1;
+                        worms.get_mut(wid).bounced = true;
+                        self.rt_mut(r).inputs[port][vc].mode =
+                            VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
+                        self.scratch.stats.bounces += 1;
+                    } else {
+                        self.scratch.stats.gather_blocked_cycles += 1;
+                    }
+                }
+            },
+        }
+    }
+
+    /// Output VC allocation from the precomputed next-hop table.
+    #[allow(clippy::too_many_arguments)]
+    fn allocate_route(
+        &mut self,
+        r: usize,
+        port: usize,
+        vc: usize,
+        wid: WormId,
+        here: NodeId,
+        dest: NodeId,
+        vnet: VNet,
+    ) {
+        let turned = self.worms.get(wid).turned;
+        let mask = self.tables[vnet.index()].mask(here, dest, turned);
+        assert!(
+            mask != 0,
+            "worm {wid:?} at {here} cannot reach {dest} under {:?} (turned={turned}): scheme constructed a non-conformant path",
+            self.cfg.rule_for(vnet)
+        );
+        let (lo, hi) = self.cfg.vc_class(vnet);
+        // Among legal directions (canonical X-before-Y order), pick the
+        // (dir, vc) with the most credits.
+        let mut best: Option<(usize, usize, usize)> = None; // (out_port, out_vc, credit)
+        for dir in Direction::ALL {
+            if mask & (1 << dir.index()) == 0 {
+                continue;
+            }
+            let out_port = dir.index();
+            if let Some((ovc, cr)) = self.rt(r).best_free_out_vc(out_port, lo, hi) {
+                if best.is_none_or(|(_, _, bc)| cr > bc) {
+                    best = Some((out_port, ovc, cr));
+                }
+            }
+        }
+        let Some((out_port, out_vc, _)) = best else { return };
+        let absorb = self.rt_mut(r).inputs[port][vc].pending_absorb.take();
+        self.rt_mut(r).inputs[port][vc].mode = VcMode::Active { out_port, out_vc, absorb };
+        self.rt_mut(r).out_alloc[out_port][out_vc] = Some((port, vc));
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: movement.
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::needless_range_loop)]
+    fn phase_movement(&mut self, now: Cycle, work: &[usize]) {
+        let vcs = self.cfg.vcs_total();
+        for &r in work {
+            if self.rt(r).flits == 0 {
+                continue;
+            }
+            let mut used_in_port = [false; NUM_PORTS];
+
+            // Link outputs (E, W, N, S): one flit per port per cycle.
+            for out_port in 0..4 {
+                let winner = self.pick_link_winner(now, r, out_port, vcs, &used_in_port);
+                if let Some((in_port, in_vc, out_vc)) = winner {
+                    used_in_port[in_port] = true;
+                    self.rt_mut(r).rr[out_port] = in_port * vcs + in_vc + 1;
+                    self.apply_forward(now, r, in_port, in_vc, out_port, out_vc);
+                }
+            }
+
+            // Local consumption: one flit per consumption channel per
+            // cycle. Occupancy bits ascend `(port, vc)` like the full
+            // sweep; the used-port flag keeps one consume per input port.
+            let occ = self.rt(r).occ;
+            for slot in occ.iter() {
+                let (in_port, in_vc) = (slot / vcs, slot % vcs);
+                if used_in_port[in_port] {
+                    continue;
+                }
+                let ivc = &self.rt(r).inputs[in_port][in_vc];
+                let VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: _ } = ivc.mode else {
+                    continue;
+                };
+                let Some(front) = ivc.buf.front() else { continue };
+                if front.ready_at > now || !self.nic(r).cons[cc].has_space() {
+                    continue;
+                }
+                self.apply_consume(r, in_port, in_vc, cc);
+                used_in_port[in_port] = true;
+            }
+
+            // Parked gather drains: absorbed at the router interface, no
+            // crossbar involvement.
+            let occ = self.rt(r).occ;
+            for slot in occ.iter() {
+                let (in_port, in_vc) = (slot / vcs, slot % vcs);
+                let ivc = &self.rt(r).inputs[in_port][in_vc];
+                let VcMode::DrainPark { entry } = ivc.mode else { continue };
+                let Some(front) = ivc.buf.front() else { continue };
+                if front.ready_at > now {
+                    continue;
+                }
+                self.apply_park_drain(r, in_port, in_vc, entry);
+            }
+        }
+    }
+
+    /// Round-robin arbitration for a link output port: pick the eligible
+    /// allocated input VC at-or-after the RR pointer.
+    fn pick_link_winner(
+        &self,
+        now: Cycle,
+        r: usize,
+        out_port: usize,
+        vcs: usize,
+        used_in_port: &[bool; NUM_PORTS],
+    ) -> Option<(usize, usize, usize)> {
+        let router = self.rt(r);
+        let mut best: Option<(usize, (usize, usize, usize))> = None; // (rr-distance key, move)
+        let rr = router.rr[out_port];
+        let total = NUM_PORTS * vcs;
+        for out_vc in 0..vcs {
+            let Some((in_port, in_vc)) = router.out_alloc[out_port][out_vc] else { continue };
+            if used_in_port[in_port] {
+                continue;
+            }
+            if router.out_credit[out_port][out_vc] == 0 {
+                continue;
+            }
+            let ivc = &router.inputs[in_port][in_vc];
+            let Some(front) = ivc.buf.front() else { continue };
+            if front.ready_at > now {
+                continue;
+            }
+            if let VcMode::Active { absorb: Some(cc), .. } = ivc.mode {
+                if !self.nic(r).cons[cc].has_space() {
+                    continue;
+                }
+            }
+            let key = (in_port * vcs + in_vc + total - rr % total) % total;
+            if best.is_none_or(|(bk, _)| key < bk) {
+                best = Some((key, (in_port, in_vc, out_vc)));
+            }
+        }
+        best.map(|(_, m)| m)
+    }
+
+    fn apply_forward(
+        &mut self,
+        now: Cycle,
+        r: usize,
+        in_port: usize,
+        in_vc: usize,
+        out_port: usize,
+        out_vc: usize,
+    ) {
+        let bf = self.rt_mut(r).pop(in_port, in_vc);
+        let flit = bf.flit;
+        let node = self.rt(r).node;
+        let dir = match Port::from_index(out_port) {
+            Port::Dir(d) => d,
+            Port::Local => unreachable!("apply_forward is for link ports"),
+        };
+
+        // Absorb copy (forward-and-absorb).
+        if let VcMode::Active { absorb: Some(cc), .. } = self.rt(r).inputs[in_port][in_vc].mode {
+            self.nic_mut(r).cons[cc].fifo.push_back(flit);
+            self.scratch.stats.flits_consumed += 1;
+            self.activate_nic(r);
+        }
+
+        // Stats + credits.
+        self.scratch.stats.flit_hops += 1;
+        self.link_busy[(r - self.base) * 4 + out_port] += 1;
+        self.rt_mut(r).out_credit[out_port][out_vc] -= 1;
+        self.return_credit(r, in_port, in_vc);
+
+        // Head bookkeeping: the worm may enter its "turned" phase.
+        if flit.kind == FlitKind::Head {
+            let w = self.worms.get_mut(flit.worm);
+            let rule = self.cfg.rule_for(w.spec.vnet);
+            w.turned |= match rule {
+                PathRule::XY => matches!(dir, Direction::North | Direction::South),
+                PathRule::YX => matches!(dir, Direction::East | Direction::West),
+                PathRule::WestFirst => dir != Direction::West,
+                PathRule::EastFirst => dir != Direction::East,
+            };
+        }
+
+        // Deposit downstream; a boundary crossing defers to the barrier
+        // (exact: the flit's future `ready_at` makes it invisible this
+        // cycle either way).
+        let nb =
+            self.cfg.mesh.neighbor(node, dir).expect("route computation never leaves the mesh");
+        let in_port_nb = Port::Dir(dir.opposite()).index();
+        let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
+        let nbi = nb.idx();
+        if self.in_tile(nbi) {
+            self.rt_mut(nbi).deposit(in_port_nb, out_vc, BufFlit { flit, ready_at: ready });
+            self.activate_router(nbi);
+        } else {
+            self.scratch.deposits.push(XDeposit {
+                node: nbi,
+                port: in_port_nb,
+                vc: out_vc,
+                bf: BufFlit { flit, ready_at: ready },
+            });
+        }
+
+        // Tail releases allocations.
+        if flit.kind == FlitKind::Tail {
+            self.rt_mut(r).inputs[in_port][in_vc].mode = VcMode::Normal;
+            self.rt_mut(r).out_alloc[out_port][out_vc] = None;
+        }
+    }
+
+    fn apply_consume(&mut self, r: usize, in_port: usize, in_vc: usize, cc: usize) {
+        let bf = self.rt_mut(r).pop(in_port, in_vc);
+        self.nic_mut(r).cons[cc].fifo.push_back(bf.flit);
+        self.activate_nic(r);
+        self.scratch.stats.flits_consumed += 1;
+        self.return_credit(r, in_port, in_vc);
+        if bf.flit.kind == FlitKind::Tail {
+            self.rt_mut(r).inputs[in_port][in_vc].mode = VcMode::Normal;
+        }
+    }
+
+    fn apply_park_drain(&mut self, r: usize, in_port: usize, in_vc: usize, entry: usize) {
+        let bf = self.rt_mut(r).pop(in_port, in_vc);
+        self.return_credit(r, in_port, in_vc);
+        let is_tail = bf.flit.kind == FlitKind::Tail;
+        if self.nic_mut(r).park_drain(entry, is_tail).is_some() {
+            // Park resolved onto the resume queue.
+            self.activate_nic(r);
+        }
+        if is_tail {
+            self.rt_mut(r).inputs[in_port][in_vc].mode = VcMode::Normal;
+        }
+    }
+
+    /// Return one credit to the upstream router for the vacated slot. A
+    /// boundary crossing defers to the barrier; the pre-tick hazard scan
+    /// guarantees the upstream router cannot observe the difference (see
+    /// the module docs).
+    fn return_credit(&mut self, r: usize, in_port: usize, in_vc: usize) {
+        if in_port == LOCAL {
+            return; // NIC injection checks buffer space directly.
+        }
+        let dir = match Port::from_index(in_port) {
+            Port::Dir(d) => d,
+            Port::Local => unreachable!(),
+        };
+        let node = self.rt(r).node;
+        let up = self.cfg.mesh.neighbor(node, dir).expect("input port faces a neighbor");
+        let up_out = Port::Dir(dir.opposite()).index();
+        let ui = up.idx();
+        if self.in_tile(ui) {
+            self.rt_mut(ui).out_credit[up_out][in_vc] += 1;
+        } else {
+            self.scratch.credits.push(XCredit { node: ui, port: up_out, vc: in_vc });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: NIC work.
+    // ------------------------------------------------------------------
+
+    fn phase_nic(&mut self, now: Cycle, work: &[usize]) {
+        for &n in work {
+            self.nic_flush_deposits(n);
+            self.nic_drain(now, n);
+            self.nic_resume(n);
+            self.nic_inject(now, n);
+        }
+    }
+
+    /// Retry deposits that previously found the i-ack buffer full.
+    /// Rotates the queue in place (one pass, no fresh queue allocation):
+    /// failed retries go to the back, preserving relative order.
+    fn nic_flush_deposits(&mut self, n: usize) {
+        for _ in 0..self.nic(n).pending_deposits.len() {
+            let (txn, acks) = self.nic_mut(n).pending_deposits.pop_front().expect("counted");
+            if self.nic_mut(n).post_iack_count(txn, acks).is_no_space() {
+                self.nic_mut(n).pending_deposits.push_back((txn, acks));
+            } else {
+                self.scratch.stats.deposits += 1;
+            }
+        }
+    }
+
+    /// Drain one flit per consumption channel; complete worms at tails.
+    ///
+    /// NIC-local effects (delivered queue, bounce requeue, ack deposits)
+    /// happen inline so this NIC's same-cycle resume/inject see them, as
+    /// in the serial schedule; the fields read for them (`spec`, `acks`,
+    /// `bounced`, `queued_at`) are stable all cycle for a fully-consumed
+    /// worm. Worm-table writes shared across tiles defer to [`WormEvent`]
+    /// replay at the barrier.
+    fn nic_drain(&mut self, now: Cycle, n: usize) {
+        let worms = self.worms;
+        for cc in 0..self.nic(n).cons.len() {
+            let Some(flit) = self.nic_mut(n).cons[cc].fifo.pop_front() else { continue };
+            if flit.kind != FlitKind::Tail {
+                continue;
+            }
+            let wid = self.nic(n).cons[cc].owner.expect("draining channel has an owner");
+            debug_assert_eq!(wid, flit.worm);
+            let absorb = self.nic(n).cons[cc].absorb;
+            self.nic_mut(n).cons[cc].owner = None;
+            self.nic_mut(n).cons[cc].absorb = false;
+            let node = self.nic(n).node;
+
+            let (src, payload, txn, acks, deposit, kind, bounced, queued_at) = {
+                let w = worms.get(wid);
+                (
+                    w.spec.src,
+                    w.spec.payload,
+                    w.spec.txn,
+                    w.acks,
+                    w.spec.gather_deposit,
+                    w.spec.kind,
+                    w.bounced,
+                    w.queued_at,
+                )
+            };
+
+            if absorb {
+                // Absorbed copy at an intermediate destination.
+                self.nic_mut(n).delivered.push_back(Delivery {
+                    node,
+                    worm: wid,
+                    src,
+                    payload,
+                    kind: DeliveryKind::Absorb,
+                    acks: 0,
+                    at: now,
+                    txn,
+                });
+                self.scratch.stats.deliveries += 1;
+                self.note_delivery(n);
+                // The copy count (and a possible retire) is shared with
+                // other tiles: replay at the barrier in serial order.
+                self.scratch.events.push(WormEvent { wid, is_final: false, kind, latency: 0.0 });
+                continue;
+            }
+
+            if bounced {
+                // Bounced gather fully drained: requeue it at this NIC;
+                // it retries its i-ack check from here. The worm is
+                // referenced nowhere else, so inline mutation is exact.
+                let w = worms.get_mut(wid);
+                w.copies -= 1;
+                w.bounced = false;
+                w.turned = false;
+                w.state = WormState::Queued;
+                let vnet = w.spec.vnet;
+                self.nic_mut(n).enqueue(vnet, wid);
+                continue;
+            }
+
+            // Final consumption.
+            let latency = (now - queued_at) as f64;
+            if deposit {
+                // First-level gather of the two-phase scheme: deposit the
+                // accumulated count into the local i-ack buffer. A full
+                // buffer queues the deposit for per-cycle retry — a
+                // pending deposit whose sweep has already parked resolves
+                // into the parked entry without needing a free slot, so
+                // the queue always drains.
+                if self.nic_mut(n).post_iack_count(txn, acks).is_no_space() {
+                    self.scratch.stats.deposit_retries += 1;
+                    self.nic_mut(n).pending_deposits.push_back((txn, acks));
+                } else {
+                    self.scratch.stats.deposits += 1;
+                }
+            } else {
+                self.nic_mut(n).delivered.push_back(Delivery {
+                    node,
+                    worm: wid,
+                    src,
+                    payload,
+                    kind: DeliveryKind::Final,
+                    acks,
+                    at: now,
+                    txn,
+                });
+                self.scratch.stats.deliveries += 1;
+                self.note_delivery(n);
+            }
+            self.scratch.events.push(WormEvent { wid, is_final: true, kind, latency });
+        }
+    }
+
+    /// Re-inject parked gather worms whose ack arrived.
+    fn nic_resume(&mut self, n: usize) {
+        let worms = self.worms;
+        while let Some((wid, count)) = self.nic_mut(n).resume_q.pop_front() {
+            let vnet = {
+                let w = worms.get_mut(wid);
+                w.acks += count;
+                w.dest_idx += 1;
+                w.turned = false;
+                w.state = WormState::Queued;
+                w.spec.vnet
+            };
+            self.nic_mut(n).enqueue(vnet, wid);
+            self.scratch.stats.resumes += 1;
+        }
+    }
+
+    /// Stream injection-queue worms into the router's local input port.
+    fn nic_inject(&mut self, now: Cycle, n: usize) {
+        let vcs = self.cfg.vcs_total();
+        let worms = self.worms;
+        for vc in 0..vcs {
+            // Start a new stream if this VC is idle and a worm of its
+            // virtual-network class is waiting.
+            if self.nic(n).streaming[vc].is_none() {
+                let vnet = self.cfg.vnet_of(vc);
+                if let Some(wid) = self.nic_mut(n).inject_q[vnet.index()].pop_front() {
+                    let len = worms.get(wid).spec.len_flits;
+                    self.nic_mut(n).streaming[vc] =
+                        Some(StreamState { worm: wid, next_seq: 0, len });
+                }
+            }
+            let Some(mut st) = self.nic(n).streaming[vc] else { continue };
+            if self.rt(n).inputs[LOCAL][vc].space() == 0 {
+                continue;
+            }
+            let flit = Flit {
+                worm: st.worm,
+                kind: if st.next_seq == 0 {
+                    FlitKind::Head
+                } else if st.next_seq + 1 == st.len {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                },
+                seq: st.next_seq,
+            };
+            let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
+            self.rt_mut(n).deposit(LOCAL, vc, BufFlit { flit, ready_at: ready });
+            self.activate_router(n);
+            self.scratch.stats.flits_injected += 1;
+            if flit.kind == FlitKind::Head {
+                let w = worms.get_mut(st.worm);
+                if w.injected_at.is_none() {
+                    w.injected_at = Some(now);
+                }
+                w.state = WormState::InFlight;
+            }
+            st.next_seq += 1;
+            self.nic_mut(n).streaming[vc] = if st.next_seq == st.len { None } else { Some(st) };
+        }
+    }
+}
+
 /// The whole wormhole-routed mesh: routers, NICs, worms, clock.
 ///
 /// `tick` iterates *worklists* rather than sweeping every node: a router
@@ -196,7 +1137,8 @@ const LOCAL: usize = 4;
 /// whenever it has phase-3 work (queued injections, streaming, consumption
 /// FIFO contents, resumes, or deposit retries). Nodes off both lists are
 /// provably no-ops in every phase, so skipping them is bit-identical to
-/// the full sweep.
+/// the full sweep. With [`MeshConfig::tiles`] > 1 the worklists are
+/// partitioned into row bands stepped concurrently (see the module docs).
 #[derive(Debug)]
 pub struct Network {
     cfg: MeshConfig,
@@ -222,9 +1164,18 @@ pub struct Network {
     nic_scratch: Vec<usize>,
     /// Membership flags for `delivered_nodes`.
     delivered_flag: Vec<bool>,
-    /// Nodes holding undrained deliveries (fed by `phase_nic`, drained by
-    /// [`Network::take_delivery_nodes`]).
+    /// Nodes holding undrained deliveries (fed by the NIC phase, drained
+    /// by [`Network::take_delivery_nodes`]).
     delivered_nodes: Vec<usize>,
+    /// Precomputed next-hop tables, indexed by `VNet::index()`, built once
+    /// per network so the parallel section never recomputes routes.
+    tables: [RouteTable; NUM_VNETS],
+    /// Row-band node ranges, one per tile.
+    tile_bounds: Vec<core::ops::Range<usize>>,
+    /// Per-tile deferred-work buffers (persistent across cycles).
+    tile_scratch: Vec<TileScratch>,
+    /// Parked worker threads (`tiles - 1` of them) when `tiles > 1`.
+    pool: Option<WorkerPool>,
 }
 
 impl Network {
@@ -249,7 +1200,12 @@ impl Network {
             })
             .collect();
         let stats = NetStats::new(nodes);
-        Self {
+        let tables = [
+            RouteTable::build(cfg.rule_for(VNet::Req), &cfg.mesh),
+            RouteTable::build(cfg.rule_for(VNet::Reply), &cfg.mesh),
+        ];
+        let tiles = cfg.tiles;
+        let mut net = Self {
             cfg,
             routers,
             nics,
@@ -265,7 +1221,33 @@ impl Network {
             nic_scratch: Vec::new(),
             delivered_flag: vec![false; nodes],
             delivered_nodes: Vec::new(),
-        }
+            tables,
+            tile_bounds: Vec::new(),
+            tile_scratch: Vec::new(),
+            pool: None,
+        };
+        net.set_tiles(tiles);
+        net
+    }
+
+    /// Repartition the mesh into `tiles` row-band tiles (clamped to the
+    /// mesh height) and size the worker pool accordingly. Results are
+    /// bit-identical for every value; `1` is the serial schedule.
+    pub fn set_tiles(&mut self, tiles: usize) {
+        let bounds = self.cfg.mesh.row_bands(tiles.max(1));
+        let t = bounds.len();
+        self.cfg.tiles = t;
+        self.tile_bounds = bounds;
+        self.tile_scratch = (0..t).map(|_| TileScratch::default()).collect();
+        // Size the pool by the host, not the tile count: `T` tiles need at
+        // most `T - 1` workers (the caller is a lane), and workers beyond
+        // the core count only add contention — on a single-core host the
+        // pool gets zero workers and `WorkerPool::run` degenerates to a
+        // serial loop over the tile jobs, still exercising the full
+        // partitioned schedule (tile slices, deferred exchange, barrier
+        // replay) with bit-identical results.
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        self.pool = (t > 1).then(|| WorkerPool::new((t - 1).min(cores.saturating_sub(1))));
     }
 
     /// Enable worm-table slot recycling: retired worms (delivered, all
@@ -291,16 +1273,6 @@ impl Network {
             self.nic_active[n] = true;
             self.active_nics.push(n);
         }
-    }
-
-    /// True when this NIC still has phase-3 work queued.
-    fn nic_has_work(&self, n: usize) -> bool {
-        let nic = &self.nics[n];
-        !nic.pending_deposits.is_empty()
-            || !nic.resume_q.is_empty()
-            || nic.streaming.iter().any(|s| s.is_some())
-            || nic.inject_q.iter().any(|q| !q.is_empty())
-            || nic.cons.iter().any(|c| !c.fifo.is_empty())
     }
 
     /// Current simulated cycle.
@@ -435,10 +1407,144 @@ impl Network {
         self.nics[node.idx()].delivered.pop_front()
     }
 
-    fn note_delivery(&mut self, n: usize) {
-        if !self.delivered_flag[n] {
-            self.delivered_flag[n] = true;
-            self.delivered_nodes.push(n);
+    /// True when a first-row router of any tile but the first could send
+    /// north across its tile boundary this cycle if the downstream router
+    /// returned a credit mid-cycle — the one cross-tile effect the serial
+    /// ascending sweep makes observable (see the module docs).
+    ///
+    /// The scan is precise in the direction that matters: it flags a
+    /// hazard only when (a) the boundary output VC is allocated, starved,
+    /// and fed by a ready flit, *and* (b) [`Self::vc_could_pop`] says the
+    /// downstream router could actually vacate the matching input slot
+    /// this cycle under the serial schedule. Without (b), every cycle of
+    /// sustained congestion at a boundary (starved upstream, but the
+    /// downstream chain blocked too, so no credit moves anywhere) would
+    /// fall back to the serial schedule and erase the parallel win — the
+    /// common case in the busy-cycle regime. Remaining approximations
+    /// (arbitration could still pick another input) are one-sided: false
+    /// positives cost one serial-schedule cycle, never accuracy.
+    fn boundary_credit_hazard(&self, now: Cycle) -> bool {
+        let vcs = self.cfg.vcs_total();
+        let width = self.cfg.mesh.width();
+        let north = Direction::North.index();
+        let south = Direction::South.index();
+        for b in &self.tile_bounds[1..] {
+            for u in b.start..b.start + width {
+                let router = &self.routers[u];
+                if router.flits == 0 {
+                    continue;
+                }
+                for vc in 0..vcs {
+                    let Some((ip, iv)) = router.out_alloc[north][vc] else { continue };
+                    if router.out_credit[north][vc] != 0 {
+                        continue;
+                    }
+                    let Some(front) = router.inputs[ip][iv].buf.front() else { continue };
+                    if front.ready_at <= now && self.vc_could_pop(now, u - width, south, vc) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Could router `r` pop the front flit of input `(in_port, in_vc)`
+    /// this cycle under the serial ascending sweep (thereby returning a
+    /// credit upstream)? Conservative one-sided answer: `true` may still
+    /// lose arbitration, `false` is exact.
+    ///
+    /// A starved *active* VC chains: its pop needs a same-cycle credit
+    /// from its own downstream, which the ascending sweep only makes
+    /// visible when that downstream has a lower index — i.e. the output
+    /// points north (`r - width`) or west (`r - 1`). Following the chain
+    /// strictly decreases the router index, so the walk terminates; any
+    /// east/south-facing starved link breaks it (those credits come from
+    /// higher-index routers and are never same-cycle visible serially).
+    fn vc_could_pop(&self, now: Cycle, mut r: usize, mut in_port: usize, mut in_vc: usize) -> bool {
+        let width = self.cfg.mesh.width();
+        let north = Direction::North.index();
+        let west = Direction::West.index();
+        loop {
+            let router = &self.routers[r];
+            let ivc = &router.inputs[in_port][in_vc];
+            let Some(front) = ivc.buf.front() else { return false };
+            if front.ready_at > now {
+                return false;
+            }
+            match ivc.mode {
+                // Park drains bypass the crossbar: a ready front always pops.
+                VcMode::DrainPark { .. } => return true,
+                VcMode::Active { out_port, out_vc, absorb } => {
+                    if out_port == LOCAL {
+                        // Consumption space only shrinks during movement
+                        // (draining is phase 3), so "full now" is exact.
+                        return self.nics[r].cons[out_vc].has_space();
+                    }
+                    if let Some(cc) = absorb {
+                        if !self.nics[r].cons[cc].has_space() {
+                            return false;
+                        }
+                    }
+                    if router.out_credit[out_port][out_vc] > 0 {
+                        return true;
+                    }
+                    if out_port == north {
+                        r -= width;
+                        in_port = Direction::South.index();
+                    } else if out_port == west {
+                        r -= 1;
+                        in_port = Direction::East.index();
+                    } else {
+                        return false;
+                    }
+                    in_vc = out_vc;
+                }
+                VcMode::Normal => return self.head_could_pop(r, front.flit.worm),
+            }
+        }
+    }
+
+    /// Could phase-1 head processing put this router's front head into a
+    /// state that phase 2 pops the same cycle? Mirrors `process_head`
+    /// read-only. Exactness leans on phase ordering: all head processing
+    /// runs before any movement, so phase 1 sees precisely the pre-tick
+    /// credit/allocation state this scan reads.
+    fn head_could_pop(&self, r: usize, wid: WormId) -> bool {
+        let w = self.worms.get(wid);
+        let here = self.routers[r].node;
+        let next = w.next_dest();
+        if next != here {
+            // Forwarding head: allocation needs a legal direction with a
+            // free, credited output VC; once allocated, phase 2 can move it.
+            let mask = self.tables[w.spec.vnet.index()].mask(here, next, w.turned);
+            let (lo, hi) = self.cfg.vc_class(w.spec.vnet);
+            return Direction::ALL.iter().any(|d| {
+                mask & (1 << d.index()) != 0
+                    && self.routers[r].best_free_out_vc(d.index(), lo, hi).is_some()
+            });
+        }
+        if w.at_last_dest_idx() {
+            // Final consumption: a freshly reserved channel has space.
+            return self.nics[r].free_cons().is_some();
+        }
+        if !w.delivers_here() {
+            // Waypoint strip re-arms the head at `now + strip_delay`
+            // (>= 1, asserted in the constructor): no pop this cycle.
+            return false;
+        }
+        match w.spec.kind {
+            WormKind::Unicast => true, // single-destination; unreachable here
+            // Absorb strip also re-arms at `now + strip_delay`; the
+            // failure paths (no i-ack entry / no channel) stall in place.
+            WormKind::Multicast => false,
+            WormKind::Gather => match self.cfg.iack_mode {
+                // Ready bumps `ready_at` by `iack_check_delay` (>= 1);
+                // NotReady stalls in place.
+                IackMode::Block => false,
+                // Parking or bouncing can start draining the same cycle.
+                IackMode::VctDefer => true,
+            },
         }
     }
 
@@ -447,52 +1553,224 @@ impl Network {
         self.now += 1;
         let now = self.now;
 
-        // Snapshot the router worklist for this cycle by swapping it with
-        // a persistent scratch buffer (both keep their capacity, so the
+        // Snapshot the worklists for this cycle by swapping them with
+        // persistent scratch buffers (both keep their capacity, so the
         // steady-state hot loop allocates nothing). Sorting restores the
         // ascending node order of the historical full sweep, keeping runs
-        // bit-identical. Flags are cleared so that mid-phase deposits
-        // (which target the *next* cycle — their flits carry a future
-        // `ready_at`) re-arm receivers on the fresh list.
+        // bit-identical.
         let mut router_work = std::mem::take(&mut self.router_scratch);
         router_work.clear();
         std::mem::swap(&mut router_work, &mut self.active_routers);
         let router_cap = self.active_routers.capacity();
         router_work.sort_unstable();
-        for &r in &router_work {
-            self.router_active[r] = false;
-        }
-        self.phase_heads(now, &router_work);
-        self.phase_movement(now, &router_work);
-        // Routers that still hold flits stay active next cycle.
-        for &r in &router_work {
-            if self.routers[r].flits > 0 {
-                self.activate_router(r);
-            }
-        }
-        if self.active_routers.capacity() != router_cap {
-            self.stats.scratch_grows += 1;
-        }
-        self.router_scratch = router_work;
 
         let mut nic_work = std::mem::take(&mut self.nic_scratch);
         nic_work.clear();
         std::mem::swap(&mut nic_work, &mut self.active_nics);
         let nic_cap = self.active_nics.capacity();
         nic_work.sort_unstable();
-        for &n in &nic_work {
-            self.nic_active[n] = false;
+
+        // Dispatch to the pool only when the cycle carries enough work to
+        // amortize the fan-out/barrier round trip; light cycles run the
+        // serial schedule inline. Both schedules produce identical state,
+        // so the threshold choice (a pure function of pre-tick state)
+        // affects wall time only, never results.
+        let configured = self.tile_bounds.len();
+        let enough_work = router_work.len() + nic_work.len() >= PARALLEL_WORK_PER_TILE * configured;
+        let parallel = configured > 1 && enough_work && !self.boundary_credit_hazard(now);
+        if configured > 1 && enough_work && !parallel {
+            self.stats.hazard_fallbacks += 1;
         }
-        self.phase_nic(now, &nic_work);
-        for &n in &nic_work {
-            if self.nic_has_work(n) {
-                self.activate_nic(n);
+        let whole = [0..self.cfg.mesh.nodes(); 1];
+
+        {
+            let Network {
+                cfg,
+                routers,
+                nics,
+                worms,
+                stats,
+                router_active,
+                nic_active,
+                delivered_flag,
+                tables,
+                tile_bounds,
+                tile_scratch,
+                pool,
+                ..
+            } = self;
+            let bounds: &[core::ops::Range<usize>] =
+                if parallel { &tile_bounds[..] } else { &whole[..] };
+            let shared = SharedWorms::new(worms);
+
+            if bounds.len() == 1 {
+                // Single-tile schedule (T = 1, thin cycles, hazard
+                // fallback): the whole mesh is one view — no slice
+                // carving, no job vector, no per-tick allocation.
+                let mut view = TileView {
+                    base: 0,
+                    end: cfg.mesh.nodes(),
+                    routers,
+                    nics,
+                    router_active,
+                    nic_active,
+                    delivered_flag,
+                    link_busy: &mut stats.link_busy,
+                    worms: shared,
+                    cfg,
+                    tables,
+                    scratch: &mut tile_scratch[0],
+                };
+                view.run_pass(now, &router_work, &nic_work);
+            } else {
+                self::run_tiles(
+                    now,
+                    bounds,
+                    cfg,
+                    tables,
+                    shared,
+                    routers,
+                    nics,
+                    router_active,
+                    nic_active,
+                    delivered_flag,
+                    &mut stats.link_busy,
+                    tile_scratch,
+                    &router_work,
+                    &nic_work,
+                    pool.as_ref().expect("pool exists when tiles > 1"),
+                );
             }
         }
+
+        // Cycle barrier: fold per-tile deltas and deferred cross-tile work
+        // back into the global state. Worm events replay in tile order ==
+        // ascending node order == the serial schedule.
+        let mut scratch = std::mem::take(&mut self.tile_scratch);
+        for s in scratch.iter_mut() {
+            s.stats.merge_into(&mut self.stats);
+            for c in s.credits.drain(..) {
+                self.routers[c.node].out_credit[c.port][c.vc] += 1;
+            }
+            for d in s.deposits.drain(..) {
+                self.routers[d.node].deposit(d.port, d.vc, d.bf);
+                self.activate_router(d.node);
+            }
+            for ev in s.events.drain(..) {
+                self.apply_worm_event(now, ev);
+            }
+            self.delivered_nodes.append(&mut s.delivered);
+            self.active_routers.append(&mut s.new_routers);
+            self.active_nics.append(&mut s.new_nics);
+        }
+        self.tile_scratch = scratch;
+
+        if self.active_routers.capacity() != router_cap {
+            self.stats.scratch_grows += 1;
+        }
+        self.router_scratch = router_work;
         if self.active_nics.capacity() != nic_cap {
             self.stats.scratch_grows += 1;
         }
         self.nic_scratch = nic_work;
+    }
+}
+
+/// Concurrent tile pass: carve the per-node state into per-tile exclusive
+/// slices, partition the sorted worklists by tile range, and fan the tile
+/// jobs out across the worker pool.
+#[allow(clippy::too_many_arguments)]
+fn run_tiles<'a>(
+    now: Cycle,
+    bounds: &[core::ops::Range<usize>],
+    cfg: &'a MeshConfig,
+    tables: &'a [RouteTable; NUM_VNETS],
+    shared: SharedWorms,
+    mut routers_rest: &'a mut [Router],
+    mut nics_rest: &'a mut [Nic],
+    mut ra_rest: &'a mut [bool],
+    mut na_rest: &'a mut [bool],
+    mut df_rest: &'a mut [bool],
+    mut lb_rest: &'a mut [u64],
+    tile_scratch: &'a mut [TileScratch],
+    router_work: &'a [usize],
+    nic_work: &'a [usize],
+    pool: &WorkerPool,
+) {
+    let mut scratch_iter = tile_scratch.iter_mut();
+    let mut rw_rest: &[usize] = router_work;
+    let mut nw_rest: &[usize] = nic_work;
+    let mut jobs: Vec<Mutex<TileJob>> = Vec::with_capacity(bounds.len());
+    for b in bounds {
+        let len = b.end - b.start;
+        let (r_s, r_r) = std::mem::take(&mut routers_rest).split_at_mut(len);
+        routers_rest = r_r;
+        let (n_s, n_r) = std::mem::take(&mut nics_rest).split_at_mut(len);
+        nics_rest = n_r;
+        let (ra_s, ra_r) = std::mem::take(&mut ra_rest).split_at_mut(len);
+        ra_rest = ra_r;
+        let (na_s, na_r) = std::mem::take(&mut na_rest).split_at_mut(len);
+        na_rest = na_r;
+        let (df_s, df_r) = std::mem::take(&mut df_rest).split_at_mut(len);
+        df_rest = df_r;
+        let (lb_s, lb_r) = std::mem::take(&mut lb_rest).split_at_mut(len * 4);
+        lb_rest = lb_r;
+        let rsplit = rw_rest.partition_point(|&r| r < b.end);
+        let (rw, rw_r) = rw_rest.split_at(rsplit);
+        rw_rest = rw_r;
+        let nsplit = nw_rest.partition_point(|&n| n < b.end);
+        let (nw, nw_r) = nw_rest.split_at(nsplit);
+        nw_rest = nw_r;
+        let view = TileView {
+            base: b.start,
+            end: b.end,
+            routers: r_s,
+            nics: n_s,
+            router_active: ra_s,
+            nic_active: na_s,
+            delivered_flag: df_s,
+            link_busy: lb_s,
+            worms: shared,
+            cfg,
+            tables,
+            scratch: scratch_iter.next().expect("scratch per tile"),
+        };
+        jobs.push(Mutex::new((view, rw, nw)));
+    }
+
+    let jobs_ref = &jobs;
+    pool.run(jobs_ref.len(), &|i| {
+        let mut guard = jobs_ref[i].lock().expect("unpoisoned");
+        let (view, rw, nw) = &mut *guard;
+        view.run_pass(now, rw, nw);
+    });
+}
+
+impl Network {
+    /// Replay one deferred worm completion in serial order.
+    fn apply_worm_event(&mut self, now: Cycle, ev: WormEvent) {
+        let w = self.worms.get_mut(ev.wid);
+        w.copies -= 1;
+        if ev.is_final {
+            w.state = WormState::Delivered;
+            w.delivered_at = Some(now);
+            self.live_worms -= 1;
+            match ev.kind {
+                WormKind::Unicast => self.stats.unicast_latency.record(ev.latency),
+                WormKind::Multicast => self.stats.multicast_latency.record(ev.latency),
+                WormKind::Gather => self.stats.gather_latency.record(ev.latency),
+            }
+        }
+        self.maybe_retire(ev.wid);
+    }
+
+    /// Free a worm's table slot once it is delivered with no outstanding
+    /// consumption copies (no-op while recycling is off).
+    fn maybe_retire(&mut self, wid: WormId) {
+        let w = self.worms.get(wid);
+        if w.state == WormState::Delivered && w.copies == 0 {
+            self.worms.retire(wid);
+        }
     }
 
     /// True when ticking would be a complete no-op: no worms live anywhere
@@ -532,615 +1810,5 @@ impl Network {
             wd.check(self.now)?;
         }
         Ok(self.now)
-    }
-
-    // ------------------------------------------------------------------
-    // Phase 1: head processing.
-    // ------------------------------------------------------------------
-
-    fn phase_heads(&mut self, now: Cycle, work: &[usize]) {
-        let vcs = self.cfg.vcs_total();
-        for &r in work {
-            // Walk only occupied VC slots, ascending `(port, vc)` exactly
-            // like a full sweep. Head processing never moves flits, so the
-            // snapshot stays exact for the whole walk.
-            let mut bits = self.routers[r].occ;
-            while bits != 0 {
-                let slot = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                self.process_head(now, r, slot / vcs, slot % vcs);
-            }
-        }
-    }
-
-    fn process_head(&mut self, now: Cycle, r: usize, port: usize, vc: usize) {
-        let ivc = &self.routers[r].inputs[port][vc];
-        if ivc.mode != VcMode::Normal {
-            return;
-        }
-        let Some(front) = ivc.buf.front() else { return };
-        if front.ready_at > now {
-            return;
-        }
-        debug_assert_eq!(front.flit.kind, FlitKind::Head, "non-head at front of unallocated VC");
-        let wid = front.flit.worm;
-        let here = self.routers[r].node;
-        let (kind, next_dest, at_last, reserve, txn, len, vnet) = {
-            let w = self.worms.get(wid);
-            (
-                w.spec.kind,
-                w.next_dest(),
-                w.at_last_dest_idx(),
-                w.spec.reserve_iack,
-                w.spec.txn,
-                w.spec.len_flits,
-                w.spec.vnet,
-            )
-        };
-
-        if next_dest == here {
-            if at_last {
-                self.process_final_dest(now, r, port, vc, wid, reserve, txn);
-            } else if !self.worms.get(wid).delivers_here() {
-                // Pure routing waypoint: strip the header hop and continue.
-                self.worms.get_mut(wid).dest_idx += 1;
-                self.routers[r].inputs[port][vc].buf.front_mut().expect("head present").ready_at =
-                    now + self.cfg.strip_delay;
-            } else {
-                match kind {
-                    WormKind::Unicast => unreachable!("unicast has a single destination"),
-                    WormKind::Multicast => {
-                        self.process_multicast_intermediate(now, r, port, vc, wid, reserve, txn)
-                    }
-                    WormKind::Gather => {
-                        self.process_gather_intermediate(now, r, port, vc, wid, txn, len)
-                    }
-                }
-            }
-        } else {
-            self.allocate_route(now, r, port, vc, wid, here, next_dest, vnet);
-        }
-    }
-
-    /// Final destination: acquire a consumption channel and switch the VC
-    /// toward the local port. An i-reserve worm does *not* reserve an i-ack
-    /// entry at its final destination — that node initiates the i-gather
-    /// and carries its own acknowledgement as the gather's initial count.
-    #[allow(clippy::too_many_arguments)]
-    fn process_final_dest(
-        &mut self,
-        now: Cycle,
-        r: usize,
-        port: usize,
-        vc: usize,
-        wid: WormId,
-        _reserve: bool,
-        txn: TxnId,
-    ) {
-        let _ = (now, txn);
-        let Some(cc) = self.nics[r].free_cons() else {
-            self.stats.multicast_blocked_cycles += 1;
-            return;
-        };
-        self.nics[r].reserve_cons(cc, wid, false);
-        self.worms.get_mut(wid).copies += 1;
-        self.routers[r].inputs[port][vc].mode =
-            VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
-    }
-
-    /// Intermediate destination of a multicast: acquire the i-ack entry
-    /// (i-reserve worms) and an absorb consumption channel, strip the
-    /// header, and continue routing next cycle.
-    #[allow(clippy::too_many_arguments)]
-    fn process_multicast_intermediate(
-        &mut self,
-        now: Cycle,
-        r: usize,
-        port: usize,
-        vc: usize,
-        wid: WormId,
-        reserve: bool,
-        txn: TxnId,
-    ) {
-        if reserve && !self.nics[r].reserve_iack(txn) {
-            self.stats.multicast_blocked_cycles += 1;
-            return;
-        }
-        let Some(cc) = self.nics[r].free_cons() else {
-            self.stats.multicast_blocked_cycles += 1;
-            return;
-        };
-        self.nics[r].reserve_cons(cc, wid, true);
-        self.worms.get_mut(wid).copies += 1;
-        self.routers[r].inputs[port][vc].pending_absorb = Some(cc);
-        let w = self.worms.get_mut(wid);
-        w.dest_idx += 1;
-        self.routers[r].inputs[port][vc].buf.front_mut().expect("head present").ready_at =
-            now + self.cfg.strip_delay;
-    }
-
-    /// Intermediate destination of a gather: check the i-ack buffer;
-    /// absorb-and-go, block, or park.
-    #[allow(clippy::too_many_arguments)]
-    fn process_gather_intermediate(
-        &mut self,
-        now: Cycle,
-        r: usize,
-        port: usize,
-        vc: usize,
-        wid: WormId,
-        txn: TxnId,
-        len: u16,
-    ) {
-        match self.nics[r].gather_check(txn) {
-            GatherCheck::Ready(count) => {
-                let w = self.worms.get_mut(wid);
-                w.acks += count;
-                w.dest_idx += 1;
-                self.routers[r].inputs[port][vc].buf.front_mut().expect("head present").ready_at =
-                    now + self.cfg.iack_check_delay;
-            }
-            GatherCheck::NotReady => match self.cfg.iack_mode {
-                IackMode::Block => {
-                    self.stats.gather_blocked_cycles += 1;
-                }
-                IackMode::VctDefer => {
-                    if let Some(entry) = self.nics[r].park(txn, wid, len) {
-                        self.routers[r].inputs[port][vc].mode = VcMode::DrainPark { entry };
-                        self.worms.get_mut(wid).state = WormState::Parked(self.routers[r].node);
-                        self.stats.parks += 1;
-                    } else if let Some(cc) = self.nics[r].free_cons() {
-                        // No entry to park in: *bounce* — consume the worm
-                        // at this node and re-inject it, so it never holds
-                        // network channels while waiting (holding them can
-                        // deadlock the reply network against the very
-                        // gathers that would free the entries).
-                        self.nics[r].reserve_cons(cc, wid, false);
-                        self.worms.get_mut(wid).copies += 1;
-                        self.worms.get_mut(wid).bounced = true;
-                        self.routers[r].inputs[port][vc].mode =
-                            VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
-                        self.stats.bounces += 1;
-                    } else {
-                        self.stats.gather_blocked_cycles += 1;
-                    }
-                }
-            },
-        }
-    }
-
-    /// Normal route computation + output VC allocation.
-    #[allow(clippy::too_many_arguments)]
-    fn allocate_route(
-        &mut self,
-        now: Cycle,
-        r: usize,
-        port: usize,
-        vc: usize,
-        wid: WormId,
-        here: NodeId,
-        dest: NodeId,
-        vnet: VNet,
-    ) {
-        let _ = now;
-        let rule = self.cfg.rule_for(vnet);
-        let turned = self.worms.get(wid).turned;
-        let opts = route_options(rule, &self.cfg.mesh, here, dest, turned);
-        assert!(
-            !opts.is_empty(),
-            "worm {wid:?} at {here} cannot reach {dest} under {rule:?} (turned={turned}): scheme constructed a non-conformant path"
-        );
-        let (lo, hi) = self.cfg.vc_class(vnet);
-        // Among legal directions, pick the (dir, vc) with the most credits.
-        let mut best: Option<(usize, usize, usize)> = None; // (out_port, out_vc, credit)
-        for dir in opts {
-            let out_port = Port::Dir(dir).index();
-            if let Some((ovc, cr)) = self.routers[r].best_free_out_vc(out_port, lo, hi) {
-                if best.is_none_or(|(_, _, bc)| cr > bc) {
-                    best = Some((out_port, ovc, cr));
-                }
-            }
-        }
-        let Some((out_port, out_vc, _)) = best else { return };
-        let absorb = self.routers[r].inputs[port][vc].pending_absorb.take();
-        self.routers[r].inputs[port][vc].mode = VcMode::Active { out_port, out_vc, absorb };
-        self.routers[r].out_alloc[out_port][out_vc] = Some((port, vc));
-    }
-
-    // ------------------------------------------------------------------
-    // Phase 2: movement.
-    // ------------------------------------------------------------------
-
-    #[allow(clippy::needless_range_loop)]
-    fn phase_movement(&mut self, now: Cycle, work: &[usize]) {
-        let vcs = self.cfg.vcs_total();
-        for &r in work {
-            if self.routers[r].flits == 0 {
-                continue;
-            }
-            let mut used_in_port = [false; NUM_PORTS];
-
-            // Link outputs (E, W, N, S): one flit per port per cycle.
-            for out_port in 0..4 {
-                let winner = self.pick_link_winner(now, r, out_port, vcs, &used_in_port);
-                if let Some((in_port, in_vc, out_vc)) = winner {
-                    used_in_port[in_port] = true;
-                    self.routers[r].rr[out_port] = in_port * vcs + in_vc + 1;
-                    self.apply_forward(now, r, in_port, in_vc, out_port, out_vc);
-                }
-            }
-
-            // Local consumption: one flit per consumption channel per
-            // cycle. Occupancy bits ascend `(port, vc)` like the full
-            // sweep; the used-port flag keeps one consume per input port.
-            let mut bits = self.routers[r].occ;
-            while bits != 0 {
-                let slot = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let (in_port, in_vc) = (slot / vcs, slot % vcs);
-                if used_in_port[in_port] {
-                    continue;
-                }
-                let ivc = &self.routers[r].inputs[in_port][in_vc];
-                let VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: _ } = ivc.mode else {
-                    continue;
-                };
-                let Some(front) = ivc.buf.front() else { continue };
-                if front.ready_at > now || !self.nics[r].cons[cc].has_space() {
-                    continue;
-                }
-                self.apply_consume(r, in_port, in_vc, cc);
-                used_in_port[in_port] = true;
-            }
-
-            // Parked gather drains: absorbed at the router interface, no
-            // crossbar involvement.
-            let mut bits = self.routers[r].occ;
-            while bits != 0 {
-                let slot = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let (in_port, in_vc) = (slot / vcs, slot % vcs);
-                let ivc = &self.routers[r].inputs[in_port][in_vc];
-                let VcMode::DrainPark { entry } = ivc.mode else { continue };
-                let Some(front) = ivc.buf.front() else { continue };
-                if front.ready_at > now {
-                    continue;
-                }
-                self.apply_park_drain(r, in_port, in_vc, entry);
-            }
-        }
-    }
-
-    /// Round-robin arbitration for a link output port: pick the eligible
-    /// allocated input VC at-or-after the RR pointer.
-    #[allow(clippy::type_complexity)]
-    fn pick_link_winner(
-        &self,
-        now: Cycle,
-        r: usize,
-        out_port: usize,
-        vcs: usize,
-        used_in_port: &[bool; NUM_PORTS],
-    ) -> Option<(usize, usize, usize)> {
-        let router = &self.routers[r];
-        let mut best: Option<(usize, (usize, usize, usize))> = None; // (rr-distance key, move)
-        let rr = router.rr[out_port];
-        let total = NUM_PORTS * vcs;
-        for out_vc in 0..vcs {
-            let Some((in_port, in_vc)) = router.out_alloc[out_port][out_vc] else { continue };
-            if used_in_port[in_port] {
-                continue;
-            }
-            if router.out_credit[out_port][out_vc] == 0 {
-                continue;
-            }
-            let ivc = &router.inputs[in_port][in_vc];
-            let Some(front) = ivc.buf.front() else { continue };
-            if front.ready_at > now {
-                continue;
-            }
-            if let VcMode::Active { absorb: Some(cc), .. } = ivc.mode {
-                if !self.nics[r].cons[cc].has_space() {
-                    continue;
-                }
-            }
-            let key = (in_port * vcs + in_vc + total - rr % total) % total;
-            if best.is_none_or(|(bk, _)| key < bk) {
-                best = Some((key, (in_port, in_vc, out_vc)));
-            }
-        }
-        best.map(|(_, m)| m)
-    }
-
-    fn apply_forward(
-        &mut self,
-        now: Cycle,
-        r: usize,
-        in_port: usize,
-        in_vc: usize,
-        out_port: usize,
-        out_vc: usize,
-    ) {
-        let bf = self.routers[r].pop(in_port, in_vc);
-        let flit = bf.flit;
-        let node = self.routers[r].node;
-        let dir = match Port::from_index(out_port) {
-            Port::Dir(d) => d,
-            Port::Local => unreachable!("apply_forward is for link ports"),
-        };
-
-        // Absorb copy (forward-and-absorb).
-        if let VcMode::Active { absorb: Some(cc), .. } = self.routers[r].inputs[in_port][in_vc].mode
-        {
-            self.nics[r].cons[cc].fifo.push_back(flit);
-            self.stats.flits_consumed += 1;
-            self.activate_nic(r);
-        }
-
-        // Stats + credits.
-        self.stats.flit_hops += 1;
-        self.stats.link_busy[r * 4 + out_port] += 1;
-        self.routers[r].out_credit[out_port][out_vc] -= 1;
-        self.return_credit(r, in_port, in_vc);
-
-        // Head bookkeeping: the worm may enter its "turned" phase.
-        if flit.kind == FlitKind::Head {
-            let w = self.worms.get_mut(flit.worm);
-            let rule = self.cfg.rule_for(w.spec.vnet);
-            w.turned |= match rule {
-                PathRule::XY => matches!(dir, Direction::North | Direction::South),
-                PathRule::YX => matches!(dir, Direction::East | Direction::West),
-                PathRule::WestFirst => dir != Direction::West,
-                PathRule::EastFirst => dir != Direction::East,
-            };
-        }
-
-        // Deposit downstream.
-        let nb =
-            self.cfg.mesh.neighbor(node, dir).expect("route computation never leaves the mesh");
-        let in_port_nb = Port::Dir(dir.opposite()).index();
-        let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
-        self.routers[nb.idx()].deposit(in_port_nb, out_vc, BufFlit { flit, ready_at: ready });
-        self.activate_router(nb.idx());
-
-        // Tail releases allocations.
-        if flit.kind == FlitKind::Tail {
-            self.routers[r].inputs[in_port][in_vc].mode = VcMode::Normal;
-            self.routers[r].out_alloc[out_port][out_vc] = None;
-        }
-    }
-
-    fn apply_consume(&mut self, r: usize, in_port: usize, in_vc: usize, cc: usize) {
-        let bf = self.routers[r].pop(in_port, in_vc);
-        self.nics[r].cons[cc].fifo.push_back(bf.flit);
-        self.activate_nic(r);
-        self.stats.flits_consumed += 1;
-        self.return_credit(r, in_port, in_vc);
-        if bf.flit.kind == FlitKind::Tail {
-            self.routers[r].inputs[in_port][in_vc].mode = VcMode::Normal;
-        }
-    }
-
-    fn apply_park_drain(&mut self, r: usize, in_port: usize, in_vc: usize, entry: usize) {
-        let bf = self.routers[r].pop(in_port, in_vc);
-        self.return_credit(r, in_port, in_vc);
-        let is_tail = bf.flit.kind == FlitKind::Tail;
-        if self.nics[r].park_drain(entry, is_tail).is_some() {
-            // Park resolved onto the resume queue.
-            self.activate_nic(r);
-        }
-        if is_tail {
-            self.routers[r].inputs[in_port][in_vc].mode = VcMode::Normal;
-        }
-    }
-
-    /// Return one credit to the upstream router for the vacated slot.
-    fn return_credit(&mut self, r: usize, in_port: usize, in_vc: usize) {
-        if in_port == LOCAL {
-            return; // NIC injection checks buffer space directly.
-        }
-        let dir = match Port::from_index(in_port) {
-            Port::Dir(d) => d,
-            Port::Local => unreachable!(),
-        };
-        let node = self.routers[r].node;
-        let up = self.cfg.mesh.neighbor(node, dir).expect("input port faces a neighbor");
-        let up_out = Port::Dir(dir.opposite()).index();
-        self.routers[up.idx()].out_credit[up_out][in_vc] += 1;
-    }
-
-    // ------------------------------------------------------------------
-    // Phase 3: NIC work.
-    // ------------------------------------------------------------------
-
-    fn phase_nic(&mut self, now: Cycle, work: &[usize]) {
-        for &n in work {
-            self.nic_flush_deposits(n);
-            self.nic_drain(now, n);
-            self.nic_resume(n);
-            self.nic_inject(now, n);
-        }
-    }
-
-    /// Retry deposits that previously found the i-ack buffer full.
-    /// Rotates the queue in place (one pass, no fresh queue allocation):
-    /// failed retries go to the back, preserving relative order.
-    fn nic_flush_deposits(&mut self, n: usize) {
-        for _ in 0..self.nics[n].pending_deposits.len() {
-            let (txn, acks) = self.nics[n].pending_deposits.pop_front().expect("counted");
-            if self.nics[n].post_iack_count(txn, acks).is_no_space() {
-                self.nics[n].pending_deposits.push_back((txn, acks));
-            } else {
-                self.stats.deposits += 1;
-            }
-        }
-    }
-
-    /// Drain one flit per consumption channel; complete worms at tails.
-    fn nic_drain(&mut self, now: Cycle, n: usize) {
-        for cc in 0..self.nics[n].cons.len() {
-            let Some(flit) = self.nics[n].cons[cc].fifo.pop_front() else { continue };
-            if flit.kind != FlitKind::Tail {
-                continue;
-            }
-            let wid = self.nics[n].cons[cc].owner.expect("draining channel has an owner");
-            debug_assert_eq!(wid, flit.worm);
-            let absorb = self.nics[n].cons[cc].absorb;
-            self.nics[n].cons[cc].owner = None;
-            self.nics[n].cons[cc].absorb = false;
-            let node = self.nics[n].node;
-            self.worms.get_mut(wid).copies -= 1;
-
-            let (src, payload, txn, acks, deposit, kind) = {
-                let w = self.worms.get(wid);
-                (w.spec.src, w.spec.payload, w.spec.txn, w.acks, w.spec.gather_deposit, w.spec.kind)
-            };
-
-            if absorb {
-                // Absorbed copy at an intermediate destination.
-                self.nics[n].delivered.push_back(Delivery {
-                    node,
-                    worm: wid,
-                    src,
-                    payload,
-                    kind: DeliveryKind::Absorb,
-                    acks: 0,
-                    at: now,
-                    txn,
-                });
-                self.stats.deliveries += 1;
-                self.note_delivery(n);
-                // An absorb copy can outlive the final consumption (its
-                // FIFO drains independently); it may be the last reference.
-                self.maybe_retire(wid);
-                continue;
-            }
-
-            if self.worms.get(wid).bounced {
-                // Bounced gather fully drained: requeue it at this NIC;
-                // it retries its i-ack check from here.
-                let vnet = {
-                    let w = self.worms.get_mut(wid);
-                    w.bounced = false;
-                    w.turned = false;
-                    w.state = WormState::Queued;
-                    w.spec.vnet
-                };
-                self.nics[n].enqueue(vnet, wid);
-                continue;
-            }
-
-            // Final consumption.
-            {
-                let w = self.worms.get_mut(wid);
-                w.state = WormState::Delivered;
-                w.delivered_at = Some(now);
-            }
-            self.live_worms -= 1;
-            let latency = (now - self.worms.get(wid).queued_at) as f64;
-            match kind {
-                WormKind::Unicast => self.stats.unicast_latency.record(latency),
-                WormKind::Multicast => self.stats.multicast_latency.record(latency),
-                WormKind::Gather => self.stats.gather_latency.record(latency),
-            }
-
-            if deposit {
-                // First-level gather of the two-phase scheme: deposit the
-                // accumulated count into the local i-ack buffer. A full
-                // buffer queues the deposit for per-cycle retry — a
-                // pending deposit whose sweep has already parked resolves
-                // into the parked entry without needing a free slot, so
-                // the queue always drains.
-                if self.nics[n].post_iack_count(txn, acks).is_no_space() {
-                    self.stats.deposit_retries += 1;
-                    self.nics[n].pending_deposits.push_back((txn, acks));
-                } else {
-                    self.stats.deposits += 1;
-                }
-            } else {
-                self.nics[n].delivered.push_back(Delivery {
-                    node,
-                    worm: wid,
-                    src,
-                    payload,
-                    kind: DeliveryKind::Final,
-                    acks,
-                    at: now,
-                    txn,
-                });
-                self.stats.deliveries += 1;
-                self.note_delivery(n);
-            }
-            self.maybe_retire(wid);
-        }
-    }
-
-    /// Free a worm's table slot once it is delivered with no outstanding
-    /// consumption copies (no-op while recycling is off).
-    fn maybe_retire(&mut self, wid: WormId) {
-        let w = self.worms.get(wid);
-        if w.state == WormState::Delivered && w.copies == 0 {
-            self.worms.retire(wid);
-        }
-    }
-
-    /// Re-inject parked gather worms whose ack arrived.
-    fn nic_resume(&mut self, n: usize) {
-        while let Some((wid, count)) = self.nics[n].resume_q.pop_front() {
-            {
-                let w = self.worms.get_mut(wid);
-                w.acks += count;
-                w.dest_idx += 1;
-                w.turned = false;
-                w.state = WormState::Queued;
-            }
-            let vnet = self.worms.get(wid).spec.vnet;
-            self.nics[n].enqueue(vnet, wid);
-            self.stats.resumes += 1;
-        }
-    }
-
-    /// Stream injection-queue worms into the router's local input port.
-    fn nic_inject(&mut self, now: Cycle, n: usize) {
-        let vcs = self.cfg.vcs_total();
-        for vc in 0..vcs {
-            // Start a new stream if this VC is idle and a worm of its
-            // virtual-network class is waiting.
-            if self.nics[n].streaming[vc].is_none() {
-                let vnet = self.cfg.vnet_of(vc);
-                if let Some(wid) = self.nics[n].inject_q[vnet.index()].pop_front() {
-                    let len = self.worms.get(wid).spec.len_flits;
-                    self.nics[n].streaming[vc] = Some(StreamState { worm: wid, next_seq: 0, len });
-                }
-            }
-            let Some(mut st) = self.nics[n].streaming[vc] else { continue };
-            if self.routers[n].inputs[LOCAL][vc].space() == 0 {
-                continue;
-            }
-            let flit = Flit {
-                worm: st.worm,
-                kind: if st.next_seq == 0 {
-                    FlitKind::Head
-                } else if st.next_seq + 1 == st.len {
-                    FlitKind::Tail
-                } else {
-                    FlitKind::Body
-                },
-                seq: st.next_seq,
-            };
-            let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
-            self.routers[n].deposit(LOCAL, vc, BufFlit { flit, ready_at: ready });
-            self.activate_router(n);
-            self.stats.flits_injected += 1;
-            if flit.kind == FlitKind::Head {
-                let w = self.worms.get_mut(st.worm);
-                if w.injected_at.is_none() {
-                    w.injected_at = Some(now);
-                }
-                w.state = WormState::InFlight;
-            }
-            st.next_seq += 1;
-            self.nics[n].streaming[vc] = if st.next_seq == st.len { None } else { Some(st) };
-        }
     }
 }

@@ -9,7 +9,7 @@
 use crate::topology::NodeId;
 use crate::worm::Flit;
 use std::collections::VecDeque;
-use wormdsm_sim::Cycle;
+use wormdsm_sim::{BitSet128, Cycle};
 
 /// A flit sitting in a router buffer, with the cycle at which it becomes
 /// eligible to move (head flits pay the router pipeline delay, body flits
@@ -87,10 +87,12 @@ pub struct Router {
     pub rr: Vec<usize>,
     /// Number of flits currently buffered in this router (fast-skip).
     pub flits: usize,
-    /// Occupancy bitmask: bit `port * vcs + vc` is set while that input VC
+    /// Occupancy bitset: bit `port * vcs + vc` is set while that input VC
     /// holds at least one flit, so per-cycle scans visit only live slots
-    /// instead of every `(port, vc)` pair.
-    pub occ: u64,
+    /// instead of every `(port, vc)` pair. Two words wide, so up to 128
+    /// `(port, vc)` slots are tracked without aliasing; the constructor
+    /// rejects configurations beyond that.
+    pub occ: BitSet128,
     /// VC count per port (the occupancy bit stride).
     vcs: usize,
 }
@@ -100,7 +102,13 @@ impl Router {
     /// matching output credit counters initialized to the downstream
     /// capacity.
     pub fn new(node: NodeId, ports: usize, vcs: usize, vc_cap: usize) -> Self {
-        assert!(ports * vcs <= u64::BITS as usize, "occupancy mask limits ports * vcs to 64");
+        assert!(
+            ports * vcs <= BitSet128::CAPACITY,
+            "occupancy bitset limits ports * vcs to {} (got {} * {})",
+            BitSet128::CAPACITY,
+            ports,
+            vcs
+        );
         Self {
             node,
             inputs: (0..ports).map(|_| (0..vcs).map(|_| InputVc::new(vc_cap)).collect()).collect(),
@@ -108,7 +116,7 @@ impl Router {
             out_credit: vec![vec![vc_cap; vcs]; ports],
             rr: vec![0; ports],
             flits: 0,
-            occ: 0,
+            occ: BitSet128::new(),
             vcs,
         }
     }
@@ -124,7 +132,7 @@ impl Router {
         );
         ivc.buf.push_back(bf);
         self.flits += 1;
-        self.occ |= 1 << (port * self.vcs + vc);
+        self.occ.set(port * self.vcs + vc);
     }
 
     /// Pop the front flit of input `(port, vc)`.
@@ -133,7 +141,7 @@ impl Router {
         let bf = ivc.buf.pop_front().expect("pop from empty input VC");
         self.flits -= 1;
         if ivc.buf.is_empty() {
-            self.occ &= !(1 << (port * self.vcs + vc));
+            self.occ.clear(port * self.vcs + vc);
         }
         bf
     }
@@ -190,6 +198,28 @@ mod tests {
         r.deposit(0, 0, bf(0));
         r.deposit(0, 0, bf(1));
         r.deposit(0, 0, bf(2));
+    }
+
+    /// Configurations with more than 64 `(port, vc)` slots used to alias
+    /// silently in the single-word occupancy mask; they must now work up
+    /// to 128 slots and be rejected loudly beyond that.
+    #[test]
+    fn occupancy_tracks_slots_beyond_64() {
+        // 5 ports x 20 vcs = 100 slots: the high ones live in word 1.
+        let mut r = Router::new(NodeId(0), 5, 20, 2);
+        r.deposit(4, 19, bf(0)); // slot 99
+        r.deposit(0, 0, bf(0)); // slot 0
+        assert!(r.occ.test(99) && r.occ.test(0));
+        assert_eq!(r.occ.iter().collect::<Vec<_>>(), vec![0, 99]);
+        r.pop(4, 19);
+        assert!(!r.occ.test(99), "emptying the high slot clears only its bit");
+        assert!(r.occ.test(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy bitset limits ports * vcs")]
+    fn too_many_vc_slots_is_rejected() {
+        Router::new(NodeId(0), 5, 26, 2); // 130 > 128
     }
 
     #[test]

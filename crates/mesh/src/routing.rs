@@ -265,6 +265,95 @@ pub fn route_options(
     }
 }
 
+/// Precomputed next-hop table for one [`PathRule`] over one mesh.
+///
+/// Flattens [`route_options`] into a `[cur][dst]` lookup of direction
+/// bitmasks (bit `Direction::index()`), one mask for the un-turned phase
+/// and one for after the turn, so the per-flit routing decision inside the
+/// network's parallel tick is two loads instead of a branchy computation
+/// that allocates a `Vec`. Masks preserve the option *order* contract of
+/// [`route_options`] (X before Y) because routers scan mask bits in
+/// `Direction::ALL` order, which is exactly E, W, N, S.
+///
+/// Also carries per-(src, dst) BRCP conformance bits for the
+/// multidestination schemes: `same_col`/`same_row` answer the column/row
+/// membership questions (the building blocks of column-path and row-path
+/// conformance checks) in O(1).
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    mesh: Mesh2D,
+    /// `masks[cur * nodes + dst]` = (directions before turn, after turn).
+    masks: Vec<(u8, u8)>,
+}
+
+impl RouteTable {
+    /// Build the table for `rule` over `mesh`: `nodes²` entries, computed
+    /// once per network.
+    pub fn build(rule: PathRule, mesh: &Mesh2D) -> Self {
+        let n = mesh.nodes();
+        let mut masks = vec![(0u8, 0u8); n * n];
+        for cur in 0..n {
+            for dst in 0..n {
+                let mut entry = (0u8, 0u8);
+                for (turned, slot) in [(false, 0usize), (true, 1usize)] {
+                    let mut m = 0u8;
+                    for d in
+                        route_options(rule, mesh, NodeId(cur as u16), NodeId(dst as u16), turned)
+                    {
+                        m |= 1 << d.index();
+                    }
+                    if slot == 0 {
+                        entry.0 = m;
+                    } else {
+                        entry.1 = m;
+                    }
+                }
+                masks[cur * n + dst] = entry;
+            }
+        }
+        Self { mesh: *mesh, masks }
+    }
+
+    /// Direction bitmask of legal productive hops from `cur` toward `dst`
+    /// (bit `Direction::index()`); zero when at the destination or when the
+    /// destination is unreachable without violating the rule.
+    #[inline]
+    pub fn mask(&self, cur: NodeId, dst: NodeId, turned: bool) -> u8 {
+        let e = self.masks[cur.0 as usize * self.mesh.nodes() + dst.0 as usize];
+        if turned {
+            e.1
+        } else {
+            e.0
+        }
+    }
+
+    /// Legal hops from `cur` toward `dst` in canonical (X-before-Y) order.
+    #[inline]
+    pub fn options(
+        &self,
+        cur: NodeId,
+        dst: NodeId,
+        turned: bool,
+    ) -> impl Iterator<Item = Direction> {
+        let m = self.mask(cur, dst, turned);
+        Direction::ALL.into_iter().filter(move |d| m & (1 << d.index()) != 0)
+    }
+
+    /// True when `a` and `b` share a column — the BRCP membership test for
+    /// column-path (gather/scatter) worms.
+    #[inline]
+    pub fn same_col(&self, a: NodeId, b: NodeId) -> bool {
+        self.mesh.coord(a).x == self.mesh.coord(b).x
+    }
+
+    /// True when `a` and `b` share a row — the BRCP membership test for
+    /// row-path worms.
+    #[inline]
+    pub fn same_row(&self, a: NodeId, b: NodeId) -> bool {
+        self.mesh.coord(a).y == self.mesh.coord(b).y
+    }
+}
+
 /// Expand the canonical full hop path visiting `dests` in order from `src`
 /// under `rule`. Returns the node sequence including `src` and every visited
 /// node, or the rule violation that makes the visit order non-conformant.
@@ -465,6 +554,38 @@ mod tests {
             let h = path_hops(rule, &m, m.node_at(1, 2), &[m.node_at(6, 7)]).unwrap();
             assert_eq!(h, 5 + 5, "{rule:?}");
         }
+    }
+
+    /// The precomputed table must reproduce `route_options` exactly — same
+    /// options, same canonical order — for every (cur, dst, turned) triple
+    /// under every rule.
+    #[test]
+    fn route_table_matches_route_options_exhaustively() {
+        let m = Mesh2D::new(5, 4);
+        for rule in [PathRule::XY, PathRule::YX, PathRule::WestFirst, PathRule::EastFirst] {
+            let t = RouteTable::build(rule, &m);
+            for cur in m.iter_nodes() {
+                for dst in m.iter_nodes() {
+                    for turned in [false, true] {
+                        let expect = route_options(rule, &m, cur, dst, turned);
+                        let got: Vec<Direction> = t.options(cur, dst, turned).collect();
+                        assert_eq!(got, expect, "{rule:?} {cur}->{dst} turned={turned}");
+                        let mask = t.mask(cur, dst, turned);
+                        assert_eq!(mask.count_ones() as usize, expect.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_conformance_masks() {
+        let m = m8();
+        let t = RouteTable::build(PathRule::XY, &m);
+        assert!(t.same_col(m.node_at(3, 0), m.node_at(3, 7)));
+        assert!(!t.same_col(m.node_at(3, 0), m.node_at(4, 0)));
+        assert!(t.same_row(m.node_at(0, 5), m.node_at(7, 5)));
+        assert!(!t.same_row(m.node_at(0, 5), m.node_at(0, 4)));
     }
 
     #[test]

@@ -60,6 +60,18 @@ impl Direction {
     pub const ALL: [Direction; 4] =
         [Direction::East, Direction::West, Direction::North, Direction::South];
 
+    /// Dense index 0..=3, matching `Port::Dir(self).index()` — the bit
+    /// position used by routing-table direction masks.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+        }
+    }
+
     /// The opposite direction.
     pub fn opposite(self) -> Direction {
         match self {
@@ -84,10 +96,7 @@ impl Port {
     /// Dense index 0..=4 (E, W, N, S, Local) for array-indexed port state.
     pub fn index(self) -> usize {
         match self {
-            Port::Dir(Direction::East) => 0,
-            Port::Dir(Direction::West) => 1,
-            Port::Dir(Direction::North) => 2,
-            Port::Dir(Direction::South) => 3,
+            Port::Dir(d) => d.index(),
             Port::Local => 4,
         }
     }
@@ -200,6 +209,23 @@ impl Mesh2D {
     pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.nodes() as u16).map(NodeId)
     }
+
+    /// Split the mesh into `tiles` contiguous row bands, returned as
+    /// node-index ranges (row-major layout makes each band one contiguous
+    /// slice of per-node state). Rows are distributed as evenly as
+    /// possible; `tiles` is clamped to the row count so every band is
+    /// non-empty, and the ranges always cover `0..nodes()` exactly.
+    pub fn row_bands(&self, tiles: usize) -> Vec<core::ops::Range<usize>> {
+        let h = self.height();
+        let t = tiles.clamp(1, h);
+        (0..t)
+            .map(|i| {
+                let r0 = i * h / t;
+                let r1 = (i + 1) * h / t;
+                r0 * self.width()..r1 * self.width()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -260,5 +286,30 @@ mod tests {
         for i in 0..NUM_PORTS {
             assert_eq!(Port::from_index(i).index(), i);
         }
+        for d in Direction::ALL {
+            assert_eq!(Port::Dir(d).index(), d.index());
+        }
+    }
+
+    #[test]
+    fn row_bands_cover_the_mesh_contiguously() {
+        let m = Mesh2D::new(4, 6);
+        for tiles in 1..=8 {
+            let bands = m.row_bands(tiles);
+            assert!(bands.len() <= 6, "bands clamp to row count");
+            assert_eq!(bands[0].start, 0);
+            assert_eq!(bands.last().unwrap().end, m.nodes());
+            for w in bands.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "bands must tile without gaps");
+                assert!(!w[0].is_empty());
+            }
+            for b in &bands {
+                assert_eq!(b.start % m.width(), 0, "bands start on row boundaries");
+                assert_eq!(b.end % m.width(), 0);
+            }
+        }
+        // Even split when tiles divides rows.
+        let bands = m.row_bands(3);
+        assert_eq!(bands, vec![0..8, 8..16, 16..24]);
     }
 }

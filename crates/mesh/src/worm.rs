@@ -300,6 +300,14 @@ impl WormTable {
         }
     }
 
+    /// Raw pointer and length of the worm storage, for the tile engine's
+    /// shared-worm wrapper. The pointer stays valid until the table grows
+    /// (insert) or drops; the tile engine never inserts mid-tick, so a
+    /// per-tick snapshot is safe.
+    pub(crate) fn raw(&mut self) -> (*mut Worm, usize) {
+        (self.worms.as_mut_ptr(), self.worms.len())
+    }
+
     /// Immutable access.
     pub fn get(&self, id: WormId) -> &Worm {
         &self.worms[id.0 as usize]

@@ -101,6 +101,25 @@ impl<E> Calendar<E> {
         self.heap.peek().map(|Reverse(e)| e.at)
     }
 
+    /// Time of the earliest *live* pending event without mutating the heap.
+    ///
+    /// Fast path: in cancel-free runs (the common case — `cancelled` is
+    /// empty) this is a single heap peek. While tombstones are
+    /// outstanding it falls back to a scan over live entries, so a
+    /// cancelled-then-rescheduled event is always reported at its *new*
+    /// time — fast-forward must never jump past it.
+    pub fn peek_next_at(&self) -> Option<Cycle> {
+        if self.cancelled.is_empty() {
+            self.heap.peek().map(|Reverse(e)| e.at)
+        } else {
+            self.heap
+                .iter()
+                .filter(|Reverse(e)| !self.cancelled.contains(&e.seq))
+                .map(|Reverse(e)| e.at)
+                .min()
+        }
+    }
+
     /// Pop the next event if it is due at or before `now`.
     pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
         self.skip_cancelled();
@@ -240,6 +259,51 @@ mod tests {
         assert_eq!(c.pop_next(), None);
         assert!(c.cancelled.is_empty(), "skipped tombstones must be reclaimed");
         assert_eq!(c.heap.len(), 0);
+    }
+
+    /// Regression (extends the PR 1 leak fix): a fast-forwarding caller
+    /// asks "when is the next live event?" and jumps the clock there. If
+    /// an event is cancelled and the same logical work rescheduled
+    /// *earlier*, the stale heap entry sits above the new one — the peek
+    /// must report the rescheduled time, never the cancelled original, or
+    /// fast-forward would jump past the new event and fire it late.
+    #[test]
+    fn peek_never_jumps_past_a_cancelled_then_rescheduled_event() {
+        let mut c = Calendar::new();
+        let h = c.schedule(100, "original");
+        c.schedule(200, "later");
+        c.cancel(h);
+        let _ = c.schedule(50, "rescheduled-earlier");
+        assert_eq!(c.peek_next_at(), Some(50), "must see the rescheduled time");
+        assert_eq!(c.peek_time(), Some(50));
+        assert_eq!(c.pop_due(49), None);
+        assert_eq!(c.pop_due(50), Some((50, "rescheduled-earlier")));
+        // The cancelled original must never fire, even once its slot is due.
+        assert_eq!(c.pop_due(150), None);
+        assert_eq!(c.pop_due(200), Some((200, "later")));
+        assert!(c.is_empty());
+    }
+
+    /// The immutable fast path and the mutating peek must agree under
+    /// interleaved schedule/cancel churn, including while tombstones are
+    /// outstanding (where `peek_next_at` takes its scan fallback).
+    #[test]
+    fn peek_next_at_matches_peek_time_under_churn() {
+        let mut c = Calendar::new();
+        let mut handles = Vec::new();
+        for i in 0..50u64 {
+            handles.push(c.schedule(1000 - i * 7, i));
+        }
+        for h in handles.iter().step_by(3) {
+            c.cancel(*h);
+        }
+        while !c.is_empty() {
+            let fast = c.peek_next_at();
+            assert_eq!(fast, c.peek_time(), "fast path diverged from heap peek");
+            let (at, _) = c.pop_next().expect("non-empty");
+            assert_eq!(fast, Some(at));
+        }
+        assert_eq!(c.peek_next_at(), None);
     }
 
     /// `len`/`is_empty` must agree with a naive recount under interleaved

@@ -7,10 +7,15 @@
 //! deterministic insertion order — important because several observable
 //! results fold over map contents.
 //!
-//! Removal is deliberately unsupported: the consumers (directory entries,
-//! which are never deallocated) only insert and look up. State that is
-//! retired mid-run (transactions, barriers, locks) lives in slot vectors
-//! instead — see `wormdsm-core`.
+//! Removal uses probe-table tombstones with dense-slot reuse: a removed
+//! entry leaves a tombstone in the index (probes walk through it) and its
+//! dense slot on a free list, so delete-heavy churn at a steady live count
+//! reuses slots instead of growing either vector. The probe table is
+//! rehashed in place when tombstones accumulate past a quarter of its
+//! capacity, bounding probe lengths. For maps that never remove (directory
+//! entries), iteration order is exactly insertion order; after removals,
+//! reused slots keep the *slot's* position in iteration order — still
+//! deterministic, which is what the simulator's folds require.
 
 /// Fibonacci-style multiplicative hash spreading `u64` keys.
 #[inline]
@@ -21,15 +26,20 @@ fn spread(key: u64) -> u64 {
 }
 
 const EMPTY: u32 = u32::MAX;
+const TOMBSTONE: u32 = u32::MAX - 1;
 
-/// An insert-only hash map from `u64` keys to `V`, open-addressed with
-/// linear probing and dense insertion-ordered storage.
+/// A hash map from `u64` keys to `V`, open-addressed with linear probing,
+/// dense slot-ordered storage, and tombstone-based removal.
 #[derive(Debug, Clone)]
 pub struct FlatMap<V> {
     /// Probe table of indices into `keys`/`vals`; length is a power of two.
     index: Vec<u32>,
     keys: Vec<u64>,
-    vals: Vec<V>,
+    vals: Vec<Option<V>>,
+    /// Dense slots vacated by `remove`, reused LIFO by later inserts.
+    free: Vec<u32>,
+    /// Outstanding `TOMBSTONE` entries in `index`.
+    tombstones: usize,
 }
 
 impl<V> Default for FlatMap<V> {
@@ -41,19 +51,25 @@ impl<V> Default for FlatMap<V> {
 impl<V> FlatMap<V> {
     /// Empty map (no allocation until first insert).
     pub fn new() -> Self {
-        Self { index: Vec::new(), keys: Vec::new(), vals: Vec::new() }
+        Self {
+            index: Vec::new(),
+            keys: Vec::new(),
+            vals: Vec::new(),
+            free: Vec::new(),
+            tombstones: 0,
+        }
     }
 
-    /// Number of entries.
+    /// Number of live entries.
     #[inline]
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.keys.len() - self.free.len()
     }
 
-    /// True when no entry was ever inserted.
+    /// True when no live entry remains.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len() == 0
     }
 
     /// Dense slot of `key`, if present.
@@ -69,7 +85,7 @@ impl<V> FlatMap<V> {
             if slot == EMPTY {
                 return None;
             }
-            if self.keys[slot as usize] == key {
+            if slot != TOMBSTONE && self.keys[slot as usize] == key {
                 return Some(slot as usize);
             }
             i = (i + 1) & mask;
@@ -79,13 +95,13 @@ impl<V> FlatMap<V> {
     /// Shared access to the value for `key`.
     #[inline]
     pub fn get(&self, key: u64) -> Option<&V> {
-        self.probe(key).map(|s| &self.vals[s])
+        self.probe(key).map(|s| self.vals[s].as_ref().expect("indexed slot is live"))
     }
 
     /// Mutable access to the value for `key`.
     #[inline]
     pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
-        self.probe(key).map(|s| &mut self.vals[s])
+        self.probe(key).map(|s| self.vals[s].as_mut().expect("indexed slot is live"))
     }
 
     /// True if `key` is present.
@@ -101,13 +117,13 @@ impl<V> FlatMap<V> {
             Some(s) => s,
             None => self.push(key, make()),
         };
-        &mut self.vals[slot]
+        self.vals[slot].as_mut().expect("just inserted")
     }
 
     /// Insert `val` for `key`; returns the previous value if any.
     pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
         match self.probe(key) {
-            Some(s) => Some(std::mem::replace(&mut self.vals[s], val)),
+            Some(s) => self.vals[s].replace(val),
             None => {
                 self.push(key, val);
                 None
@@ -115,46 +131,99 @@ impl<V> FlatMap<V> {
         }
     }
 
-    /// Append a new entry (key known absent) and index it; returns its slot.
-    fn push(&mut self, key: u64, val: V) -> usize {
-        // Grow at 7/8 load (or on first insert).
-        if (self.keys.len() + 1) * 8 > self.index.len() * 7 {
-            self.grow();
+    /// Remove `key`, returning its value if it was present.
+    ///
+    /// Leaves a tombstone in the probe table (reclaimed by a later insert
+    /// along the same probe path or by the next rehash) and recycles the
+    /// dense slot through the free list.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        if self.index.is_empty() {
+            return None;
         }
-        let slot = self.keys.len();
-        self.keys.push(key);
-        self.vals.push(val);
+        let mask = self.index.len() - 1;
+        let mut i = spread(key) as usize & mask;
+        loop {
+            let slot = self.index[i];
+            if slot == EMPTY {
+                return None;
+            }
+            if slot != TOMBSTONE && self.keys[slot as usize] == key {
+                self.index[i] = TOMBSTONE;
+                self.tombstones += 1;
+                self.free.push(slot);
+                return self.vals[slot as usize].take();
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Append or revive an entry (key known absent) and index it; returns
+    /// its dense slot.
+    fn push(&mut self, key: u64, val: V) -> usize {
+        // Rehash in place when tombstones crowd the probe table; grow at
+        // 7/8 combined (live + tombstone) load, or on first insert.
+        if self.tombstones * 4 > self.index.len() {
+            self.rebuild(self.index.len());
+        }
+        if (self.len() + self.tombstones + 1) * 8 > self.index.len() * 7 {
+            self.rebuild((self.index.len() * 2).max(16));
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.keys[s as usize] = key;
+                self.vals[s as usize] = Some(val);
+                s as usize
+            }
+            None => {
+                self.keys.push(key);
+                self.vals.push(Some(val));
+                self.keys.len() - 1
+            }
+        };
         self.link(key, slot as u32);
         slot
     }
 
+    /// Place `slot` on `key`'s probe path, reusing the first tombstone
+    /// encountered. Caller guarantees `key` is absent.
     fn link(&mut self, key: u64, slot: u32) {
         let mask = self.index.len() - 1;
         let mut i = spread(key) as usize & mask;
-        while self.index[i] != EMPTY {
+        loop {
+            let e = self.index[i];
+            if e == EMPTY || e == TOMBSTONE {
+                if e == TOMBSTONE {
+                    self.tombstones -= 1;
+                }
+                self.index[i] = slot;
+                return;
+            }
             i = (i + 1) & mask;
         }
-        self.index[i] = slot;
     }
 
-    fn grow(&mut self) {
-        let cap = (self.index.len() * 2).max(16);
+    /// Rebuild the probe table at `cap` entries from live slots only,
+    /// dropping all tombstones.
+    fn rebuild(&mut self, cap: usize) {
         self.index.clear();
         self.index.resize(cap, EMPTY);
+        self.tombstones = 0;
         for slot in 0..self.keys.len() {
-            let key = self.keys[slot];
-            self.link(key, slot as u32);
+            if self.vals[slot].is_some() {
+                let key = self.keys[slot];
+                self.link(key, slot as u32);
+            }
         }
     }
 
-    /// Keys in insertion order.
+    /// Live keys in dense-slot order (= insertion order absent removals).
     pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.keys.iter().copied()
+        self.iter().map(|(k, _)| k)
     }
 
-    /// `(key, &value)` pairs in insertion order.
+    /// Live `(key, &value)` pairs in dense-slot order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.keys.iter().copied().zip(self.vals.iter())
+        self.keys.iter().zip(self.vals.iter()).filter_map(|(k, v)| v.as_ref().map(|v| (*k, v)))
     }
 }
 
@@ -218,6 +287,97 @@ mod tests {
         }
         for k in 0..64u64 {
             assert_eq!(m.get(k << 32), Some(&(k as u32)));
+        }
+    }
+
+    #[test]
+    fn remove_returns_value_and_forgets_key() {
+        let mut m: FlatMap<u32> = FlatMap::new();
+        m.insert(10, 100);
+        m.insert(20, 200);
+        assert_eq!(m.remove(10), Some(100));
+        assert_eq!(m.remove(10), None, "double remove is a miss");
+        assert_eq!(m.remove(99), None, "absent key is a miss");
+        assert_eq!(m.get(10), None);
+        assert!(!m.contains_key(10));
+        assert_eq!(m.get(20), Some(&200), "neighbors survive removal");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec![20]);
+    }
+
+    #[test]
+    fn probes_walk_through_tombstones() {
+        // Colliding keys chain past each other; removing one mid-chain
+        // must not hide the keys linked behind its tombstone.
+        let mut m: FlatMap<u32> = FlatMap::new();
+        for k in 0..16u64 {
+            m.insert(k << 32, k as u32);
+        }
+        m.remove(3 << 32);
+        for k in 0..16u64 {
+            if k == 3 {
+                assert_eq!(m.get(k << 32), None);
+            } else {
+                assert_eq!(m.get(k << 32), Some(&(k as u32)), "key {k} lost behind tombstone");
+            }
+        }
+        // Reinsert: the tombstone on the probe path is reclaimed.
+        m.insert(3 << 32, 333);
+        assert_eq!(m.get(3 << 32), Some(&333));
+        assert_eq!(m.tombstones, 0, "reinsert along the probe path reclaims the tombstone");
+    }
+
+    /// Delete-heavy directory churn: entries retire and new blocks arrive
+    /// at a steady live count. Dense slots must be recycled (no unbounded
+    /// growth of `keys`/`vals`) and the probe table must stay bounded via
+    /// tombstone rehash, with lookups staying correct throughout.
+    #[test]
+    fn tombstone_reuse_under_delete_heavy_churn() {
+        let mut m: FlatMap<u64> = FlatMap::new();
+        const LIVE: u64 = 64;
+        for k in 0..LIVE {
+            m.insert(k, k * 2);
+        }
+        let (dense_cap, index_cap) = (m.keys.len(), m.index.len());
+        for round in 1..200u64 {
+            // Retire the oldest generation, admit a new one.
+            for k in 0..LIVE {
+                assert_eq!(m.remove((round - 1) * LIVE + k), Some(((round - 1) * LIVE + k) * 2));
+            }
+            for k in 0..LIVE {
+                m.insert(round * LIVE + k, (round * LIVE + k) * 2);
+            }
+            assert_eq!(m.len(), LIVE as usize);
+            for k in 0..LIVE {
+                assert_eq!(m.get(round * LIVE + k), Some(&((round * LIVE + k) * 2)));
+            }
+            assert_eq!(m.get((round - 1) * LIVE), None, "retired generation gone");
+        }
+        assert_eq!(m.keys.len(), dense_cap, "dense slots must be reused, not grown");
+        assert_eq!(m.index.len(), index_cap, "steady live count must not grow the probe table");
+        assert!(m.tombstones * 4 <= m.index.len() + 4, "tombstones must be reclaimed by rehash");
+        // Order stays deterministic: exactly the last generation, one per slot.
+        assert_eq!(m.iter().count(), LIVE as usize);
+    }
+
+    #[test]
+    fn remove_everything_then_refill() {
+        let mut m: FlatMap<u8> = FlatMap::new();
+        for k in 0..40u64 {
+            m.insert(k, k as u8);
+        }
+        for k in 0..40u64 {
+            m.remove(k);
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+        for k in 100..140u64 {
+            m.insert(k, (k - 100) as u8);
+        }
+        assert_eq!(m.len(), 40);
+        assert_eq!(m.keys.len(), 40, "refill reuses all vacated slots");
+        for k in 100..140u64 {
+            assert_eq!(m.get(k), Some(&((k - 100) as u8)));
         }
     }
 }

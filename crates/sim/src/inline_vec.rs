@@ -225,6 +225,64 @@ mod tests {
         assert_eq!(v.pop(), None);
     }
 
+    /// The exactly-at-capacity push is the boundary case: element `N`
+    /// lands inline with no spill; element `N + 1` is the first to move
+    /// everything to the heap, and the pre-spill prefix must survive the
+    /// copy intact.
+    #[test]
+    fn exactly_at_capacity_push_spills_only_on_the_next_element() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i * 10);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(v.spill.is_empty(), "the Nth element must still be inline");
+        v.push(40);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.spill.len(), 5, "element N + 1 moves the whole vector to the heap");
+        assert_eq!(v.as_slice(), &[0, 10, 20, 30, 40]);
+    }
+
+    /// Spill → clear → reuse: clear keeps the heap capacity, and the next
+    /// fill must go back through the inline buffer first (len <= N reads
+    /// `buf`, not the stale spill) before spilling again cleanly.
+    #[test]
+    fn spill_clear_reuse_roundtrip() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        for i in 0..8 {
+            v.push(i);
+        }
+        let spill_cap = v.spill.capacity();
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[u32]);
+        assert!(v.spill.capacity() >= spill_cap, "clear keeps spill capacity for reuse");
+        for i in 100..103 {
+            v.push(i);
+        }
+        assert_eq!(v.as_slice(), &[100, 101, 102], "refill reads the inline buffer");
+        assert!(v.spill.is_empty(), "no stale spill contents leak into the refill");
+        for i in 103..110 {
+            v.push(i);
+        }
+        assert_eq!(v.as_slice(), (100..110).collect::<Vec<_>>().as_slice());
+    }
+
+    /// Cloning a spilled vector must deep-copy the heap contents: mutating
+    /// either copy afterwards cannot be visible through the other.
+    #[test]
+    fn clone_of_spilled_is_independent() {
+        let mut a: InlineVec<u16, 2> = InlineVec::from_slice(&[1, 2, 3, 4, 5]);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4, 5]);
+        a.as_mut_slice()[0] = 99;
+        a.push(6);
+        b.pop();
+        assert_eq!(a.as_slice(), &[99, 2, 3, 4, 5, 6]);
+        assert_eq!(b.as_slice(), &[1, 2, 3, 4]);
+    }
+
     #[test]
     fn conversions_and_equality() {
         let a: InlineVec<u16, 3> = vec![1, 2, 3, 4].into();

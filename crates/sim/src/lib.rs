@@ -14,19 +14,26 @@
 //! * **Cycle-level.** The network model advances in fixed 5 ns cycles
 //!   ([`NS_PER_CYCLE`]); node-level activity uses the event calendar. Both
 //!   share the same `Cycle` timebase.
-//! * **Zero unsafe, zero deps.** The kernel is plain safe Rust.
+//! * **Zero deps, near-zero unsafe.** The kernel is plain safe Rust, with
+//!   one audited exception: the worker pool's lifetime erasure (see
+//!   [`pool`]), which the partitioned network tick needs to reuse parked
+//!   threads instead of spawning per cycle.
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod calendar;
 pub mod flat;
 pub mod inline_vec;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 
+pub use bitset::BitSet128;
 pub use calendar::{Calendar, EventHandle};
 pub use flat::FlatMap;
 pub use inline_vec::InlineVec;
+pub use pool::WorkerPool;
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, Summary, TimeWeighted};
 

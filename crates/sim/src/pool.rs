@@ -1,0 +1,296 @@
+//! Reusable worker-thread pool for barrier-synchronized fan-out.
+//!
+//! The partitioned network tick fires `T` tile jobs every simulated cycle;
+//! spawning OS threads per tick (as `std::thread::scope` would) costs more
+//! than the work itself at small `k`. [`WorkerPool`] keeps `W` parked
+//! threads alive for the lifetime of the owner and dispatches each round of
+//! jobs to them, the calling thread participating as an extra lane.
+//!
+//! The dispatch hot path is lock-free: a round is published by writing the
+//! job and bumping an atomic epoch, and workers busy-spin on the epoch for
+//! a bounded window before parking on a condvar. During a dense run of
+//! rounds (the busy-cycle simulation regime, one round every few
+//! microseconds) workers never park, so the per-round cost is two atomic
+//! round trips instead of two mutex/condvar handoffs — the latter cost more
+//! than an entire simulated cycle.
+//!
+//! Job assignment is static and deterministic: with `W + 1` lanes, lane
+//! `l` runs jobs `l, l + lanes, l + 2·lanes, …` — no work stealing, so the
+//! mapping from job index to thread never depends on timing. Determinism
+//! of the *results* is the caller's contract: jobs must write disjoint
+//! state (the tile slices) and defer anything cross-tile to the barrier.
+//!
+//! This module is the kernel's one audited use of `unsafe`: the job
+//! closure borrows the caller's stack, and [`WorkerPool::run`] erases that
+//! lifetime to hand the borrow to the parked threads. Soundness argument:
+//! `run` blocks until every worker has decremented `pending` for the
+//! current epoch, and workers never touch the job pointer after that
+//! decrement, so the borrow cannot outlive the call. The `UnsafeCell`
+//! holding the job is synchronized by the epoch: `run` writes it before
+//! the `Release` bump, workers read it only after observing the bump with
+//! `Acquire`, and never after their `pending` decrement.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Spin iterations a worker burns waiting for the next round before
+/// parking on the condvar. Rounds arrive every few microseconds while the
+/// simulation is busy; the window is sized so workers only park across
+/// genuinely idle stretches (fast-forwarded dead time, end of run).
+const SPIN_LIMIT: u32 = 50_000;
+
+/// A job batch: an index-taking closure plus fan-out shape.
+#[derive(Clone, Copy)]
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    n: usize,
+    lanes: usize,
+}
+
+struct Shared {
+    /// Round counter; bumped with `Release` after `job` is written.
+    epoch: AtomicU64,
+    /// Workers that have not yet finished the current round's lanes.
+    pending: AtomicUsize,
+    /// The current round's job. Written only by `run` before the epoch
+    /// bump; read only by workers after observing the bump.
+    job: UnsafeCell<Option<Job>>,
+    shutdown: AtomicBool,
+    /// Workers currently parked on `start` (0 in the spin regime, so the
+    /// publisher can skip the syscall path entirely).
+    sleepers: AtomicUsize,
+    park: Mutex<()>,
+    start: Condvar,
+}
+
+// SAFETY: the `UnsafeCell` is the only non-Sync field; its access protocol
+// (publisher-writes-before-Release-bump, workers-read-after-Acquire-load)
+// is documented above and enforced by `run`/`worker_loop`.
+unsafe impl Sync for Shared {}
+
+/// Persistent pool of parked worker threads; see the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.handles.len()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` parked worker threads. The calling
+    /// thread acts as one more lane in [`run`](Self::run), so a pool built
+    /// with `threads = T - 1` serves `T`-way fan-out. `threads = 0` is
+    /// valid and makes `run` purely serial.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            pending: AtomicUsize::new(0),
+            job: UnsafeCell::new(None),
+            shutdown: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            start: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wormdsm-tile-{}", i + 1))
+                    .spawn(move || worker_loop(&shared, i + 1))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of parked worker threads (lanes minus the caller).
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `f(0), f(1), …, f(n - 1)` across the pool plus the calling
+    /// thread, returning only after every call has finished. With no
+    /// worker threads (or `n <= 1`) this degenerates to a plain serial
+    /// loop on the caller.
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() || n <= 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let lanes = self.handles.len() + 1;
+        // SAFETY: the erased borrow is dead once `pending` hits zero below,
+        // and this function does not return before then.
+        let f_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        // SAFETY: workers read `job` only after observing the epoch bump,
+        // which is sequenced after this write.
+        unsafe {
+            *self.shared.job.get() = Some(Job { f: f_erased, n, lanes });
+        }
+        self.shared.pending.store(self.handles.len(), Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        // Wake any parked workers. A worker racing toward the condvar
+        // either sees the new epoch in its locked re-check (and never
+        // sleeps) or registers in `sleepers` first (and gets notified):
+        // `SeqCst` on both counters rules out the window where neither
+        // side sees the other.
+        if self.shared.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.shared.park.lock().expect("pool lock");
+            self.shared.start.notify_all();
+        }
+        // The caller is lane 0.
+        let mut i = 0;
+        while i < n {
+            f(i);
+            i += lanes;
+        }
+        // Spin out the stragglers: tile jobs are microseconds, so parking
+        // here would cost more than the entire round.
+        let mut spins = 0u32;
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            std::hint::spin_loop();
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(65_536) {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Spin for the next round; park only after the window expires.
+        let mut spins = 0u32;
+        loop {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if shared.epoch.load(Ordering::Acquire) != seen {
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+                continue;
+            }
+            spins = 0;
+            shared.sleepers.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut guard = shared.park.lock().expect("pool lock");
+                while !shared.shutdown.load(Ordering::Relaxed)
+                    && shared.epoch.load(Ordering::Acquire) == seen
+                {
+                    guard = shared.start.wait(guard).expect("pool wait");
+                }
+            }
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+        seen = shared.epoch.load(Ordering::Acquire);
+        // SAFETY: the epoch bump we just observed was released after the
+        // publisher wrote `job`, and the publisher will not rewrite it
+        // until after our `pending` decrement below.
+        let job = unsafe { (*shared.job.get()).expect("job published with epoch") };
+        let mut i = lane;
+        while i < job.n {
+            (job.f)(i);
+            i += job.lanes;
+        }
+        shared.pending.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.park.lock().expect("pool lock");
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn zero_thread_pool_runs_serially() {
+        let pool = WorkerPool::new(0);
+        let mut hits = vec![false; 5];
+        let cell = Mutex::new(&mut hits);
+        pool.run(5, &|i| {
+            cell.lock().unwrap()[i] = true;
+        });
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once_per_round() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let counts: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(0)).collect();
+        for _round in 0..100 {
+            pool.run(16, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn round_results_are_visible_after_run_returns() {
+        // `run` is a barrier: writes made inside jobs must be readable by
+        // the caller immediately after, round after round.
+        let pool = WorkerPool::new(2);
+        let slots: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        for round in 1..=50u64 {
+            pool.run(4, &|i| {
+                slots[i].store(round * 10 + i as u64, Ordering::Relaxed);
+            });
+            for (i, s) in slots.iter().enumerate() {
+                assert_eq!(s.load(Ordering::Relaxed), round * 10 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_job_rounds_stay_on_the_caller() {
+        let pool = WorkerPool::new(2);
+        let caller = std::thread::current().id();
+        let ran_on = Mutex::new(None);
+        pool.run(1, &|_| {
+            *ran_on.lock().unwrap() = Some(std::thread::current().id());
+        });
+        assert_eq!(*ran_on.lock().unwrap(), Some(caller));
+    }
+
+    #[test]
+    fn rounds_after_a_parked_stretch_still_dispatch() {
+        // Let workers exhaust the spin window and park, then fire another
+        // round: the condvar wake path must deliver it.
+        let pool = WorkerPool::new(2);
+        let count = AtomicU64::new(0);
+        pool.run(3, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        pool.run(3, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 6);
+    }
+}

@@ -131,6 +131,77 @@ fn golden_small_config_metrics_are_bit_identical_to_pre_optimization_tree() {
     }
 }
 
+/// The space-partitioned tick engine must be observationally invisible:
+/// running the same app with the mesh split into 4 row-band tiles (stepped
+/// concurrently with deferred cross-tile exchange) must match the serial
+/// T=1 schedule on every end-to-end metric, bit for bit — including the
+/// f64 latency accumulators, whose value depends on accumulation *order*.
+#[test]
+fn partitioned_tick_is_bit_identical_to_serial_end_to_end() {
+    type Gen = fn() -> Workload;
+    let apps: Vec<(&str, SchemeKind, Gen)> = vec![
+        (
+            "bh",
+            SchemeKind::MiMaCol,
+            (|| {
+                barnes_hut::generate(&BarnesHutConfig {
+                    procs: 16,
+                    bodies: 32,
+                    steps: 2,
+                    ..Default::default()
+                })
+            }) as Gen,
+        ),
+        ("lu", SchemeKind::UiUa, || {
+            lu::generate(&LuConfig { n: 32, block: 8, procs: 16, flop_cost: 16 })
+        }),
+        ("apsp", SchemeKind::MiMaTwoPhase, || {
+            apsp::generate(&ApspConfig { n: 16, procs: 16, relax_cost: 16 })
+        }),
+    ];
+    for (name, scheme, gen) in apps {
+        let run_tiled = |tiles: usize| {
+            let mut cfg = SystemConfig::for_scheme(4, scheme);
+            cfg.mesh.tiles = tiles;
+            let mut sys = DsmSystem::new(cfg, scheme.build());
+            let r = gen().run(&mut sys, 50_000_000).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            (r.cycles, sys)
+        };
+        let (c1, s1) = run_tiled(1);
+        let (c4, s4) = run_tiled(4);
+        let tag = format!("{name}/{scheme}");
+        assert_eq!(c1, c4, "{tag}: cycle count diverged");
+        assert_eq!(s1.now(), s4.now(), "{tag}: clock diverged");
+        let (n1, n4) = (s1.net_stats(), s4.net_stats());
+        assert_eq!(n1.flit_hops, n4.flit_hops, "{tag}: flit hops diverged");
+        assert_eq!(n1.flits_injected, n4.flits_injected, "{tag}: injected diverged");
+        assert_eq!(n1.flits_consumed, n4.flits_consumed, "{tag}: consumed diverged");
+        assert_eq!(n1.deliveries, n4.deliveries, "{tag}: deliveries diverged");
+        assert_eq!(n1.parks, n4.parks, "{tag}: parks diverged");
+        assert_eq!(n1.bounces, n4.bounces, "{tag}: bounces diverged");
+        assert_eq!(n1.deposits, n4.deposits, "{tag}: deposits diverged");
+        assert_eq!(n1.link_busy, n4.link_busy, "{tag}: per-link busy counts diverged");
+        for (what, a, b) in [
+            ("unicast", &n1.unicast_latency, &n4.unicast_latency),
+            ("multicast", &n1.multicast_latency, &n4.multicast_latency),
+            ("gather", &n1.gather_latency, &n4.gather_latency),
+        ] {
+            assert_eq!(a.count(), b.count(), "{tag}: {what} latency count diverged");
+            assert_eq!(a.sum(), b.sum(), "{tag}: {what} latency sum diverged");
+            assert_eq!(a.stddev(), b.stddev(), "{tag}: {what} latency stddev diverged");
+        }
+        let (m1, m4) = (s1.metrics(), s4.metrics());
+        assert_eq!(m1.inval_txns, m4.inval_txns, "{tag}: inval txns diverged");
+        assert_eq!(m1.inval_latency.sum(), m4.inval_latency.sum(), "{tag}: inval sum diverged");
+        assert_eq!(
+            m1.inval_latency.stddev(),
+            m4.inval_latency.stddev(),
+            "{tag}: inval stddev diverged"
+        );
+        assert_eq!(m1.stall_cycles, m4.stall_cycles, "{tag}: stall cycles diverged");
+    }
+}
+
 #[test]
 fn app_runs_are_deterministic() {
     let cfg = ApspConfig { n: 16, procs: 16, relax_cost: 16 };
