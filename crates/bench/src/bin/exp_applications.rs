@@ -7,7 +7,7 @@
 //!
 //! Usage: `exp_applications [--k 8] [--quick] [--app all|bh|lu|apsp]`
 
-use wormdsm_bench::{arg, flag, par_map};
+use wormdsm_bench::{arg, assert_coherent, flag, par_map};
 use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig};
 use wormdsm_workloads::apps::apsp::{self, ApspConfig};
 use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
@@ -57,6 +57,7 @@ fn run(app: &str, scheme: SchemeKind, k: usize, quick: bool) -> AppResult {
     let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
     let w = workload(app, k * k, quick);
     let r = w.run(&mut sys, 500_000_000).expect("application completes");
+    assert_coherent(&sys, &format!("{app} under {}", scheme.name()));
     let m = sys.metrics();
     AppResult {
         cycles: r.cycles,

@@ -21,13 +21,25 @@
 //! the serial T=1 schedule, and writes per-T throughput rows to
 //! `BENCH_partick.json`.
 //!
+//! With `--trace`, additionally measures flight-recorder overhead on the
+//! busy arm (tracing off vs `txn` vs `flit` level, asserting all three
+//! bit-identical), reconstructs one invalidation transaction's timeline,
+//! checks every recorded `txn_close` latency against the metrics summary,
+//! prints the metrics registry, and writes it all to `BENCH_trace.json`.
+//!
+//! Every arm ends with a coherence audit: `verify_coherence` plus the
+//! sticky invariant-violation slot, so a bench run can no longer report
+//! numbers from a corrupted machine.
+//!
 //! Usage: `exp_hotloop [--k 4] [--scheme "MI-MA(col)"] [--compute-scale 256]
 //!                     [--out BENCH_hotloop.json] [--busy-out BENCH_busycycle.json]
-//!                     [--partick] [--partick-out BENCH_partick.json]`
+//!                     [--partick] [--partick-out BENCH_partick.json]
+//!                     [--trace] [--trace-out BENCH_trace.json]`
 
 use std::time::Instant;
-use wormdsm_bench::{arg, flag};
-use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig};
+use wormdsm_bench::{arg, assert_coherent, flag};
+use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig, TraceLevel};
+use wormdsm_sim::trace::TraceKind;
 use wormdsm_workloads::apps::apsp::{self, ApspConfig};
 use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
 use wormdsm_workloads::apps::lu::{self, LuConfig};
@@ -43,6 +55,9 @@ struct Arm {
     worm_slots_reused: u64,
     scratch_grows: u64,
     hazard_fallbacks: u64,
+    /// Full metrics registry (protocol + `net_`-prefixed mesh counters)
+    /// as a JSON object, embedded verbatim in the BENCH rows.
+    metrics_json: String,
 }
 
 /// Golden busy-cycle reference for 4x4 MI-MA(col) at `--compute-scale 1`,
@@ -129,15 +144,37 @@ fn run_arm_tiled(
     fast_forward: bool,
     tiles: usize,
 ) -> Arm {
+    let (arm, _) = run_arm_traced(app, scheme, k, scale, fast_forward, tiles, TraceLevel::Off);
+    arm
+}
+
+/// Run one arm with the flight recorder at `level`, auditing coherence at
+/// the end, and hand back the finished system for trace inspection.
+#[allow(clippy::too_many_arguments)]
+fn run_arm_traced(
+    app: &str,
+    scheme: SchemeKind,
+    k: usize,
+    scale: u64,
+    fast_forward: bool,
+    tiles: usize,
+    level: TraceLevel,
+) -> (Arm, DsmSystem) {
     let mut cfg = SystemConfig::for_scheme(k, scheme);
     cfg.mesh.tiles = tiles;
     let mut sys = DsmSystem::new(cfg, scheme.build());
     sys.set_fast_forward(fast_forward);
+    sys.set_trace_level(level);
+    if level > TraceLevel::Off {
+        // Large enough to keep a busy-arm run's full transaction history.
+        sys.recorder_mut().set_capacity(1 << 20);
+    }
     let w = workload(app, k * k, scale);
     let t0 = Instant::now();
     let r = w.run(&mut sys, 500_000_000).expect("application completes");
     let wall_s = t0.elapsed().as_secs_f64();
-    Arm {
+    assert_coherent(&sys, &format!("{app} k={k} T={tiles}"));
+    let arm = Arm {
         cycles: r.cycles,
         flit_hops: sys.net_stats().flit_hops,
         inval_lat_sum: sys.metrics().inval_latency.sum(),
@@ -147,7 +184,9 @@ fn run_arm_tiled(
         worm_slots_reused: sys.net_stats().worm_slots_reused,
         scratch_grows: sys.net_stats().scratch_grows,
         hazard_fallbacks: sys.net_stats().hazard_fallbacks,
-    }
+        metrics_json: sys.export_metrics().to_json(),
+    };
+    (arm, sys)
 }
 
 /// Sweep the space-partitioned tick engine over tile counts at busy-cycle
@@ -273,6 +312,134 @@ fn partick_sweep(scheme: SchemeKind, out: &str) {
     println!("\nwrote {out}");
 }
 
+/// H4: flight-recorder overhead and timeline reconstruction on the busy
+/// arm. Tracing must be invisible in the results (every level reproduces
+/// the untraced run bit for bit) and the recorded timelines must agree
+/// with the metrics the run reports.
+fn trace_mode(scheme: SchemeKind, k: usize, out: &str) {
+    println!(
+        "\n== H4: flight-recorder overhead, {0}x{0} {1}, compute scale 1 ==",
+        k,
+        scheme.name()
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "app", "cycles", "off s", "txn s", "flit s", "txn ovh", "flit ovh"
+    );
+    let mut rows = Vec::new();
+    let mut timeline = None;
+    for app in ["bh", "lu", "apsp"] {
+        let off = run_arm(app, scheme, k, 1, true);
+        let (txn_arm, tsys) = run_arm_traced(app, scheme, k, 1, true, 1, TraceLevel::Txn);
+        let (flit_arm, fsys) = run_arm_traced(app, scheme, k, 1, true, 1, TraceLevel::Flit);
+        for (label, arm) in [("txn", &txn_arm), ("flit", &flit_arm)] {
+            assert_eq!(off.cycles, arm.cycles, "{app} {label}: cycles diverged under tracing");
+            assert_eq!(
+                off.flit_hops, arm.flit_hops,
+                "{app} {label}: flit hops diverged under tracing"
+            );
+            assert_eq!(
+                off.inval_lat_sum, arm.inval_lat_sum,
+                "{app} {label}: inval latency diverged under tracing"
+            );
+            assert_eq!(
+                off.inval_lat_count, arm.inval_lat_count,
+                "{app} {label}: txn count diverged under tracing"
+            );
+        }
+        // The recorded transaction closes must agree with the metrics the
+        // run reported: one close per completed transaction, and the close
+        // latencies summing to the latency summary.
+        assert_eq!(fsys.recorder().dropped(), 0, "{app}: trace ring too small for this run");
+        let closes: Vec<(u64, u64)> = fsys
+            .recorder()
+            .events()
+            .filter_map(|e| match e.kind {
+                TraceKind::TxnClose { txn, latency, .. } => Some((txn, latency)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            closes.len() as u64,
+            fsys.metrics().inval_txns,
+            "{app}: one txn_close per completed transaction"
+        );
+        let lat_sum: u64 = closes.iter().map(|&(_, l)| l).sum();
+        assert_eq!(
+            lat_sum as f64,
+            fsys.metrics().inval_latency.sum(),
+            "{app}: timeline latencies disagree with the metrics summary"
+        );
+        if app == "bh" {
+            // Dump one reconstructed timeline and cross-check it against
+            // its own close event: open-to-close distance == latency.
+            let &(id, latency) = closes.last().expect("bh completes transactions");
+            let tl = fsys.recorder().timeline(id);
+            let open_at = tl
+                .iter()
+                .find_map(|e| matches!(e.kind, TraceKind::TxnOpen { .. }).then_some(e.at))
+                .expect("timeline contains the open");
+            let close_at = tl
+                .iter()
+                .find_map(|e| matches!(e.kind, TraceKind::TxnClose { .. }).then_some(e.at))
+                .expect("timeline contains the close");
+            assert_eq!(close_at - open_at, latency, "timeline disagrees with its close event");
+            println!("\n-- metrics registry (bh, busy arm) --");
+            for line in fsys.export_metrics().lines() {
+                println!("{line}");
+            }
+            println!("\n-- txn {id} timeline: {} events, {latency} cycles --", tl.len());
+            timeline =
+                Some((id, wormdsm_sim::trace::events_json(tl.iter()), fsys.export_metrics()));
+        }
+        let t_ovh = txn_arm.wall_s / off.wall_s - 1.0;
+        let f_ovh = flit_arm.wall_s / off.wall_s - 1.0;
+        println!(
+            "{:>6} {:>12} {:>10.3} {:>10.3} {:>10.3} {:>8.1}% {:>8.1}%",
+            app,
+            off.cycles,
+            off.wall_s,
+            txn_arm.wall_s,
+            flit_arm.wall_s,
+            100.0 * t_ovh,
+            100.0 * f_ovh
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"app\": \"{}\", \"cycles\": {}, ",
+                "\"wall_s_off\": {:.6}, \"wall_s_txn\": {:.6}, \"wall_s_flit\": {:.6}, ",
+                "\"overhead_txn\": {:.4}, \"overhead_flit\": {:.4}, ",
+                "\"events_txn\": {}, \"events_flit\": {}, \"bit_identical\": true}}"
+            ),
+            app,
+            off.cycles,
+            off.wall_s,
+            txn_arm.wall_s,
+            flit_arm.wall_s,
+            t_ovh,
+            f_ovh,
+            tsys.recorder().recorded(),
+            fsys.recorder().recorded(),
+        ));
+    }
+    let (tl_txn, tl_json, metrics) = timeline.expect("bh ran");
+    let json = format!(
+        concat!(
+            "{{\n  \"k\": {}, \n  \"scheme\": \"{}\",\n  \"compute_scale\": 1,\n",
+            "  \"apps\": [\n{}\n  ],\n",
+            "  \"timeline_txn\": {},\n  \"timeline\": {},\n  \"metrics\": {}\n}}\n"
+        ),
+        k,
+        scheme.name(),
+        rows.join(",\n"),
+        tl_txn,
+        tl_json,
+        metrics.to_json()
+    );
+    std::fs::write(out, json).expect("write trace results");
+    println!("\nwrote {out}");
+}
+
 fn main() {
     let k: usize = arg("--k", 4);
     let scale: u64 = arg("--compute-scale", 256);
@@ -281,6 +448,8 @@ fn main() {
     let busy_out: String = arg("--busy-out", "BENCH_busycycle.json".to_string());
     let partick = flag("--partick");
     let partick_out: String = arg("--partick-out", "BENCH_partick.json".to_string());
+    let trace = flag("--trace");
+    let trace_out: String = arg("--trace-out", "BENCH_trace.json".to_string());
     let scheme = SchemeKind::ALL
         .into_iter()
         .find(|s| s.name() == scheme_name)
@@ -373,7 +542,7 @@ fn main() {
                 "\"dead_cycles\": {}, \"dead_fraction\": {:.4}, ",
                 "\"control_wall_s\": {:.6}, \"fast_wall_s\": {:.6}, ",
                 "\"control_cycles_per_s\": {:.0}, \"fast_cycles_per_s\": {:.0}, ",
-                "\"speedup\": {:.3}, \"bit_identical\": true}}"
+                "\"speedup\": {:.3}, \"bit_identical\": true, \"metrics\": {}}}"
             ),
             app,
             control.cycles,
@@ -384,7 +553,8 @@ fn main() {
             fast.wall_s,
             control_cps,
             fast_cps,
-            speedup
+            speedup,
+            fast.metrics_json
         ));
     }
 
@@ -408,5 +578,9 @@ fn main() {
 
     if partick {
         partick_sweep(scheme, &partick_out);
+    }
+
+    if trace {
+        trace_mode(scheme, k, &trace_out);
     }
 }

@@ -34,6 +34,19 @@ pub struct TxnResult {
     pub gather_blocked: u64,
 }
 
+/// Fail fast when `sys` is in a state no experiment should report numbers
+/// from: a protocol invariant fired mid-run, or the end-state coherence
+/// audit ([`DsmSystem::verify_coherence`]) finds a violated invariant.
+/// Call it with the system idle (no transient protocol states in flight).
+pub fn assert_coherent(sys: &DsmSystem, context: &str) {
+    if let Some(v) = sys.invariant_violation() {
+        panic!("{context}: {v}");
+    }
+    if let Err(e) = sys.verify_coherence() {
+        panic!("{context}: coherence audit failed: {e}");
+    }
+}
+
 /// Run one seeded invalidation transaction of `pattern` under `scheme` on
 /// a `k x k` mesh and measure it.
 pub fn measure_single_txn(scheme: SchemeKind, k: usize, pattern: &Pattern) -> TxnResult {
@@ -64,6 +77,7 @@ pub fn measure_txn_on(sys: &mut DsmSystem, pattern: &Pattern) -> TxnResult {
     sys.issue(pattern.writer, MemOp::Write(addr));
     sys.run_until_idle(2_000_000).expect("transaction completes");
     assert_eq!(sys.metrics().inval_txns, txns0 + 1, "exactly one transaction measured");
+    assert_coherent(sys, "seeded transaction");
 
     TxnResult {
         inval_latency: sys.metrics().inval_latency.sum() - lat0,

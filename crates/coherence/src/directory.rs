@@ -146,11 +146,12 @@ impl Directory {
 
     /// All materialized block ids, ascending.
     ///
-    /// **Cold path only** — collects and sorts on every call. Its one
-    /// caller is the end-of-run / debug coherence-invariant sweep
-    /// (`DsmSystem::verify_coherence`); keep it off the per-transaction
-    /// path, where [`Directory::entry`]/[`Directory::entry_mut`] are the
-    /// O(1) accessors.
+    /// **Cold path only** — collects and sorts on every call. Its
+    /// callers are end-of-run audits (`DsmSystem::verify_coherence`,
+    /// which the bench binaries now run after every arm) and debug
+    /// sweeps; keep it off the per-transaction path, where
+    /// [`Directory::entry`]/[`Directory::entry_mut`] are the O(1)
+    /// accessors.
     pub fn blocks(&self) -> Vec<BlockId> {
         let mut v: Vec<BlockId> = self.entries.keys().map(BlockId).collect();
         v.sort_unstable();

@@ -34,4 +34,5 @@ pub use config::{ConsistencyModel, SystemConfig};
 pub use metrics::Metrics;
 pub use plan::{AckAction, InvalPlan, PlannedWorm};
 pub use schemes::{InvalidationScheme, SchemeKind};
-pub use system::{DsmSystem, MemOp};
+pub use system::{DsmSystem, MemOp, SimError};
+pub use wormdsm_sim::trace::{FlightRecorder, InvariantViolation, TraceLevel};

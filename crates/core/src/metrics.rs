@@ -2,7 +2,7 @@
 //! (invalidation latency, home-node occupancy via message counts and busy
 //! time, message counts, network traffic) plus processor-visible latencies.
 
-use wormdsm_sim::{Histogram, Summary};
+use wormdsm_sim::{Histogram, Registry, Summary};
 
 /// Aggregated run metrics. Network-level counters (flit-hops, link
 /// utilization) live in [`wormdsm_mesh::NetStats`]; this struct holds the
@@ -54,6 +54,9 @@ pub struct Metrics {
     pub stall_cycles: u64,
     /// Cycles processors spent stalled at barriers/locks.
     pub sync_stall_cycles: u64,
+    /// Promoted protocol invariants that fired (always-on auditing; any
+    /// nonzero value means the run's results are untrustworthy).
+    pub invariant_failures: u64,
 }
 
 impl Default for Metrics {
@@ -85,7 +88,34 @@ impl Metrics {
             barriers: 0,
             stall_cycles: 0,
             sync_stall_cycles: 0,
+            invariant_failures: 0,
         }
+    }
+
+    /// Snapshot every metric into a [`Registry`] for export/printing.
+    pub fn export(&self) -> Registry {
+        let mut r = Registry::new();
+        r.counter("inval_txns", self.inval_txns);
+        r.summary("inval_latency", &self.inval_latency);
+        r.summary("inval_home_msgs", &self.inval_home_msgs);
+        r.histogram("inval_set_size", &self.inval_set_size);
+        r.summary("write_latency", &self.write_latency);
+        r.summary("read_latency", &self.read_latency);
+        r.counter("read_hits", self.read_hits);
+        r.counter("write_hits", self.write_hits);
+        r.counter("read_misses", self.read_misses);
+        r.counter("write_misses", self.write_misses);
+        r.counter("spurious_invals", self.spurious_invals);
+        r.counter("poisoned_fills", self.poisoned_fills);
+        r.counter("iack_fallbacks", self.iack_fallbacks);
+        r.counter("writebacks", self.writebacks);
+        r.counter("fetch_retries", self.fetch_retries);
+        r.counter("wb_retries", self.wb_retries);
+        r.counter("barriers", self.barriers);
+        r.counter("stall_cycles", self.stall_cycles);
+        r.counter("sync_stall_cycles", self.sync_stall_cycles);
+        r.counter("invariant_failures", self.invariant_failures);
+        r
     }
 
     /// Read hit ratio.

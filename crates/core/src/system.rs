@@ -28,7 +28,8 @@ use wormdsm_mesh::topology::NodeId;
 use wormdsm_mesh::worm::{TxnId, VNet, WormKind, WormSpec};
 use wormdsm_mesh::Network;
 use wormdsm_sim::stats::BusyTime;
-use wormdsm_sim::{Calendar, Cycle};
+use wormdsm_sim::trace::{FlightRecorder, InvariantViolation, TraceClass, TraceKind, TraceLevel};
+use wormdsm_sim::{trace_event, Calendar, Cycle, Registry};
 
 /// Cycles an early fetch waits before retrying at a node whose ownership
 /// grant is still in flight (window-of-vulnerability deferral).
@@ -40,6 +41,55 @@ const POST_RETRY_DELAY: Cycle = 20;
 /// Cycles before the home re-examines a writeback that raced with an
 /// outstanding fetch (directory entry in `Waiting`).
 const WRITEBACK_RETRY_DELAY: Cycle = 16;
+
+/// How many of the flight recorder's most recent events an
+/// [`InvariantViolation`] dump snapshots.
+const INVARIANT_DUMP_EVENTS: usize = 64;
+
+/// Why a run stopped before reaching idle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget ran out with work still in flight (deadlock or
+    /// lost message).
+    Timeout(String),
+    /// A promoted protocol invariant fired. The payload carries the
+    /// flight-recorder context captured at the violation site, so the
+    /// failure is diagnosable without a rerun.
+    Invariant(Box<InvariantViolation>),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Timeout(msg) => f.write_str(msg),
+            SimError::Invariant(v) => v.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Always-on protocol invariant check: the promoted form of the
+/// `debug_assert!`s that used to guard these paths, so release runs audit
+/// themselves too. On failure the violation is recorded with
+/// flight-recorder context (first one wins, see
+/// [`DsmSystem::invariant_violation`]) instead of panicking; the
+/// `return;` arm additionally bails out of the handler so it cannot
+/// corrupt state further. Runs then surface the violation as
+/// [`SimError::Invariant`].
+macro_rules! invariant {
+    (return; $self:ident, $txn:expr, $cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            $self.invariant_failed($txn, format!($($fmt)+));
+            return;
+        }
+    };
+    ($self:ident, $txn:expr, $cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            $self.invariant_failed($txn, format!($($fmt)+));
+        }
+    };
+}
 
 /// A processor memory operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +131,19 @@ enum StallKind {
     /// buffer drains (sync ops), frees a slot (buffer full), or the
     /// conflicting pending write completes; retried on each completion.
     Deferred(MemOp),
+}
+
+impl StallKind {
+    /// Flight-recorder label for this stall reason.
+    fn label(self) -> &'static str {
+        match self {
+            StallKind::Read(_) => "read",
+            StallKind::Write(_) => "write",
+            StallKind::Barrier(_) => "barrier",
+            StallKind::Lock(_) => "lock",
+            StallKind::Deferred(_) => "deferred",
+        }
+    }
 }
 
 /// Per-node mutable state.
@@ -261,6 +324,10 @@ pub struct DsmSystem {
     fast_forward: bool,
     /// Cycles elided by dead-cycle fast-forwarding (diagnostics).
     skipped_cycles: u64,
+    /// First protocol invariant violation observed (sticky). Once set,
+    /// handlers keep bailing out safely but the run's results are
+    /// untrustworthy; drivers surface it as [`SimError::Invariant`].
+    violation: Option<Box<InvariantViolation>>,
 }
 
 impl DsmSystem {
@@ -311,6 +378,7 @@ impl DsmSystem {
             fast_forward: true,
             skipped_cycles: 0,
             delivery_scratch: Vec::new(),
+            violation: None,
         }
     }
 
@@ -340,6 +408,78 @@ impl DsmSystem {
     /// Network statistics so far.
     pub fn net_stats(&self) -> &wormdsm_mesh::NetStats {
         self.net.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing and invariant auditing.
+    // ------------------------------------------------------------------
+
+    /// Set the flight recorder's runtime level. [`TraceLevel::Flit`]
+    /// forces the network onto its serial tick schedule so per-hop events
+    /// are never lost — results stay bit-identical, only wall time
+    /// changes.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.net.set_trace_level(level);
+    }
+
+    /// The flight recorder: one time-ordered event stream shared by the
+    /// mesh and the protocol layer.
+    pub fn recorder(&self) -> &FlightRecorder {
+        self.net.recorder()
+    }
+
+    /// Mutable flight-recorder access (capacity changes, clearing).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        self.net.recorder_mut()
+    }
+
+    /// The first protocol invariant violation observed so far, if any.
+    ///
+    /// The slot is sticky: the promoted checks record the violation and
+    /// bail out of their handler instead of panicking, so the simulation
+    /// keeps stepping, but any result produced after this returns `Some`
+    /// is untrustworthy. [`DsmSystem::run_until_idle`] reports it as
+    /// [`SimError::Invariant`].
+    pub fn invariant_violation(&self) -> Option<&InvariantViolation> {
+        self.violation.as_deref()
+    }
+
+    /// Export protocol metrics plus network statistics as one registry
+    /// (mesh-level entries carry a `net_` prefix).
+    pub fn export_metrics(&self) -> Registry {
+        let mut r = self.metrics.export();
+        r.absorb("net_", &self.net.stats().export(self.now));
+        r
+    }
+
+    /// Record a failed protocol invariant: push an `InvariantFired`
+    /// marker (unconditionally, so the dump is never empty even at
+    /// [`TraceLevel::Off`]), snapshot the recorder, and keep the first
+    /// violation.
+    #[cold]
+    fn invariant_failed(&mut self, txn: Option<TxnId>, what: String) {
+        self.metrics.invariant_failures += 1;
+        let now = self.now;
+        let txn = txn.map(|t| t.0);
+        let rec = self.net.recorder_mut();
+        rec.push(now, TraceKind::InvariantFired { txn: txn.unwrap_or(0) });
+        if self.violation.is_none() {
+            self.violation = Some(Box::new(InvariantViolation::capture(
+                what,
+                now,
+                txn,
+                self.net.recorder(),
+                INVARIANT_DUMP_EVENTS,
+            )));
+        }
+    }
+
+    /// Fold a violation the network recorded (its slot is sticky too)
+    /// into the system-level slot.
+    #[cold]
+    fn absorb_net_violation(&mut self) {
+        let what = self.net.violation().expect("caller checked").to_string();
+        self.invariant_failed(None, what);
     }
 
     /// The scheme driving invalidations.
@@ -413,6 +553,9 @@ impl DsmSystem {
         while let Some((t, ev)) = self.cal.pop_due(self.now) {
             self.handle_event(t.max(self.now), ev);
         }
+        if self.violation.is_none() && self.net.violation().is_some() {
+            self.absorb_net_violation();
+        }
     }
 
     /// If the network has no work at all, advance the clock to one cycle
@@ -444,9 +587,16 @@ impl DsmSystem {
             (None, None) => return,
         };
         if t > self.now + 1 {
+            let from = self.now;
             self.skipped_cycles += t - 1 - self.now;
             self.net.advance_to(t - 1);
             self.now = t - 1;
+            trace_event!(
+                self.net.recorder_mut(),
+                TraceClass::Txn,
+                from,
+                TraceKind::FastForward { from, to: t - 1 }
+            );
         }
     }
 
@@ -465,22 +615,32 @@ impl DsmSystem {
         }
     }
 
-    /// Run until [`DsmSystem::idle`] or `max` cycles pass; Err on timeout
-    /// (deadlock or lost message).
-    pub fn run_until_idle(&mut self, max: Cycle) -> Result<Cycle, String> {
+    /// Run until [`DsmSystem::idle`] or `max` cycles pass.
+    ///
+    /// Errors are structured: [`SimError::Timeout`] for a deadlock or
+    /// lost message, [`SimError::Invariant`] when a promoted protocol
+    /// invariant fired mid-run (the violation carries the flight-recorder
+    /// dump and offending-transaction timeline).
+    pub fn run_until_idle(&mut self, max: Cycle) -> Result<Cycle, SimError> {
         let deadline = self.now + max;
         while !self.idle() {
+            if let Some(v) = &self.violation {
+                return Err(SimError::Invariant(v.clone()));
+            }
             if self.now >= deadline {
-                return Err(format!(
+                return Err(SimError::Timeout(format!(
                     "system not idle after {max} cycles: {} txns, {} events, {} live worms",
                     self.txns.len(),
                     self.cal.len(),
                     self.net.live_worms()
-                ));
+                )));
             }
             self.step();
         }
-        Ok(self.now)
+        match &self.violation {
+            Some(v) => Err(SimError::Invariant(v.clone())),
+            None => Ok(self.now),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -505,8 +665,7 @@ impl DsmSystem {
                     // Re-touching a block whose own writeback is still
                     // unacknowledged would let the stale writeback race a
                     // re-acquired copy (writeback ABA); wait for the ack.
-                    self.nodes[node.idx()].proc =
-                        ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+                    self.stall(node, StallKind::Deferred(op), now);
                     return;
                 }
                 if self.nodes[node.idx()].cache.read_hit(block) {
@@ -514,8 +673,7 @@ impl DsmSystem {
                     self.nodes[node.idx()].proc = ProcState::BusyUntil(now + costs.cache_access);
                 } else {
                     self.metrics.read_misses += 1;
-                    self.nodes[node.idx()].proc =
-                        ProcState::Stalled { kind: StallKind::Read(block), since: now };
+                    self.stall(node, StallKind::Read(block), now);
                     let home = self.geom.home_of(block);
                     let msg = ProtoMsg::ReadReq { block, requester: node };
                     self.send_cc(node, now + costs.cache_access, msg, home, VNet::Req);
@@ -529,8 +687,7 @@ impl DsmSystem {
                 if self.nodes[node.idx()].write_pending(block)
                     || self.nodes[node.idx()].wb.contains(block)
                 {
-                    self.nodes[node.idx()].proc =
-                        ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+                    self.stall(node, StallKind::Deferred(op), now);
                     return;
                 }
                 if self.nodes[node.idx()].cache.write_hit(block) {
@@ -541,15 +698,13 @@ impl DsmSystem {
                 match self.cfg.consistency {
                     ConsistencyModel::Sequential => {
                         self.metrics.write_misses += 1;
-                        self.nodes[node.idx()].proc =
-                            ProcState::Stalled { kind: StallKind::Write(block), since: now };
+                        self.stall(node, StallKind::Write(block), now);
                     }
                     ConsistencyModel::Release { write_buffer } => {
                         if self.nodes[node.idx()].pending_writes.len() >= write_buffer {
                             // Buffer full: retry when a write retires
                             // (deferral is not a miss yet).
-                            self.nodes[node.idx()].proc =
-                                ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+                            self.stall(node, StallKind::Deferred(op), now);
                             return;
                         }
                         self.metrics.write_misses += 1;
@@ -573,15 +728,13 @@ impl DsmSystem {
                 if self.release_fence_pending(node, op, now) {
                     return;
                 }
-                self.nodes[node.idx()].proc =
-                    ProcState::Stalled { kind: StallKind::Barrier(id), since: now };
+                self.stall(node, StallKind::Barrier(id), now);
                 let home = self.service_home(id);
                 let msg = ProtoMsg::BarrierArrive { barrier: id, participants };
                 self.send_cc(node, now, msg, home, VNet::Req);
             }
             MemOp::Lock(l) => {
-                self.nodes[node.idx()].proc =
-                    ProcState::Stalled { kind: StallKind::Lock(l), since: now };
+                self.stall(node, StallKind::Lock(l), now);
                 let home = self.service_home(l);
                 self.send_cc(
                     node,
@@ -613,8 +766,7 @@ impl DsmSystem {
     /// deferred.
     fn release_fence_pending(&mut self, node: NodeId, op: MemOp, now: Cycle) -> bool {
         if !self.nodes[node.idx()].pending_writes.is_empty() {
-            self.nodes[node.idx()].proc =
-                ProcState::Stalled { kind: StallKind::Deferred(op), since: now };
+            self.stall(node, StallKind::Deferred(op), now);
             true
         } else {
             false
@@ -750,6 +902,21 @@ impl DsmSystem {
     pub fn dir_state(&self, block: BlockId) -> DirState {
         let home = self.geom.home_of(block);
         self.dirs[home.idx()].state(block)
+    }
+
+    /// Deliver a forged protocol message straight into `node`'s
+    /// controller, bypassing the network — used by tests to exercise the
+    /// always-on invariant auditing with malformed traffic.
+    #[doc(hidden)]
+    pub fn debug_deliver(&mut self, node: NodeId, msg: ProtoMsg, acks: u32, src: NodeId) {
+        let key = self.msgs.push(msg);
+        self.recv(self.now, node, key, acks, DeliveryKind::Final, src);
+    }
+
+    /// Ids of the invalidation transactions currently open (tests).
+    #[doc(hidden)]
+    pub fn open_txn_ids(&self) -> Vec<TxnId> {
+        self.txns.ids.iter().filter(|&&id| id != 0).map(|&id| TxnId(id)).collect()
     }
 
     // ------------------------------------------------------------------
@@ -1099,7 +1266,20 @@ impl DsmSystem {
             "{:?}",
             crate::plan::validate_plan(&plan, &remote)
         );
+        let needed = plan.needed;
         let txn_id = self.txns.next_id();
+        trace_event!(
+            self.net.recorder_mut(),
+            TraceClass::Txn,
+            now,
+            TraceKind::TxnOpen {
+                txn: txn_id.0,
+                block: block.0,
+                home: home.idx() as u32,
+                writer: writer.idx() as u32,
+                needed,
+            }
+        );
 
         self.dirs[home.idx()].entry_mut(block).state = DirState::Waiting;
 
@@ -1160,12 +1340,13 @@ impl DsmSystem {
     fn h_inval(&mut self, now: Cycle, node: NodeId, block: BlockId, txn: TxnId, home: NodeId) {
         let costs = self.cfg.costs;
         self.invalidate_local(node, block);
-        let action = self
-            .txns
-            .get(txn)
-            .and_then(|t| t.plan.action_for(node))
-            .cloned()
-            .expect("invalidation delivered to a node with no planned action");
+        let Some(action) = self.txns.get(txn).and_then(|t| t.plan.action_for(node)).cloned() else {
+            self.invariant_failed(
+                Some(txn),
+                format!("invalidation of {block} delivered to {node} with no planned action"),
+            );
+            return;
+        };
         self.perform_ack_action(now + costs.cache_access, node, block, txn, home, &action);
     }
 
@@ -1241,21 +1422,57 @@ impl DsmSystem {
 
     /// Acks arrived at the home (unicast count or gathered count).
     fn h_acks(&mut self, now: Cycle, home: NodeId, txn: TxnId, count: u32) {
-        let done = {
-            let t = self.txns.get_mut(txn).expect("acks for a dead transaction");
-            debug_assert_eq!(t.home, home);
-            t.got += count;
-            t.home_msgs += 1;
-            t.got >= t.needed
-        };
-        if done {
+        match self.txns.get(txn).map(|t| t.home) {
+            None => {
+                self.invariant_failed(
+                    Some(txn),
+                    format!("{count} ack(s) arrived at {home} for a dead transaction"),
+                );
+                return;
+            }
+            Some(h) if h != home => {
+                self.invariant_failed(
+                    Some(txn),
+                    format!("ack(s) arrived at {home} for a transaction homed at {h}"),
+                );
+                return;
+            }
+            Some(_) => {}
+        }
+        let t = self.txns.get_mut(txn).expect("liveness checked above");
+        t.got += count;
+        t.home_msgs += 1;
+        let (got, needed) = (t.got, t.needed);
+        trace_event!(
+            self.net.recorder_mut(),
+            TraceClass::Txn,
+            now,
+            TraceKind::TxnAck { txn: txn.0, count, got, needed }
+        );
+        if got >= needed {
             self.complete_invalidation(now, txn);
         }
     }
 
     fn complete_invalidation(&mut self, now: Cycle, txn: TxnId) {
-        let t = self.txns.remove(txn).expect("completing a live txn");
-        debug_assert!(t.got == t.needed, "over-collected acks");
+        let Some(t) = self.txns.remove(txn) else {
+            self.invariant_failed(Some(txn), "completing a dead transaction".to_string());
+            return;
+        };
+        invariant!(
+            self,
+            Some(txn),
+            t.got == t.needed,
+            "over-collected acks: got {} of {} needed",
+            t.got,
+            t.needed
+        );
+        trace_event!(
+            self.net.recorder_mut(),
+            TraceClass::Txn,
+            now,
+            TraceKind::TxnClose { txn: txn.0, latency: now - t.started, set_size: t.needed }
+        );
         self.metrics.inval_txns += 1;
         self.metrics.inval_latency.record((now - t.started) as f64);
         self.metrics.inval_set_size.record(t.needed as u64);
@@ -1315,16 +1532,22 @@ impl DsmSystem {
     /// the RC write-buffer entry.
     fn complete_write(&mut self, now: Cycle, node: NodeId, block: BlockId) {
         if let ProcState::Stalled { kind: StallKind::Write(b), .. } = self.nodes[node.idx()].proc {
-            debug_assert_eq!(b, block);
+            invariant!(
+                return; self, None, b == block,
+                "{node} write completion for {block} but the processor is stalled on {b}"
+            );
             self.resume_mem(now, node, StallKind::Write(block));
             return;
         }
-        let pw = &mut self.nodes[node.idx()].pending_writes;
-        let i = pw
-            .iter()
-            .position(|&(b, _)| b == block)
-            .expect("write completion matches a pending write");
-        let (_, issued) = pw.swap_remove(i);
+        let Some(i) = self.nodes[node.idx()].pending_writes.iter().position(|&(b, _)| b == block)
+        else {
+            self.invariant_failed(
+                None,
+                format!("{node} write completion for {block} matches no pending write"),
+            );
+            return;
+        };
+        let (_, issued) = self.nodes[node.idx()].pending_writes.swap_remove(i);
         self.metrics.write_latency.record((now - issued) as f64);
         self.retry_deferred(now, node);
     }
@@ -1592,12 +1815,27 @@ impl DsmSystem {
         }
     }
 
+    /// Put `node`'s processor into a stall, recording the trace event.
+    fn stall(&mut self, node: NodeId, kind: StallKind, since: Cycle) {
+        self.nodes[node.idx()].proc = ProcState::Stalled { kind, since };
+        trace_event!(
+            self.net.recorder_mut(),
+            TraceClass::Txn,
+            since,
+            TraceKind::StallEnter { node: node.idx() as u32, what: kind.label() }
+        );
+    }
+
     /// Resume a processor stalled on a memory operation.
     fn resume_mem(&mut self, now: Cycle, node: NodeId, expect: StallKind) {
         let ProcState::Stalled { kind, since } = self.nodes[node.idx()].proc else {
-            panic!("{node} got a completion while not stalled");
+            self.invariant_failed(None, format!("{node} got a completion while not stalled"));
+            return;
         };
-        debug_assert_eq!(kind, expect, "completion does not match the stall");
+        invariant!(
+            return; self, None, kind == expect,
+            "{node} completion for {expect:?} does not match its stall {kind:?}"
+        );
         let stall = now - since;
         self.metrics.stall_cycles += stall;
         match kind {
@@ -1605,16 +1843,33 @@ impl DsmSystem {
             StallKind::Write(_) => self.metrics.write_latency.record(stall as f64),
             _ => {}
         }
+        trace_event!(
+            self.net.recorder_mut(),
+            TraceClass::Txn,
+            now,
+            TraceKind::StallExit { node: node.idx() as u32, what: kind.label(), stalled: stall }
+        );
         self.nodes[node.idx()].proc = ProcState::BusyUntil(now + self.cfg.costs.cache_access);
     }
 
     /// Resume a processor stalled on a synchronization operation.
     fn resume_sync(&mut self, now: Cycle, node: NodeId, expect: StallKind) {
         let ProcState::Stalled { kind, since } = self.nodes[node.idx()].proc else {
-            panic!("{node} got a sync completion while not stalled");
+            self.invariant_failed(None, format!("{node} got a sync completion while not stalled"));
+            return;
         };
-        debug_assert_eq!(kind, expect);
-        self.metrics.sync_stall_cycles += now - since;
+        invariant!(
+            return; self, None, kind == expect,
+            "{node} sync completion for {expect:?} does not match its stall {kind:?}"
+        );
+        let stall = now - since;
+        self.metrics.sync_stall_cycles += stall;
+        trace_event!(
+            self.net.recorder_mut(),
+            TraceClass::Txn,
+            now,
+            TraceKind::StallExit { node: node.idx() as u32, what: kind.label(), stalled: stall }
+        );
         self.nodes[node.idx()].proc = ProcState::Idle;
     }
 }

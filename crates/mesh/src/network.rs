@@ -69,7 +69,17 @@ use crate::worm::{
     Flit, FlitKind, TxnId, VNet, Worm, WormId, WormKind, WormSpec, WormState, WormTable, NUM_VNETS,
 };
 use std::sync::Mutex;
-use wormdsm_sim::{Cycle, NoProgress, Summary, Watchdog, WorkerPool};
+use wormdsm_sim::trace::{FlightRecorder, TraceClass, TraceKind, TraceLevel};
+use wormdsm_sim::{Cycle, NoProgress, Registry, Summary, Watchdog, WorkerPool};
+
+/// Flight-recorder label for a worm kind.
+fn worm_kind_label(kind: WormKind) -> &'static str {
+    match kind {
+        WormKind::Unicast => "unicast",
+        WormKind::Multicast => "multicast",
+        WormKind::Gather => "gather",
+    }
+}
 
 /// Configuration of the wormhole mesh.
 #[derive(Debug, Clone)]
@@ -235,6 +245,33 @@ impl NetStats {
         }
         self.link_busy.iter().copied().max().unwrap_or(0) as f64 / elapsed as f64
     }
+
+    /// Export every counter and latency summary into a metrics
+    /// [`Registry`] (the per-run `BENCH_*.json` export path).
+    pub fn export(&self, elapsed: Cycle) -> Registry {
+        let mut r = Registry::new();
+        r.counter("flit_hops", self.flit_hops);
+        r.counter("flits_injected", self.flits_injected);
+        r.counter("flits_consumed", self.flits_consumed);
+        r.counter("worms_injected_req", self.worms_injected[0]);
+        r.counter("worms_injected_reply", self.worms_injected[1]);
+        r.counter("deliveries", self.deliveries);
+        r.counter("gather_blocked_cycles", self.gather_blocked_cycles);
+        r.counter("multicast_blocked_cycles", self.multicast_blocked_cycles);
+        r.counter("parks", self.parks);
+        r.counter("bounces", self.bounces);
+        r.counter("resumes", self.resumes);
+        r.counter("deposits", self.deposits);
+        r.counter("deposit_retries", self.deposit_retries);
+        r.counter("worm_slots_reused", self.worm_slots_reused);
+        r.counter("scratch_grows", self.scratch_grows);
+        r.counter("hazard_fallbacks", self.hazard_fallbacks);
+        r.gauge("max_link_utilization", self.max_link_utilization(elapsed));
+        r.summary("unicast_latency", &self.unicast_latency);
+        r.summary("multicast_latency", &self.multicast_latency);
+        r.summary("gather_latency", &self.gather_latency);
+        r
+    }
 }
 
 const LOCAL: usize = 4;
@@ -304,6 +341,8 @@ struct XCredit {
 #[derive(Debug, Clone, Copy)]
 struct WormEvent {
     wid: WormId,
+    /// Node the tail drained at (flight-recorder diagnostics).
+    node: usize,
     /// Final consumption (vs. an absorb-copy drain).
     is_final: bool,
     kind: WormKind,
@@ -315,6 +354,10 @@ struct WormEvent {
 #[derive(Debug, Default)]
 struct TileScratch {
     stats: TileStats,
+    /// First mesh-level invariant violation detected by this tile's pass
+    /// (e.g. a consumption-channel owner mismatch), surfaced at the
+    /// barrier. Always-on, unlike the `debug_assert!` it replaced.
+    violation: Option<String>,
     deposits: Vec<XDeposit>,
     credits: Vec<XCredit>,
     events: Vec<WormEvent>,
@@ -400,6 +443,10 @@ struct TileView<'a> {
     /// Precomputed next-hop tables, indexed by `VNet::index()`.
     tables: &'a [RouteTable; NUM_VNETS],
     scratch: &'a mut TileScratch,
+    /// Flight recorder for per-hop route events. Only the single-tile
+    /// (serial) schedule carries it; [`TraceLevel::Flit`] forces that
+    /// schedule (see [`Network::tick`]), so no hop is ever lost.
+    trace: Option<&'a mut FlightRecorder>,
 }
 
 /// Work assigned to one tile for one tick.
@@ -579,7 +626,7 @@ impl<'a> TileView<'a> {
                 }
             }
         } else {
-            self.allocate_route(r, port, vc, wid, here, next_dest, vnet);
+            self.allocate_route(now, r, port, vc, wid, here, next_dest, vnet);
         }
     }
 
@@ -684,6 +731,7 @@ impl<'a> TileView<'a> {
     #[allow(clippy::too_many_arguments)]
     fn allocate_route(
         &mut self,
+        now: Cycle,
         r: usize,
         port: usize,
         vc: usize,
@@ -718,6 +766,18 @@ impl<'a> TileView<'a> {
         let absorb = self.rt_mut(r).inputs[port][vc].pending_absorb.take();
         self.rt_mut(r).inputs[port][vc].mode = VcMode::Active { out_port, out_vc, absorb };
         self.rt_mut(r).out_alloc[out_port][out_vc] = Some((port, vc));
+        if let Some(rec) = self.trace.as_deref_mut() {
+            if rec.wants(TraceClass::Flit) {
+                rec.push(
+                    now,
+                    TraceKind::WormRoute {
+                        worm: wid.0 as u64,
+                        node: here.idx() as u32,
+                        port: out_port as u32,
+                    },
+                );
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -979,7 +1039,16 @@ impl<'a> TileView<'a> {
                 continue;
             }
             let wid = self.nic(n).cons[cc].owner.expect("draining channel has an owner");
-            debug_assert_eq!(wid, flit.worm);
+            if wid != flit.worm && self.scratch.violation.is_none() {
+                // Promoted from a debug_assert: a tail draining under the
+                // wrong owner means the consumption-channel bookkeeping is
+                // corrupt. Record (always, release included) and carry on
+                // with the owner's completion so the dump shows both ids.
+                self.scratch.violation = Some(format!(
+                    "consumption channel {cc} at node {n} drained a tail of worm {} but is owned by worm {}",
+                    flit.worm.0, wid.0
+                ));
+            }
             let absorb = self.nic(n).cons[cc].absorb;
             self.nic_mut(n).cons[cc].owner = None;
             self.nic_mut(n).cons[cc].absorb = false;
@@ -1015,7 +1084,13 @@ impl<'a> TileView<'a> {
                 self.note_delivery(n);
                 // The copy count (and a possible retire) is shared with
                 // other tiles: replay at the barrier in serial order.
-                self.scratch.events.push(WormEvent { wid, is_final: false, kind, latency: 0.0 });
+                self.scratch.events.push(WormEvent {
+                    wid,
+                    node: n,
+                    is_final: false,
+                    kind,
+                    latency: 0.0,
+                });
                 continue;
             }
 
@@ -1062,7 +1137,7 @@ impl<'a> TileView<'a> {
                 self.scratch.stats.deliveries += 1;
                 self.note_delivery(n);
             }
-            self.scratch.events.push(WormEvent { wid, is_final: true, kind, latency });
+            self.scratch.events.push(WormEvent { wid, node: n, is_final: true, kind, latency });
         }
     }
 
@@ -1176,6 +1251,12 @@ pub struct Network {
     tile_scratch: Vec<TileScratch>,
     /// Parked worker threads (`tiles - 1` of them) when `tiles > 1`.
     pool: Option<WorkerPool>,
+    /// Flight recorder: one time-ordered stream for the whole system (the
+    /// protocol layer pushes its transaction events here too).
+    trace: FlightRecorder,
+    /// First mesh-level invariant violation (sticky). The protocol layer
+    /// polls this each step and converts it into a structured error.
+    violation: Option<String>,
 }
 
 impl Network {
@@ -1225,6 +1306,8 @@ impl Network {
             tile_bounds: Vec::new(),
             tile_scratch: Vec::new(),
             pool: None,
+            trace: FlightRecorder::default(),
+            violation: None,
         };
         net.set_tiles(tiles);
         net
@@ -1290,6 +1373,34 @@ impl Network {
         &self.stats
     }
 
+    /// The flight recorder (read side: events, timelines, JSON dump).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.trace
+    }
+
+    /// The flight recorder (write side: level, capacity, protocol-layer
+    /// event pushes — the recorder is one time-ordered stream shared by
+    /// the mesh and the protocol layer above it).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.trace
+    }
+
+    /// Set the runtime trace level.
+    ///
+    /// [`TraceLevel::Flit`] additionally forces the single-tile (serial)
+    /// tick schedule so per-hop route events are never lost to a parallel
+    /// pass; the two schedules are bit-identical, so this changes wall
+    /// time only, never results.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace.set_level(level);
+    }
+
+    /// First mesh-level invariant violation detected so far, if any.
+    /// Sticky: once set, the simulation's state is no longer trusted.
+    pub fn violation(&self) -> Option<&str> {
+        self.violation.as_deref()
+    }
+
     /// Access a worm record.
     pub fn worm(&self, id: WormId) -> &Worm {
         self.worms.get(id)
@@ -1343,10 +1454,24 @@ impl Network {
         );
         let vnet = spec.vnet;
         let src = spec.src;
+        let tr = self
+            .trace
+            .wants(TraceClass::Flit)
+            .then(|| (spec.txn.0, worm_kind_label(spec.kind), spec.dests.len() as u32));
         if self.worms.will_reuse_slot() {
             self.stats.worm_slots_reused += 1;
         }
         let id = self.worms.insert(spec, self.now);
+        if let Some((txn, kind, dests)) = tr {
+            let ev = TraceKind::WormInject {
+                worm: id.0 as u64,
+                txn,
+                src: src.idx() as u32,
+                kind,
+                dests,
+            };
+            self.trace.push(self.now, ev);
+        }
         self.nics[src.idx()].enqueue(vnet, id);
         self.activate_nic(src.idx());
         self.stats.worms_injected[vnet.index()] += 1;
@@ -1577,8 +1702,13 @@ impl Network {
         // affects wall time only, never results.
         let configured = self.tile_bounds.len();
         let enough_work = router_work.len() + nic_work.len() >= PARALLEL_WORK_PER_TILE * configured;
-        let parallel = configured > 1 && enough_work && !self.boundary_credit_hazard(now);
-        if configured > 1 && enough_work && !parallel {
+        // Flit-level tracing forces the single-tile schedule: per-hop
+        // route events are recorded inside the tile pass, and only the
+        // serial view carries the recorder. Bit-identical either way.
+        let trace_serial = self.trace.wants(TraceClass::Flit);
+        let parallel =
+            configured > 1 && enough_work && !trace_serial && !self.boundary_credit_hazard(now);
+        if configured > 1 && enough_work && !trace_serial && !parallel {
             self.stats.hazard_fallbacks += 1;
         }
         let whole = [0..self.cfg.mesh.nodes(); 1];
@@ -1597,6 +1727,7 @@ impl Network {
                 tile_bounds,
                 tile_scratch,
                 pool,
+                trace,
                 ..
             } = self;
             let bounds: &[core::ops::Range<usize>] =
@@ -1620,6 +1751,7 @@ impl Network {
                     cfg,
                     tables,
                     scratch: &mut tile_scratch[0],
+                    trace: Some(trace),
                 };
                 view.run_pass(now, &router_work, &nic_work);
             } else {
@@ -1649,6 +1781,9 @@ impl Network {
         let mut scratch = std::mem::take(&mut self.tile_scratch);
         for s in scratch.iter_mut() {
             s.stats.merge_into(&mut self.stats);
+            if let Some(v) = s.violation.take() {
+                self.violation.get_or_insert(v);
+            }
             for c in s.credits.drain(..) {
                 self.routers[c.node].out_credit[c.port][c.vc] += 1;
             }
@@ -1734,6 +1869,7 @@ fn run_tiles<'a>(
             cfg,
             tables,
             scratch: scratch_iter.next().expect("scratch per tile"),
+            trace: None,
         };
         jobs.push(Mutex::new((view, rw, nw)));
     }
@@ -1749,6 +1885,19 @@ fn run_tiles<'a>(
 impl Network {
     /// Replay one deferred worm completion in serial order.
     fn apply_worm_event(&mut self, now: Cycle, ev: WormEvent) {
+        if self.trace.wants(TraceClass::Flit) {
+            let txn = self.worms.get(ev.wid).spec.txn.0;
+            self.trace.push(
+                now,
+                TraceKind::WormDeliver {
+                    worm: ev.wid.0 as u64,
+                    txn,
+                    node: ev.node as u32,
+                    is_final: ev.is_final,
+                    latency: ev.latency as u64,
+                },
+            );
+        }
         let w = self.worms.get_mut(ev.wid);
         w.copies -= 1;
         if ev.is_final {
@@ -1783,9 +1932,26 @@ impl Network {
     /// Jump the clock to `t` without ticking. Only legal when
     /// [`Network::fully_idle`] holds, in which case every skipped tick is
     /// provably a no-op and the jump is bit-identical to ticking.
+    ///
+    /// An illegal jump (non-idle network, or `t` in the past) is refused
+    /// and recorded as an invariant violation — promoted from a
+    /// `debug_assert!` so release runs fail loudly instead of silently
+    /// teleporting in-flight flits through time.
     pub fn advance_to(&mut self, t: Cycle) {
-        debug_assert!(self.fully_idle(), "advance_to on a non-idle network");
-        debug_assert!(t >= self.now);
+        if !self.fully_idle() {
+            self.violation.get_or_insert_with(|| {
+                format!(
+                    "advance_to({t}) on a non-idle network at cycle {} ({} live worms)",
+                    self.now, self.live_worms
+                )
+            });
+            return;
+        }
+        if t < self.now {
+            self.violation
+                .get_or_insert_with(|| format!("advance_to({t}) goes backwards from {}", self.now));
+            return;
+        }
         self.now = t;
     }
 

@@ -28,6 +28,7 @@ pub mod inline_vec;
 pub mod pool;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use bitset::BitSet128;
 pub use calendar::{Calendar, EventHandle};
@@ -35,7 +36,10 @@ pub use flat::FlatMap;
 pub use inline_vec::InlineVec;
 pub use pool::WorkerPool;
 pub use rng::Rng;
-pub use stats::{Counter, Histogram, Summary, TimeWeighted};
+pub use stats::{Counter, Histogram, Metric, Registry, Summary, TimeWeighted};
+pub use trace::{
+    FlightRecorder, InvariantViolation, TraceClass, TraceEvent, TraceKind, TraceLevel,
+};
 
 /// Simulated time, measured in network cycles.
 ///

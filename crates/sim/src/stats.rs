@@ -198,12 +198,19 @@ impl Histogram {
 
     /// Value below which `q` (0..=1) of observations fall, estimated from
     /// bucket midpoints. Returns 0 for an empty histogram.
+    ///
+    /// A quantile landing in the overflow bucket reports the observed
+    /// maximum ([`Summary::max`]): the overflow bucket is unbounded above,
+    /// so its lower edge could understate the true value arbitrarily.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        // Cover at least one observation: a raw target of 0 (q = 0.0)
+        // would otherwise satisfy `acc >= target` on the first bucket
+        // even when that bucket is empty.
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
@@ -211,7 +218,7 @@ impl Histogram {
                 return i as u64 * self.width + self.width / 2;
             }
         }
-        self.counts.len() as u64 * self.width
+        self.summary.max() as u64
     }
 }
 
@@ -314,6 +321,206 @@ impl BusyTime {
     }
 }
 
+/// One exported metric value — a snapshot, detached from the live tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Integer counter or gauge.
+    Counter(u64),
+    /// Floating-point gauge (means, utilizations, ratios).
+    Gauge(f64),
+    /// Snapshot of a [`Summary`].
+    Summary {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Arithmetic mean.
+        mean: f64,
+        /// Minimum observation (0 when empty).
+        min: f64,
+        /// Maximum observation (0 when empty).
+        max: f64,
+        /// Population standard deviation.
+        stddev: f64,
+    },
+    /// Snapshot of a [`Histogram`]: the non-empty buckets plus quantiles.
+    Histogram {
+        /// Bucket width.
+        width: u64,
+        /// `(lower_edge, count)` for each non-empty regular bucket.
+        buckets: Vec<(u64, u64)>,
+        /// Count of values beyond the last bucket.
+        overflow: u64,
+        /// Estimated median.
+        p50: u64,
+        /// Estimated 90th percentile.
+        p90: u64,
+        /// Estimated 99th percentile.
+        p99: u64,
+        /// Exact maximum observation.
+        max: u64,
+    },
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Metric {
+    /// Render this metric as a JSON value.
+    pub fn to_json(&self) -> String {
+        match self {
+            Metric::Counter(v) => format!("{v}"),
+            Metric::Gauge(v) => json_f64(*v),
+            Metric::Summary { count, sum, mean, min, max, stddev } => format!(
+                "{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"stddev\":{}}}",
+                count,
+                json_f64(*sum),
+                json_f64(*mean),
+                json_f64(*min),
+                json_f64(*max),
+                json_f64(*stddev)
+            ),
+            Metric::Histogram { width, buckets, overflow, p50, p90, p99, max } => {
+                let mut s = format!("{{\"width\":{width},\"buckets\":[");
+                for (i, (lo, c)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("[{lo},{c}]"));
+                }
+                s.push_str(&format!(
+                    "],\"overflow\":{overflow},\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}"
+                ));
+                s
+            }
+        }
+    }
+}
+
+/// Ordered name → [`Metric`] registry, exported per-run into the
+/// `BENCH_*.json` files and printable from `exp_hotloop --trace`.
+///
+/// Insertion order is preserved (deterministic output); re-registering a
+/// name overwrites its value in place.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Vec<(String, Metric)>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register or overwrite a metric under `name`.
+    pub fn set(&mut self, name: &str, value: Metric) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((name.to_string(), value)),
+        }
+    }
+
+    /// Register an integer counter/gauge.
+    pub fn counter(&mut self, name: &str, v: u64) {
+        self.set(name, Metric::Counter(v));
+    }
+
+    /// Register a floating-point gauge.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.set(name, Metric::Gauge(v));
+    }
+
+    /// Register a snapshot of `s`.
+    pub fn summary(&mut self, name: &str, s: &Summary) {
+        self.set(
+            name,
+            Metric::Summary {
+                count: s.count(),
+                sum: s.sum(),
+                mean: s.mean(),
+                min: s.min(),
+                max: s.max(),
+                stddev: s.stddev(),
+            },
+        );
+    }
+
+    /// Register a snapshot of `h` (non-empty buckets + quantiles).
+    pub fn histogram(&mut self, name: &str, h: &Histogram) {
+        let buckets = h
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64 * h.width, c))
+            .collect();
+        self.set(
+            name,
+            Metric::Histogram {
+                width: h.width(),
+                buckets,
+                overflow: h.overflow(),
+                p50: h.quantile(0.5),
+                p90: h.quantile(0.9),
+                p99: h.quantile(0.99),
+                max: h.summary().max() as u64,
+            },
+        );
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Iterate `(name, metric)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another registry's entries into this one, prefixing each
+    /// name with `prefix` (e.g. `"net."`).
+    pub fn absorb(&mut self, prefix: &str, other: &Registry) {
+        for (name, v) in other.iter() {
+            self.set(&format!("{prefix}{name}"), v.clone());
+        }
+    }
+
+    /// Render the registry as a single JSON object keyed by metric name.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (name, v)) in self.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":{}", v.to_json()));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Human-readable `name = value` lines, in insertion order.
+    pub fn lines(&self) -> Vec<String> {
+        self.iter().map(|(name, v)| format!("{name} = {}", v.to_json())).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +593,90 @@ mod tests {
         assert_eq!(h.bucket(4), 1);
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.count(), 6);
+    }
+
+    /// q = 0.0 must report the bucket of the *smallest observation*, not
+    /// the (possibly empty) first bucket. Regression: the old target of
+    /// `ceil(0.0 * n) = 0` satisfied `acc >= target` immediately.
+    #[test]
+    fn histogram_quantile_zero_skips_empty_leading_buckets() {
+        let mut h = Histogram::new(10, 10);
+        h.record(55);
+        h.record(72);
+        assert_eq!(h.quantile(0.0), 55, "min lives in bucket [50,60) -> midpoint 55");
+        assert_eq!(h.quantile(1.0), 75);
+    }
+
+    /// Quantiles landing in the overflow bucket must report the observed
+    /// maximum, not the overflow bucket's lower edge. Regression: with
+    /// every value in overflow, the old code returned `buckets * width`
+    /// (50 here) while the true values were 20x larger.
+    #[test]
+    fn histogram_quantile_all_overflow_reports_true_max() {
+        let mut h = Histogram::new(10, 5);
+        for x in [900, 950, 1000] {
+            h.record(x);
+        }
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.quantile(0.0), 1000);
+        assert_eq!(h.quantile(0.5), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(1.0), h.summary().max() as u64, "consistent with summary");
+    }
+
+    /// Mixed case: p50 resolves in a regular bucket, p99 in overflow; the
+    /// overflow report must never be below the last regular midpoint.
+    #[test]
+    fn histogram_quantile_overflow_tail_is_monotone() {
+        let mut h = Histogram::new(10, 5);
+        for x in 0..49 {
+            h.record(x);
+        }
+        h.record(777); // single overflow outlier
+        assert!(h.quantile(0.5) < 50);
+        assert_eq!(h.quantile(1.0), 777);
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        assert!(h.quantile(0.99) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_quantile_empty_is_zero() {
+        let h = Histogram::new(10, 5);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn registry_preserves_order_overwrites_and_renders_json() {
+        let mut r = Registry::new();
+        r.counter("cycles", 100);
+        r.gauge("util", 0.25);
+        let mut s = Summary::new();
+        s.record(2.0);
+        s.record(4.0);
+        r.summary("lat", &s);
+        let mut h = Histogram::new(10, 5);
+        h.record(5);
+        h.record(999);
+        r.histogram("dist", &h);
+        r.counter("cycles", 200); // overwrite keeps position
+        assert_eq!(r.len(), 4);
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["cycles", "util", "lat", "dist"]);
+        assert_eq!(r.get("cycles"), Some(&Metric::Counter(200)));
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"cycles\":200"));
+        assert!(j.contains("\"count\":2"));
+        assert!(j.contains("\"buckets\":[[0,1]]"));
+        assert!(j.contains("\"overflow\":1"));
+        assert!(j.contains("\"max\":999"));
+        let mut top = Registry::new();
+        top.absorb("net.", &r);
+        assert!(top.get("net.cycles").is_some());
+        assert_eq!(top.lines()[0], "net.cycles = 200");
     }
 
     #[test]

@@ -53,6 +53,11 @@ impl Workload {
         let ops = &mut self.ops;
         let mut runnable: Vec<usize> = (0..ops.len()).filter(|&p| !ops[p].is_empty()).collect();
         loop {
+            // The promoted invariants record instead of panicking; a
+            // workload run must not report numbers from a corrupted state.
+            if let Some(v) = sys.invariant_violation() {
+                return Err(format!("workload aborted: {v}"));
+            }
             runnable.retain(|&p| {
                 let node = NodeId(p as u16);
                 if sys.proc_idle(node) {
@@ -129,6 +134,27 @@ mod tests {
         // Block 32 is homed at node 1, which is itself a reader: its copy
         // is invalidated locally, leaving 14 remote sharers.
         assert_eq!(s.metrics().inval_set_size.summary().mean(), 14.0);
+    }
+
+    #[test]
+    fn invariant_violation_aborts_the_run() {
+        use wormdsm_coherence::ProtoMsg;
+        use wormdsm_mesh::TxnId;
+        let mut s = sys();
+        // A forged ack for a transaction that never existed trips the
+        // dead-transaction invariant; the driver must refuse to report
+        // numbers from the corrupted run.
+        s.debug_deliver(
+            NodeId(0),
+            ProtoMsg::InvAck { block: wormdsm_coherence::BlockId(0), txn: TxnId(42), count: 1 },
+            1,
+            NodeId(5),
+        );
+        let mut w = Workload::new(16);
+        w.push(0, MemOp::Compute(10));
+        let e = w.run(&mut s, 10_000).unwrap_err();
+        assert!(e.contains("workload aborted"), "{e}");
+        assert!(e.contains("dead transaction"), "{e}");
     }
 
     #[test]
