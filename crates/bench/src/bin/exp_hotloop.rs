@@ -37,13 +37,9 @@
 //!                     [--trace] [--trace-out BENCH_trace.json]`
 
 use std::time::Instant;
-use wormdsm_bench::{arg, assert_coherent, flag};
+use wormdsm_bench::{arg, assert_coherent, flag, seeded_workload, warn_on_trace_drops};
 use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig, TraceLevel};
 use wormdsm_sim::trace::TraceKind;
-use wormdsm_workloads::apps::apsp::{self, ApspConfig};
-use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
-use wormdsm_workloads::apps::lu::{self, LuConfig};
-use wormdsm_workloads::Workload;
 
 struct Arm {
     cycles: u64,
@@ -100,38 +96,6 @@ const BUSY_GOLDEN: [BusyGolden; 3] = [
     },
 ];
 
-/// The three seeded applications with their compute phases scaled up by
-/// `--compute-scale`. Base costs model a 1-FLOP/cycle node: ~200 cycles
-/// per body-body force evaluation, ~1024 cycles per 8x8 block
-/// multiply-add (2·8³ FLOPs), ~256 cycles per 64-entry row relaxation.
-///
-/// The generators are communication-extreme — they emit a shared-block
-/// access every few operations, whereas real scientific codes retire
-/// hundreds to thousands of compute cycles per coherence miss. The scale
-/// factor restores that ratio; the default (256) puts all three apps in
-/// the compute-dominated regime where >95% of simulated cycles are dead
-/// (network fully idle, nothing due), which is exactly the regime the
-/// event-driven hot loop targets.
-fn workload(app: &str, procs: usize, scale: u64) -> Workload {
-    match app {
-        // Problem sizes scale with the machine only once it outgrows the
-        // reference sizes (64 bodies / 64x64 matrices), so every k <= 8
-        // configuration is byte-identical to the historical fixed-size runs
-        // while k = 16 (256 processors) stays valid (`bodies >= procs`,
-        // `n >= procs`).
-        "bh" => barnes_hut::generate(&BarnesHutConfig {
-            procs,
-            bodies: 64.max(procs),
-            steps: 2,
-            force_cost: 200 * scale,
-            ..Default::default()
-        }),
-        "lu" => lu::generate(&LuConfig { n: 64, block: 8, procs, flop_cost: 1024 * scale }),
-        "apsp" => apsp::generate(&ApspConfig { n: 64.max(procs), procs, relax_cost: 256 * scale }),
-        other => panic!("unknown app {other}"),
-    }
-}
-
 fn run_arm(app: &str, scheme: SchemeKind, k: usize, scale: u64, fast_forward: bool) -> Arm {
     run_arm_tiled(app, scheme, k, scale, fast_forward, 1)
 }
@@ -169,7 +133,7 @@ fn run_arm_traced(
         // Large enough to keep a busy-arm run's full transaction history.
         sys.recorder_mut().set_capacity(1 << 20);
     }
-    let w = workload(app, k * k, scale);
+    let w = seeded_workload(app, k * k, scale);
     let t0 = Instant::now();
     let r = w.run(&mut sys, 500_000_000).expect("application completes");
     let wall_s = t0.elapsed().as_secs_f64();
@@ -349,8 +313,10 @@ fn trace_mode(scheme: SchemeKind, k: usize, out: &str) {
         }
         // The recorded transaction closes must agree with the metrics the
         // run reported: one close per completed transaction, and the close
-        // latencies summing to the latency summary.
-        assert_eq!(fsys.recorder().dropped(), 0, "{app}: trace ring too small for this run");
+        // latencies summing to the latency summary. A ring overflow makes
+        // those dumps incomplete: warn loudly and skip the ring-derived
+        // cross-checks rather than asserting on truncated data.
+        let ring_complete = warn_on_trace_drops(&format!("{app} flit arm"), &fsys);
         let closes: Vec<(u64, u64)> = fsys
             .recorder()
             .events()
@@ -359,18 +325,20 @@ fn trace_mode(scheme: SchemeKind, k: usize, out: &str) {
                 _ => None,
             })
             .collect();
-        assert_eq!(
-            closes.len() as u64,
-            fsys.metrics().inval_txns,
-            "{app}: one txn_close per completed transaction"
-        );
-        let lat_sum: u64 = closes.iter().map(|&(_, l)| l).sum();
-        assert_eq!(
-            lat_sum as f64,
-            fsys.metrics().inval_latency.sum(),
-            "{app}: timeline latencies disagree with the metrics summary"
-        );
-        if app == "bh" {
+        if ring_complete {
+            assert_eq!(
+                closes.len() as u64,
+                fsys.metrics().inval_txns,
+                "{app}: one txn_close per completed transaction"
+            );
+            let lat_sum: u64 = closes.iter().map(|&(_, l)| l).sum();
+            assert_eq!(
+                lat_sum as f64,
+                fsys.metrics().inval_latency.sum(),
+                "{app}: timeline latencies disagree with the metrics summary"
+            );
+        }
+        if app == "bh" && ring_complete {
             // Dump one reconstructed timeline and cross-check it against
             // its own close event: open-to-close distance == latency.
             let &(id, latency) = closes.last().expect("bh completes transactions");
@@ -422,7 +390,12 @@ fn trace_mode(scheme: SchemeKind, k: usize, out: &str) {
             fsys.recorder().recorded(),
         ));
     }
-    let (tl_txn, tl_json, metrics) = timeline.expect("bh ran");
+    // On a bh ring overflow the reconstructed timeline is unavailable;
+    // the JSON records nulls instead of truncated data.
+    let (tl_txn, tl_json, metrics_json) = match timeline {
+        Some((id, tl, m)) => (id.to_string(), tl, m.to_json()),
+        None => ("null".into(), "null".into(), "null".into()),
+    };
     let json = format!(
         concat!(
             "{{\n  \"k\": {}, \n  \"scheme\": \"{}\",\n  \"compute_scale\": 1,\n",
@@ -434,7 +407,7 @@ fn trace_mode(scheme: SchemeKind, k: usize, out: &str) {
         rows.join(",\n"),
         tl_txn,
         tl_json,
-        metrics.to_json()
+        metrics_json
     );
     std::fs::write(out, json).expect("write trace results");
     println!("\nwrote {out}");

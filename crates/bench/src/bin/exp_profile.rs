@@ -1,0 +1,272 @@
+//! H5: latency-attribution profiling of the three seeded applications
+//! under every invalidation scheme, with per-link contention heatmaps and
+//! a Perfetto-loadable Chrome trace export.
+//!
+//! For each scheme × app the harness runs two arms — profiling off vs
+//! profiling on (streaming `TxnProfiler` + mesh `ContentionProbe` at
+//! `TraceLevel::Flit`) — and asserts them bit-identical: the profiler is
+//! a pure observer and must not perturb a single cycle. The profiled arm
+//! is then checked for internal consistency:
+//!
+//! * every closed transaction's six phase widths sum *bit-exactly* to its
+//!   reported open→close latency (`TxnProfiler::verify_exact`);
+//! * the profiler's transaction count and total latency equal what
+//!   `Metrics` reports independently;
+//! * the contention probe's per-link busy totals equal the network's own
+//!   `link_busy` accounting.
+//!
+//! The flight-recorder ring is deliberately left small (`--ring`,
+//! default 4096) so flit-level runs overflow it: the profiler hooks the
+//! push path *ahead of* the ring write, so attribution stays complete
+//! and exact regardless — which the asserts above prove on every arm.
+//!
+//! For the reference configuration (4x4, compute scale 1, MI-MA(col))
+//! the profiled arm is additionally held to the golden busy-cycle
+//! numbers recorded on the pre-optimization tree (the same reference
+//! `exp_hotloop` uses).
+//!
+//! Output: per-scheme phase tables and apsp link heatmaps on stdout,
+//! machine-readable rows in `BENCH_profile.json`, and a Chrome
+//! trace-event file (`--trace-out`) for the representative apsp ×
+//! MI-MA(col) run — load it at <https://ui.perfetto.dev> or
+//! `chrome://tracing` to see every transaction as an async span with its
+//! phase slices and per-router occupancy counter tracks.
+//!
+//! Usage: `exp_profile [--k 4] [--compute-scale 1] [--ring 4096]
+//!                     [--probe-window 1024] [--out BENCH_profile.json]
+//!                     [--trace-out BENCH_profile.trace.json]`
+
+use wormdsm_bench::{arg, assert_coherent, seeded_workload};
+use wormdsm_core::{ContentionProbe, DsmSystem, SchemeKind, SystemConfig, TxnProfiler};
+use wormdsm_mesh::render::link_heatmap;
+use wormdsm_mesh::topology::Mesh2D;
+use wormdsm_sim::profile::chrome_trace::{self, CounterPoint, CounterTrack};
+use wormdsm_sim::profile::{validate_json, Phase};
+use wormdsm_sim::Cycle;
+
+const APPS: [&str; 3] = ["bh", "lu", "apsp"];
+
+/// Golden busy-cycle reference for 4x4 MI-MA(col) at compute scale 1
+/// (app, cycles, flit_hops, inval_lat_count, inval_lat_sum), recorded on
+/// the pre-optimization tree at commit f102984 — the same numbers
+/// `exp_hotloop` holds its arms to. The profiled arm must reproduce them
+/// bit for bit.
+const GOLDEN: [(&str, u64, u64, u64, f64); 3] = [
+    ("bh", 93_882, 347_892, 142, 27_230.0),
+    ("lu", 142_273, 651_056, 24, 3_675.0),
+    ("apsp", 306_859, 1_480_233, 881, 130_394.0),
+];
+
+/// The simulated results one arm reports (everything bit-identity is
+/// asserted over).
+struct ArmOut {
+    cycles: u64,
+    flit_hops: u64,
+    lat_sum: f64,
+    lat_count: u64,
+}
+
+fn arm_out(sys: &DsmSystem, cycles: u64) -> ArmOut {
+    ArmOut {
+        cycles,
+        flit_hops: sys.net_stats().flit_hops,
+        lat_sum: sys.metrics().inval_latency.sum(),
+        lat_count: sys.metrics().inval_latency.count(),
+    }
+}
+
+fn run_off(app: &str, scheme: SchemeKind, k: usize, scale: u64) -> ArmOut {
+    let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    sys.set_fast_forward(true);
+    let r = seeded_workload(app, k * k, scale).run(&mut sys, 500_000_000).expect("app completes");
+    assert_coherent(&sys, &format!("{app} {} off-arm", scheme.name()));
+    arm_out(&sys, r.cycles)
+}
+
+/// Profiled arm: streaming profiler + contention probe + a deliberately
+/// small trace ring. Returns the detached profiler and probe alongside
+/// the system (for metrics cross-checks).
+fn run_profiled(
+    app: &str,
+    scheme: SchemeKind,
+    k: usize,
+    scale: u64,
+    ring: usize,
+    probe_window: Cycle,
+) -> (ArmOut, DsmSystem, TxnProfiler, ContentionProbe) {
+    let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    sys.set_fast_forward(true);
+    sys.enable_profiling();
+    sys.recorder_mut().set_capacity(ring);
+    sys.enable_contention_probe(probe_window);
+    let r = seeded_workload(app, k * k, scale).run(&mut sys, 500_000_000).expect("app completes");
+    assert_coherent(&sys, &format!("{app} {} profiled arm", scheme.name()));
+    let out = arm_out(&sys, r.cycles);
+    let p = sys.take_profiler().expect("profiler attached");
+    let probe = sys.take_contention_probe().expect("probe enabled");
+    (out, sys, p, probe)
+}
+
+/// `"name": value` pairs for a phase array, in attribution order.
+fn phases_json(vals: impl Fn(Phase) -> String) -> String {
+    let pairs: Vec<String> =
+        Phase::ALL.iter().map(|p| format!("\"{}\": {}", p.name(), vals(*p))).collect();
+    format!("{{{}}}", pairs.join(", "))
+}
+
+fn main() {
+    let k: usize = arg("--k", 4);
+    let scale: u64 = arg("--compute-scale", 1);
+    let ring: usize = arg("--ring", 4096);
+    let probe_window: Cycle = arg("--probe-window", 1024);
+    let out: String = arg("--out", "BENCH_profile.json".to_string());
+    let trace_out: String = arg("--trace-out", "BENCH_profile.trace.json".to_string());
+    let mesh = Mesh2D::square(k);
+    let golden_cfg = k == 4 && scale == 1;
+
+    let mut rows = Vec::new();
+    let mut trace_file: Option<String> = None;
+    for scheme in SchemeKind::ALL {
+        println!(
+            "\n== H5: latency attribution, {0}x{0} {1}, compute scale {scale} ==",
+            k,
+            scheme.name()
+        );
+        println!(
+            "{:>6} {:>6} {:>9}  {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {:>9}",
+            "app", "txns", "mean lat", "inject", "head", "body", "dest", "ack", "close", "dropped"
+        );
+        let mut apsp_probe: Option<(ContentionProbe, u64)> = None;
+        for app in APPS {
+            let off = run_off(app, scheme, k, scale);
+            let (on, sys, p, probe) = run_profiled(app, scheme, k, scale, ring, probe_window);
+
+            // Profiling must be invisible: bit-identical simulated results.
+            let ctx = format!("{app} {}", scheme.name());
+            assert_eq!(off.cycles, on.cycles, "{ctx}: cycles diverged under profiling");
+            assert_eq!(off.flit_hops, on.flit_hops, "{ctx}: flit hops diverged under profiling");
+            assert_eq!(off.lat_sum, on.lat_sum, "{ctx}: inval latency diverged under profiling");
+            assert_eq!(off.lat_count, on.lat_count, "{ctx}: txn count diverged under profiling");
+            if golden_cfg && scheme == SchemeKind::MiMaCol {
+                let g = GOLDEN.iter().find(|g| g.0 == app).expect("golden app");
+                assert_eq!(on.cycles, g.1, "{ctx}: cycles diverged from golden");
+                assert_eq!(on.flit_hops, g.2, "{ctx}: flit hops diverged from golden");
+                assert_eq!(on.lat_count, g.3, "{ctx}: txn count diverged from golden");
+                assert_eq!(on.lat_sum, g.4, "{ctx}: inval latency diverged from golden");
+            }
+
+            // The profiler must agree with Metrics' independent accounting
+            // and satisfy the exact-sum invariant on every transaction —
+            // regardless of how many events the trace ring dropped.
+            let (recorded, dropped) = (sys.recorder().recorded(), sys.recorder().dropped());
+            assert_eq!(p.closed(), sys.metrics().inval_txns, "{ctx}: profiler missed closes");
+            assert_eq!(p.open_txns(), 0, "{ctx}: transactions left open at idle");
+            assert_eq!(
+                p.latency_total() as f64,
+                sys.metrics().inval_latency.sum(),
+                "{ctx}: profiler latency total disagrees with metrics"
+            );
+            p.verify_exact().unwrap_or_else(|e| panic!("{ctx}: exact-sum violated: {e}"));
+
+            // The probe's per-link busy totals mirror the network's own
+            // link accounting, forwarded flit for forwarded flit.
+            assert_eq!(
+                probe.busy_total().iter().sum::<u64>(),
+                sys.net_stats().link_busy.iter().sum::<u64>(),
+                "{ctx}: probe busy totals disagree with NetStats::link_busy"
+            );
+
+            let stall_total: u64 = probe.stall_total().iter().sum();
+            let busy_total: u64 = probe.busy_total().iter().sum();
+            println!(
+                "{:>6} {:>6} {:>9.1}  {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}  {:>9}",
+                app,
+                p.closed(),
+                if p.closed() == 0 { 0.0 } else { p.latency_total() as f64 / p.closed() as f64 },
+                p.mean_phase(Phase::InjectQueue),
+                p.mean_phase(Phase::HeadTraversal),
+                p.mean_phase(Phase::BodySerialization),
+                p.mean_phase(Phase::DestStall),
+                p.mean_phase(Phase::AckReturn),
+                p.mean_phase(Phase::HomeClose),
+                dropped
+            );
+            let totals = p.phase_totals();
+            rows.push(format!(
+                concat!(
+                    "    {{\"scheme\": \"{}\", \"app\": \"{}\", \"cycles\": {}, \"txns\": {}, ",
+                    "\"latency_total\": {}, \"phase_totals\": {}, \"phase_means\": {}, ",
+                    "\"hops\": {}, \"unattributed_hops\": {}, \"stall_cycles\": {}, ",
+                    "\"trace_recorded\": {}, \"trace_dropped\": {}, ",
+                    "\"probe_windows\": {}, \"link_busy_cycles\": {}, ",
+                    "\"credit_stall_cycles\": {}, \"bit_identical\": true, ",
+                    "\"exact_phase_sum\": true}}"
+                ),
+                scheme.name(),
+                app,
+                on.cycles,
+                p.closed(),
+                p.latency_total(),
+                phases_json(|ph| totals[ph.index()].to_string()),
+                phases_json(|ph| format!("{:.3}", p.mean_phase(ph))),
+                p.hops_total(),
+                p.unattributed_hops(),
+                p.stall_cycles(),
+                recorded,
+                dropped,
+                probe.windows().len(),
+                busy_total,
+                stall_total,
+            ));
+
+            if app == "apsp" {
+                // The representative config for the heatmap and (under
+                // MI-MA(col)) the exported Chrome trace.
+                if scheme == SchemeKind::MiMaCol {
+                    let tracks: Vec<CounterTrack> = (0..mesh.nodes())
+                        .map(|n| CounterTrack {
+                            name: format!("router {n} occupancy"),
+                            points: probe
+                                .windows()
+                                .iter()
+                                .map(|w| CounterPoint {
+                                    at: w.start,
+                                    busy: probe.node_window_flits(w, n),
+                                    stall: probe.node_window_stalls(w, n),
+                                })
+                                .collect(),
+                        })
+                        .collect();
+                    let j = chrome_trace::trace_json(p.records(), &tracks);
+                    validate_json(&j).expect("chrome trace is well-formed JSON");
+                    trace_file = Some(j);
+                }
+                apsp_probe = Some((probe, on.cycles));
+            }
+        }
+        let (probe, elapsed) = apsp_probe.expect("apsp ran");
+        println!("\n-- apsp link-utilization heatmap, {} --", scheme.name());
+        print!("{}", link_heatmap(&mesh, probe.busy_total(), elapsed));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"k\": {k},\n  \"compute_scale\": {scale},\n  \"ring_capacity\": {ring},\n",
+            "  \"probe_window\": {pw},\n  \"phases\": [{phases}],\n  \"rows\": [\n{rows}\n  ]\n}}\n"
+        ),
+        k = k,
+        scale = scale,
+        ring = ring,
+        pw = probe_window,
+        phases =
+            Phase::ALL.iter().map(|p| format!("\"{}\"", p.name())).collect::<Vec<_>>().join(", "),
+        rows = rows.join(",\n")
+    );
+    validate_json(&json).expect("BENCH_profile.json is well-formed");
+    std::fs::write(&out, json).expect("write profile results");
+    println!("\nwrote {out}");
+
+    let trace = trace_file.expect("apsp MI-MA(col) ran");
+    std::fs::write(&trace_out, &trace).expect("write chrome trace");
+    println!("wrote {trace_out} ({} bytes) — load at ui.perfetto.dev", trace.len());
+}

@@ -118,6 +118,20 @@ impl Metrics {
         r
     }
 
+    /// [`Metrics::export`] plus the flight recorder's lifetime counters.
+    ///
+    /// `trace_events_dropped > 0` means the recorder's ring overflowed:
+    /// event dumps and `timeline()` reconstructions are *incomplete* even
+    /// though they look well-formed (streaming consumers attached to the
+    /// push path, like the profiler, are unaffected). Surfacing the count
+    /// in every metrics export keeps that silent truncation loud.
+    pub fn export_with_trace(&self, recorded: u64, dropped: u64) -> Registry {
+        let mut r = self.export();
+        r.counter("trace_events_recorded", recorded);
+        r.counter("trace_events_dropped", dropped);
+        r
+    }
+
     /// Read hit ratio.
     pub fn read_hit_ratio(&self) -> f64 {
         let total = self.read_hits + self.read_misses;

@@ -26,7 +26,8 @@ use wormdsm_coherence::{
 use wormdsm_mesh::nic::{Delivery, DeliveryKind};
 use wormdsm_mesh::topology::NodeId;
 use wormdsm_mesh::worm::{TxnId, VNet, WormKind, WormSpec};
-use wormdsm_mesh::Network;
+use wormdsm_mesh::{ContentionProbe, Network};
+use wormdsm_sim::profile::TxnProfiler;
 use wormdsm_sim::stats::BusyTime;
 use wormdsm_sim::trace::{FlightRecorder, InvariantViolation, TraceClass, TraceKind, TraceLevel};
 use wormdsm_sim::{trace_event, Calendar, Cycle, Registry};
@@ -433,6 +434,48 @@ impl DsmSystem {
         self.net.recorder_mut()
     }
 
+    /// Attach a record-keeping [`TxnProfiler`] to the flight recorder and
+    /// raise the trace level to [`TraceLevel::Flit`] (the profiler only
+    /// sees events that pass the level gate, and a meaningful phase
+    /// breakdown needs the per-worm events).
+    ///
+    /// The profiler streams from the recorder's `push` path, so its
+    /// attribution is complete even when the ring overflows. It is a pure
+    /// observer: results are bit-identical with profiling on or off.
+    pub fn enable_profiling(&mut self) {
+        self.net.set_trace_level(TraceLevel::Flit);
+        let mut p = TxnProfiler::new();
+        p.set_keep_records(true);
+        self.net.recorder_mut().attach_profiler(p);
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&TxnProfiler> {
+        self.net.recorder().profiler()
+    }
+
+    /// Detach and return the attached profiler, if any.
+    pub fn take_profiler(&mut self) -> Option<TxnProfiler> {
+        self.net.recorder_mut().take_profiler()
+    }
+
+    /// Enable the mesh contention probe: per-link/VC occupancy and
+    /// credit-stall accounting in `window`-cycle buckets. Pure observer;
+    /// forces the serial network tick schedule while enabled.
+    pub fn enable_contention_probe(&mut self, window: Cycle) {
+        self.net.enable_contention_probe(window);
+    }
+
+    /// The mesh contention probe, if enabled.
+    pub fn contention_probe(&self) -> Option<&ContentionProbe> {
+        self.net.contention_probe()
+    }
+
+    /// Detach and return the contention probe (final window flushed).
+    pub fn take_contention_probe(&mut self) -> Option<ContentionProbe> {
+        self.net.take_contention_probe()
+    }
+
     /// The first protocol invariant violation observed so far, if any.
     ///
     /// The slot is sticky: the promoted checks record the violation and
@@ -445,9 +488,12 @@ impl DsmSystem {
     }
 
     /// Export protocol metrics plus network statistics as one registry
-    /// (mesh-level entries carry a `net_` prefix).
+    /// (mesh-level entries carry a `net_` prefix). Includes the flight
+    /// recorder's recorded/dropped counters, so ring overflow is visible
+    /// in every metrics export instead of only on direct recorder reads.
     pub fn export_metrics(&self) -> Registry {
-        let mut r = self.metrics.export();
+        let rec = self.net.recorder();
+        let mut r = self.metrics.export_with_trace(rec.recorded(), rec.dropped());
         r.absorb("net_", &self.net.stats().export(self.now));
         r
     }

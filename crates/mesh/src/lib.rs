@@ -29,7 +29,7 @@ pub mod routing;
 pub mod topology;
 pub mod worm;
 
-pub use network::{MeshConfig, NetStats, Network};
+pub use network::{ContentionProbe, ContentionWindow, MeshConfig, NetStats, Network};
 pub use nic::{Delivery, DeliveryKind, IackMode};
 pub use routing::{BaseRouting, PathRule};
 pub use topology::{Coord, Direction, Mesh2D, NodeId, Port};

@@ -274,6 +274,142 @@ impl NetStats {
     }
 }
 
+/// One flushed accounting window of the [`ContentionProbe`]: per-(link,
+/// VC) flits forwarded and credit-stall cycles over `[start, start +
+/// window)`. Windows with no activity are never flushed (fast-forward
+/// gaps produce no empty windows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentionWindow {
+    /// First cycle of the window (aligned to the window size).
+    pub start: Cycle,
+    /// Flits forwarded per `link * vcs + vc` slot.
+    pub flits: Vec<u32>,
+    /// Credit-stall cycles per `link * vcs + vc` slot: cycles a ready
+    /// flit held an allocated output VC but could not move for lack of
+    /// downstream credits.
+    pub stalls: Vec<u32>,
+}
+
+/// Time-windowed per-link / per-VC occupancy and contention accounting.
+///
+/// Links are directed router outputs indexed `node * 4 + dir`
+/// (matching [`NetStats::link_busy`]); each link has `vcs_total` VC
+/// slots. The probe is a pure observer fed from the serial tile pass
+/// (enabling it forces the single-tile schedule, like flit tracing), so
+/// it cannot perturb results. Consumed by `exp_profile` for per-scheme
+/// contention heatmaps and Chrome-trace counter tracks.
+#[derive(Debug, Clone)]
+pub struct ContentionProbe {
+    window: Cycle,
+    vcs: usize,
+    cur_start: Cycle,
+    cur_dirty: bool,
+    cur_flits: Vec<u32>,
+    cur_stalls: Vec<u32>,
+    windows: Vec<ContentionWindow>,
+    busy_total: Vec<u64>,
+    stall_total: Vec<u64>,
+}
+
+impl ContentionProbe {
+    /// Probe for a `nodes`-node mesh with `vcs` virtual channels per
+    /// link, bucketing activity into `window`-cycle windows (min 1).
+    pub fn new(nodes: usize, vcs: usize, window: Cycle) -> Self {
+        let slots = nodes * 4 * vcs;
+        Self {
+            window: window.max(1),
+            vcs,
+            cur_start: 0,
+            cur_dirty: false,
+            cur_flits: vec![0; slots],
+            cur_stalls: vec![0; slots],
+            windows: Vec::new(),
+            busy_total: vec![0; nodes * 4],
+            stall_total: vec![0; nodes * 4],
+        }
+    }
+
+    #[inline]
+    fn roll(&mut self, now: Cycle) {
+        let start = now - now % self.window;
+        if start != self.cur_start {
+            self.flush();
+            self.cur_start = start;
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.cur_dirty {
+            return;
+        }
+        let slots = self.cur_flits.len();
+        let flits = std::mem::replace(&mut self.cur_flits, vec![0; slots]);
+        let stalls = std::mem::replace(&mut self.cur_stalls, vec![0; slots]);
+        self.windows.push(ContentionWindow { start: self.cur_start, flits, stalls });
+        self.cur_dirty = false;
+    }
+
+    /// Record one flit forwarded over `link` on `vc` at cycle `now`.
+    pub fn record_forward(&mut self, now: Cycle, link: usize, vc: usize) {
+        self.roll(now);
+        self.cur_flits[link * self.vcs + vc] += 1;
+        self.busy_total[link] += 1;
+        self.cur_dirty = true;
+    }
+
+    /// Record one credit-stalled cycle of `link`'s `vc` at cycle `now`.
+    pub fn record_stall(&mut self, now: Cycle, link: usize, vc: usize) {
+        self.roll(now);
+        self.cur_stalls[link * self.vcs + vc] += 1;
+        self.stall_total[link] += 1;
+        self.cur_dirty = true;
+    }
+
+    /// Flush the in-progress window. Call before reading
+    /// [`windows`](Self::windows) at end of run.
+    pub fn finish(&mut self) {
+        self.flush();
+    }
+
+    /// Window size in cycles.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+
+    /// Virtual channels per link.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Flushed windows, in time order.
+    pub fn windows(&self) -> &[ContentionWindow] {
+        &self.windows
+    }
+
+    /// Total flits forwarded per directed link (`node * 4 + dir`).
+    pub fn busy_total(&self) -> &[u64] {
+        &self.busy_total
+    }
+
+    /// Total credit-stall cycles per directed link.
+    pub fn stall_total(&self) -> &[u64] {
+        &self.stall_total
+    }
+
+    /// Sum a window's flits over `node`'s four outgoing links (counter-
+    /// track sample for one router).
+    pub fn node_window_flits(&self, w: &ContentionWindow, node: usize) -> u64 {
+        let lo = node * 4 * self.vcs;
+        w.flits[lo..lo + 4 * self.vcs].iter().map(|&v| u64::from(v)).sum()
+    }
+
+    /// Sum a window's credit stalls over `node`'s four outgoing links.
+    pub fn node_window_stalls(&self, w: &ContentionWindow, node: usize) -> u64 {
+        let lo = node * 4 * self.vcs;
+        w.stalls[lo..lo + 4 * self.vcs].iter().map(|&v| u64::from(v)).sum()
+    }
+}
+
 const LOCAL: usize = 4;
 
 /// Minimum worklist entries *per tile* before a cycle is dispatched to the
@@ -447,6 +583,10 @@ struct TileView<'a> {
     /// (serial) schedule carries it; [`TraceLevel::Flit`] forces that
     /// schedule (see [`Network::tick`]), so no hop is ever lost.
     trace: Option<&'a mut FlightRecorder>,
+    /// Contention probe for per-link/VC occupancy windows. Like `trace`,
+    /// only the single-tile schedule carries it, and an enabled probe
+    /// forces that schedule.
+    probe: Option<&'a mut ContentionProbe>,
 }
 
 /// Work assigned to one tile for one tick.
@@ -793,6 +933,20 @@ impl<'a> TileView<'a> {
             }
             let mut used_in_port = [false; NUM_PORTS];
 
+            // Contention accounting: scan the pre-movement state so every
+            // allocated output VC whose ready flit cannot move for lack of
+            // downstream credits books one stall cycle this cycle.
+            if self.probe.is_some() {
+                for out_port in 0..4 {
+                    for vc in 0..vcs {
+                        if self.rt(r).credit_starved(now, out_port, vc) {
+                            let link = r * 4 + out_port;
+                            self.probe.as_deref_mut().expect("checked").record_stall(now, link, vc);
+                        }
+                    }
+                }
+            }
+
             // Link outputs (E, W, N, S): one flit per port per cycle.
             for out_port in 0..4 {
                 let winner = self.pick_link_winner(now, r, out_port, vcs, &used_in_port);
@@ -907,6 +1061,9 @@ impl<'a> TileView<'a> {
         // Stats + credits.
         self.scratch.stats.flit_hops += 1;
         self.link_busy[(r - self.base) * 4 + out_port] += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.record_forward(now, r * 4 + out_port, out_vc);
+        }
         self.rt_mut(r).out_credit[out_port][out_vc] -= 1;
         self.return_credit(r, in_port, in_vc);
 
@@ -1254,6 +1411,10 @@ pub struct Network {
     /// Flight recorder: one time-ordered stream for the whole system (the
     /// protocol layer pushes its transaction events here too).
     trace: FlightRecorder,
+    /// Optional per-link/VC contention probe (None unless enabled via
+    /// [`Network::enable_contention_probe`]). Enabling forces the serial
+    /// tick schedule, like flit tracing; results stay bit-identical.
+    probe: Option<Box<ContentionProbe>>,
     /// First mesh-level invariant violation (sticky). The protocol layer
     /// polls this each step and converts it into a structured error.
     violation: Option<String>,
@@ -1307,6 +1468,7 @@ impl Network {
             tile_scratch: Vec::new(),
             pool: None,
             trace: FlightRecorder::default(),
+            probe: None,
             violation: None,
         };
         net.set_tiles(tiles);
@@ -1373,6 +1535,13 @@ impl Network {
         &self.stats
     }
 
+    /// Deepest any NIC's injection backlog (both vnets combined) has ever
+    /// been — upper-bounds the queueing the profiler's `inject_queue`
+    /// phase can attribute to a single home NIC.
+    pub fn inject_backlog_hwm(&self) -> usize {
+        self.nics.iter().map(|n| n.inject_backlog_hwm).max().unwrap_or(0)
+    }
+
     /// The flight recorder (read side: events, timelines, JSON dump).
     pub fn recorder(&self) -> &FlightRecorder {
         &self.trace
@@ -1393,6 +1562,32 @@ impl Network {
     /// time only, never results.
     pub fn set_trace_level(&mut self, level: TraceLevel) {
         self.trace.set_level(level);
+    }
+
+    /// Enable per-link/VC contention accounting in `window`-cycle
+    /// buckets (replaces any previous probe). Forces the single-tile
+    /// tick schedule while enabled; a pure observer, so results are
+    /// bit-identical with the probe on or off.
+    pub fn enable_contention_probe(&mut self, window: Cycle) {
+        self.probe = Some(Box::new(ContentionProbe::new(
+            self.cfg.mesh.nodes(),
+            self.cfg.vcs_total(),
+            window,
+        )));
+    }
+
+    /// The contention probe, if enabled.
+    pub fn contention_probe(&self) -> Option<&ContentionProbe> {
+        self.probe.as_deref()
+    }
+
+    /// Detach and return the contention probe with its final partial
+    /// window flushed.
+    pub fn take_contention_probe(&mut self) -> Option<ContentionProbe> {
+        self.probe.take().map(|mut p| {
+            p.finish();
+            *p
+        })
     }
 
     /// First mesh-level invariant violation detected so far, if any.
@@ -1702,10 +1897,11 @@ impl Network {
         // affects wall time only, never results.
         let configured = self.tile_bounds.len();
         let enough_work = router_work.len() + nic_work.len() >= PARALLEL_WORK_PER_TILE * configured;
-        // Flit-level tracing forces the single-tile schedule: per-hop
-        // route events are recorded inside the tile pass, and only the
-        // serial view carries the recorder. Bit-identical either way.
-        let trace_serial = self.trace.wants(TraceClass::Flit);
+        // Flit-level tracing and the contention probe force the
+        // single-tile schedule: per-hop events are recorded inside the
+        // tile pass, and only the serial view carries the recorder and
+        // probe. Bit-identical either way.
+        let trace_serial = self.trace.wants(TraceClass::Flit) || self.probe.is_some();
         let parallel =
             configured > 1 && enough_work && !trace_serial && !self.boundary_credit_hazard(now);
         if configured > 1 && enough_work && !trace_serial && !parallel {
@@ -1728,6 +1924,7 @@ impl Network {
                 tile_scratch,
                 pool,
                 trace,
+                probe,
                 ..
             } = self;
             let bounds: &[core::ops::Range<usize>] =
@@ -1752,6 +1949,7 @@ impl Network {
                     tables,
                     scratch: &mut tile_scratch[0],
                     trace: Some(trace),
+                    probe: probe.as_deref_mut(),
                 };
                 view.run_pass(now, &router_work, &nic_work);
             } else {
@@ -1870,6 +2068,7 @@ fn run_tiles<'a>(
             tables,
             scratch: scratch_iter.next().expect("scratch per tile"),
             trace: None,
+            probe: None,
         };
         jobs.push(Mutex::new((view, rw, nw)));
     }

@@ -189,6 +189,10 @@ pub struct Nic {
     /// (a pending deposit whose sweep has already parked resolves into the
     /// parked entry without needing a free slot, so retries always drain).
     pub pending_deposits: VecDeque<(TxnId, u32)>,
+    /// Deepest the injection queues (both vnets combined) have ever been —
+    /// a home-NIC backlog diagnostic for the profiler's `inject_queue`
+    /// phase (a pure observation, never read by the simulation).
+    pub inject_backlog_hwm: usize,
 }
 
 impl Nic {
@@ -212,12 +216,17 @@ impl Nic {
             delivered: VecDeque::new(),
             resume_q: VecDeque::new(),
             pending_deposits: VecDeque::new(),
+            inject_backlog_hwm: 0,
         }
     }
 
     /// Queue a worm for injection.
     pub fn enqueue(&mut self, vnet: VNet, worm: WormId) {
         self.inject_q[vnet.index()].push_back(worm);
+        let depth = self.inject_q.iter().map(VecDeque::len).sum();
+        if depth > self.inject_backlog_hwm {
+            self.inject_backlog_hwm = depth;
+        }
     }
 
     /// Index of a free consumption channel, if any.

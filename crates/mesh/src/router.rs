@@ -161,6 +161,20 @@ impl Router {
         }
         best
     }
+
+    /// True when output `(port, vc)` is credit-starved this cycle: it is
+    /// allocated to an input VC whose front flit is ready to move, but
+    /// the downstream buffer has returned no credits. This is exactly the
+    /// flit-blocked predicate of the movement phase's arbitration (which
+    /// skips zero-credit outputs), read non-destructively for contention
+    /// accounting.
+    pub fn credit_starved(&self, now: Cycle, port: usize, vc: usize) -> bool {
+        let Some((in_port, in_vc)) = self.out_alloc[port][vc] else { return false };
+        if self.out_credit[port][vc] > 0 {
+            return false;
+        }
+        self.inputs[in_port][in_vc].buf.front().is_some_and(|f| f.ready_at <= now)
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ pub mod calendar;
 pub mod flat;
 pub mod inline_vec;
 pub mod pool;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -35,6 +36,7 @@ pub use calendar::{Calendar, EventHandle};
 pub use flat::FlatMap;
 pub use inline_vec::InlineVec;
 pub use pool::WorkerPool;
+pub use profile::{Phase, TxnProfiler, TxnRecord};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, Metric, Registry, Summary, TimeWeighted};
 pub use trace::{

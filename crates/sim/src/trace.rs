@@ -27,8 +27,9 @@
 //! may read it, so enabling or disabling tracing cannot perturb metrics —
 //! the golden bit-identity tests run with tracing both off and on.
 
+use crate::profile::TxnProfiler;
 use crate::Cycle;
-use std::fmt::Write as _;
+use std::fmt::{self, Write};
 
 /// `true` when the `trace` cargo feature is enabled. When `false`, every
 /// recording hook is statically dead and the optimizer removes it.
@@ -229,49 +230,46 @@ impl TraceKind {
         }
     }
 
-    fn fields_json(&self, out: &mut String) {
+    fn fields_json<W: Write>(&self, out: &mut W) -> fmt::Result {
         match *self {
             TraceKind::WormInject { worm, txn, src, kind, dests } => {
-                let _ = write!(
+                write!(
                     out,
                     "\"worm\":{worm},\"txn\":{txn},\"src\":{src},\"kind\":\"{kind}\",\"dests\":{dests}"
-                );
+                )
             }
             TraceKind::WormRoute { worm, node, port } => {
-                let _ = write!(out, "\"worm\":{worm},\"node\":{node},\"port\":{port}");
+                write!(out, "\"worm\":{worm},\"node\":{node},\"port\":{port}")
             }
             TraceKind::WormDeliver { worm, txn, node, is_final, latency } => {
-                let _ = write!(
+                write!(
                     out,
                     "\"worm\":{worm},\"txn\":{txn},\"node\":{node},\"final\":{is_final},\"latency\":{latency}"
-                );
+                )
             }
             TraceKind::TxnOpen { txn, block, home, writer, needed } => {
-                let _ = write!(
+                write!(
                     out,
                     "\"txn\":{txn},\"block\":{block},\"home\":{home},\"writer\":{writer},\"needed\":{needed}"
-                );
+                )
             }
             TraceKind::TxnAck { txn, count, got, needed } => {
-                let _ = write!(
-                    out,
-                    "\"txn\":{txn},\"count\":{count},\"got\":{got},\"needed\":{needed}"
-                );
+                write!(out, "\"txn\":{txn},\"count\":{count},\"got\":{got},\"needed\":{needed}")
             }
             TraceKind::TxnClose { txn, latency, set_size } => {
-                let _ = write!(out, "\"txn\":{txn},\"latency\":{latency},\"set_size\":{set_size}");
+                write!(out, "\"txn\":{txn},\"latency\":{latency},\"set_size\":{set_size}")
             }
             TraceKind::StallEnter { node, what } => {
-                let _ = write!(out, "\"node\":{node},\"what\":\"{what}\"");
+                write!(out, "\"node\":{node},\"what\":\"{what}\"")
             }
             TraceKind::StallExit { node, what, stalled } => {
-                let _ = write!(out, "\"node\":{node},\"what\":\"{what}\",\"stalled\":{stalled}");
+                write!(out, "\"node\":{node},\"what\":\"{what}\",\"stalled\":{stalled}")
             }
             TraceKind::FastForward { from, to } => {
-                let _ = write!(out, "\"from\":{from},\"to\":{to}");
+                write!(out, "\"from\":{from},\"to\":{to}")
             }
             TraceKind::InvariantFired { txn } => {
-                let _ = write!(out, "\"txn\":{txn}");
+                write!(out, "\"txn\":{txn}")
             }
         }
     }
@@ -289,18 +287,23 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    /// Render this event as a single JSON object.
-    pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(96);
-        let _ = write!(
-            s,
+    /// Stream this event as a single JSON object into `out`.
+    pub fn write_json<W: Write>(&self, out: &mut W) -> fmt::Result {
+        write!(
+            out,
             "{{\"at\":{},\"seq\":{},\"event\":\"{}\",",
             self.at,
             self.seq,
             self.kind.name()
-        );
-        self.kind.fields_json(&mut s);
-        s.push('}');
+        )?;
+        self.kind.fields_json(out)?;
+        out.write_char('}')
+    }
+
+    /// Render this event as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s).expect("writing to String cannot fail");
         s
     }
 }
@@ -322,6 +325,10 @@ pub struct FlightRecorder {
     head: usize,
     next_seq: u64,
     dropped: u64,
+    /// Optional streaming profiler fed from [`FlightRecorder::push`]
+    /// *before* the ring write, so its attribution survives ring
+    /// overflow (see [`crate::profile`]).
+    profiler: Option<Box<TxnProfiler>>,
 }
 
 impl Default for FlightRecorder {
@@ -343,6 +350,7 @@ impl FlightRecorder {
             head: 0,
             next_seq: 0,
             dropped: 0,
+            profiler: None,
         }
     }
 
@@ -383,6 +391,11 @@ impl FlightRecorder {
     /// does).
     #[cold]
     pub fn push(&mut self, at: Cycle, kind: TraceKind) {
+        // The profiler observes every event *before* the ring write, so
+        // its attribution is independent of ring capacity.
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.observe(at, &kind);
+        }
         let ev = TraceEvent { at, seq: self.next_seq, kind };
         self.next_seq += 1;
         if self.buf.len() < self.capacity {
@@ -477,22 +490,55 @@ impl FlightRecorder {
             .collect()
     }
 
+    /// Attach a streaming profiler. It will observe every event pushed
+    /// from now on; any previously attached profiler is replaced.
+    ///
+    /// The profiler only sees events that pass the level gate, so a
+    /// meaningful phase breakdown requires [`TraceLevel::Flit`].
+    pub fn attach_profiler(&mut self, profiler: TxnProfiler) {
+        self.profiler = Some(Box::new(profiler));
+    }
+
+    /// Detach and return the attached profiler, if any.
+    pub fn take_profiler(&mut self) -> Option<TxnProfiler> {
+        self.profiler.take().map(|b| *b)
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&TxnProfiler> {
+        self.profiler.as_deref()
+    }
+
     /// Dump the full ring as a JSON array of event objects.
     pub fn to_json(&self) -> String {
         events_json(self.events())
     }
 }
 
-/// Render an event sequence as a JSON array.
-pub fn events_json<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> String {
-    let mut s = String::from("[");
+/// Stream an event sequence as a JSON array into `out`.
+pub fn write_events_json<'a, W: Write>(
+    out: &mut W,
+    events: impl Iterator<Item = &'a TraceEvent>,
+) -> fmt::Result {
+    out.write_char('[')?;
     for (i, e) in events.enumerate() {
         if i > 0 {
-            s.push(',');
+            out.write_char(',')?;
         }
-        s.push_str(&e.to_json());
+        e.write_json(out)?;
     }
-    s.push(']');
+    out.write_char(']')
+}
+
+/// Render an event sequence as a JSON array.
+///
+/// This allocates one output buffer and streams into it via
+/// [`write_events_json`]; it no longer builds a per-event `String` and
+/// copies it (the old path allocated ~96 bytes per event plus the
+/// concatenation growth — one short-lived allocation per event).
+pub fn events_json<'a>(events: impl Iterator<Item = &'a TraceEvent>) -> String {
+    let mut s = String::with_capacity(256);
+    write_events_json(&mut s, events).expect("writing to String cannot fail");
     s
 }
 
@@ -563,23 +609,31 @@ impl InvariantViolation {
         }
     }
 
-    /// Render the violation (message, recent events, timeline) as JSON.
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{");
-        let _ = write!(s, "\"invariant\":\"{}\",\"at\":{},", self.what.replace('"', "'"), self.at);
+    /// Stream the violation (message, recent events, timeline) as JSON
+    /// into `out`.
+    pub fn write_json<W: Write>(&self, out: &mut W) -> fmt::Result {
+        write!(out, "{{\"invariant\":\"{}\",\"at\":{},", self.what.replace('"', "'"), self.at)?;
         match self.txn {
-            Some(t) => {
-                let _ = write!(s, "\"txn\":{t},");
-            }
-            None => s.push_str("\"txn\":null,"),
+            Some(t) => write!(out, "\"txn\":{t},")?,
+            None => out.write_str("\"txn\":null,")?,
         }
-        let _ = write!(
-            s,
-            "\"recent\":{},\"timeline\":{}",
-            events_json(self.recent.iter()),
-            events_json(self.timeline.iter())
-        );
-        s.push('}');
+        out.write_str("\"recent\":")?;
+        write_events_json(out, self.recent.iter())?;
+        out.write_str(",\"timeline\":")?;
+        write_events_json(out, self.timeline.iter())?;
+        out.write_char('}')
+    }
+
+    /// Render the violation (message, recent events, timeline) as JSON.
+    ///
+    /// Streams into a single pre-sized buffer via
+    /// [`write_json`](Self::write_json) — previously this concatenated
+    /// two intermediate `events_json` Strings (each itself built from
+    /// per-event Strings), i.e. `2 + recent + timeline` transient
+    /// allocations per dump; now it makes one.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128 + 96 * (self.recent.len() + self.timeline.len()));
+        self.write_json(&mut s).expect("writing to String cannot fail");
         s
     }
 }
@@ -699,6 +753,52 @@ mod tests {
         let j = v.to_json();
         assert!(j.contains("\"invariant\":\"over-collected acks\""));
         assert!(j.contains("\"timeline\":["));
+    }
+
+    #[test]
+    fn attached_profiler_sees_events_despite_ring_overflow() {
+        use crate::profile::TxnProfiler;
+        // Ring of 2: almost every event is overwritten, yet the profiler
+        // (hooked ahead of the ring write) attributes every transaction.
+        let mut r = FlightRecorder::new(2);
+        r.set_level(TraceLevel::Flit);
+        let mut p = TxnProfiler::new();
+        p.set_keep_records(true);
+        r.attach_profiler(p);
+        for i in 0..50u64 {
+            let txn = i + 1;
+            let t0 = i * 100;
+            r.push(t0, TraceKind::TxnOpen { txn, block: 1, home: 0, writer: 1, needed: 1 });
+            r.push(t0, TraceKind::WormInject { worm: 9, txn, src: 0, kind: "inv", dests: 1 });
+            r.push(t0 + 3, TraceKind::WormRoute { worm: 9, node: 0, port: 0 });
+            r.push(
+                t0 + 8,
+                TraceKind::WormDeliver { worm: 9, txn, node: 2, is_final: true, latency: 8 },
+            );
+            r.push(t0 + 15, TraceKind::TxnAck { txn, count: 1, got: 1, needed: 1 });
+            r.push(t0 + 15, TraceKind::TxnClose { txn, latency: 15, set_size: 1 });
+        }
+        assert!(r.dropped() > 0, "the ring must actually have overflowed");
+        let p = r.take_profiler().unwrap();
+        assert_eq!(p.closed(), 50);
+        assert_eq!(p.latency_total(), 50 * 15);
+        p.verify_exact().unwrap();
+        assert!(r.profiler().is_none(), "take detaches");
+    }
+
+    #[test]
+    fn streaming_writers_match_to_json() {
+        let mut r = FlightRecorder::new(8);
+        r.set_level(TraceLevel::Flit);
+        r.push(1, TraceKind::WormInject { worm: 3, txn: 7, src: 0, kind: "inv", dests: 2 });
+        r.push(2, TraceKind::TxnClose { txn: 7, latency: 1, set_size: 2 });
+        let mut streamed = String::new();
+        write_events_json(&mut streamed, r.events()).unwrap();
+        assert_eq!(streamed, r.to_json());
+        let v = InvariantViolation::capture("x".into(), 2, Some(7), &r, 4);
+        let mut sv = String::new();
+        v.write_json(&mut sv).unwrap();
+        assert_eq!(sv, v.to_json());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Workload representation and the execution driver.
 
 use std::collections::VecDeque;
-use wormdsm_core::{DsmSystem, MemOp};
+use wormdsm_core::{DsmSystem, MemOp, TxnProfiler};
 use wormdsm_mesh::topology::NodeId;
 use wormdsm_sim::Cycle;
 
@@ -79,6 +79,24 @@ impl Workload {
             sys.step();
         }
     }
+
+    /// [`Workload::run`] with latency-attribution profiling enabled for
+    /// the duration of the run: attaches a record-keeping `TxnProfiler`
+    /// (raising the trace level to `Flit`), runs to completion, and hands
+    /// the detached profiler back alongside the result.
+    ///
+    /// Profiling is a pure observation layer, so the [`RunResult`] and
+    /// every metric are bit-identical to an unprofiled run.
+    pub fn run_profiled(
+        self,
+        sys: &mut DsmSystem,
+        max_cycles: Cycle,
+    ) -> Result<(RunResult, TxnProfiler), String> {
+        sys.enable_profiling();
+        let r = self.run(sys, max_cycles)?;
+        let p = sys.take_profiler().expect("profiler attached above");
+        Ok((r, p))
+    }
 }
 
 /// Outcome of a completed workload run.
@@ -134,6 +152,23 @@ mod tests {
         // Block 32 is homed at node 1, which is itself a reader: its copy
         // is invalidated locally, leaving 14 remote sharers.
         assert_eq!(s.metrics().inval_set_size.summary().mean(), 14.0);
+    }
+
+    #[test]
+    fn run_profiled_attributes_every_invalidation() {
+        let mut w = Workload::new(16);
+        for p in 1..16 {
+            w.push(p, MemOp::Read(Addr(32)));
+            w.push(p, MemOp::Barrier { id: 0, participants: 16 });
+        }
+        w.push(0, MemOp::Barrier { id: 0, participants: 16 });
+        w.push(0, MemOp::Write(Addr(32)));
+        let mut s = sys();
+        let (_, p) = w.run_profiled(&mut s, 500_000).unwrap();
+        assert_eq!(p.closed(), s.metrics().inval_txns);
+        assert_eq!(p.latency_total() as f64, s.metrics().inval_latency.sum());
+        p.verify_exact().unwrap();
+        assert!(s.profiler().is_none(), "profiler is handed back, not left attached");
     }
 
     #[test]

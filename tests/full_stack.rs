@@ -332,3 +332,51 @@ fn traffic_ordering_holds_for_column_patterns() {
     let mi = wormdsm_bench_shim::measure_traffic(SchemeKind::MiUaCol, k, &p);
     assert!(mi < ui, "multicast traffic {mi} >= unicast {ui}");
 }
+
+/// PR 5: profiling is a pure observer. Running with the streaming
+/// profiler + contention probe attached (which forces flit-level tracing
+/// and the serial tick schedule) must reproduce the unprofiled run bit
+/// for bit — on a trace ring so small it is guaranteed to overflow,
+/// proving the profiler's attribution does not depend on ring capacity.
+#[test]
+fn profiling_is_bit_identical_and_survives_ring_overflow() {
+    use wormdsm::sim::profile::{chrome_trace, validate_json};
+    let cfg = BarnesHutConfig { procs: 16, bodies: 32, steps: 2, ..Default::default() };
+    let (off_cycles, off) = run_app(SchemeKind::MiMaCol, 4, barnes_hut::generate(&cfg));
+
+    let mut sys = DsmSystem::new(
+        SystemConfig::for_scheme(4, SchemeKind::MiMaCol),
+        SchemeKind::MiMaCol.build(),
+    );
+    sys.set_fast_forward(true);
+    sys.enable_profiling();
+    sys.recorder_mut().set_capacity(64); // guaranteed to overflow at flit level
+    sys.enable_contention_probe(256);
+    let r = barnes_hut::generate(&cfg).run(&mut sys, 50_000_000).expect("bh completes");
+
+    // Bit-identity off vs on.
+    assert_eq!(r.cycles, off_cycles, "cycles diverged under profiling");
+    assert_eq!(sys.net_stats().flit_hops, off.net_stats().flit_hops);
+    assert_eq!(sys.metrics().inval_txns, off.metrics().inval_txns);
+    assert_eq!(sys.metrics().inval_latency.sum(), off.metrics().inval_latency.sum());
+
+    // The ring overflowed, yet the profiler (hooked ahead of the ring
+    // write) attributed every transaction with exact phase sums.
+    assert!(sys.recorder().dropped() > 0, "a 64-slot ring must overflow this run");
+    let p = sys.take_profiler().expect("profiler attached");
+    assert_eq!(p.closed(), sys.metrics().inval_txns);
+    assert_eq!(p.open_txns(), 0);
+    assert_eq!(p.latency_total() as f64, sys.metrics().inval_latency.sum());
+    p.verify_exact().expect("phases sum bit-exactly to every reported latency");
+    assert!(p.records().iter().all(|t| t.phase_sum() == t.latency));
+
+    // The probe mirrors the network's link accounting, and both exported
+    // JSON artifacts are well-formed.
+    let probe = sys.take_contention_probe().expect("probe enabled");
+    assert_eq!(
+        probe.busy_total().iter().sum::<u64>(),
+        off.net_stats().link_busy.iter().sum::<u64>()
+    );
+    validate_json(&chrome_trace::trace_json(p.records(), &[])).expect("chrome trace JSON");
+    validate_json(&sys.export_metrics().to_json()).expect("metrics registry JSON");
+}
