@@ -69,6 +69,32 @@ impl SystemConfig {
     pub fn nodes(&self) -> usize {
         self.mesh.mesh.nodes()
     }
+
+    /// Check the configuration against the implementation's hard limits
+    /// so an over-sized run fails up front with a clear message instead
+    /// of mid-simulation.
+    ///
+    /// Delegates the network-level limits (occupancy-bitset capacity,
+    /// u8-encoded channel/entry indices, hierarchy divisibility) to
+    /// [`MeshConfig::validate`] and adds the system-level ones: `NodeId`
+    /// is a `u16`, so a mesh may not exceed 65536 nodes, and the
+    /// per-node cache must have at least one set.
+    pub fn validate(&self) -> Result<(), String> {
+        self.mesh.validate()?;
+        if self.nodes() > usize::from(u16::MAX) + 1 {
+            return Err(format!(
+                "NodeId is a u16: {} nodes exceeds the 65536-node limit",
+                self.nodes()
+            ));
+        }
+        if self.cache_sets == 0 {
+            return Err("cache_sets must be at least 1".to_string());
+        }
+        if self.block_bytes == 0 {
+            return Err("block_bytes must be at least 1".to_string());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +118,21 @@ mod tests {
         let c = SystemConfig::paper_defaults(4);
         assert_eq!(c.consistency, ConsistencyModel::Sequential);
         assert!(!c.multicast_barriers);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_hard_limits() {
+        assert_eq!(SystemConfig::paper_defaults(8).validate(), Ok(()));
+
+        let mut c = SystemConfig::paper_defaults(4);
+        c.cache_sets = 0;
+        assert!(c.validate().unwrap_err().contains("cache_sets"));
+
+        // Over-provisioned VCs blow the router occupancy bitset; the
+        // mesh-level check surfaces through the system-level validate.
+        let mut c = SystemConfig::paper_defaults(4);
+        c.mesh.vcs_per_vnet = 64;
+        assert!(c.validate().unwrap_err().contains("occupancy bitset"));
     }
 
     #[test]

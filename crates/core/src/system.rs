@@ -47,9 +47,16 @@ const WRITEBACK_RETRY_DELAY: Cycle = 16;
 /// [`InvariantViolation`] dump snapshots.
 const INVARIANT_DUMP_EVENTS: usize = 64;
 
-/// Why a run stopped before reaching idle.
+/// Why a run stopped before reaching idle (or refused to start).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
+    /// The configuration exceeds a hard limit of the implementation
+    /// (mesh larger than `NodeId` can address, VC count beyond the
+    /// occupancy bitset, a hierarchy that does not tile the mesh, ...).
+    /// Rejected up front by [`DsmSystem::try_new`], before any cycle
+    /// runs, so a 16k-node sweep fails in milliseconds instead of
+    /// mid-simulation.
+    Config(String),
     /// The cycle budget ran out with work still in flight (deadlock or
     /// lost message).
     Timeout(String),
@@ -62,6 +69,7 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            SimError::Config(msg) => f.write_str(msg),
             SimError::Timeout(msg) => f.write_str(msg),
             SimError::Invariant(v) => v.fmt(f),
         }
@@ -224,22 +232,33 @@ struct TxnSlab {
 const TXN_SLOT_BITS: u32 = 20;
 
 impl TxnSlab {
-    fn insert(&mut self, t: TxnState) -> TxnId {
+    /// Concurrent transactions the slab can hold. A documented hard
+    /// limit, not a practical one: ids reserve [`TXN_SLOT_BITS`] low bits
+    /// for the slot, and even a full 65536-node mesh with every node
+    /// holding outstanding writes stays orders of magnitude below 2^20
+    /// live transactions. Overflow returns `None` from
+    /// [`TxnSlab::insert`]; the caller surfaces it as a recorded
+    /// invariant violation ([`SimError::Invariant`]) instead of a panic.
+    const CAPACITY: usize = 1 << TXN_SLOT_BITS;
+
+    fn insert(&mut self, t: TxnState) -> Option<TxnId> {
         let slot = match self.free.pop() {
             Some(s) => s as usize,
             None => {
+                if self.slots.len() >= Self::CAPACITY {
+                    return None;
+                }
                 self.slots.push(None);
                 self.ids.push(0);
                 self.slots.len() - 1
             }
         };
-        assert!(slot < (1 << TXN_SLOT_BITS), "transaction slab overflow");
         self.seq += 1;
         let id = (self.seq << TXN_SLOT_BITS) | slot as u64;
         self.slots[slot] = Some(t);
         self.ids[slot] = id;
         self.live += 1;
-        TxnId(id)
+        Some(TxnId(id))
     }
 
     fn slot_of(&self, id: u64) -> Option<usize> {
@@ -334,15 +353,32 @@ pub struct DsmSystem {
 impl DsmSystem {
     /// Build an idle system running `scheme`.
     ///
-    /// Panics if the scheme's worms are not conformant under the
-    /// configured base routing.
+    /// Panics on an invalid configuration or a scheme whose worms are not
+    /// conformant under the configured base routing; sweep drivers that
+    /// want to skip bad points instead should use [`DsmSystem::try_new`].
     pub fn new(cfg: SystemConfig, scheme: Box<dyn InvalidationScheme>) -> Self {
-        assert!(
-            scheme.compatible_with(cfg.mesh.routing),
-            "{} is not conformant under {:?}",
-            scheme.name(),
-            cfg.mesh.routing
-        );
+        match Self::try_new(cfg, scheme) {
+            Ok(sys) => sys,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build an idle system running `scheme`, rejecting configurations
+    /// that exceed hard limits (see [`SystemConfig::validate`]) or a
+    /// scheme/routing mismatch with [`SimError::Config`] — before any
+    /// state is allocated or any cycle runs.
+    pub fn try_new(
+        cfg: SystemConfig,
+        scheme: Box<dyn InvalidationScheme>,
+    ) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::Config)?;
+        if !scheme.compatible_with(cfg.mesh.routing) {
+            return Err(SimError::Config(format!(
+                "{} is not conformant under {:?}",
+                scheme.name(),
+                cfg.mesh.routing
+            )));
+        }
         let n = cfg.nodes();
         let geom = MemGeometry::new(cfg.block_bytes, n);
         let nodes = (0..n)
@@ -362,7 +398,7 @@ impl DsmSystem {
         // The protocol layer never re-reads a worm after its final
         // delivery, so retired worm slots can be recycled.
         net.set_worm_recycling(true);
-        Self {
+        Ok(Self {
             cfg,
             scheme,
             net,
@@ -380,7 +416,7 @@ impl DsmSystem {
             skipped_cycles: 0,
             delivery_scratch: Vec::new(),
             violation: None,
-        }
+        })
     }
 
     /// Enable or disable dead-cycle fast-forwarding (on by default).
@@ -1351,7 +1387,16 @@ impl DsmSystem {
             started: now,
             home_msgs,
         });
-        debug_assert_eq!(inserted, txn_id);
+        invariant!(
+            return;
+            self,
+            Some(txn_id),
+            inserted.is_some(),
+            "transaction slab overflow: {} transactions in flight exceeds the {}-slot id space",
+            self.txns.len(),
+            TxnSlab::CAPACITY
+        );
+        debug_assert_eq!(inserted, Some(txn_id));
     }
 
     /// Invalidate `block` in `node`'s cache, handling the late-fill race:

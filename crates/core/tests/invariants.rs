@@ -194,3 +194,26 @@ fn fast_forward_is_bit_identical() {
     assert!(fast.3 > 0, "fast-forward never engaged");
     assert_eq!(slow.3, 0);
 }
+
+#[test]
+fn try_new_rejects_bad_configs_before_any_cycle() {
+    // An over-provisioned VC config blows the router occupancy bitset:
+    // rejected as SimError::Config with the mesh-level message, not a
+    // panic deep inside Network::new.
+    let mut cfg = SystemConfig::for_scheme(4, SchemeKind::UiUa);
+    cfg.mesh.vcs_per_vnet = 64;
+    let err = DsmSystem::try_new(cfg, SchemeKind::UiUa.build()).err().expect("must reject");
+    let SimError::Config(msg) = err else { panic!("expected config error, got {err}") };
+    assert!(msg.contains("occupancy bitset"), "{msg}");
+
+    // Scheme/routing mismatch surfaces the same way.
+    let mut cfg = SystemConfig::for_scheme(4, SchemeKind::MiUaWf);
+    cfg.mesh.routing = wormdsm_mesh::routing::BaseRouting::ECube;
+    let err = DsmSystem::try_new(cfg, SchemeKind::MiUaWf.build()).err().expect("must reject");
+    let SimError::Config(msg) = err else { panic!("expected config error, got {err}") };
+    assert!(msg.contains("not conformant"), "{msg}");
+
+    // A valid config still constructs.
+    let cfg = SystemConfig::for_scheme(4, SchemeKind::UiUa);
+    assert!(DsmSystem::try_new(cfg, SchemeKind::UiUa.build()).is_ok());
+}

@@ -29,8 +29,8 @@ pub mod routing;
 pub mod topology;
 pub mod worm;
 
-pub use network::{ContentionProbe, ContentionWindow, MeshConfig, NetStats, Network};
+pub use network::{ContentionProbe, ContentionWindow, Hierarchy, MeshConfig, NetStats, Network};
 pub use nic::{Delivery, DeliveryKind, IackMode};
 pub use routing::{BaseRouting, PathRule};
-pub use topology::{Coord, Direction, Mesh2D, NodeId, Port};
+pub use topology::{ChipGrid, Coord, Direction, Mesh2D, NodeId, Port};
 pub use worm::{TxnId, VNet, WormId, WormKind, WormSpec, WormState};

@@ -1,7 +1,9 @@
 //! The cycle-level network engine.
 //!
-//! [`Network`] owns every router and NIC plus the worm table, and advances
-//! the whole mesh one cycle at a time in three deterministic phases:
+//! [`Network`] owns every router and NIC (as field-major slabs — see
+//! [`crate::router::RouterSlab`] / [`crate::nic::NicSlab`]) plus the worm
+//! table, and advances the whole mesh one cycle at a time in three
+//! deterministic phases:
 //!
 //! 1. **Head processing** — head flits at input-VC fronts perform
 //!    destination processing (forward-and-absorb setup, i-ack reservation,
@@ -17,9 +19,11 @@
 //! Timing: a head flit pays `router_delay` cycles at every router
 //! (including intermediate-destination reprocessing charged at
 //! `strip_delay`/`iack_check_delay`); body flits stream at one flit per
-//! cycle per link. Credit return is same-cycle (documented idealization:
-//! real credit return takes one link cycle; the simplification affects
-//! back-to-back worm reuse of a VC by at most one cycle).
+//! cycle per link. Links crossing a chip boundary of an optional two-level
+//! [`Hierarchy`] add `inter_chip_extra` cycles to every traversal. Credit
+//! return is same-cycle (documented idealization: real credit return takes
+//! one link cycle; the simplification affects back-to-back worm reuse of a
+//! VC by at most one cycle).
 //!
 //! # Space-partitioned parallel tick
 //!
@@ -27,16 +31,16 @@
 //! bands ([`Mesh2D::row_bands`]) and all three phases run for every tile
 //! concurrently on a persistent worker pool, **bit-identically** to the
 //! serial schedule. The phase logic is written once, against a
-//! [`TileView`] holding the tile's disjoint slice of per-node state;
+//! [`TileView`] holding the tile's disjoint window of every per-node slab;
 //! `tiles = 1` is simply the single-tile instance of the same code.
 //! Bit-identity rests on four mechanisms:
 //!
 //! * **Lookahead on links.** A flit deposited downstream carries a future
-//!   `ready_at` (`now + router_delay` for heads, `now + 1` for bodies), and
-//!   every same-cycle reader checks `ready_at <= now` or an allocation
-//!   mode the fresh flit cannot have — so a deposit is behavior-invisible
-//!   in the cycle it is made, and deferring cross-tile deposits to the
-//!   cycle barrier changes nothing.
+//!   `ready_at` (`now + router_delay` for heads, `now + 1` for bodies,
+//!   plus any hierarchy link delay), and every same-cycle reader checks
+//!   `ready_at <= now` or an allocation mode the fresh flit cannot have —
+//!   so a deposit is behavior-invisible in the cycle it is made, and
+//!   deferring cross-tile deposits to the cycle barrier changes nothing.
 //! * **One-writer buffers.** Each router input `(port, vc)` has exactly
 //!   one possible upstream writer per cycle, so deferred deposits commute.
 //! * **Credit-hazard fallback.** Credit return is same-cycle, and the
@@ -61,16 +65,16 @@
 //!   Phase-1/2 worm access needs no replay: only the router holding a
 //!   worm's *head* mutates its record, and a head exists at one router.
 
-use crate::nic::{Delivery, DeliveryKind, GatherCheck, IackMode, Nic, StreamState};
-use crate::router::{BufFlit, Router, VcMode};
+use crate::nic::{Delivery, DeliveryKind, GatherCheck, IackMode, NicSlab, NicTile, StreamState};
+use crate::router::{BufFlit, RouterSlab, RouterTile, VcMode};
 use crate::routing::{BaseRouting, PathRule, RouteTable};
-use crate::topology::{Direction, Mesh2D, NodeId, Port, NUM_PORTS};
+use crate::topology::{ChipGrid, Direction, Mesh2D, NodeId, Port, NUM_PORTS};
 use crate::worm::{
     Flit, FlitKind, TxnId, VNet, Worm, WormId, WormKind, WormSpec, WormState, WormTable, NUM_VNETS,
 };
 use std::sync::Mutex;
 use wormdsm_sim::trace::{FlightRecorder, TraceClass, TraceKind, TraceLevel};
-use wormdsm_sim::{Cycle, NoProgress, Registry, Summary, Watchdog, WorkerPool};
+use wormdsm_sim::{BitSet128, Cycle, NoProgress, Registry, Summary, Watchdog, WorkerPool};
 
 /// Flight-recorder label for a worm kind.
 fn worm_kind_label(kind: WormKind) -> &'static str {
@@ -79,6 +83,20 @@ fn worm_kind_label(kind: WormKind) -> &'static str {
         WormKind::Multicast => "multicast",
         WormKind::Gather => "gather",
     }
+}
+
+/// Two-level mesh-of-meshes topology: the flat mesh is grouped into
+/// `chip_w x chip_h` chips, and every link crossing a chip boundary (an
+/// inter-chip express link) pays [`Hierarchy::inter_chip_extra`] additional
+/// cycles per traversal. Routing and worm conformance are untouched — the
+/// hierarchy only stretches boundary-link timing — so `inter_chip_extra =
+/// 0` reproduces the flat mesh bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hierarchy {
+    /// Chip tiling of the mesh (must evenly divide both dimensions).
+    pub chip: ChipGrid,
+    /// Extra cycles added to every boundary-crossing link traversal.
+    pub inter_chip_extra: Cycle,
 }
 
 /// Configuration of the wormhole mesh.
@@ -111,6 +129,8 @@ pub struct MeshConfig {
     /// Row-band tiles stepped concurrently each cycle (1 = serial; clamped
     /// to the mesh height). Every value produces bit-identical results.
     pub tiles: usize,
+    /// Optional two-level mesh-of-meshes grouping (None = flat mesh).
+    pub hierarchy: Option<Hierarchy>,
 }
 
 impl MeshConfig {
@@ -129,6 +149,7 @@ impl MeshConfig {
             iack_buffers: 4,
             iack_mode: IackMode::VctDefer,
             tiles: 1,
+            hierarchy: None,
         }
     }
 
@@ -158,6 +179,64 @@ impl MeshConfig {
             VNet::Req => self.routing.request_rule(),
             VNet::Reply => self.routing.reply_rule(),
         }
+    }
+
+    /// Validate the configuration, reporting the first problem found.
+    ///
+    /// [`Network::new`] panics on an invalid config; layers above call
+    /// this first to surface a structured error instead of a panic deep
+    /// inside construction (important at large `k`, where an over-wide VC
+    /// or channel count would otherwise only fail once slabs allocate).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vcs_per_vnet < 1 {
+            return Err("vcs_per_vnet must be >= 1".into());
+        }
+        if self.vc_buf_flits < 1 {
+            return Err("vc_buf_flits must be >= 1".into());
+        }
+        if self.router_delay < 1 || self.strip_delay < 1 || self.iack_check_delay < 1 {
+            return Err("router_delay, strip_delay and iack_check_delay must all be >= 1".into());
+        }
+        let slots = NUM_PORTS * self.vcs_total();
+        if slots > BitSet128::CAPACITY {
+            return Err(format!(
+                "router occupancy bitset limits ports * vcs to {} (got {} * {})",
+                BitSet128::CAPACITY,
+                NUM_PORTS,
+                self.vcs_total()
+            ));
+        }
+        if self.cons_channels < 1 || self.cons_channels > 255 {
+            return Err(format!(
+                "cons_channels must be 1..=255 (got {}); channel indices are u8-encoded",
+                self.cons_channels
+            ));
+        }
+        if self.cons_buf_flits < 1 {
+            return Err("cons_buf_flits must be >= 1".into());
+        }
+        if self.iack_buffers < 1 || self.iack_buffers > 255 {
+            return Err(format!(
+                "iack_buffers must be 1..=255 (got {}); entry indices are u8-encoded",
+                self.iack_buffers
+            ));
+        }
+        if let Some(h) = self.hierarchy {
+            if h.chip.chip_w() == 0
+                || h.chip.chip_h() == 0
+                || !self.mesh.width().is_multiple_of(h.chip.chip_w())
+                || !self.mesh.height().is_multiple_of(h.chip.chip_h())
+            {
+                return Err(format!(
+                    "hierarchy chip tile {}x{} must evenly divide the {}x{} mesh",
+                    h.chip.chip_w(),
+                    h.chip.chip_h(),
+                    self.mesh.width(),
+                    self.mesh.height()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -411,6 +490,9 @@ impl ContentionProbe {
 }
 
 const LOCAL: usize = 4;
+/// [`LOCAL`] as the `u8` stored in [`VcMode`] fields (constant patterns
+/// must match the field type exactly).
+const LOCAL8: u8 = LOCAL as u8;
 
 /// Minimum worklist entries *per tile* before a cycle is dispatched to the
 /// worker pool. A worklist visit costs on the order of 100ns; the
@@ -555,25 +637,29 @@ impl SharedWorms {
     }
 }
 
-/// One tile's view of the network for a single tick: an exclusive slice of
-/// every per-node structure, shared read-only configuration, and deferred
+/// One tile's view of the network for a single tick: an exclusive window
+/// of every per-node slab, shared read-only configuration, and deferred
 /// queues for the few effects that cross tile boundaries. All phase logic
 /// is written against this view; the serial engine is the `tiles = 1`
 /// single-view instance, so there is exactly one code path to keep
 /// bit-identical.
 struct TileView<'a> {
-    /// First node index of the tile; global node `n` maps to local
-    /// `n - base` in every slice below.
+    /// First node index of the tile; the slab windows and the flag slices
+    /// below cover `base..end`.
     base: usize,
     /// One-past-last node index of the tile.
     end: usize,
-    routers: &'a mut [Router],
-    nics: &'a mut [Nic],
+    routers: RouterTile<'a>,
+    nics: NicTile<'a>,
     router_active: &'a mut [bool],
     nic_active: &'a mut [bool],
     delivered_flag: &'a mut [bool],
     /// This tile's `node * 4 + dir` slice of [`NetStats::link_busy`].
     link_busy: &'a mut [u64],
+    /// Extra per-link delays from the hierarchy, indexed `node * 4 + dir`
+    /// with *global* node ids (read-only, so the full slice is shared by
+    /// every tile; all zeros on a flat mesh).
+    link_extra: &'a [Cycle],
     worms: SharedWorms,
     cfg: &'a MeshConfig,
     /// Precomputed next-hop tables, indexed by `VNet::index()`.
@@ -593,26 +679,6 @@ struct TileView<'a> {
 type TileJob<'a> = (TileView<'a>, &'a [usize], &'a [usize]);
 
 impl<'a> TileView<'a> {
-    #[inline]
-    fn rt(&self, r: usize) -> &Router {
-        &self.routers[r - self.base]
-    }
-
-    #[inline]
-    fn rt_mut(&mut self, r: usize) -> &mut Router {
-        &mut self.routers[r - self.base]
-    }
-
-    #[inline]
-    fn nic(&self, n: usize) -> &Nic {
-        &self.nics[n - self.base]
-    }
-
-    #[inline]
-    fn nic_mut(&mut self, n: usize) -> &mut Nic {
-        &mut self.nics[n - self.base]
-    }
-
     #[inline]
     fn in_tile(&self, n: usize) -> bool {
         (self.base..self.end).contains(&n)
@@ -656,16 +722,6 @@ impl<'a> TileView<'a> {
         }
     }
 
-    /// True when this NIC still has phase-3 work queued.
-    fn nic_has_work(&self, n: usize) -> bool {
-        let nic = self.nic(n);
-        !nic.pending_deposits.is_empty()
-            || !nic.resume_q.is_empty()
-            || nic.streaming.iter().any(|s| s.is_some())
-            || nic.inject_q.iter().any(|q| !q.is_empty())
-            || nic.cons.iter().any(|c| !c.fifo.is_empty())
-    }
-
     /// Run all three phases for this tile. `router_work` and `nic_seed`
     /// are this tile's (sorted) partitions of the global worklists.
     fn run_pass(&mut self, now: Cycle, router_work: &[usize], nic_seed: &[usize]) {
@@ -679,7 +735,7 @@ impl<'a> TileView<'a> {
         // Routers that still hold flits stay active next cycle. Cross-tile
         // deposits into this tile are activated by the barrier instead.
         for &r in router_work {
-            if self.rt(r).flits > 0 {
+            if self.routers.flits(r) > 0 {
                 self.activate_router(r);
             }
         }
@@ -695,7 +751,7 @@ impl<'a> TileView<'a> {
         }
         self.phase_nic(now, &nw);
         for &n in &nw {
-            if self.nic_has_work(n) {
+            if self.nics.has_work(n) {
                 self.rearm_nic(n);
             }
         }
@@ -713,7 +769,7 @@ impl<'a> TileView<'a> {
             // Walk only occupied VC slots, ascending `(port, vc)` exactly
             // like a full sweep. Head processing never moves flits, so the
             // snapshot stays exact for the whole walk.
-            let occ = self.rt(r).occ;
+            let occ = self.routers.occ(r);
             for slot in occ.iter() {
                 self.process_head(now, r, slot / vcs, slot % vcs);
             }
@@ -721,17 +777,18 @@ impl<'a> TileView<'a> {
     }
 
     fn process_head(&mut self, now: Cycle, r: usize, port: usize, vc: usize) {
-        let ivc = &self.rt(r).inputs[port][vc];
-        if ivc.mode != VcMode::Normal {
+        if self.routers.mode(r, port, vc) != VcMode::Normal {
             return;
         }
-        let Some(front) = ivc.buf.front() else { return };
-        if front.ready_at > now {
+        // `front_ready` is `Cycle::MAX` when the buffer is empty, so one
+        // comparison covers both "nothing there" and "not eligible yet".
+        if self.routers.front_ready(r, port, vc) > now {
             return;
         }
+        let front = self.routers.front(r, port, vc).expect("ready head present");
         debug_assert_eq!(front.flit.kind, FlitKind::Head, "non-head at front of unallocated VC");
         let wid = front.flit.worm;
-        let here = self.rt(r).node;
+        let here = NodeId(r as u16);
         let worms = self.worms;
         let (kind, next_dest, at_last, reserve, txn, len, vnet) = {
             let w = worms.get(wid);
@@ -752,8 +809,7 @@ impl<'a> TileView<'a> {
             } else if !worms.get(wid).delivers_here() {
                 // Pure routing waypoint: strip the header hop and continue.
                 worms.get_mut(wid).dest_idx += 1;
-                self.rt_mut(r).inputs[port][vc].buf.front_mut().expect("head present").ready_at =
-                    now + self.cfg.strip_delay;
+                self.routers.set_front_ready(r, port, vc, now + self.cfg.strip_delay);
             } else {
                 match kind {
                     WormKind::Unicast => unreachable!("unicast has a single destination"),
@@ -775,14 +831,18 @@ impl<'a> TileView<'a> {
     /// entry at its final destination — that node initiates the i-gather
     /// and carries its own acknowledgement as the gather's initial count.
     fn process_final_dest(&mut self, r: usize, port: usize, vc: usize, wid: WormId) {
-        let Some(cc) = self.nic(r).free_cons() else {
+        let Some(cc) = self.nics.free_cons(r) else {
             self.scratch.stats.multicast_blocked_cycles += 1;
             return;
         };
-        self.nic_mut(r).reserve_cons(cc, wid, false);
+        self.nics.reserve_cons(r, cc, wid, false);
         self.worms.get_mut(wid).copies += 1;
-        self.rt_mut(r).inputs[port][vc].mode =
-            VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
+        self.routers.set_mode(
+            r,
+            port,
+            vc,
+            VcMode::Active { out_port: LOCAL8, out_vc: cc as u8, absorb: None },
+        );
     }
 
     /// Intermediate destination of a multicast: acquire the i-ack entry
@@ -799,21 +859,20 @@ impl<'a> TileView<'a> {
         reserve: bool,
         txn: TxnId,
     ) {
-        if reserve && !self.nic_mut(r).reserve_iack(txn) {
+        if reserve && !self.nics.reserve_iack(r, txn) {
             self.scratch.stats.multicast_blocked_cycles += 1;
             return;
         }
-        let Some(cc) = self.nic(r).free_cons() else {
+        let Some(cc) = self.nics.free_cons(r) else {
             self.scratch.stats.multicast_blocked_cycles += 1;
             return;
         };
-        self.nic_mut(r).reserve_cons(cc, wid, true);
+        self.nics.reserve_cons(r, cc, wid, true);
         let worms = self.worms;
         worms.get_mut(wid).copies += 1;
-        self.rt_mut(r).inputs[port][vc].pending_absorb = Some(cc);
+        self.routers.set_pending_absorb(r, port, vc, cc);
         worms.get_mut(wid).dest_idx += 1;
-        self.rt_mut(r).inputs[port][vc].buf.front_mut().expect("head present").ready_at =
-            now + self.cfg.strip_delay;
+        self.routers.set_front_ready(r, port, vc, now + self.cfg.strip_delay);
     }
 
     /// Intermediate destination of a gather: check the i-ack buffer;
@@ -830,34 +889,42 @@ impl<'a> TileView<'a> {
         len: u16,
     ) {
         let worms = self.worms;
-        match self.nic_mut(r).gather_check(txn) {
+        match self.nics.gather_check(r, txn) {
             GatherCheck::Ready(count) => {
                 let w = worms.get_mut(wid);
                 w.acks += count;
                 w.dest_idx += 1;
-                self.rt_mut(r).inputs[port][vc].buf.front_mut().expect("head present").ready_at =
-                    now + self.cfg.iack_check_delay;
+                self.routers.set_front_ready(r, port, vc, now + self.cfg.iack_check_delay);
             }
             GatherCheck::NotReady => match self.cfg.iack_mode {
                 IackMode::Block => {
                     self.scratch.stats.gather_blocked_cycles += 1;
                 }
                 IackMode::VctDefer => {
-                    if let Some(entry) = self.nic_mut(r).park(txn, wid, len) {
-                        self.rt_mut(r).inputs[port][vc].mode = VcMode::DrainPark { entry };
-                        worms.get_mut(wid).state = WormState::Parked(self.rt(r).node);
+                    if let Some(entry) = self.nics.park(r, txn, wid, len) {
+                        self.routers.set_mode(
+                            r,
+                            port,
+                            vc,
+                            VcMode::DrainPark { entry: entry as u8 },
+                        );
+                        worms.get_mut(wid).state = WormState::Parked(NodeId(r as u16));
                         self.scratch.stats.parks += 1;
-                    } else if let Some(cc) = self.nic(r).free_cons() {
+                    } else if let Some(cc) = self.nics.free_cons(r) {
                         // No entry to park in: *bounce* — consume the worm
                         // at this node and re-inject it, so it never holds
                         // network channels while waiting (holding them can
                         // deadlock the reply network against the very
                         // gathers that would free the entries).
-                        self.nic_mut(r).reserve_cons(cc, wid, false);
+                        self.nics.reserve_cons(r, cc, wid, false);
                         worms.get_mut(wid).copies += 1;
                         worms.get_mut(wid).bounced = true;
-                        self.rt_mut(r).inputs[port][vc].mode =
-                            VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: None };
+                        self.routers.set_mode(
+                            r,
+                            port,
+                            vc,
+                            VcMode::Active { out_port: LOCAL8, out_vc: cc as u8, absorb: None },
+                        );
                         self.scratch.stats.bounces += 1;
                     } else {
                         self.scratch.stats.gather_blocked_cycles += 1;
@@ -896,16 +963,21 @@ impl<'a> TileView<'a> {
                 continue;
             }
             let out_port = dir.index();
-            if let Some((ovc, cr)) = self.rt(r).best_free_out_vc(out_port, lo, hi) {
+            if let Some((ovc, cr)) = self.routers.best_free_out_vc(r, out_port, lo, hi) {
                 if best.is_none_or(|(_, _, bc)| cr > bc) {
                     best = Some((out_port, ovc, cr));
                 }
             }
         }
         let Some((out_port, out_vc, _)) = best else { return };
-        let absorb = self.rt_mut(r).inputs[port][vc].pending_absorb.take();
-        self.rt_mut(r).inputs[port][vc].mode = VcMode::Active { out_port, out_vc, absorb };
-        self.rt_mut(r).out_alloc[out_port][out_vc] = Some((port, vc));
+        let absorb = self.routers.take_pending_absorb(r, port, vc);
+        self.routers.set_mode(
+            r,
+            port,
+            vc,
+            VcMode::Active { out_port: out_port as u8, out_vc: out_vc as u8, absorb },
+        );
+        self.routers.set_alloc(r, out_port, out_vc, Some((port, vc)));
         if let Some(rec) = self.trace.as_deref_mut() {
             if rec.wants(TraceClass::Flit) {
                 rec.push(
@@ -928,7 +1000,7 @@ impl<'a> TileView<'a> {
     fn phase_movement(&mut self, now: Cycle, work: &[usize]) {
         let vcs = self.cfg.vcs_total();
         for &r in work {
-            if self.rt(r).flits == 0 {
+            if self.routers.flits(r) == 0 {
                 continue;
             }
             let mut used_in_port = [false; NUM_PORTS];
@@ -939,7 +1011,7 @@ impl<'a> TileView<'a> {
             if self.probe.is_some() {
                 for out_port in 0..4 {
                     for vc in 0..vcs {
-                        if self.rt(r).credit_starved(now, out_port, vc) {
+                        if self.routers.credit_starved(now, r, out_port, vc) {
                             let link = r * 4 + out_port;
                             self.probe.as_deref_mut().expect("checked").record_stall(now, link, vc);
                         }
@@ -952,7 +1024,7 @@ impl<'a> TileView<'a> {
                 let winner = self.pick_link_winner(now, r, out_port, vcs, &used_in_port);
                 if let Some((in_port, in_vc, out_vc)) = winner {
                     used_in_port[in_port] = true;
-                    self.rt_mut(r).rr[out_port] = in_port * vcs + in_vc + 1;
+                    self.routers.set_rr(r, out_port, in_port * vcs + in_vc + 1);
                     self.apply_forward(now, r, in_port, in_vc, out_port, out_vc);
                 }
             }
@@ -960,18 +1032,21 @@ impl<'a> TileView<'a> {
             // Local consumption: one flit per consumption channel per
             // cycle. Occupancy bits ascend `(port, vc)` like the full
             // sweep; the used-port flag keeps one consume per input port.
-            let occ = self.rt(r).occ;
+            let occ = self.routers.occ(r);
             for slot in occ.iter() {
                 let (in_port, in_vc) = (slot / vcs, slot % vcs);
                 if used_in_port[in_port] {
                     continue;
                 }
-                let ivc = &self.rt(r).inputs[in_port][in_vc];
-                let VcMode::Active { out_port: LOCAL, out_vc: cc, absorb: _ } = ivc.mode else {
+                let VcMode::Active { out_port: LOCAL8, out_vc: cc, absorb: _ } =
+                    self.routers.mode(r, in_port, in_vc)
+                else {
                     continue;
                 };
-                let Some(front) = ivc.buf.front() else { continue };
-                if front.ready_at > now || !self.nic(r).cons[cc].has_space() {
+                let cc = cc as usize;
+                if self.routers.front_ready(r, in_port, in_vc) > now
+                    || !self.nics.cons_has_space(r, cc)
+                {
                     continue;
                 }
                 self.apply_consume(r, in_port, in_vc, cc);
@@ -980,16 +1055,16 @@ impl<'a> TileView<'a> {
 
             // Parked gather drains: absorbed at the router interface, no
             // crossbar involvement.
-            let occ = self.rt(r).occ;
+            let occ = self.routers.occ(r);
             for slot in occ.iter() {
                 let (in_port, in_vc) = (slot / vcs, slot % vcs);
-                let ivc = &self.rt(r).inputs[in_port][in_vc];
-                let VcMode::DrainPark { entry } = ivc.mode else { continue };
-                let Some(front) = ivc.buf.front() else { continue };
-                if front.ready_at > now {
+                let VcMode::DrainPark { entry } = self.routers.mode(r, in_port, in_vc) else {
+                    continue;
+                };
+                if self.routers.front_ready(r, in_port, in_vc) > now {
                     continue;
                 }
-                self.apply_park_drain(r, in_port, in_vc, entry);
+                self.apply_park_drain(r, in_port, in_vc, entry as usize);
             }
         }
     }
@@ -1004,25 +1079,22 @@ impl<'a> TileView<'a> {
         vcs: usize,
         used_in_port: &[bool; NUM_PORTS],
     ) -> Option<(usize, usize, usize)> {
-        let router = self.rt(r);
         let mut best: Option<(usize, (usize, usize, usize))> = None; // (rr-distance key, move)
-        let rr = router.rr[out_port];
+        let rr = self.routers.rr(r, out_port);
         let total = NUM_PORTS * vcs;
         for out_vc in 0..vcs {
-            let Some((in_port, in_vc)) = router.out_alloc[out_port][out_vc] else { continue };
+            let Some((in_port, in_vc)) = self.routers.alloc(r, out_port, out_vc) else { continue };
             if used_in_port[in_port] {
                 continue;
             }
-            if router.out_credit[out_port][out_vc] == 0 {
+            if self.routers.credit(r, out_port, out_vc) == 0 {
                 continue;
             }
-            let ivc = &router.inputs[in_port][in_vc];
-            let Some(front) = ivc.buf.front() else { continue };
-            if front.ready_at > now {
+            if self.routers.front_ready(r, in_port, in_vc) > now {
                 continue;
             }
-            if let VcMode::Active { absorb: Some(cc), .. } = ivc.mode {
-                if !self.nic(r).cons[cc].has_space() {
+            if let VcMode::Active { absorb: Some(cc), .. } = self.routers.mode(r, in_port, in_vc) {
+                if !self.nics.cons_has_space(r, cc as usize) {
                     continue;
                 }
             }
@@ -1043,17 +1115,17 @@ impl<'a> TileView<'a> {
         out_port: usize,
         out_vc: usize,
     ) {
-        let bf = self.rt_mut(r).pop(in_port, in_vc);
+        let bf = self.routers.pop(r, in_port, in_vc);
         let flit = bf.flit;
-        let node = self.rt(r).node;
+        let node = NodeId(r as u16);
         let dir = match Port::from_index(out_port) {
             Port::Dir(d) => d,
             Port::Local => unreachable!("apply_forward is for link ports"),
         };
 
         // Absorb copy (forward-and-absorb).
-        if let VcMode::Active { absorb: Some(cc), .. } = self.rt(r).inputs[in_port][in_vc].mode {
-            self.nic_mut(r).cons[cc].fifo.push_back(flit);
+        if let VcMode::Active { absorb: Some(cc), .. } = self.routers.mode(r, in_port, in_vc) {
+            self.nics.cons_push(r, cc as usize, flit);
             self.scratch.stats.flits_consumed += 1;
             self.activate_nic(r);
         }
@@ -1064,7 +1136,7 @@ impl<'a> TileView<'a> {
         if let Some(p) = self.probe.as_deref_mut() {
             p.record_forward(now, r * 4 + out_port, out_vc);
         }
-        self.rt_mut(r).out_credit[out_port][out_vc] -= 1;
+        self.routers.take_credit(r, out_port, out_vc);
         self.return_credit(r, in_port, in_vc);
 
         // Head bookkeeping: the worm may enter its "turned" phase.
@@ -1081,14 +1153,18 @@ impl<'a> TileView<'a> {
 
         // Deposit downstream; a boundary crossing defers to the barrier
         // (exact: the flit's future `ready_at` makes it invisible this
-        // cycle either way).
+        // cycle either way). Hierarchy boundary links add their extra
+        // delay here, which only *raises* `ready_at` and therefore
+        // preserves the lookahead invariant.
         let nb =
             self.cfg.mesh.neighbor(node, dir).expect("route computation never leaves the mesh");
         let in_port_nb = Port::Dir(dir.opposite()).index();
-        let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
+        let ready = now
+            + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 }
+            + self.link_extra[r * 4 + out_port];
         let nbi = nb.idx();
         if self.in_tile(nbi) {
-            self.rt_mut(nbi).deposit(in_port_nb, out_vc, BufFlit { flit, ready_at: ready });
+            self.routers.deposit(nbi, in_port_nb, out_vc, BufFlit { flit, ready_at: ready });
             self.activate_router(nbi);
         } else {
             self.scratch.deposits.push(XDeposit {
@@ -1101,32 +1177,32 @@ impl<'a> TileView<'a> {
 
         // Tail releases allocations.
         if flit.kind == FlitKind::Tail {
-            self.rt_mut(r).inputs[in_port][in_vc].mode = VcMode::Normal;
-            self.rt_mut(r).out_alloc[out_port][out_vc] = None;
+            self.routers.set_mode(r, in_port, in_vc, VcMode::Normal);
+            self.routers.set_alloc(r, out_port, out_vc, None);
         }
     }
 
     fn apply_consume(&mut self, r: usize, in_port: usize, in_vc: usize, cc: usize) {
-        let bf = self.rt_mut(r).pop(in_port, in_vc);
-        self.nic_mut(r).cons[cc].fifo.push_back(bf.flit);
+        let bf = self.routers.pop(r, in_port, in_vc);
+        self.nics.cons_push(r, cc, bf.flit);
         self.activate_nic(r);
         self.scratch.stats.flits_consumed += 1;
         self.return_credit(r, in_port, in_vc);
         if bf.flit.kind == FlitKind::Tail {
-            self.rt_mut(r).inputs[in_port][in_vc].mode = VcMode::Normal;
+            self.routers.set_mode(r, in_port, in_vc, VcMode::Normal);
         }
     }
 
     fn apply_park_drain(&mut self, r: usize, in_port: usize, in_vc: usize, entry: usize) {
-        let bf = self.rt_mut(r).pop(in_port, in_vc);
+        let bf = self.routers.pop(r, in_port, in_vc);
         self.return_credit(r, in_port, in_vc);
         let is_tail = bf.flit.kind == FlitKind::Tail;
-        if self.nic_mut(r).park_drain(entry, is_tail).is_some() {
+        if self.nics.park_drain(r, entry, is_tail).is_some() {
             // Park resolved onto the resume queue.
             self.activate_nic(r);
         }
         if is_tail {
-            self.rt_mut(r).inputs[in_port][in_vc].mode = VcMode::Normal;
+            self.routers.set_mode(r, in_port, in_vc, VcMode::Normal);
         }
     }
 
@@ -1142,12 +1218,12 @@ impl<'a> TileView<'a> {
             Port::Dir(d) => d,
             Port::Local => unreachable!(),
         };
-        let node = self.rt(r).node;
+        let node = NodeId(r as u16);
         let up = self.cfg.mesh.neighbor(node, dir).expect("input port faces a neighbor");
         let up_out = Port::Dir(dir.opposite()).index();
         let ui = up.idx();
         if self.in_tile(ui) {
-            self.rt_mut(ui).out_credit[up_out][in_vc] += 1;
+            self.routers.add_credit(ui, up_out, in_vc);
         } else {
             self.scratch.credits.push(XCredit { node: ui, port: up_out, vc: in_vc });
         }
@@ -1170,10 +1246,10 @@ impl<'a> TileView<'a> {
     /// Rotates the queue in place (one pass, no fresh queue allocation):
     /// failed retries go to the back, preserving relative order.
     fn nic_flush_deposits(&mut self, n: usize) {
-        for _ in 0..self.nic(n).pending_deposits.len() {
-            let (txn, acks) = self.nic_mut(n).pending_deposits.pop_front().expect("counted");
-            if self.nic_mut(n).post_iack_count(txn, acks).is_no_space() {
-                self.nic_mut(n).pending_deposits.push_back((txn, acks));
+        for _ in 0..self.nics.pending_len(n) {
+            let (txn, acks) = self.nics.pop_pending(n).expect("counted");
+            if self.nics.post_iack_count(n, txn, acks).is_no_space() {
+                self.nics.push_pending(n, txn, acks);
             } else {
                 self.scratch.stats.deposits += 1;
             }
@@ -1190,12 +1266,12 @@ impl<'a> TileView<'a> {
     /// replay at the barrier.
     fn nic_drain(&mut self, now: Cycle, n: usize) {
         let worms = self.worms;
-        for cc in 0..self.nic(n).cons.len() {
-            let Some(flit) = self.nic_mut(n).cons[cc].fifo.pop_front() else { continue };
+        for cc in 0..self.cfg.cons_channels {
+            let Some(flit) = self.nics.cons_pop(n, cc) else { continue };
             if flit.kind != FlitKind::Tail {
                 continue;
             }
-            let wid = self.nic(n).cons[cc].owner.expect("draining channel has an owner");
+            let wid = self.nics.cons_owner(n, cc).expect("draining channel has an owner");
             if wid != flit.worm && self.scratch.violation.is_none() {
                 // Promoted from a debug_assert: a tail draining under the
                 // wrong owner means the consumption-channel bookkeeping is
@@ -1206,10 +1282,9 @@ impl<'a> TileView<'a> {
                     flit.worm.0, wid.0
                 ));
             }
-            let absorb = self.nic(n).cons[cc].absorb;
-            self.nic_mut(n).cons[cc].owner = None;
-            self.nic_mut(n).cons[cc].absorb = false;
-            let node = self.nic(n).node;
+            let absorb = self.nics.cons_absorb(n, cc);
+            self.nics.release_cons(n, cc);
+            let node = NodeId(n as u16);
 
             let (src, payload, txn, acks, deposit, kind, bounced, queued_at) = {
                 let w = worms.get(wid);
@@ -1227,16 +1302,19 @@ impl<'a> TileView<'a> {
 
             if absorb {
                 // Absorbed copy at an intermediate destination.
-                self.nic_mut(n).delivered.push_back(Delivery {
-                    node,
-                    worm: wid,
-                    src,
-                    payload,
-                    kind: DeliveryKind::Absorb,
-                    acks: 0,
-                    at: now,
-                    txn,
-                });
+                self.nics.push_delivery(
+                    n,
+                    Delivery {
+                        node,
+                        worm: wid,
+                        src,
+                        payload,
+                        kind: DeliveryKind::Absorb,
+                        acks: 0,
+                        at: now,
+                        txn,
+                    },
+                );
                 self.scratch.stats.deliveries += 1;
                 self.note_delivery(n);
                 // The copy count (and a possible retire) is shared with
@@ -1261,7 +1339,7 @@ impl<'a> TileView<'a> {
                 w.turned = false;
                 w.state = WormState::Queued;
                 let vnet = w.spec.vnet;
-                self.nic_mut(n).enqueue(vnet, wid);
+                self.nics.enqueue(n, vnet, wid);
                 continue;
             }
 
@@ -1274,23 +1352,26 @@ impl<'a> TileView<'a> {
                 // pending deposit whose sweep has already parked resolves
                 // into the parked entry without needing a free slot, so
                 // the queue always drains.
-                if self.nic_mut(n).post_iack_count(txn, acks).is_no_space() {
+                if self.nics.post_iack_count(n, txn, acks).is_no_space() {
                     self.scratch.stats.deposit_retries += 1;
-                    self.nic_mut(n).pending_deposits.push_back((txn, acks));
+                    self.nics.push_pending(n, txn, acks);
                 } else {
                     self.scratch.stats.deposits += 1;
                 }
             } else {
-                self.nic_mut(n).delivered.push_back(Delivery {
-                    node,
-                    worm: wid,
-                    src,
-                    payload,
-                    kind: DeliveryKind::Final,
-                    acks,
-                    at: now,
-                    txn,
-                });
+                self.nics.push_delivery(
+                    n,
+                    Delivery {
+                        node,
+                        worm: wid,
+                        src,
+                        payload,
+                        kind: DeliveryKind::Final,
+                        acks,
+                        at: now,
+                        txn,
+                    },
+                );
                 self.scratch.stats.deliveries += 1;
                 self.note_delivery(n);
             }
@@ -1301,7 +1382,7 @@ impl<'a> TileView<'a> {
     /// Re-inject parked gather worms whose ack arrived.
     fn nic_resume(&mut self, n: usize) {
         let worms = self.worms;
-        while let Some((wid, count)) = self.nic_mut(n).resume_q.pop_front() {
+        while let Some((wid, count)) = self.nics.pop_resume(n) {
             let vnet = {
                 let w = worms.get_mut(wid);
                 w.acks += count;
@@ -1310,7 +1391,7 @@ impl<'a> TileView<'a> {
                 w.state = WormState::Queued;
                 w.spec.vnet
             };
-            self.nic_mut(n).enqueue(vnet, wid);
+            self.nics.enqueue(n, vnet, wid);
             self.scratch.stats.resumes += 1;
         }
     }
@@ -1322,16 +1403,19 @@ impl<'a> TileView<'a> {
         for vc in 0..vcs {
             // Start a new stream if this VC is idle and a worm of its
             // virtual-network class is waiting.
-            if self.nic(n).streaming[vc].is_none() {
+            if self.nics.streaming(n, vc).is_none() {
                 let vnet = self.cfg.vnet_of(vc);
-                if let Some(wid) = self.nic_mut(n).inject_q[vnet.index()].pop_front() {
+                if let Some(wid) = self.nics.pop_inject(n, vnet) {
                     let len = worms.get(wid).spec.len_flits;
-                    self.nic_mut(n).streaming[vc] =
-                        Some(StreamState { worm: wid, next_seq: 0, len });
+                    self.nics.set_streaming(
+                        n,
+                        vc,
+                        Some(StreamState { worm: wid, next_seq: 0, len }),
+                    );
                 }
             }
-            let Some(mut st) = self.nic(n).streaming[vc] else { continue };
-            if self.rt(n).inputs[LOCAL][vc].space() == 0 {
+            let Some(mut st) = self.nics.streaming(n, vc) else { continue };
+            if self.routers.space(n, LOCAL, vc) == 0 {
                 continue;
             }
             let flit = Flit {
@@ -1346,7 +1430,7 @@ impl<'a> TileView<'a> {
                 seq: st.next_seq,
             };
             let ready = now + if flit.kind == FlitKind::Head { self.cfg.router_delay } else { 1 };
-            self.rt_mut(n).deposit(LOCAL, vc, BufFlit { flit, ready_at: ready });
+            self.routers.deposit(n, LOCAL, vc, BufFlit { flit, ready_at: ready });
             self.activate_router(n);
             self.scratch.stats.flits_injected += 1;
             if flit.kind == FlitKind::Head {
@@ -1357,9 +1441,27 @@ impl<'a> TileView<'a> {
                 w.state = WormState::InFlight;
             }
             st.next_seq += 1;
-            self.nic_mut(n).streaming[vc] = if st.next_seq == st.len { None } else { Some(st) };
+            self.nics.set_streaming(n, vc, if st.next_seq == st.len { None } else { Some(st) });
         }
     }
+}
+
+/// Per-link extra delays implied by the hierarchy: `node * 4 + dir`,
+/// zero everywhere on a flat mesh, `inter_chip_extra` on every link that
+/// crosses a chip boundary. Built once per network; the tick only reads.
+fn build_link_extra(cfg: &MeshConfig) -> Vec<Cycle> {
+    let nodes = cfg.mesh.nodes();
+    let mut extra = vec![0; nodes * 4];
+    if let Some(h) = cfg.hierarchy {
+        for n in 0..nodes {
+            for dir in Direction::ALL {
+                if h.chip.crosses_boundary(&cfg.mesh, NodeId(n as u16), dir) {
+                    extra[n * 4 + dir.index()] = h.inter_chip_extra;
+                }
+            }
+        }
+    }
+    extra
 }
 
 /// The whole wormhole-routed mesh: routers, NICs, worms, clock.
@@ -1374,11 +1476,14 @@ impl<'a> TileView<'a> {
 #[derive(Debug)]
 pub struct Network {
     cfg: MeshConfig,
-    routers: Vec<Router>,
-    nics: Vec<Nic>,
+    routers: RouterSlab,
+    nics: NicSlab,
     worms: WormTable,
     now: Cycle,
     stats: NetStats,
+    /// Extra per-link delay from the hierarchy (`node * 4 + dir`); all
+    /// zeros on a flat mesh. See [`build_link_extra`].
+    link_extra: Vec<Cycle>,
     /// Worms not yet fully delivered (fast quiescence check).
     live_worms: usize,
     /// Membership flags for `active_routers` (one per node).
@@ -1421,26 +1526,18 @@ pub struct Network {
 }
 
 impl Network {
-    /// Build an idle network.
+    /// Build an idle network. Panics on an invalid configuration (see
+    /// [`MeshConfig::validate`] for the checked limits).
     pub fn new(cfg: MeshConfig) -> Self {
-        assert!(cfg.vcs_per_vnet >= 1 && cfg.vc_buf_flits >= 1);
-        assert!(cfg.router_delay >= 1 && cfg.strip_delay >= 1 && cfg.iack_check_delay >= 1);
+        if let Err(e) = cfg.validate() {
+            panic!("invalid MeshConfig: {e}");
+        }
         let nodes = cfg.mesh.nodes();
         let vcs = cfg.vcs_total();
-        let routers = (0..nodes)
-            .map(|i| Router::new(NodeId(i as u16), NUM_PORTS, vcs, cfg.vc_buf_flits))
-            .collect();
-        let nics = (0..nodes)
-            .map(|i| {
-                Nic::new(
-                    NodeId(i as u16),
-                    cfg.cons_channels,
-                    cfg.cons_buf_flits,
-                    cfg.iack_buffers,
-                    vcs,
-                )
-            })
-            .collect();
+        let routers = RouterSlab::new(nodes, NUM_PORTS, vcs, cfg.vc_buf_flits);
+        let nics =
+            NicSlab::new(nodes, cfg.cons_channels, cfg.cons_buf_flits, cfg.iack_buffers, vcs);
+        let link_extra = build_link_extra(&cfg);
         let stats = NetStats::new(nodes);
         let tables = [
             RouteTable::build(cfg.rule_for(VNet::Req), &cfg.mesh),
@@ -1454,6 +1551,7 @@ impl Network {
             worms: WormTable::new(),
             now: 0,
             stats,
+            link_extra,
             live_worms: 0,
             router_active: vec![false; nodes],
             active_routers: Vec::new(),
@@ -1539,7 +1637,7 @@ impl Network {
     /// been — upper-bounds the queueing the profiler's `inject_queue`
     /// phase can attribute to a single home NIC.
     pub fn inject_backlog_hwm(&self) -> usize {
-        self.nics.iter().map(|n| n.inject_backlog_hwm).max().unwrap_or(0)
+        self.nics.max_inject_backlog()
     }
 
     /// The flight recorder (read side: events, timelines, JSON dump).
@@ -1621,11 +1719,11 @@ impl Network {
         assert_ne!(spec.dests[0], spec.src, "worm's first destination is its source");
         debug_assert!(
             {
-                // Stack bitset (4096 nodes is far beyond any simulated
-                // mesh) — the old per-injection HashSet dominated
-                // debug-build injection cost.
-                let mut seen = [0u64; 64];
-                debug_assert!(self.cfg.mesh.nodes() <= 64 * 64);
+                // Stack bitset (65536 nodes covers every mesh NodeId can
+                // address, up to k = 256) — the old per-injection HashSet
+                // dominated debug-build injection cost.
+                let mut seen = [0u64; 1024];
+                debug_assert!(self.cfg.mesh.nodes() <= 1024 * 64);
                 spec.dests.iter().all(|d| {
                     let (w, b) = (d.idx() / 64, d.idx() % 64);
                     let fresh = seen[w] >> b & 1 == 0;
@@ -1667,7 +1765,7 @@ impl Network {
             };
             self.trace.push(self.now, ev);
         }
-        self.nics[src.idx()].enqueue(vnet, id);
+        self.nics.enqueue(src.idx(), vnet, id);
         self.activate_nic(src.idx());
         self.stats.worms_injected[vnet.index()] += 1;
         self.live_worms += 1;
@@ -1686,10 +1784,7 @@ impl Network {
     pub fn post_iack_count(&mut self, node: NodeId, txn: TxnId, count: u32) -> bool {
         // A post can resolve a parked worm onto the resume queue.
         self.activate_nic(node.idx());
-        !matches!(
-            self.nics[node.idx()].post_iack_count(txn, count),
-            crate::nic::PostOutcome::NoSpace
-        )
+        !self.nics.post_iack_count(node.idx(), txn, count).is_no_space()
     }
 
     /// Take all messages delivered to `node` so far.
@@ -1697,12 +1792,12 @@ impl Network {
     /// Convenience API for tests and examples; the allocation-free path is
     /// [`Network::take_delivery_nodes`] + [`Network::pop_delivery`].
     pub fn take_deliveries(&mut self, node: NodeId) -> Vec<Delivery> {
-        self.nics[node.idx()].delivered.drain(..).collect()
+        self.nics.delivered_mut(node.idx()).drain(..).collect()
     }
 
     /// True if `node` has pending deliveries.
     pub fn has_deliveries(&self, node: NodeId) -> bool {
-        !self.nics[node.idx()].delivered.is_empty()
+        !self.nics.delivered(node.idx()).is_empty()
     }
 
     /// Drain the list of nodes with undrained deliveries into `buf`
@@ -1724,7 +1819,7 @@ impl Network {
 
     /// Pop the oldest undrained delivery at `node`, if any.
     pub fn pop_delivery(&mut self, node: NodeId) -> Option<Delivery> {
-        self.nics[node.idx()].delivered.pop_front()
+        self.nics.delivered_mut(node.idx()).pop_front()
     }
 
     /// True when a first-row router of any tile but the first could send
@@ -1750,17 +1845,19 @@ impl Network {
         let south = Direction::South.index();
         for b in &self.tile_bounds[1..] {
             for u in b.start..b.start + width {
-                let router = &self.routers[u];
-                if router.flits == 0 {
+                if self.routers.flits(u) == 0 {
                     continue;
                 }
                 for vc in 0..vcs {
-                    let Some((ip, iv)) = router.out_alloc[north][vc] else { continue };
-                    if router.out_credit[north][vc] != 0 {
+                    let Some((ip, iv)) = self.routers.alloc(u, north, vc) else { continue };
+                    if self.routers.credit(u, north, vc) != 0 {
                         continue;
                     }
-                    let Some(front) = router.inputs[ip][iv].buf.front() else { continue };
-                    if front.ready_at <= now && self.vc_could_pop(now, u - width, south, vc) {
+                    // `front_ready` is `Cycle::MAX` when empty, so one
+                    // comparison covers "no flit" and "not ready".
+                    if self.routers.front_ready(u, ip, iv) <= now
+                        && self.vc_could_pop(now, u - width, south, vc)
+                    {
                         return true;
                     }
                 }
@@ -1786,27 +1883,25 @@ impl Network {
         let north = Direction::North.index();
         let west = Direction::West.index();
         loop {
-            let router = &self.routers[r];
-            let ivc = &router.inputs[in_port][in_vc];
-            let Some(front) = ivc.buf.front() else { return false };
-            if front.ready_at > now {
+            if self.routers.front_ready(r, in_port, in_vc) > now {
                 return false;
             }
-            match ivc.mode {
+            match self.routers.mode(r, in_port, in_vc) {
                 // Park drains bypass the crossbar: a ready front always pops.
                 VcMode::DrainPark { .. } => return true,
                 VcMode::Active { out_port, out_vc, absorb } => {
+                    let (out_port, out_vc) = (out_port as usize, out_vc as usize);
                     if out_port == LOCAL {
                         // Consumption space only shrinks during movement
                         // (draining is phase 3), so "full now" is exact.
-                        return self.nics[r].cons[out_vc].has_space();
+                        return self.nics.cons_has_space(r, out_vc);
                     }
                     if let Some(cc) = absorb {
-                        if !self.nics[r].cons[cc].has_space() {
+                        if !self.nics.cons_has_space(r, cc as usize) {
                             return false;
                         }
                     }
-                    if router.out_credit[out_port][out_vc] > 0 {
+                    if self.routers.credit(r, out_port, out_vc) > 0 {
                         return true;
                     }
                     if out_port == north {
@@ -1820,7 +1915,11 @@ impl Network {
                     }
                     in_vc = out_vc;
                 }
-                VcMode::Normal => return self.head_could_pop(r, front.flit.worm),
+                VcMode::Normal => {
+                    let front =
+                        self.routers.front(r, in_port, in_vc).expect("ready implies present");
+                    return self.head_could_pop(r, front.flit.worm);
+                }
             }
         }
     }
@@ -1832,7 +1931,7 @@ impl Network {
     /// credit/allocation state this scan reads.
     fn head_could_pop(&self, r: usize, wid: WormId) -> bool {
         let w = self.worms.get(wid);
-        let here = self.routers[r].node;
+        let here = NodeId(r as u16);
         let next = w.next_dest();
         if next != here {
             // Forwarding head: allocation needs a legal direction with a
@@ -1841,12 +1940,12 @@ impl Network {
             let (lo, hi) = self.cfg.vc_class(w.spec.vnet);
             return Direction::ALL.iter().any(|d| {
                 mask & (1 << d.index()) != 0
-                    && self.routers[r].best_free_out_vc(d.index(), lo, hi).is_some()
+                    && self.routers.best_free_out_vc(r, d.index(), lo, hi).is_some()
             });
         }
         if w.at_last_dest_idx() {
             // Final consumption: a freshly reserved channel has space.
-            return self.nics[r].free_cons().is_some();
+            return self.nics.free_cons(r).is_some();
         }
         if !w.delivers_here() {
             // Waypoint strip re-arms the head at `now + strip_delay`
@@ -1916,6 +2015,7 @@ impl Network {
                 nics,
                 worms,
                 stats,
+                link_extra,
                 router_active,
                 nic_active,
                 delivered_flag,
@@ -1938,12 +2038,13 @@ impl Network {
                 let mut view = TileView {
                     base: 0,
                     end: cfg.mesh.nodes(),
-                    routers,
-                    nics,
+                    routers: routers.view_mut(),
+                    nics: nics.view_mut(),
                     router_active,
                     nic_active,
                     delivered_flag,
                     link_busy: &mut stats.link_busy,
+                    link_extra: link_extra.as_slice(),
                     worms: shared,
                     cfg,
                     tables,
@@ -1959,12 +2060,13 @@ impl Network {
                     cfg,
                     tables,
                     shared,
-                    routers,
-                    nics,
+                    routers.view_mut(),
+                    nics.view_mut(),
                     router_active,
                     nic_active,
                     delivered_flag,
                     &mut stats.link_busy,
+                    link_extra.as_slice(),
                     tile_scratch,
                     &router_work,
                     &nic_work,
@@ -1983,10 +2085,10 @@ impl Network {
                 self.violation.get_or_insert(v);
             }
             for c in s.credits.drain(..) {
-                self.routers[c.node].out_credit[c.port][c.vc] += 1;
+                self.routers.add_credit(c.node, c.port, c.vc);
             }
             for d in s.deposits.drain(..) {
-                self.routers[d.node].deposit(d.port, d.vc, d.bf);
+                self.routers.deposit(d.node, d.port, d.vc, d.bf);
                 self.activate_router(d.node);
             }
             for ev in s.events.drain(..) {
@@ -2009,8 +2111,8 @@ impl Network {
     }
 }
 
-/// Concurrent tile pass: carve the per-node state into per-tile exclusive
-/// slices, partition the sorted worklists by tile range, and fan the tile
+/// Concurrent tile pass: carve the per-node slabs into per-tile exclusive
+/// windows, partition the sorted worklists by tile range, and fan the tile
 /// jobs out across the worker pool.
 #[allow(clippy::too_many_arguments)]
 fn run_tiles<'a>(
@@ -2019,26 +2121,29 @@ fn run_tiles<'a>(
     cfg: &'a MeshConfig,
     tables: &'a [RouteTable; NUM_VNETS],
     shared: SharedWorms,
-    mut routers_rest: &'a mut [Router],
-    mut nics_rest: &'a mut [Nic],
+    routers: RouterTile<'a>,
+    nics: NicTile<'a>,
     mut ra_rest: &'a mut [bool],
     mut na_rest: &'a mut [bool],
     mut df_rest: &'a mut [bool],
     mut lb_rest: &'a mut [u64],
+    link_extra: &'a [Cycle],
     tile_scratch: &'a mut [TileScratch],
     router_work: &'a [usize],
     nic_work: &'a [usize],
     pool: &WorkerPool,
 ) {
+    let mut routers_rest = routers;
+    let mut nics_rest = nics;
     let mut scratch_iter = tile_scratch.iter_mut();
     let mut rw_rest: &[usize] = router_work;
     let mut nw_rest: &[usize] = nic_work;
     let mut jobs: Vec<Mutex<TileJob>> = Vec::with_capacity(bounds.len());
     for b in bounds {
         let len = b.end - b.start;
-        let (r_s, r_r) = std::mem::take(&mut routers_rest).split_at_mut(len);
+        let (r_s, r_r) = routers_rest.split_at(len);
         routers_rest = r_r;
-        let (n_s, n_r) = std::mem::take(&mut nics_rest).split_at_mut(len);
+        let (n_s, n_r) = nics_rest.split_at(len);
         nics_rest = n_r;
         let (ra_s, ra_r) = std::mem::take(&mut ra_rest).split_at_mut(len);
         ra_rest = ra_r;
@@ -2063,6 +2168,7 @@ fn run_tiles<'a>(
             nic_active: na_s,
             delivered_flag: df_s,
             link_busy: lb_s,
+            link_extra,
             worms: shared,
             cfg,
             tables,

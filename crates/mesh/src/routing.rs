@@ -265,53 +265,110 @@ pub fn route_options(
     }
 }
 
-/// Precomputed next-hop table for one [`PathRule`] over one mesh.
+/// Direction bitmask of legal productive hops from `cur` toward `dst`
+/// under `rule` (bit `Direction::index()`); zero when at the destination
+/// or when the destination is unreachable without violating the rule.
 ///
-/// Flattens [`route_options`] into a `[cur][dst]` lookup of direction
-/// bitmasks (bit `Direction::index()`), one mask for the un-turned phase
-/// and one for after the turn, so the per-flit routing decision inside the
-/// network's parallel tick is two loads instead of a branchy computation
-/// that allocates a `Vec`. Masks preserve the option *order* contract of
-/// [`route_options`] (X before Y) because routers scan mask bits in
-/// `Direction::ALL` order, which is exactly E, W, N, S.
+/// This is [`route_options`] flattened into a closed-form, allocation-free
+/// computation: a handful of coordinate compares and bit ors per call.
+/// Masks preserve the option *order* contract of `route_options` (X before
+/// Y) because routers scan mask bits in `Direction::ALL` order, which is
+/// exactly E, W, N, S.
+#[inline]
+pub fn route_mask(rule: PathRule, mesh: &Mesh2D, cur: NodeId, dst: NodeId, turned: bool) -> u8 {
+    let (c, d) = (mesh.coord(cur), mesh.coord(dst));
+    const E: u8 = 1 << 0;
+    const W: u8 = 1 << 1;
+    const N: u8 = 1 << 2;
+    const S: u8 = 1 << 3;
+    let xbit = match d.x.cmp(&c.x) {
+        core::cmp::Ordering::Greater => E,
+        core::cmp::Ordering::Less => W,
+        core::cmp::Ordering::Equal => 0,
+    };
+    let ybit = match d.y.cmp(&c.y) {
+        core::cmp::Ordering::Greater => S,
+        core::cmp::Ordering::Less => N,
+        core::cmp::Ordering::Equal => 0,
+    };
+    match rule {
+        // Deterministic e-cube: the restricted dimension travels first; once
+        // turned, a remaining hop in it is unreachable (mask 0).
+        PathRule::XY => {
+            if xbit != 0 {
+                if turned {
+                    0
+                } else {
+                    xbit
+                }
+            } else {
+                ybit
+            }
+        }
+        PathRule::YX => {
+            if ybit != 0 {
+                if turned {
+                    0
+                } else {
+                    ybit
+                }
+            } else {
+                xbit
+            }
+        }
+        // Turn model: the restricted X direction first, then adaptive among
+        // the remaining productive hops.
+        PathRule::WestFirst => {
+            if xbit == W {
+                if turned {
+                    0
+                } else {
+                    W
+                }
+            } else {
+                xbit | ybit
+            }
+        }
+        PathRule::EastFirst => {
+            if xbit == E {
+                if turned {
+                    0
+                } else {
+                    E
+                }
+            } else {
+                xbit | ybit
+            }
+        }
+    }
+}
+
+/// Next-hop mask oracle for one [`PathRule`] over one mesh.
 ///
-/// Also carries per-(src, dst) BRCP conformance bits for the
-/// multidestination schemes: `same_col`/`same_row` answer the column/row
-/// membership questions (the building blocks of column-path and row-path
-/// conformance checks) in O(1).
+/// Historically this materialized a flat `[cur][dst]` table of direction
+/// bitmasks — O(nodes²) memory, ~536 MB at k=128 — built once per network.
+/// The masks are now computed algorithmically per query ([`route_mask`]):
+/// O(1) memory at any mesh size, and still allocation-free on the per-flit
+/// routing path (the old table's two dependent loads become a few register
+/// compares). The [`RouteTable`] name and query API survive so callers are
+/// unchanged, and an exhaustive equivalence test pins the algorithmic masks
+/// to the `route_options` reference at k=4/8/16 (sampled at k=32).
+///
+/// Also answers per-(src, dst) BRCP conformance questions for the
+/// multidestination schemes: `same_col`/`same_row` are the column/row
+/// membership tests (the building blocks of column-path and row-path
+/// conformance checks), O(1) as before.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
     mesh: Mesh2D,
-    /// `masks[cur * nodes + dst]` = (directions before turn, after turn).
-    masks: Vec<(u8, u8)>,
+    rule: PathRule,
 }
 
 impl RouteTable {
-    /// Build the table for `rule` over `mesh`: `nodes²` entries, computed
-    /// once per network.
+    /// Build the oracle for `rule` over `mesh`. O(1) time and memory (the
+    /// name is historical; nothing is materialized any more).
     pub fn build(rule: PathRule, mesh: &Mesh2D) -> Self {
-        let n = mesh.nodes();
-        let mut masks = vec![(0u8, 0u8); n * n];
-        for cur in 0..n {
-            for dst in 0..n {
-                let mut entry = (0u8, 0u8);
-                for (turned, slot) in [(false, 0usize), (true, 1usize)] {
-                    let mut m = 0u8;
-                    for d in
-                        route_options(rule, mesh, NodeId(cur as u16), NodeId(dst as u16), turned)
-                    {
-                        m |= 1 << d.index();
-                    }
-                    if slot == 0 {
-                        entry.0 = m;
-                    } else {
-                        entry.1 = m;
-                    }
-                }
-                masks[cur * n + dst] = entry;
-            }
-        }
-        Self { mesh: *mesh, masks }
+        Self { mesh: *mesh, rule }
     }
 
     /// Direction bitmask of legal productive hops from `cur` toward `dst`
@@ -319,12 +376,7 @@ impl RouteTable {
     /// destination is unreachable without violating the rule.
     #[inline]
     pub fn mask(&self, cur: NodeId, dst: NodeId, turned: bool) -> u8 {
-        let e = self.masks[cur.0 as usize * self.mesh.nodes() + dst.0 as usize];
-        if turned {
-            e.1
-        } else {
-            e.0
-        }
+        route_mask(self.rule, &self.mesh, cur, dst, turned)
     }
 
     /// Legal hops from `cur` toward `dst` in canonical (X-before-Y) order.
@@ -574,6 +626,80 @@ mod tests {
                         assert_eq!(mask.count_ones() as usize, expect.len());
                     }
                 }
+            }
+        }
+    }
+
+    /// Materialize the reference mask table the old `RouteTable::build`
+    /// produced — straight from `route_options` — for equivalence checks.
+    fn reference_masks(rule: PathRule, m: &Mesh2D) -> Vec<(u8, u8)> {
+        let n = m.nodes();
+        let mut masks = vec![(0u8, 0u8); n * n];
+        for cur in 0..n {
+            for dst in 0..n {
+                let mut entry = (0u8, 0u8);
+                for turned in [false, true] {
+                    let mut mk = 0u8;
+                    for d in route_options(rule, m, NodeId(cur as u16), NodeId(dst as u16), turned)
+                    {
+                        mk |= 1 << d.index();
+                    }
+                    if turned {
+                        entry.1 = mk;
+                    } else {
+                        entry.0 = mk;
+                    }
+                }
+                masks[cur * n + dst] = entry;
+            }
+        }
+        masks
+    }
+
+    /// The algorithmic masks must be output-identical to the materialized
+    /// `route_options` table over every (src, dst) pair at k=4/8/16, for
+    /// every rule and turn state.
+    #[test]
+    fn route_mask_matches_materialized_table_small_meshes() {
+        for k in [4usize, 8, 16] {
+            let m = Mesh2D::square(k);
+            for rule in [PathRule::XY, PathRule::YX, PathRule::WestFirst, PathRule::EastFirst] {
+                let reference = reference_masks(rule, &m);
+                let t = RouteTable::build(rule, &m);
+                for cur in m.iter_nodes() {
+                    for dst in m.iter_nodes() {
+                        let e = reference[cur.idx() * m.nodes() + dst.idx()];
+                        assert_eq!(
+                            (t.mask(cur, dst, false), t.mask(cur, dst, true)),
+                            e,
+                            "k={k} {rule:?} {cur}->{dst}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sampled (src, dst) pairs at k=32 — the full table would be 2^20
+    /// entries per rule; a deterministic stride covers a spread of rows,
+    /// columns, and diagonals.
+    #[test]
+    fn route_mask_matches_route_options_sampled_k32() {
+        let m = Mesh2D::square(32);
+        let n = m.nodes();
+        for rule in [PathRule::XY, PathRule::YX, PathRule::WestFirst, PathRule::EastFirst] {
+            let t = RouteTable::build(rule, &m);
+            // 1021 is prime and coprime to 1024^2, so the stride walks every
+            // residue class; ~1k pairs per rule.
+            let mut pair = 0usize;
+            for _ in 0..1024 {
+                let (cur, dst) = (NodeId((pair / n) as u16), NodeId((pair % n) as u16));
+                for turned in [false, true] {
+                    let expect: Vec<Direction> = route_options(rule, &m, cur, dst, turned);
+                    let got: Vec<Direction> = t.options(cur, dst, turned).collect();
+                    assert_eq!(got, expect, "{rule:?} {cur}->{dst} turned={turned}");
+                }
+                pair = (pair + 1021 * 997) % (n * n);
             }
         }
     }

@@ -28,6 +28,7 @@ pub mod inline_vec;
 pub mod pool;
 pub mod profile;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod trace;
 
@@ -38,6 +39,7 @@ pub use inline_vec::InlineVec;
 pub use pool::WorkerPool;
 pub use profile::{Phase, TxnProfiler, TxnRecord};
 pub use rng::Rng;
+pub use slab::{Strided, StridedView};
 pub use stats::{Counter, Histogram, Metric, Registry, Summary, TimeWeighted};
 pub use trace::{
     FlightRecorder, InvariantViolation, TraceClass, TraceEvent, TraceKind, TraceLevel,
