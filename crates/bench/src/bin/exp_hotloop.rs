@@ -34,12 +34,20 @@
 //! Usage: `exp_hotloop [--k 4] [--scheme "MI-MA(col)"] [--compute-scale 256]
 //!                     [--out BENCH_hotloop.json] [--busy-out BENCH_busycycle.json]
 //!                     [--partick] [--partick-out BENCH_partick.json]
-//!                     [--trace] [--trace-out BENCH_trace.json]`
+//!                     [--trace] [--trace-out BENCH_trace.json]
+//!                     [--app bh] [--snapshot-every N] [--snapshot-out FILE]
+//!                     [--resume FILE]`
+//!
+//! `--snapshot-every N` runs one app arm (`--app`) writing a resumable
+//! checkpoint every N cycles and keeps the last at `--snapshot-out`;
+//! `--resume FILE` picks such a run back up and proves the rejoined run
+//! bit-identical to one that was never interrupted.
 
 use std::time::Instant;
 use wormdsm_bench::{arg, assert_coherent, flag, seeded_workload, warn_on_trace_drops};
 use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig, TraceLevel};
 use wormdsm_sim::trace::TraceKind;
+use wormdsm_workloads::WindowStats;
 
 struct Arm {
     cycles: u64,
@@ -51,6 +59,15 @@ struct Arm {
     worm_slots_reused: u64,
     scratch_grows: u64,
     hazard_fallbacks: u64,
+    /// Speculative cycles validated and committed by the optimistic tick.
+    spec_commits: u64,
+    /// Cycles whose boundary-credit digest mismatched and were replayed.
+    spec_rollbacks: u64,
+    /// Cycles re-executed on the serial schedule by those rollbacks.
+    spec_replayed_cycles: u64,
+    /// Worker threads the pool actually got (0 when serial); may be less
+    /// than `tiles - 1` on a small host or under `WORMDSM_POOL_WORKERS`.
+    effective_workers: usize,
     /// Full metrics registry (protocol + `net_`-prefixed mesh counters)
     /// as a JSON object, embedded verbatim in the BENCH rows.
     metrics_json: String,
@@ -138,8 +155,13 @@ fn run_arm_traced(
     let r = w.run(&mut sys, 500_000_000).expect("application completes");
     let wall_s = t0.elapsed().as_secs_f64();
     assert_coherent(&sys, &format!("{app} k={k} T={tiles}"));
-    let arm = Arm {
-        cycles: r.cycles,
+    (finish_arm(&sys, r.cycles, wall_s), sys)
+}
+
+/// Collect an [`Arm`] from a finished system.
+fn finish_arm(sys: &DsmSystem, cycles: u64, wall_s: f64) -> Arm {
+    Arm {
+        cycles,
         flit_hops: sys.net_stats().flit_hops,
         inval_lat_sum: sys.metrics().inval_latency.sum(),
         inval_lat_count: sys.metrics().inval_latency.count(),
@@ -148,9 +170,35 @@ fn run_arm_traced(
         worm_slots_reused: sys.net_stats().worm_slots_reused,
         scratch_grows: sys.net_stats().scratch_grows,
         hazard_fallbacks: sys.net_stats().hazard_fallbacks,
+        spec_commits: sys.net_stats().spec_commits,
+        spec_rollbacks: sys.net_stats().spec_rollbacks,
+        spec_replayed_cycles: sys.net_stats().spec_replayed_cycles,
+        effective_workers: sys.effective_workers(),
         metrics_json: sys.export_metrics().to_json(),
-    };
-    (arm, sys)
+    }
+}
+
+/// Run one arm under the W-cycle windowed speculative driver
+/// ([`Workload::run_windowed`]): Detect-mode tiles between snapshots,
+/// whole-window rollback + serial replay on a poisoned window.
+fn run_arm_windowed(
+    app: &str,
+    scheme: SchemeKind,
+    k: usize,
+    scale: u64,
+    tiles: usize,
+    window: u64,
+) -> (Arm, WindowStats) {
+    let mut cfg = SystemConfig::for_scheme(k, scheme);
+    cfg.mesh.tiles = tiles;
+    let mut sys = DsmSystem::new(cfg, scheme.build());
+    sys.set_fast_forward(true);
+    let w = seeded_workload(app, k * k, scale);
+    let t0 = Instant::now();
+    let (r, ws) = w.run_windowed(&mut sys, 500_000_000, window).expect("application completes");
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_coherent(&sys, &format!("{app} k={k} T={tiles} W={window}"));
+    (finish_arm(&sys, r.cycles, wall_s), ws)
 }
 
 /// Sweep the space-partitioned tick engine over tile counts at busy-cycle
@@ -176,8 +224,8 @@ fn partick_sweep(scheme: SchemeKind, out: &str) {
         if host_cores == 1 { "" } else { "s" }
     );
     println!(
-        "{:>4} {:>6} {:>3} {:>12} {:>12} {:>14} {:>8} {:>9}",
-        "k", "app", "T", "cycles", "wall s", "cycles/s", "speedup", "fallbacks"
+        "{:>4} {:>6} {:>3} {:>12} {:>12} {:>14} {:>8} {:>9} {:>9}",
+        "k", "app", "T", "cycles", "wall s", "cycles/s", "speedup", "rollback", "replayed"
     );
     // k = 16 sweeps Barnes-Hut only: APSP's smallest valid problem at 256
     // processors (n = 256) simulates an order of magnitude more cycles per
@@ -209,18 +257,33 @@ fn partick_sweep(scheme: SchemeKind, out: &str) {
                         "{app} k={k} T={tiles}: txn count diverged"
                     );
                 }
+                // The whole point of the optimistic engine: mis-speculated
+                // cycles replayed serially must be a tiny fraction of the
+                // hazard-driven serial surrenders the pessimistic scan
+                // used to take on this workload (149,343 on apsp k=8).
+                if app == "apsp" && k == 8 && tiles > 1 {
+                    assert!(
+                        best.spec_replayed_cycles <= 15_000,
+                        "apsp k=8 T={tiles}: {} replayed cycles, expected <= 15000",
+                        best.spec_replayed_cycles
+                    );
+                }
                 let cps = best.cycles as f64 / best.wall_s;
                 let speedup = match &serial {
                     Some(s) => s.wall_s / best.wall_s,
                     None => 1.0,
                 };
-                // Mirrors `Network::set_tiles`: the pool never outnumbers
-                // the host's spare cores, so T > cores degrades to a serial
-                // tile loop instead of oversubscribed spinning.
-                let pool_workers = (tiles - 1).min(host_cores - 1);
                 println!(
-                    "{:>4} {:>6} {:>3} {:>12} {:>12.3} {:>14.0} {:>7.2}x {:>9}",
-                    k, app, tiles, best.cycles, best.wall_s, cps, speedup, best.hazard_fallbacks
+                    "{:>4} {:>6} {:>3} {:>12} {:>12.3} {:>14.0} {:>7.2}x {:>9} {:>9}",
+                    k,
+                    app,
+                    tiles,
+                    best.cycles,
+                    best.wall_s,
+                    cps,
+                    speedup,
+                    best.spec_rollbacks,
+                    best.spec_replayed_cycles
                 );
                 let pr2 = (k == 8)
                     .then(|| PR2_REF_CPS.iter().find(|(a, _)| *a == app))
@@ -231,26 +294,92 @@ fn partick_sweep(scheme: SchemeKind, out: &str) {
                 rows.push(format!(
                     concat!(
                         "    {{\"k\": {}, \"app\": \"{}\", \"tiles\": {}, ",
-                        "\"pool_workers\": {}, \"cycles\": {}, ",
+                        "\"pool_workers_requested\": {}, ",
+                        "\"pool_workers_effective\": {}, \"cycles\": {}, ",
                         "\"wall_s\": {:.6}, \"cycles_per_s\": {:.0}, ",
-                        "\"speedup_vs_serial\": {:.3}{}, \"hazard_fallbacks\": {}, ",
+                        "\"speedup_vs_serial\": {:.3}{}, ",
+                        "\"spec_commits\": {}, \"spec_rollbacks\": {}, ",
+                        "\"spec_replayed_cycles\": {}, \"hazard_fallbacks\": {}, ",
                         "\"bit_identical_to_serial\": true}}"
                     ),
                     k,
                     app,
                     tiles,
-                    pool_workers,
+                    tiles - 1,
+                    best.effective_workers,
                     best.cycles,
                     best.wall_s,
                     cps,
                     speedup,
                     pr2,
+                    best.spec_commits,
+                    best.spec_rollbacks,
+                    best.spec_replayed_cycles,
                     best.hazard_fallbacks
                 ));
                 if serial.is_none() {
                     serial = Some(best);
                 }
             }
+        }
+    }
+
+    // W-window sweep: instead of validating every cycle, speculate W
+    // cycles between snapshots (Detect mode) and roll whole windows back
+    // on a violation. Every (T, W) combination must still reproduce the
+    // serial run bit for bit.
+    println!("\n== speculative W-window sweep, T = 4 (k = 8) ==");
+    println!(
+        "{:>6} {:>4} {:>12} {:>12.3} {:>9} {:>9} {:>9} {:>9}",
+        "app", "W", "cycles", "wall s", "windows", "commit", "rollback", "replayed"
+    );
+    let mut window_rows = Vec::new();
+    for app in ["bh", "apsp"] {
+        let serial = run_arm_tiled(app, scheme, 8, 1, true, 1);
+        for window in [1u64, 4, 16, 64] {
+            let (arm, ws) = run_arm_windowed(app, scheme, 8, 1, 4, window);
+            assert_eq!(arm.cycles, serial.cycles, "{app} W={window}: cycles diverged");
+            assert_eq!(arm.flit_hops, serial.flit_hops, "{app} W={window}: flit hops diverged");
+            assert_eq!(
+                arm.inval_lat_sum, serial.inval_lat_sum,
+                "{app} W={window}: inval latency diverged"
+            );
+            assert_eq!(
+                arm.inval_lat_count, serial.inval_lat_count,
+                "{app} W={window}: txn count diverged"
+            );
+            assert_eq!(
+                ws.windows,
+                ws.committed + ws.rolled_back,
+                "{app} W={window}: window accounting"
+            );
+            println!(
+                "{:>6} {:>4} {:>12} {:>12.3} {:>9} {:>9} {:>9} {:>9}",
+                app,
+                window,
+                arm.cycles,
+                arm.wall_s,
+                ws.windows,
+                ws.committed,
+                ws.rolled_back,
+                ws.replayed_cycles
+            );
+            window_rows.push(format!(
+                concat!(
+                    "    {{\"k\": 8, \"app\": \"{}\", \"tiles\": 4, \"window\": {}, ",
+                    "\"cycles\": {}, \"wall_s\": {:.6}, \"windows\": {}, ",
+                    "\"committed\": {}, \"rolled_back\": {}, ",
+                    "\"replayed_cycles\": {}, \"bit_identical_to_serial\": true}}"
+                ),
+                app,
+                window,
+                arm.cycles,
+                arm.wall_s,
+                ws.windows,
+                ws.committed,
+                ws.rolled_back,
+                ws.replayed_cycles
+            ));
         }
     }
     let pr2_ref = PR2_REF_CPS
@@ -262,15 +391,18 @@ fn partick_sweep(scheme: SchemeKind, out: &str) {
         concat!(
             "{{\n  \"scheme\": \"{}\",\n  \"compute_scale\": 1,\n",
             "  \"host_cores\": {},\n",
+            "  \"spec_mode\": \"optimistic\",\n",
             "  \"pr2_ref\": {{{}, ",
             "\"note\": \"PR 2 binary, same reference container (1 core), ",
             "fast arm, compute scale 1\"}},\n",
-            "  \"runs\": [\n{}\n  ]\n}}\n"
+            "  \"runs\": [\n{}\n  ],\n",
+            "  \"window_runs\": [\n{}\n  ]\n}}\n"
         ),
         scheme.name(),
         host_cores,
         pr2_ref,
-        rows.join(",\n")
+        rows.join(",\n"),
+        window_rows.join(",\n")
     );
     std::fs::write(out, json).expect("write partitioned-tick results");
     println!("\nwrote {out}");
@@ -413,6 +545,82 @@ fn trace_mode(scheme: SchemeKind, k: usize, out: &str) {
     println!("\nwrote {out}");
 }
 
+/// `--snapshot-every N`: run one app arm writing a resumable checkpoint
+/// every N cycles, keep the last one at `path`, and verify checkpointing
+/// was invisible (final state bit-identical to an uninterrupted run).
+fn checkpoint_mode(app: &str, scheme: SchemeKind, k: usize, scale: u64, every: u64, path: &str) {
+    println!("\n== checkpointed run: {app} on {k}x{k} {}, every {every} cycles ==", scheme.name());
+    let w = seeded_workload(app, k * k, scale);
+    let mut reference = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    reference.set_fast_forward(true);
+    w.run(&mut reference, 500_000_000).expect("application completes");
+
+    let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    sys.set_fast_forward(true);
+    let mut last: Option<(u64, Vec<u8>)> = None;
+    let mut taken = 0u64;
+    w.run_checkpointed(&mut sys, 500_000_000, every, |at, bytes| {
+        taken += 1;
+        last = Some((at, bytes));
+    })
+    .expect("application completes");
+    assert_coherent(&sys, &format!("{app} k={k} checkpointed"));
+    assert_eq!(
+        sys.export_metrics().to_json(),
+        reference.export_metrics().to_json(),
+        "checkpointing changed the run"
+    );
+    match last {
+        Some((at, bytes)) => {
+            std::fs::write(path, &bytes).expect("write checkpoint");
+            println!(
+                "{taken} checkpoints; finished at cycle {} bit-identical to the \
+                 uninterrupted run; kept the cycle-{at} checkpoint at {path} ({} bytes)",
+                sys.now(),
+                bytes.len()
+            );
+            println!(
+                "resume with: exp_hotloop --resume {path} --app {app} --k {k} \
+                 --scheme \"{}\" --compute-scale {scale}",
+                scheme.name()
+            );
+        }
+        None => println!(
+            "run finished at cycle {} before the first {every}-cycle boundary; nothing written",
+            sys.now()
+        ),
+    }
+}
+
+/// `--resume <file>`: rebuild system + issue cursors from a
+/// [`checkpoint_mode`] file, run the remainder, and verify the final
+/// state is bit-identical to a run that was never interrupted.
+fn resume_mode(app: &str, scheme: SchemeKind, k: usize, scale: u64, path: &str) {
+    println!("\n== resumed run: {app} on {k}x{k} {}, from {path} ==", scheme.name());
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let w = seeded_workload(app, k * k, scale);
+    let (mut sys, mut st) = w
+        .resume(SystemConfig::for_scheme(k, scheme), scheme.build(), &bytes)
+        .unwrap_or_else(|e| panic!("resume {path}: {e}"));
+    let from = sys.now();
+    w.run_from(&mut sys, &mut st, 500_000_000).expect("application completes");
+    assert_coherent(&sys, &format!("{app} k={k} resumed"));
+
+    let mut reference = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    reference.set_fast_forward(true);
+    let r_ref = w.run(&mut reference, 500_000_000).expect("application completes");
+    assert_eq!(st.issued(), r_ref.issued, "resumed run issued a different op count");
+    assert_eq!(
+        sys.export_metrics().to_json(),
+        reference.export_metrics().to_json(),
+        "resumed run diverged from the uninterrupted run"
+    );
+    println!(
+        "resumed at cycle {from}, finished at {}; bit-identical to the uninterrupted run",
+        sys.now()
+    );
+}
+
 fn main() {
     let k: usize = arg("--k", 4);
     let scale: u64 = arg("--compute-scale", 256);
@@ -423,10 +631,22 @@ fn main() {
     let partick_out: String = arg("--partick-out", "BENCH_partick.json".to_string());
     let trace = flag("--trace");
     let trace_out: String = arg("--trace-out", "BENCH_trace.json".to_string());
+    let app_arg: String = arg("--app", "bh".to_string());
+    let snapshot_every: u64 = arg("--snapshot-every", 0);
+    let snapshot_out: String = arg("--snapshot-out", "wormdsm.ckpt".to_string());
+    let resume: String = arg("--resume", String::new());
     let scheme = SchemeKind::ALL
         .into_iter()
         .find(|s| s.name() == scheme_name)
         .unwrap_or_else(|| panic!("unknown scheme {scheme_name}"));
+    if !resume.is_empty() {
+        resume_mode(&app_arg, scheme, k, scale, &resume);
+        return;
+    }
+    if snapshot_every > 0 {
+        checkpoint_mode(&app_arg, scheme, k, scale, snapshot_every, &snapshot_out);
+        return;
+    }
     // The golden busy-cycle reference applies only to its recorded config.
     let busy_ref = scale == 1 && k == 4 && scheme == SchemeKind::MiMaCol;
 
@@ -479,6 +699,21 @@ fn main() {
                 tiled.inval_lat_sum, g.inval_lat_sum,
                 "{app} T=4: inval latency diverged from golden"
             );
+            // And so must the windowed speculative driver: 4 tiles in
+            // Detect mode, snapshot every 4 cycles, whole-window rollback
+            // and serial replay on a violated speculation.
+            let (win, ws) = run_arm_windowed(app, scheme, k, scale, 4, 4);
+            assert_eq!(win.cycles, g.cycles, "{app} T=4 W=4: cycles diverged from golden");
+            assert_eq!(win.flit_hops, g.flit_hops, "{app} T=4 W=4: flit hops diverged from golden");
+            assert_eq!(
+                win.inval_lat_count, g.inval_lat_count,
+                "{app} T=4 W=4: txn count diverged from golden"
+            );
+            assert_eq!(
+                win.inval_lat_sum, g.inval_lat_sum,
+                "{app} T=4 W=4: inval latency diverged from golden"
+            );
+            assert_eq!(ws.windows, ws.committed + ws.rolled_back, "{app}: window accounting");
             let cps = fast.cycles as f64 / fast.wall_s;
             busy_rows.push(format!(
                 concat!(

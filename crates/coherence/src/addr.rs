@@ -56,6 +56,29 @@ impl MemGeometry {
     }
 }
 
+mod snap_impls {
+    use super::{Addr, BlockId};
+    use wormdsm_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for Addr {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u64(self.0);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Addr(r.get_u64()?))
+        }
+    }
+
+    impl Snap for BlockId {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u64(self.0);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(BlockId(r.get_u64()?))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -139,6 +139,53 @@ impl Cache {
     }
 }
 
+mod snap_impls {
+    use super::{Cache, Line, LineState};
+    use wormdsm_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for LineState {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u8(match self {
+                LineState::Shared => 0,
+                LineState::Modified => 1,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(LineState::Shared),
+                1 => Ok(LineState::Modified),
+                t => Err(SnapError::Corrupt(format!("bad LineState tag {t}"))),
+            }
+        }
+    }
+
+    impl Snap for Line {
+        fn save(&self, w: &mut SnapWriter) {
+            self.block.save(w);
+            self.state.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Line { block: Snap::load(r)?, state: Snap::load(r)? })
+        }
+    }
+
+    impl Snap for Cache {
+        fn save(&self, w: &mut SnapWriter) {
+            self.sets.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            let sets: Vec<Option<Line>> = Snap::load(r)?;
+            if !sets.len().is_power_of_two() {
+                return Err(SnapError::Corrupt(format!(
+                    "cache set count {} is not a power of two",
+                    sets.len()
+                )));
+            }
+            Ok(Cache { sets })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

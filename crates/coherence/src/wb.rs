@@ -53,6 +53,20 @@ impl WbBuffer {
     }
 }
 
+mod snap_impls {
+    use super::WbBuffer;
+    use wormdsm_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for WbBuffer {
+        fn save(&self, w: &mut SnapWriter) {
+            self.pending.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(WbBuffer { pending: Snap::load(r)? })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

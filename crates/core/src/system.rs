@@ -26,8 +26,9 @@ use wormdsm_coherence::{
 use wormdsm_mesh::nic::{Delivery, DeliveryKind};
 use wormdsm_mesh::topology::NodeId;
 use wormdsm_mesh::worm::{TxnId, VNet, WormKind, WormSpec};
-use wormdsm_mesh::{ContentionProbe, Network};
+use wormdsm_mesh::{ContentionProbe, Network, SpecMode};
 use wormdsm_sim::profile::TxnProfiler;
+use wormdsm_sim::snap::{Fnv64, Snap, SnapError, SnapReader, SnapWriter};
 use wormdsm_sim::stats::BusyTime;
 use wormdsm_sim::trace::{FlightRecorder, InvariantViolation, TraceClass, TraceKind, TraceLevel};
 use wormdsm_sim::{trace_event, Calendar, Cycle, Registry};
@@ -64,6 +65,10 @@ pub enum SimError {
     /// flight-recorder context captured at the violation site, so the
     /// failure is diagnosable without a rerun.
     Invariant(Box<InvariantViolation>),
+    /// A snapshot stream could not be restored: truncated or corrupt
+    /// bytes, an integrity-hash mismatch, or a snapshot taken on a
+    /// different configuration/scheme than the system restoring it.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -72,6 +77,7 @@ impl std::fmt::Display for SimError {
             SimError::Config(msg) => f.write_str(msg),
             SimError::Timeout(msg) => f.write_str(msg),
             SimError::Invariant(v) => v.fmt(f),
+            SimError::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
         }
     }
 }
@@ -432,6 +438,53 @@ impl DsmSystem {
         self.skipped_cycles
     }
 
+    /// Re-partition the network tick engine into `tiles` row bands at
+    /// runtime (see `Network::set_tiles`). Results are bit-identical for
+    /// any tile count; only wall time changes.
+    pub fn set_tiles(&mut self, tiles: usize) {
+        self.net.set_tiles(tiles);
+    }
+
+    /// Worker threads the parallel tick pool actually holds (0 when the
+    /// engine runs serially). May be fewer than `tiles - 1` on hosts with
+    /// little spare parallelism; see `WORMDSM_POOL_WORKERS`.
+    pub fn effective_workers(&self) -> usize {
+        self.net.effective_workers()
+    }
+
+    /// Current tile count of the network tick engine (1 = serial).
+    pub fn tiles(&self) -> usize {
+        self.net.tiles()
+    }
+
+    /// Select how the parallel tick engine handles cross-tile credit
+    /// speculation (see [`SpecMode`]). Optimistic (the default) and
+    /// Pessimistic are bit-identical to the serial schedule on their own;
+    /// Detect requires a driver that rolls poisoned windows back (see
+    /// [`DsmSystem::spec_poisoned`]).
+    pub fn set_spec_mode(&mut self, mode: SpecMode) {
+        self.net.set_spec_mode(mode);
+    }
+
+    /// Current speculation mode of the parallel tick engine.
+    pub fn spec_mode(&self) -> SpecMode {
+        self.net.spec_mode()
+    }
+
+    /// True when a Detect-mode parallel pass committed a cycle whose
+    /// speculation assumptions were violated since the last
+    /// [`DsmSystem::clear_spec_poisoned`] — the state may have diverged
+    /// from the serial schedule and the window must be rolled back.
+    pub fn spec_poisoned(&self) -> bool {
+        self.net.spec_poisoned()
+    }
+
+    /// Reset the sticky Detect-mode poison latch (called at a window
+    /// boundary once the window is committed or rolled back).
+    pub fn clear_spec_poisoned(&mut self) {
+        self.net.clear_spec_poisoned();
+    }
+
     /// Current cycle.
     pub fn now(&self) -> Cycle {
         self.now
@@ -723,6 +776,156 @@ impl DsmSystem {
             Some(v) => Err(SimError::Invariant(v.clone())),
             None => Ok(self.now),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / resume.
+    // ------------------------------------------------------------------
+
+    /// FNV-1a fingerprint of everything a snapshot assumes about the
+    /// machine it is restored into: the full `Debug` rendering of the
+    /// configuration plus the scheme name. Restoring into a system whose
+    /// fingerprint differs is rejected up front — a snapshot encodes slab
+    /// geometries and routing decisions that only replay correctly on the
+    /// exact configuration that produced them.
+    fn config_fingerprint(cfg: &SystemConfig, scheme: &str) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(format!("{cfg:?}").as_bytes());
+        h.write(scheme.as_bytes());
+        h.finish()
+    }
+
+    /// Serialize the complete simulation state into a self-validating
+    /// snapshot stream (`MAGIC | VERSION | payload | FNV-1a 64` framing,
+    /// see [`wormdsm_sim::snap`]).
+    ///
+    /// The stream captures everything that determines future behavior:
+    /// the network (routers, NICs, worms, worklists, statistics), the
+    /// message table, per-node caches / write buffers / controllers /
+    /// processor states, directories, the transaction slab, the event
+    /// calendar, metrics, and barrier/lock state. It does **not** capture
+    /// the configuration or scheme — [`DsmSystem::restore_snapshot`]
+    /// takes those as inputs and verifies them against a recorded
+    /// fingerprint. Pure observers (flight recorder, profiler, contention
+    /// probe) are deliberately excluded: they never influence results and
+    /// restart empty after a restore.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(Self::config_fingerprint(&self.cfg, self.scheme.name()));
+        w.put_str(self.scheme.name());
+        w.put_bool(self.violation.is_some());
+        w.put_u64(self.now);
+        w.put_u64(self.skipped_cycles);
+        w.put_bool(self.fast_forward);
+        self.net.save_state(&mut w);
+        self.msgs.save(&mut w);
+        self.nodes.save(&mut w);
+        self.dirs.save(&mut w);
+        self.txns.save(&mut w);
+        self.cal.save(&mut w);
+        self.metrics.save(&mut w);
+        self.barriers.save(&mut w);
+        self.locks.save(&mut w);
+        w.finish()
+    }
+
+    /// Rebuild a system from [`DsmSystem::save_snapshot`] bytes.
+    ///
+    /// `cfg` and `scheme` must match the snapshotting system exactly
+    /// (enforced via the recorded fingerprint, checked before any state
+    /// is decoded). The restored system continues **bit-identically**
+    /// with the original: stepping both from the snapshot point produces
+    /// the same metrics, cycle for cycle. Snapshots of runs that already
+    /// tripped a protocol invariant are refused — their state is
+    /// untrustworthy by definition.
+    pub fn restore_snapshot(
+        cfg: SystemConfig,
+        scheme: Box<dyn InvalidationScheme>,
+        bytes: &[u8],
+    ) -> Result<Self, SimError> {
+        let mut sys = Self::try_new(cfg, scheme)?;
+        sys.restore_snapshot_in_place(bytes)?;
+        Ok(sys)
+    }
+
+    /// Overwrite this system's state with a snapshot taken on the same
+    /// configuration and scheme (the recorded fingerprint is enforced, so
+    /// a foreign snapshot cannot be applied by mistake). The windowed
+    /// speculative driver uses this to roll a poisoned window back
+    /// without rebuilding the system.
+    ///
+    /// Runtime tile count and speculation mode survive the restore (they
+    /// are execution-strategy knobs, not simulated state). Observers do
+    /// not: the flight recorder restarts empty at its default level, and
+    /// any contention probe or profiler is dropped with the old network.
+    /// On error the system is left unusable for further stepping (state
+    /// may be partially overwritten) — callers must treat a failed
+    /// restore as fatal for this instance.
+    pub fn restore_snapshot_in_place(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        fn snap_err(e: SnapError) -> SimError {
+            SimError::Snapshot(e.to_string())
+        }
+        let sys = self;
+        let tiles = sys.net.tiles();
+        let spec = sys.net.spec_mode();
+        let mut r = SnapReader::new(bytes).map_err(snap_err)?;
+        let fp = r.get_u64().map_err(snap_err)?;
+        let scheme_name = r.get_str().map_err(snap_err)?;
+        if scheme_name != sys.scheme.name() {
+            return Err(SimError::Snapshot(format!(
+                "snapshot was taken under scheme {scheme_name}, restoring under {}",
+                sys.scheme.name()
+            )));
+        }
+        if fp != Self::config_fingerprint(&sys.cfg, sys.scheme.name()) {
+            return Err(SimError::Snapshot(
+                "snapshot configuration fingerprint does not match this system".to_string(),
+            ));
+        }
+        if r.get_bool().map_err(snap_err)? {
+            return Err(SimError::Snapshot(
+                "snapshot captured a run with a protocol invariant violation".to_string(),
+            ));
+        }
+        sys.now = r.get_u64().map_err(snap_err)?;
+        sys.skipped_cycles = r.get_u64().map_err(snap_err)?;
+        sys.fast_forward = r.get_bool().map_err(snap_err)?;
+        sys.net = Network::load_state(sys.cfg.mesh.clone(), &mut r).map_err(snap_err)?;
+        sys.msgs = Snap::load(&mut r).map_err(snap_err)?;
+        let nodes: Vec<NodeCtx> = Snap::load(&mut r).map_err(snap_err)?;
+        if nodes.len() != sys.cfg.nodes() {
+            return Err(SimError::Snapshot(format!(
+                "snapshot holds {} nodes, configuration has {}",
+                nodes.len(),
+                sys.cfg.nodes()
+            )));
+        }
+        sys.nodes = nodes;
+        let dirs: Vec<Directory> = Snap::load(&mut r).map_err(snap_err)?;
+        if dirs.len() != sys.cfg.nodes() {
+            return Err(SimError::Snapshot(format!(
+                "snapshot holds {} directories, configuration has {}",
+                dirs.len(),
+                sys.cfg.nodes()
+            )));
+        }
+        sys.dirs = dirs;
+        sys.txns = Snap::load(&mut r).map_err(snap_err)?;
+        sys.cal = Calendar::load(&mut r).map_err(snap_err)?;
+        sys.metrics = Snap::load(&mut r).map_err(snap_err)?;
+        sys.barriers = Snap::load(&mut r).map_err(snap_err)?;
+        sys.locks = Snap::load(&mut r).map_err(snap_err)?;
+        if !r.is_done() {
+            return Err(SimError::Snapshot(format!(
+                "{} trailing bytes after the snapshot payload",
+                r.remaining()
+            )));
+        }
+        sys.net.set_tiles(tiles);
+        sys.net.set_spec_mode(spec);
+        sys.violation = None;
+        sys.delivery_scratch.clear();
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1962,5 +2165,292 @@ impl DsmSystem {
             TraceKind::StallExit { node: node.idx() as u32, what: kind.label(), stalled: stall }
         );
         self.nodes[node.idx()].proc = ProcState::Idle;
+    }
+}
+
+mod snap_impls {
+    use super::*;
+
+    impl Snap for MemOp {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                MemOp::Compute(c) => {
+                    w.put_u8(0);
+                    w.put_u64(*c);
+                }
+                MemOp::Read(a) => {
+                    w.put_u8(1);
+                    a.save(w);
+                }
+                MemOp::Write(a) => {
+                    w.put_u8(2);
+                    a.save(w);
+                }
+                MemOp::Barrier { id, participants } => {
+                    w.put_u8(3);
+                    w.put_u16(*id);
+                    w.put_u32(*participants);
+                }
+                MemOp::Lock(l) => {
+                    w.put_u8(4);
+                    w.put_u16(*l);
+                }
+                MemOp::Unlock(l) => {
+                    w.put_u8(5);
+                    w.put_u16(*l);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.get_u8()? {
+                0 => MemOp::Compute(r.get_u64()?),
+                1 => MemOp::Read(Snap::load(r)?),
+                2 => MemOp::Write(Snap::load(r)?),
+                3 => MemOp::Barrier { id: r.get_u16()?, participants: r.get_u32()? },
+                4 => MemOp::Lock(r.get_u16()?),
+                5 => MemOp::Unlock(r.get_u16()?),
+                t => return Err(SnapError::Corrupt(format!("MemOp tag {t}"))),
+            })
+        }
+    }
+
+    impl Snap for StallKind {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                StallKind::Read(b) => {
+                    w.put_u8(0);
+                    b.save(w);
+                }
+                StallKind::Write(b) => {
+                    w.put_u8(1);
+                    b.save(w);
+                }
+                StallKind::Barrier(id) => {
+                    w.put_u8(2);
+                    w.put_u16(*id);
+                }
+                StallKind::Lock(id) => {
+                    w.put_u8(3);
+                    w.put_u16(*id);
+                }
+                StallKind::Deferred(op) => {
+                    w.put_u8(4);
+                    op.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.get_u8()? {
+                0 => StallKind::Read(Snap::load(r)?),
+                1 => StallKind::Write(Snap::load(r)?),
+                2 => StallKind::Barrier(r.get_u16()?),
+                3 => StallKind::Lock(r.get_u16()?),
+                4 => StallKind::Deferred(Snap::load(r)?),
+                t => return Err(SnapError::Corrupt(format!("StallKind tag {t}"))),
+            })
+        }
+    }
+
+    impl Snap for ProcState {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                ProcState::Idle => w.put_u8(0),
+                ProcState::BusyUntil(t) => {
+                    w.put_u8(1);
+                    w.put_u64(*t);
+                }
+                ProcState::Stalled { kind, since } => {
+                    w.put_u8(2);
+                    kind.save(w);
+                    w.put_u64(*since);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.get_u8()? {
+                0 => ProcState::Idle,
+                1 => ProcState::BusyUntil(r.get_u64()?),
+                2 => ProcState::Stalled { kind: Snap::load(r)?, since: r.get_u64()? },
+                t => return Err(SnapError::Corrupt(format!("ProcState tag {t}"))),
+            })
+        }
+    }
+
+    impl Snap for NodeCtx {
+        fn save(&self, w: &mut SnapWriter) {
+            self.cache.save(w);
+            self.wb.save(w);
+            self.dc.save(w);
+            self.cc.save(w);
+            self.mem.save(w);
+            self.proc.save(w);
+            self.pending_writes.save(w);
+            self.poisoned_fill.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self {
+                cache: Snap::load(r)?,
+                wb: Snap::load(r)?,
+                dc: Snap::load(r)?,
+                cc: Snap::load(r)?,
+                mem: Snap::load(r)?,
+                proc: Snap::load(r)?,
+                pending_writes: Snap::load(r)?,
+                poisoned_fill: Snap::load(r)?,
+            })
+        }
+    }
+
+    impl Snap for TxnState {
+        fn save(&self, w: &mut SnapWriter) {
+            self.block.save(w);
+            self.home.save(w);
+            self.writer.save(w);
+            w.put_u32(self.needed);
+            w.put_u32(self.got);
+            self.plan.save(w);
+            w.put_bool(self.with_data);
+            w.put_u64(self.started);
+            w.put_u32(self.home_msgs);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self {
+                block: Snap::load(r)?,
+                home: Snap::load(r)?,
+                writer: Snap::load(r)?,
+                needed: r.get_u32()?,
+                got: r.get_u32()?,
+                plan: Snap::load(r)?,
+                with_data: r.get_bool()?,
+                started: r.get_u64()?,
+                home_msgs: r.get_u32()?,
+            })
+        }
+    }
+
+    impl Snap for BarrierState {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u32(self.expected);
+            self.arrived.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self { expected: r.get_u32()?, arrived: Snap::load(r)? })
+        }
+    }
+
+    impl Snap for LockState {
+        fn save(&self, w: &mut SnapWriter) {
+            self.holder.save(w);
+            self.queue.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self { holder: Snap::load(r)?, queue: Snap::load(r)? })
+        }
+    }
+
+    impl Snap for TxnSlab {
+        fn save(&self, w: &mut SnapWriter) {
+            self.slots.save(w);
+            self.ids.save(w);
+            self.free.save(w);
+            w.put_u64(self.seq);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            let slots: Vec<Option<TxnState>> = Snap::load(r)?;
+            let ids: Vec<u64> = Snap::load(r)?;
+            let free: Vec<u32> = Snap::load(r)?;
+            let seq = r.get_u64()?;
+            if ids.len() != slots.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "txn slab: {} ids for {} slots",
+                    ids.len(),
+                    slots.len()
+                )));
+            }
+            for (slot, (s, &id)) in slots.iter().zip(&ids).enumerate() {
+                if s.is_some() != (id != 0) {
+                    return Err(SnapError::Corrupt(format!(
+                        "txn slab: slot {slot} occupancy disagrees with its id"
+                    )));
+                }
+                if id != 0 && (id & ((1 << TXN_SLOT_BITS) - 1)) as usize != slot {
+                    return Err(SnapError::Corrupt(format!(
+                        "txn slab: id {id:#x} stored in slot {slot}"
+                    )));
+                }
+            }
+            let mut vacant_seen = vec![false; slots.len()];
+            for &f in &free {
+                let f = f as usize;
+                if f >= slots.len()
+                    || slots[f].is_some()
+                    || std::mem::replace(&mut vacant_seen[f], true)
+                {
+                    return Err(SnapError::Corrupt(format!("txn slab: bad free-list entry {f}")));
+                }
+            }
+            let live = slots.iter().filter(|s| s.is_some()).count();
+            if free.len() + live != slots.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "txn slab: {} free + {live} live != {} slots",
+                    free.len(),
+                    slots.len()
+                )));
+            }
+            Ok(Self { slots, ids, free, seq, live })
+        }
+    }
+
+    impl Snap for Ev {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                Ev::Recv { node, key, acks, kind, src } => {
+                    w.put_u8(0);
+                    node.save(w);
+                    w.put_u64(*key);
+                    w.put_u32(*acks);
+                    kind.save(w);
+                    src.save(w);
+                }
+                Ev::Handle { node, key, acks, kind, src } => {
+                    w.put_u8(1);
+                    node.save(w);
+                    w.put_u64(*key);
+                    w.put_u32(*acks);
+                    kind.save(w);
+                    src.save(w);
+                }
+                Ev::Inject(spec) => {
+                    w.put_u8(2);
+                    spec.save(w);
+                }
+                Ev::PostIack { node, txn } => {
+                    w.put_u8(3);
+                    node.save(w);
+                    txn.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.get_u8()? {
+                0 => Ev::Recv {
+                    node: Snap::load(r)?,
+                    key: r.get_u64()?,
+                    acks: r.get_u32()?,
+                    kind: Snap::load(r)?,
+                    src: Snap::load(r)?,
+                },
+                1 => Ev::Handle {
+                    node: Snap::load(r)?,
+                    key: r.get_u64()?,
+                    acks: r.get_u32()?,
+                    kind: Snap::load(r)?,
+                    src: Snap::load(r)?,
+                },
+                2 => Ev::Inject(Snap::load(r)?),
+                3 => Ev::PostIack { node: Snap::load(r)?, txn: Snap::load(r)? },
+                t => return Err(SnapError::Corrupt(format!("Ev tag {t}"))),
+            })
+        }
     }
 }

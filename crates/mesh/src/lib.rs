@@ -29,7 +29,9 @@ pub mod routing;
 pub mod topology;
 pub mod worm;
 
-pub use network::{ContentionProbe, ContentionWindow, Hierarchy, MeshConfig, NetStats, Network};
+pub use network::{
+    ContentionProbe, ContentionWindow, Hierarchy, MeshConfig, NetStats, Network, SpecMode,
+};
 pub use nic::{Delivery, DeliveryKind, IackMode};
 pub use routing::{BaseRouting, PathRule};
 pub use topology::{ChipGrid, Coord, Direction, Mesh2D, NodeId, Port};

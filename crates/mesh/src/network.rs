@@ -43,21 +43,50 @@
 //!   deferring cross-tile deposits to the cycle barrier changes nothing.
 //! * **One-writer buffers.** Each router input `(port, vc)` has exactly
 //!   one possible upstream writer per cycle, so deferred deposits commute.
-//! * **Credit-hazard fallback.** Credit return is same-cycle, and the
-//!   ascending serial sweep makes exactly one direction observable: a
+//! * **Speculative credit validation.** Credit return is same-cycle, and
+//!   the ascending serial sweep makes exactly one direction observable: a
 //!   router in the *first row of a tile* sending **north** across the
 //!   boundary could consume, in the same cycle, a credit returned by the
-//!   downstream router in the tile above. A pre-tick scan detects any
-//!   northbound boundary VC that is allocated, credit-starved, and fed by
-//!   a ready flit — and then follows the downstream blocking chain
-//!   (`vc_could_pop`) to check the credit could actually be produced this
-//!   cycle, since under sustained congestion the downstream is usually
-//!   just as stuck and no credit moves anywhere. Only then does the cycle
-//!   fall back to the single-tile schedule (counted in
-//!   [`NetStats::hazard_fallbacks`]; false positives only cost speed,
-//!   never accuracy). All other cross-tile credits are returned to
-//!   routers the serial sweep has already passed, so deferring them to the
-//!   barrier is exact.
+//!   downstream router in the tile above. All other cross-tile credits
+//!   are returned to routers the serial sweep has already passed, so
+//!   deferring them to the barrier is exact. Under the default
+//!   [`SpecMode::Optimistic`] engine, tiles run *optimistically* with
+//!   **virtual credits**: at the one arbitration point where the
+//!   divergence can matter (`pick_link_winner` on a credit-starved
+//!   northbound first-row output), the starved candidate competes as if
+//!   one credit were available — betting the same-cycle boundary credit
+//!   *does* arrive, which under sustained streaming it almost always
+//!   does (the downstream channel drains one flit per cycle). If it wins,
+//!   the forward proceeds without decrementing the (zero) credit counter
+//!   and the borrow is recorded as a [`SpecAssume`]. At the barrier,
+//!   *before* any deferred work is applied, per-tile FNV-64 digests over
+//!   the assumed credits and the deferred credits that actually landed
+//!   on an assumed slot are compared. On a match the cycle commits
+//!   ([`NetStats::spec_commits`]) and each matched credit is swallowed —
+//!   the forward already spent it, so also returning it would mint one.
+//!   On a mismatch (the bet credit never came) the engine restores a
+//!   pre-dispatch checkpoint of every node a tile could have touched
+//!   (worklists plus their in-tile neighbors) and replays the cycle on
+//!   the single-tile serial schedule ([`NetStats::spec_rollbacks`],
+//!   [`NetStats::spec_replayed_cycles`]), which is exact by construction.
+//!   Exactness of a commit: the tiled candidate set is a superset of the
+//!   serial one, and RR arbitration picks the minimum-key candidate, so
+//!   non-winning virtual candidates can never change the winner; if the
+//!   winner's credit did arrive, the serial sweep had the identical
+//!   candidate (credit applied before `r` was swept) and made the
+//!   identical move. [`SpecMode::Pessimistic`] keeps the legacy
+//!   behaviour: a pre-tick scan (`boundary_credit_hazard`) that follows
+//!   the downstream blocking chain (`vc_could_pop`) and falls back to
+//!   the serial schedule for the whole cycle when a credit *could* be
+//!   produced (counted in [`NetStats::hazard_fallbacks`]) — pessimistic
+//!   because it surrenders the entire cycle even though the arrival
+//!   almost always matches the virtual-credit bet. [`SpecMode::Detect`]
+//!   runs optimistically without checkpoints, *skips* starved candidates
+//!   (betting no credit arrives — a mid-window virtual mis-forward could
+//!   not be undone without one), and latches a sticky poison flag on
+//!   mismatch, for drivers that speculate whole multi-cycle windows
+//!   under an external snapshot/restore (see `wormdsm-core`'s snapshot
+//!   support).
 //! * **Ordered replay.** Worm-table mutations from phase 3 (copy counts,
 //!   delivery state, retire order, f64 latency accumulation) are recorded
 //!   as per-tile event lists and replayed at the barrier in tile order —
@@ -65,16 +94,20 @@
 //!   Phase-1/2 worm access needs no replay: only the router holding a
 //!   worm's *head* mutates its record, and a head exists at one router.
 
-use crate::nic::{Delivery, DeliveryKind, GatherCheck, IackMode, NicSlab, NicTile, StreamState};
-use crate::router::{BufFlit, RouterSlab, RouterTile, VcMode};
+use crate::nic::{
+    Delivery, DeliveryKind, GatherCheck, IackMode, NicNodeCk, NicSlab, NicTile, StreamState,
+};
+use crate::router::{BufFlit, RouterNodeCk, RouterSlab, RouterTile, VcMode};
 use crate::routing::{BaseRouting, PathRule, RouteTable};
 use crate::topology::{ChipGrid, Direction, Mesh2D, NodeId, Port, NUM_PORTS};
 use crate::worm::{
-    Flit, FlitKind, TxnId, VNet, Worm, WormId, WormKind, WormSpec, WormState, WormTable, NUM_VNETS,
+    Flit, FlitKind, TxnId, VNet, Worm, WormId, WormKind, WormRt, WormSpec, WormState, WormTable,
+    NUM_VNETS,
 };
 use std::sync::Mutex;
+use wormdsm_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use wormdsm_sim::trace::{FlightRecorder, TraceClass, TraceKind, TraceLevel};
-use wormdsm_sim::{BitSet128, Cycle, NoProgress, Registry, Summary, Watchdog, WorkerPool};
+use wormdsm_sim::{BitSet128, Cycle, Fnv64, NoProgress, Registry, Summary, Watchdog, WorkerPool};
 
 /// Flight-recorder label for a worm kind.
 fn worm_kind_label(kind: WormKind) -> &'static str {
@@ -288,8 +321,29 @@ pub struct NetStats {
     pub scratch_grows: u64,
     /// Cycles the partitioned engine fell back to the single-tile schedule
     /// because a northbound boundary VC could have consumed a same-cycle
-    /// credit (see the module docs). Zero when `tiles = 1`.
+    /// credit (see the module docs). Zero when `tiles = 1` or under the
+    /// optimistic speculation engine.
     pub hazard_fallbacks: u64,
+    /// Speculative multi-tile cycles whose boundary-credit validation
+    /// digests matched and committed (see the module docs). Zero when
+    /// `tiles = 1` or under [`SpecMode::Pessimistic`].
+    pub spec_commits: u64,
+    /// Speculative multi-tile cycles rolled back to the pre-dispatch
+    /// checkpoint because a validation digest mismatched.
+    pub spec_rollbacks: u64,
+    /// Cycles re-executed on the serial schedule after a rollback. The
+    /// per-cycle engine replays exactly the mis-speculated cycle, so this
+    /// equals [`NetStats::spec_rollbacks`]; window-mode drivers that
+    /// replay whole windows add their own accounting on top.
+    pub spec_replayed_cycles: u64,
+    /// Rollback causes by tile: `spec_rollback_by_tile[t]` counts the
+    /// rollbacks in which tile `t`'s validation digest mismatched (a
+    /// single rollback can charge several tiles). Sized by
+    /// [`Network::set_tiles`].
+    pub spec_rollback_by_tile: Vec<u64>,
+    /// Detect-mode digest mismatches ([`SpecMode::Detect`] latches the
+    /// poison flag instead of rolling back; this counts every latch).
+    pub spec_detect_violations: u64,
 }
 
 impl NetStats {
@@ -314,6 +368,11 @@ impl NetStats {
             worm_slots_reused: 0,
             scratch_grows: 0,
             hazard_fallbacks: 0,
+            spec_commits: 0,
+            spec_rollbacks: 0,
+            spec_replayed_cycles: 0,
+            spec_rollback_by_tile: Vec::new(),
+            spec_detect_violations: 0,
         }
     }
 
@@ -345,6 +404,13 @@ impl NetStats {
         r.counter("worm_slots_reused", self.worm_slots_reused);
         r.counter("scratch_grows", self.scratch_grows);
         r.counter("hazard_fallbacks", self.hazard_fallbacks);
+        r.counter("spec_commits", self.spec_commits);
+        r.counter("spec_rollbacks", self.spec_rollbacks);
+        r.counter("spec_replayed_cycles", self.spec_replayed_cycles);
+        r.counter("spec_detect_violations", self.spec_detect_violations);
+        for (t, &n) in self.spec_rollback_by_tile.iter().enumerate() {
+            r.counter(&format!("spec_rollback_tile{t}"), n);
+        }
         r.gauge("max_link_utilization", self.max_link_utilization(elapsed));
         r.summary("unicast_latency", &self.unicast_latency);
         r.summary("multicast_latency", &self.multicast_latency);
@@ -501,6 +567,46 @@ const LOCAL8: u8 = LOCAL as u8;
 /// wall-time heuristic — both paths compute bit-identical state.
 const PARALLEL_WORK_PER_TILE: usize = 12;
 
+/// How the partitioned engine resolves the one cross-tile effect the
+/// serial sweep makes observable (the same-cycle northbound boundary
+/// credit — see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpecMode {
+    /// Legacy engine: a pre-tick hazard scan falls the whole cycle back to
+    /// the serial schedule whenever a boundary credit *could* arrive.
+    Pessimistic,
+    /// Optimistic engine (default): tiles run speculatively, boundary
+    /// credit assumptions are hash-validated at the barrier, and only
+    /// mis-speculated cycles are rolled back and replayed serially.
+    #[default]
+    Optimistic,
+    /// Optimistic execution without checkpoints: a digest mismatch latches
+    /// a sticky poison flag ([`Network::spec_poisoned`]) instead of
+    /// rolling back. For drivers speculating whole multi-cycle windows
+    /// under an external snapshot/restore.
+    Detect,
+}
+
+/// One recorded speculation assumption about the same-cycle northbound
+/// boundary credit at `node`'s north output VC `vc`, validated at the
+/// barrier against the deferred [`XCredit`] traffic. The two optimistic
+/// engines bet in opposite directions:
+///
+/// * [`SpecMode::Optimistic`] records one of these when a credit-starved
+///   candidate **won** arbitration on a *virtual credit* — the bet is
+///   that the matching credit **does** arrive (it almost always does
+///   under sustained streaming, where the downstream channel drains one
+///   flit per cycle). Commit requires a matching deferred credit, which
+///   the barrier then swallows (the forward already spent it).
+/// * [`SpecMode::Detect`] records one when such a candidate was
+///   *skipped* — the bet is that no credit arrives, and any matching
+///   deferred credit poisons the window.
+#[derive(Debug, Clone, Copy)]
+struct SpecAssume {
+    node: u32,
+    vc: u8,
+}
+
 /// Per-tile counter deltas, summed into [`NetStats`] at the cycle barrier
 /// (u64 additions commute, so per-tile accumulation is exact).
 #[derive(Debug, Default, Clone)]
@@ -588,6 +694,130 @@ struct TileScratch {
     /// This cycle's NIC worklist (pre-tick actives + phase-1/2
     /// activations), built and consumed inside the tile pass.
     nic_work: Vec<usize>,
+    /// Boundary-credit assumptions recorded by this tile's speculative
+    /// pass (empty under `tiles = 1`, where no boundary exists).
+    assumptions: Vec<SpecAssume>,
+}
+
+impl TileScratch {
+    /// Discard everything this tile's mis-speculated pass produced, ahead
+    /// of a rollback replay. Buffers keep their capacity.
+    fn reset_for_rollback(&mut self) {
+        self.stats = TileStats::default();
+        self.violation = None;
+        self.deposits.clear();
+        self.credits.clear();
+        self.events.clear();
+        self.new_routers.clear();
+        self.new_nics.clear();
+        self.delivered.clear();
+        self.nic_work.clear();
+        self.assumptions.clear();
+    }
+}
+
+/// Pre-dispatch checkpoint for one speculative cycle: the full router,
+/// NIC, flag and link-accounting state of every node a tile pass could
+/// possibly write this cycle (the router/NIC worklists plus the in-mesh
+/// 4-neighbors of the router worklist — deposits and credit returns reach
+/// exactly one hop), plus every worm's mutable runtime fields. All
+/// buffers are pooled: in steady state a capture allocates nothing.
+#[derive(Debug, Default)]
+struct SpecCheckpoint {
+    /// Captured node ids (deduplicated, insertion order; parallel to
+    /// `routers` / `nics` / `flags` / `link_busy`).
+    nodes: Vec<u32>,
+    /// Stamp per mesh node: `marks[n] == stamp` means `n` is in `nodes`.
+    marks: Vec<u32>,
+    stamp: u32,
+    routers: Vec<RouterNodeCk>,
+    nics: Vec<NicNodeCk>,
+    /// `(router_active, nic_active, delivered_flag)` per captured node.
+    flags: Vec<(bool, bool, bool)>,
+    /// The node's four [`NetStats::link_busy`] slots.
+    link_busy: Vec<[u64; 4]>,
+    worm_rt: Vec<WormRt>,
+}
+
+impl SpecCheckpoint {
+    /// Start a fresh capture over a mesh of `nodes` nodes.
+    fn begin(&mut self, nodes: usize) {
+        self.nodes.clear();
+        if self.marks.len() != nodes {
+            self.marks = vec![0; nodes];
+            self.stamp = 0;
+        }
+        self.stamp = match self.stamp.checked_add(1) {
+            Some(s) => s,
+            None => {
+                self.marks.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Add node `n` to the capture set (idempotent).
+    #[inline]
+    fn add(&mut self, n: usize) {
+        if self.marks[n] != self.stamp {
+            self.marks[n] = self.stamp;
+            self.nodes.push(n as u32);
+        }
+    }
+
+    /// Capture state for every node added so far.
+    #[allow(clippy::too_many_arguments)]
+    fn capture(
+        &mut self,
+        routers: &RouterSlab,
+        nics: &NicSlab,
+        router_active: &[bool],
+        nic_active: &[bool],
+        delivered_flag: &[bool],
+        link_busy: &[u64],
+        worms: &WormTable,
+    ) {
+        self.flags.clear();
+        self.link_busy.clear();
+        for (i, &n) in self.nodes.iter().enumerate() {
+            let n = n as usize;
+            if self.routers.len() <= i {
+                self.routers.push(RouterNodeCk::default());
+                self.nics.push(NicNodeCk::default());
+            }
+            routers.capture_node(n, &mut self.routers[i]);
+            nics.capture_node(n, &mut self.nics[i]);
+            self.flags.push((router_active[n], nic_active[n], delivered_flag[n]));
+            self.link_busy.push(link_busy[n * 4..n * 4 + 4].try_into().expect("4 slots"));
+        }
+        worms.capture_rt(&mut self.worm_rt);
+    }
+
+    /// Undo a mis-speculated pass: restore every captured node and the
+    /// worm table to their pre-dispatch state.
+    #[allow(clippy::too_many_arguments)]
+    fn restore(
+        &self,
+        routers: &mut RouterSlab,
+        nics: &mut NicSlab,
+        router_active: &mut [bool],
+        nic_active: &mut [bool],
+        delivered_flag: &mut [bool],
+        link_busy: &mut [u64],
+        worms: &mut WormTable,
+    ) {
+        for (i, &n) in self.nodes.iter().enumerate() {
+            let n = n as usize;
+            routers.restore_node(n, &self.routers[i]);
+            nics.restore_node(n, &self.nics[i]);
+            let (ra, na, df) = self.flags[i];
+            router_active[n] = ra;
+            nic_active[n] = na;
+            delivered_flag[n] = df;
+            link_busy[n * 4..n * 4 + 4].copy_from_slice(&self.link_busy[i]);
+        }
+        worms.restore_rt(&self.worm_rt);
+    }
 }
 
 /// Shared access to the worm table from concurrent tile workers.
@@ -673,6 +903,15 @@ struct TileView<'a> {
     /// only the single-tile schedule carries it, and an enabled probe
     /// forces that schedule.
     probe: Option<&'a mut ContentionProbe>,
+    /// Which speculation protocol governs credit-starved northbound
+    /// first-row candidates (see [`SpecAssume`]). Irrelevant when
+    /// `base == 0` (serial / first tile: no upstream boundary).
+    spec: SpecMode,
+    /// Read-only borrow-eligibility stamps from
+    /// [`Network::spec_borrow_scan`] (`node * vcs + vc == now` ⇒ a
+    /// virtual-credit borrow is worth betting on). Empty on schedules
+    /// that never consult it (serial, rollback replay, non-optimistic).
+    borrow_marks: &'a [Cycle],
 }
 
 /// Work assigned to one tile for one tick.
@@ -1022,10 +1261,17 @@ impl<'a> TileView<'a> {
             // Link outputs (E, W, N, S): one flit per port per cycle.
             for out_port in 0..4 {
                 let winner = self.pick_link_winner(now, r, out_port, vcs, &used_in_port);
-                if let Some((in_port, in_vc, out_vc)) = winner {
+                if let Some((in_port, in_vc, out_vc, virt)) = winner {
                     used_in_port[in_port] = true;
                     self.routers.set_rr(r, out_port, in_port * vcs + in_vc + 1);
-                    self.apply_forward(now, r, in_port, in_vc, out_port, out_vc);
+                    if virt {
+                        // The winner forwarded on a borrowed virtual
+                        // credit: record the bet for barrier validation.
+                        self.scratch
+                            .assumptions
+                            .push(SpecAssume { node: r as u32, vc: out_vc as u8 });
+                    }
+                    self.apply_forward(now, r, in_port, in_vc, out_port, out_vc, virt);
                 }
             }
 
@@ -1070,24 +1316,50 @@ impl<'a> TileView<'a> {
     }
 
     /// Round-robin arbitration for a link output port: pick the eligible
-    /// allocated input VC at-or-after the RR pointer.
+    /// allocated input VC at-or-after the RR pointer. The fourth element
+    /// of the returned move is the *virtual-credit* flag: the winner was
+    /// credit-starved and forwarded on a borrowed credit (see below).
+    ///
+    /// Speculation hook: a candidate that is eligible except for credit
+    /// starvation on a northbound first-row output of a non-first tile is
+    /// exactly the case where a same-cycle boundary credit (deferred to
+    /// the barrier by the tile above) could have changed the serial
+    /// outcome. Under [`SpecMode::Optimistic`] such a candidate competes
+    /// with a borrowed *virtual credit* — betting the credit arrives; the
+    /// caller records the borrow as a [`SpecAssume`] iff the candidate
+    /// wins, and the barrier validates the bet. Under
+    /// [`SpecMode::Detect`] it is skipped and the skip recorded (betting
+    /// no credit arrives), since without a checkpoint a mis-forward could
+    /// not be undone. Under [`SpecMode::Pessimistic`] the pre-tick hazard
+    /// scan already proved no boundary credit can arrive, so the skip is
+    /// exact and needs no record. Candidates skipped for any other reason
+    /// (input already used, flit not ready, absorb channel full) lose
+    /// identically under both schedules — those checks read state only
+    /// this tile writes — and need no record; and because arbitration
+    /// picks the minimum RR-distance key, a *losing* virtual candidate
+    /// never changes the winner and needs no record either.
     fn pick_link_winner(
-        &self,
+        &mut self,
         now: Cycle,
         r: usize,
         out_port: usize,
         vcs: usize,
         used_in_port: &[bool; NUM_PORTS],
-    ) -> Option<(usize, usize, usize)> {
-        let mut best: Option<(usize, (usize, usize, usize))> = None; // (rr-distance key, move)
+    ) -> Option<(usize, usize, usize, bool)> {
+        // (rr-distance key, (in_port, in_vc, out_vc, virtual-credit))
+        let mut best: Option<(usize, (usize, usize, usize, bool))> = None;
         let rr = self.routers.rr(r, out_port);
         let total = NUM_PORTS * vcs;
+        let spec_row = self.base > 0
+            && out_port == Direction::North.index()
+            && r < self.base + self.cfg.mesh.width();
         for out_vc in 0..vcs {
             let Some((in_port, in_vc)) = self.routers.alloc(r, out_port, out_vc) else { continue };
             if used_in_port[in_port] {
                 continue;
             }
-            if self.routers.credit(r, out_port, out_vc) == 0 {
+            let starved = self.routers.credit(r, out_port, out_vc) == 0;
+            if starved && !spec_row {
                 continue;
             }
             if self.routers.front_ready(r, in_port, in_vc) > now {
@@ -1098,14 +1370,38 @@ impl<'a> TileView<'a> {
                     continue;
                 }
             }
+            if starved {
+                match self.spec {
+                    // Borrow a virtual credit and compete normally — but
+                    // only where the pre-dispatch chain scan stamped the
+                    // slot as able to receive the same-cycle credit; an
+                    // unstamped slot provably cannot (`vc_could_pop`
+                    // false is exact), so the skip needs no validation.
+                    SpecMode::Optimistic => {
+                        if self.borrow_marks.get(r * vcs + out_vc).copied() != Some(now) {
+                            continue;
+                        }
+                    }
+                    // Record the skip for window-poison validation.
+                    SpecMode::Detect => {
+                        self.scratch
+                            .assumptions
+                            .push(SpecAssume { node: r as u32, vc: out_vc as u8 });
+                        continue;
+                    }
+                    // The hazard scan guaranteed no credit arrives.
+                    SpecMode::Pessimistic => continue,
+                }
+            }
             let key = (in_port * vcs + in_vc + total - rr % total) % total;
             if best.is_none_or(|(bk, _)| key < bk) {
-                best = Some((key, (in_port, in_vc, out_vc)));
+                best = Some((key, (in_port, in_vc, out_vc, starved)));
             }
         }
         best.map(|(_, m)| m)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn apply_forward(
         &mut self,
         now: Cycle,
@@ -1114,6 +1410,7 @@ impl<'a> TileView<'a> {
         in_vc: usize,
         out_port: usize,
         out_vc: usize,
+        virtual_credit: bool,
     ) {
         let bf = self.routers.pop(r, in_port, in_vc);
         let flit = bf.flit;
@@ -1136,7 +1433,13 @@ impl<'a> TileView<'a> {
         if let Some(p) = self.probe.as_deref_mut() {
             p.record_forward(now, r * 4 + out_port, out_vc);
         }
-        self.routers.take_credit(r, out_port, out_vc);
+        // A virtual-credit forward spends the borrowed credit, not the
+        // (zero) counter; the barrier swallows the matching deferred
+        // credit on commit, so the books balance exactly as in serial
+        // (+1 arrival, -1 spend).
+        if !virtual_credit {
+            self.routers.take_credit(r, out_port, out_vc);
+        }
         self.return_credit(r, in_port, in_vc);
 
         // Head bookkeeping: the worm may enter its "turned" phase.
@@ -1523,6 +1826,23 @@ pub struct Network {
     /// First mesh-level invariant violation (sticky). The protocol layer
     /// polls this each step and converts it into a structured error.
     violation: Option<String>,
+    /// Boundary-credit resolution strategy for the multi-tile schedule.
+    spec: SpecMode,
+    /// Pre-dispatch checkpoint for the optimistic engine (pooled buffers;
+    /// unused in the other modes).
+    spec_ck: SpecCheckpoint,
+    /// Per-`(node, vc)` borrow-eligibility stamps written by
+    /// [`Network::spec_borrow_scan`]: slot `n * vcs + vc` equals the
+    /// current cycle when a starved northbound first-row candidate may
+    /// forward on a virtual credit. Same-cycle scratch — never
+    /// snapshotted (stale stamps can only change *which bet* a future
+    /// cycle makes, and both bet outcomes are exact).
+    borrow_marks: Vec<Cycle>,
+    /// Sticky [`SpecMode::Detect`] poison flag: a speculative cycle since
+    /// the last [`Network::clear_spec_poisoned`] mismatched its
+    /// validation digest, so the state may differ from the serial
+    /// schedule's and the driver must restore its window snapshot.
+    spec_poisoned: bool,
 }
 
 impl Network {
@@ -1568,6 +1888,10 @@ impl Network {
             trace: FlightRecorder::default(),
             probe: None,
             violation: None,
+            spec: SpecMode::default(),
+            spec_ck: SpecCheckpoint::default(),
+            borrow_marks: Vec::new(),
+            spec_poisoned: false,
         };
         net.set_tiles(tiles);
         net
@@ -1582,15 +1906,54 @@ impl Network {
         self.cfg.tiles = t;
         self.tile_bounds = bounds;
         self.tile_scratch = (0..t).map(|_| TileScratch::default()).collect();
+        self.stats.spec_rollback_by_tile.resize(t, 0);
         // Size the pool by the host, not the tile count: `T` tiles need at
         // most `T - 1` workers (the caller is a lane), and workers beyond
-        // the core count only add contention — on a single-core host the
-        // pool gets zero workers and `WorkerPool::run` degenerates to a
-        // serial loop over the tile jobs, still exercising the full
-        // partitioned schedule (tile slices, deferred exchange, barrier
-        // replay) with bit-identical results.
-        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-        self.pool = (t > 1).then(|| WorkerPool::new((t - 1).min(cores.saturating_sub(1))));
+        // the effective core budget only add contention — on a single-core
+        // host the pool gets zero workers and `WorkerPool::run`
+        // degenerates to a serial loop over the tile jobs, still
+        // exercising the full partitioned schedule (tile slices, deferred
+        // exchange, barrier replay) with bit-identical results.
+        // `WorkerPool::new_sized` reads `available_parallelism` and the
+        // `WORMDSM_POOL_WORKERS` override.
+        self.pool = (t > 1).then(|| WorkerPool::new_sized(t - 1));
+    }
+
+    /// Worker threads actually backing the tile pool (0 when `tiles = 1`
+    /// or on a single-core host; the calling thread is always a lane on
+    /// top of this). May be fewer than `tiles - 1` requested by
+    /// [`Network::set_tiles`] — see `WorkerPool::sized_workers`.
+    pub fn effective_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.threads())
+    }
+
+    /// Current tile count of the partitioned tick engine (1 = serial).
+    pub fn tiles(&self) -> usize {
+        self.cfg.tiles
+    }
+
+    /// Select the boundary-credit resolution strategy (see [`SpecMode`]).
+    /// Takes effect from the next tick; every mode computes bit-identical
+    /// state except [`SpecMode::Detect`], whose divergence is reported
+    /// through [`Network::spec_poisoned`] for the driver to undo.
+    pub fn set_spec_mode(&mut self, mode: SpecMode) {
+        self.spec = mode;
+    }
+
+    /// Current boundary-credit resolution strategy.
+    pub fn spec_mode(&self) -> SpecMode {
+        self.spec
+    }
+
+    /// True when a [`SpecMode::Detect`] cycle mismatched its validation
+    /// digest since the last [`Network::clear_spec_poisoned`].
+    pub fn spec_poisoned(&self) -> bool {
+        self.spec_poisoned
+    }
+
+    /// Reset the detect-mode poison flag (window committed or restored).
+    pub fn clear_spec_poisoned(&mut self) {
+        self.spec_poisoned = false;
     }
 
     /// Enable worm-table slot recycling: retired worms (delivered, all
@@ -1866,6 +2229,48 @@ impl Network {
         false
     }
 
+    /// Pre-dispatch borrow-eligibility scan for the optimistic engine:
+    /// the per-slot refinement of [`Network::boundary_credit_hazard`].
+    /// For every starved, ready northbound first-row candidate, follow
+    /// the downstream blocking chain ([`Network::vc_could_pop`]) and
+    /// stamp the slot with `now` when the same-cycle boundary credit is
+    /// *possible*. `pick_link_winner` borrows a virtual credit only on
+    /// stamped slots: `vc_could_pop == false` is exact, so an unstamped
+    /// starved candidate provably cannot forward under the serial
+    /// schedule and is skipped silently — no assumption, no validation,
+    /// no rollback risk. Betting only where the credit is genuinely
+    /// possible is what keeps the mis-speculation (rollback) rate at the
+    /// few-percent level under sustained congestion.
+    fn spec_borrow_scan(&mut self, now: Cycle) {
+        let vcs = self.cfg.vcs_total();
+        let width = self.cfg.mesh.width();
+        let north = Direction::North.index();
+        let south = Direction::South.index();
+        let mut marks = std::mem::take(&mut self.borrow_marks);
+        if marks.len() != self.cfg.mesh.nodes() * vcs {
+            marks = vec![0; self.cfg.mesh.nodes() * vcs];
+        }
+        for b in &self.tile_bounds[1..] {
+            for u in b.start..b.start + width {
+                if self.routers.flits(u) == 0 {
+                    continue;
+                }
+                for vc in 0..vcs {
+                    let Some((ip, iv)) = self.routers.alloc(u, north, vc) else { continue };
+                    if self.routers.credit(u, north, vc) != 0 {
+                        continue;
+                    }
+                    if self.routers.front_ready(u, ip, iv) <= now
+                        && self.vc_could_pop(now, u - width, south, vc)
+                    {
+                        marks[u * vcs + vc] = now;
+                    }
+                }
+            }
+        }
+        self.borrow_marks = marks;
+    }
+
     /// Could router `r` pop the front flit of input `(in_port, in_vc)`
     /// this cycle under the serial ascending sweep (thereby returning a
     /// credit upstream)? Conservative one-sided answer: `true` may still
@@ -1967,6 +2372,217 @@ impl Network {
         }
     }
 
+    /// Checkpoint every node this cycle's tile pass could write: the
+    /// router and NIC worklists plus the in-mesh 4-neighbors of the
+    /// router worklist (forwarded flits deposit one hop downstream and
+    /// credits return one hop upstream; phase 3 stays on-node). Worm
+    /// runtime state is captured for the whole table — a pass never
+    /// inserts or retires, so specs and slot count need no copy.
+    fn spec_capture(&mut self, router_work: &[usize], nic_work: &[usize]) {
+        let mut ck = std::mem::take(&mut self.spec_ck);
+        ck.begin(self.cfg.mesh.nodes());
+        for &r in router_work {
+            ck.add(r);
+            let node = NodeId(r as u16);
+            for d in Direction::ALL {
+                if let Some(nb) = self.cfg.mesh.neighbor(node, d) {
+                    ck.add(nb.idx());
+                }
+            }
+        }
+        for &n in nic_work {
+            ck.add(n);
+        }
+        ck.capture(
+            &self.routers,
+            &self.nics,
+            &self.router_active,
+            &self.nic_active,
+            &self.delivered_flag,
+            &self.stats.link_busy,
+            &self.worms,
+        );
+        self.spec_ck = ck;
+    }
+
+    /// Barrier-time speculation validation. For each tile, an FNV-64
+    /// digest of the boundary credits the pass *assumed* is compared
+    /// against a digest of the deferred credits that *actually* landed on
+    /// the assumed slots. Deposits need no digesting: the lookahead
+    /// invariant makes a deposited flit invisible in the cycle it is
+    /// made, assumed and actual alike. Returns true when any tile's
+    /// digests differ; charges [`NetStats::spec_rollback_by_tile`] under
+    /// the optimistic engine.
+    ///
+    /// * [`SpecMode::Optimistic`]: each assumption is a virtual credit a
+    ///   winning forward already spent, so the assumed digest covers the
+    ///   recorded `(node, vc)` borrows and the actual digest covers the
+    ///   distinct matching deferred north credits. When *every* tile
+    ///   matches, the matched credits are swallowed before the barrier
+    ///   applies the rest — returning a spent credit would mint one.
+    ///   (At most one north winner per node per cycle and at most one
+    ///   credit per `(node, vc)` per cycle, so matching is 1:1.)
+    /// * [`SpecMode::Detect`]: each assumption is a *skipped* starved
+    ///   candidate, the assumed digest is the empty sequence, and any
+    ///   deferred credit landing on an assumed slot is a mismatch.
+    fn spec_validate(&mut self) -> bool {
+        let total: usize = self.tile_scratch.iter().map(|s| s.assumptions.len()).sum();
+        if total == 0 {
+            return false; // nothing was assumed; the cycle is trivially exact
+        }
+        let north = Direction::North.index();
+        let mut any = false;
+        if self.spec == SpecMode::Optimistic {
+            // (scratch index, credit index) of credits consumed by a
+            // virtual forward, pending swallow on commit.
+            let mut matched: Vec<(usize, usize)> = Vec::new();
+            for t in 0..self.tile_scratch.len() {
+                let n_assume = self.tile_scratch[t].assumptions.len();
+                if n_assume == 0 {
+                    continue;
+                }
+                let mut assumed = Fnv64::new();
+                let mut actual = Fnv64::new();
+                let before = matched.len();
+                for i in 0..n_assume {
+                    let a = self.tile_scratch[t].assumptions[i];
+                    assumed.write_u64(a.node as u64);
+                    assumed.write_u32(a.vc as u32);
+                    'search: for (si, s) in self.tile_scratch.iter().enumerate() {
+                        for (ci, c) in s.credits.iter().enumerate() {
+                            if c.port == north
+                                && c.node == a.node as usize
+                                && c.vc == a.vc as usize
+                                && !matched.contains(&(si, ci))
+                            {
+                                actual.write_u64(c.node as u64);
+                                actual.write_u32(c.vc as u32);
+                                matched.push((si, ci));
+                                break 'search;
+                            }
+                        }
+                    }
+                }
+                let mismatch = assumed.finish() != actual.finish();
+                debug_assert_eq!(
+                    mismatch,
+                    matched.len() - before < n_assume,
+                    "validation digest must track unmatched borrows"
+                );
+                if mismatch {
+                    any = true;
+                    self.stats.spec_rollback_by_tile[t] += 1;
+                }
+            }
+            if !any {
+                // Commit: swallow each borrowed credit. Descending index
+                // per scratch keeps `swap_remove` targets valid (every
+                // matched index above the current one is already gone);
+                // credit application is commutative, so order of the
+                // survivors is irrelevant.
+                matched.sort_unstable_by(|a, b| b.cmp(a));
+                for (si, ci) in matched {
+                    self.tile_scratch[si].credits.swap_remove(ci);
+                }
+            }
+        } else {
+            let assumed = Fnv64::new().finish();
+            for t in 0..self.tile_scratch.len() {
+                let assumptions = &self.tile_scratch[t].assumptions;
+                if assumptions.is_empty() {
+                    continue;
+                }
+                let mut actual = Fnv64::new();
+                let mut matches = 0u32;
+                for s in &self.tile_scratch {
+                    for c in &s.credits {
+                        if c.port == north
+                            && assumptions
+                                .iter()
+                                .any(|a| a.node as usize == c.node && a.vc as usize == c.vc)
+                        {
+                            actual.write_u64(c.node as u64);
+                            actual.write_u32(c.vc as u32);
+                            matches += 1;
+                        }
+                    }
+                }
+                let mismatch = actual.finish() != assumed;
+                debug_assert_eq!(mismatch, matches > 0, "validation digest must track matches");
+                if mismatch {
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    /// Undo a mis-speculated cycle and replay it on the single-tile
+    /// serial schedule. Exact by construction: the checkpoint restores
+    /// every node a tile could have written, `reset_for_rollback` drops
+    /// all deferred work and per-tile deltas, and the replay *is* the
+    /// reference schedule — the barrier merge then applies its results
+    /// as on any serial cycle.
+    fn spec_rollback(&mut self, now: Cycle, router_work: &[usize], nic_work: &[usize]) {
+        self.stats.spec_rollbacks += 1;
+        self.stats.spec_replayed_cycles += 1;
+        for s in &mut self.tile_scratch {
+            s.reset_for_rollback();
+        }
+        let ck = std::mem::take(&mut self.spec_ck);
+        ck.restore(
+            &mut self.routers,
+            &mut self.nics,
+            &mut self.router_active,
+            &mut self.nic_active,
+            &mut self.delivered_flag,
+            &mut self.stats.link_busy,
+            &mut self.worms,
+        );
+        self.spec_ck = ck;
+
+        let Network {
+            cfg,
+            routers,
+            nics,
+            worms,
+            stats,
+            link_extra,
+            router_active,
+            nic_active,
+            delivered_flag,
+            tables,
+            tile_scratch,
+            trace,
+            probe,
+            spec,
+            ..
+        } = self;
+        let shared = SharedWorms::new(worms);
+        let mut view = TileView {
+            base: 0,
+            end: cfg.mesh.nodes(),
+            routers: routers.view_mut(),
+            nics: nics.view_mut(),
+            router_active,
+            nic_active,
+            delivered_flag,
+            link_busy: &mut stats.link_busy,
+            link_extra: link_extra.as_slice(),
+            worms: shared,
+            cfg,
+            tables,
+            scratch: &mut tile_scratch[0],
+            trace: Some(trace),
+            probe: probe.as_deref_mut(),
+            // `base == 0` disables speculation, so the replay is the
+            // exact serial reference schedule.
+            spec: *spec,
+            borrow_marks: &[],
+        };
+        view.run_pass(now, router_work, nic_work);
+    }
+
     /// Advance one cycle.
     pub fn tick(&mut self) {
         self.now += 1;
@@ -2001,10 +2617,26 @@ impl Network {
         // tile pass, and only the serial view carries the recorder and
         // probe. Bit-identical either way.
         let trace_serial = self.trace.wants(TraceClass::Flit) || self.probe.is_some();
-        let parallel =
-            configured > 1 && enough_work && !trace_serial && !self.boundary_credit_hazard(now);
-        if configured > 1 && enough_work && !trace_serial && !parallel {
+        let multi = configured > 1 && enough_work && !trace_serial;
+        let parallel = multi
+            && match self.spec {
+                // Legacy engine: give the whole cycle up whenever a
+                // boundary credit *could* arrive.
+                SpecMode::Pessimistic => !self.boundary_credit_hazard(now),
+                // Optimistic engines run the tiles unconditionally and
+                // settle up at the barrier.
+                SpecMode::Optimistic | SpecMode::Detect => true,
+            };
+        if multi && !parallel {
             self.stats.hazard_fallbacks += 1;
+        }
+        // Optimistic engine: stamp the slots where a virtual-credit
+        // borrow is worth betting on, then checkpoint everything this
+        // cycle's tile pass could write, so a validation mismatch can
+        // roll the cycle back.
+        if parallel && self.spec == SpecMode::Optimistic {
+            self.spec_borrow_scan(now);
+            self.spec_capture(&router_work, &nic_work);
         }
         let whole = [0..self.cfg.mesh.nodes(); 1];
 
@@ -2025,6 +2657,8 @@ impl Network {
                 pool,
                 trace,
                 probe,
+                spec,
+                borrow_marks,
                 ..
             } = self;
             let bounds: &[core::ops::Range<usize>] =
@@ -2051,6 +2685,8 @@ impl Network {
                     scratch: &mut tile_scratch[0],
                     trace: Some(trace),
                     probe: probe.as_deref_mut(),
+                    spec: *spec,
+                    borrow_marks: &[],
                 };
                 view.run_pass(now, &router_work, &nic_work);
             } else {
@@ -2071,7 +2707,30 @@ impl Network {
                     &router_work,
                     &nic_work,
                     pool.as_ref().expect("pool exists when tiles > 1"),
+                    *spec,
+                    borrow_marks.as_slice(),
                 );
+            }
+        }
+
+        // Speculation settlement: before any deferred work is applied,
+        // compare each tile's assumed and actual boundary-credit digests.
+        // A mismatch means the serial schedule might have moved a flit
+        // this cycle that the speculative pass did not (or vice versa):
+        // roll back and replay serially (optimistic) or latch the poison
+        // flag for the window driver (detect).
+        if parallel && self.spec != SpecMode::Pessimistic {
+            if self.spec_validate() {
+                match self.spec {
+                    SpecMode::Optimistic => self.spec_rollback(now, &router_work, &nic_work),
+                    SpecMode::Detect => {
+                        self.spec_poisoned = true;
+                        self.stats.spec_detect_violations += 1;
+                    }
+                    SpecMode::Pessimistic => unreachable!("excluded above"),
+                }
+            } else if self.spec == SpecMode::Optimistic {
+                self.stats.spec_commits += 1;
             }
         }
 
@@ -2080,6 +2739,7 @@ impl Network {
         // ascending node order == the serial schedule.
         let mut scratch = std::mem::take(&mut self.tile_scratch);
         for s in scratch.iter_mut() {
+            s.assumptions.clear();
             s.stats.merge_into(&mut self.stats);
             if let Some(v) = s.violation.take() {
                 self.violation.get_or_insert(v);
@@ -2132,6 +2792,8 @@ fn run_tiles<'a>(
     router_work: &'a [usize],
     nic_work: &'a [usize],
     pool: &WorkerPool,
+    spec: SpecMode,
+    borrow_marks: &'a [Cycle],
 ) {
     let mut routers_rest = routers;
     let mut nics_rest = nics;
@@ -2175,6 +2837,8 @@ fn run_tiles<'a>(
             scratch: scratch_iter.next().expect("scratch per tile"),
             trace: None,
             probe: None,
+            spec,
+            borrow_marks,
         };
         jobs.push(Mutex::new((view, rw, nw)));
     }
@@ -2260,6 +2924,106 @@ impl Network {
         self.now = t;
     }
 
+    /// Serialize the network's full dynamic state: routers, NICs, worm
+    /// table, clock, live-worm count, worklists, delivery flags,
+    /// statistics and the sticky violation. Configuration, routing
+    /// tables, tiling, speculation mode and observers (flight recorder,
+    /// contention probe) are *not* saved — the loader rebuilds them from
+    /// its own [`MeshConfig`], which must match the saving side's
+    /// (validated by the caller; `DsmSystem` gates on a config
+    /// fingerprint).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.now);
+        self.routers.save(w);
+        self.nics.save(w);
+        self.worms.save(w);
+        w.put_usize(self.live_worms);
+        self.router_active.save(w);
+        self.active_routers.save(w);
+        self.nic_active.save(w);
+        self.active_nics.save(w);
+        // Worklist *capacities* travel too: `scratch_grows` counts
+        // allocator warm-up, so a restored network must start with the
+        // donor's buffer capacities or that counter (and with it
+        // full-registry bit-identity vs the uninterrupted run) diverges.
+        w.put_usize(self.active_routers.capacity());
+        w.put_usize(self.router_scratch.capacity());
+        w.put_usize(self.active_nics.capacity());
+        w.put_usize(self.nic_scratch.capacity());
+        self.delivered_flag.save(w);
+        self.delivered_nodes.save(w);
+        self.stats.save(w);
+        self.violation.save(w);
+    }
+
+    /// Rebuild a network from `cfg` and a [`Network::save_state`] stream,
+    /// cross-validating the stream's geometry against the configuration.
+    /// The worm-recycling flag travels with the worm table; speculation
+    /// mode and trace/probe state are fresh (callers re-apply).
+    pub fn load_state(cfg: MeshConfig, r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut net = Network::new(cfg);
+        let nodes = net.cfg.mesh.nodes();
+        net.now = r.get_u64()?;
+        net.routers = RouterSlab::load(r)?;
+        net.nics = NicSlab::load(r)?;
+        net.worms = WormTable::load(r)?;
+        net.live_worms = r.get_usize()?;
+        net.router_active = Vec::load(r)?;
+        net.active_routers = Vec::load(r)?;
+        net.nic_active = Vec::load(r)?;
+        net.active_nics = Vec::load(r)?;
+        let ar_cap = r.get_usize()?;
+        let rs_cap = r.get_usize()?;
+        let an_cap = r.get_usize()?;
+        let ns_cap = r.get_usize()?;
+        net.active_routers.reserve_exact(ar_cap.saturating_sub(net.active_routers.len()));
+        net.router_scratch = Vec::with_capacity(rs_cap);
+        net.active_nics.reserve_exact(an_cap.saturating_sub(net.active_nics.len()));
+        net.nic_scratch = Vec::with_capacity(ns_cap);
+        net.delivered_flag = Vec::load(r)?;
+        net.delivered_nodes = Vec::load(r)?;
+        net.stats = NetStats::load(r)?;
+        net.violation = Option::load(r)?;
+        if net.routers.nodes() != nodes {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {} routers, config wants {nodes}",
+                net.routers.nodes()
+            )));
+        }
+        if net.routers.vcs() != net.cfg.vcs_total() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {} VCs per port, config wants {}",
+                net.routers.vcs(),
+                net.cfg.vcs_total()
+            )));
+        }
+        if net.router_active.len() != nodes
+            || net.nic_active.len() != nodes
+            || net.delivered_flag.len() != nodes
+            || net.stats.link_busy.len() != nodes * 4
+        {
+            return Err(SnapError::Mismatch("snapshot flag/stat slabs mismatch node count".into()));
+        }
+        if net
+            .active_routers
+            .iter()
+            .chain(&net.active_nics)
+            .chain(&net.delivered_nodes)
+            .any(|&n| n >= nodes)
+        {
+            return Err(SnapError::Corrupt("worklist node id out of range".into()));
+        }
+        if net.live_worms > net.worms.len() {
+            return Err(SnapError::Corrupt(format!(
+                "{} live worms exceeds table of {}",
+                net.live_worms,
+                net.worms.len()
+            )));
+        }
+        net.stats.spec_rollback_by_tile.resize(net.cfg.tiles, 0);
+        Ok(net)
+    }
+
     /// Run until quiescent or `max` additional cycles elapse; uses a
     /// watchdog so a deadlock reports instead of spinning forever.
     pub fn run_until_quiescent(&mut self, max: Cycle) -> Result<Cycle, NoProgress> {
@@ -2281,5 +3045,64 @@ impl Network {
             wd.check(self.now)?;
         }
         Ok(self.now)
+    }
+}
+
+impl Snap for NetStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.flit_hops);
+        w.put_u64(self.flits_injected);
+        w.put_u64(self.flits_consumed);
+        w.put_u64(self.worms_injected[0]);
+        w.put_u64(self.worms_injected[1]);
+        w.put_u64(self.deliveries);
+        w.put_u64(self.gather_blocked_cycles);
+        w.put_u64(self.multicast_blocked_cycles);
+        w.put_u64(self.parks);
+        w.put_u64(self.bounces);
+        w.put_u64(self.resumes);
+        w.put_u64(self.deposits);
+        w.put_u64(self.deposit_retries);
+        self.link_busy.save(w);
+        self.unicast_latency.save(w);
+        self.multicast_latency.save(w);
+        self.gather_latency.save(w);
+        w.put_u64(self.worm_slots_reused);
+        w.put_u64(self.scratch_grows);
+        w.put_u64(self.hazard_fallbacks);
+        w.put_u64(self.spec_commits);
+        w.put_u64(self.spec_rollbacks);
+        w.put_u64(self.spec_replayed_cycles);
+        self.spec_rollback_by_tile.save(w);
+        w.put_u64(self.spec_detect_violations);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            flit_hops: r.get_u64()?,
+            flits_injected: r.get_u64()?,
+            flits_consumed: r.get_u64()?,
+            worms_injected: [r.get_u64()?, r.get_u64()?],
+            deliveries: r.get_u64()?,
+            gather_blocked_cycles: r.get_u64()?,
+            multicast_blocked_cycles: r.get_u64()?,
+            parks: r.get_u64()?,
+            bounces: r.get_u64()?,
+            resumes: r.get_u64()?,
+            deposits: r.get_u64()?,
+            deposit_retries: r.get_u64()?,
+            link_busy: Vec::load(r)?,
+            unicast_latency: Summary::load(r)?,
+            multicast_latency: Summary::load(r)?,
+            gather_latency: Summary::load(r)?,
+            worm_slots_reused: r.get_u64()?,
+            scratch_grows: r.get_u64()?,
+            hazard_fallbacks: r.get_u64()?,
+            spec_commits: r.get_u64()?,
+            spec_rollbacks: r.get_u64()?,
+            spec_replayed_cycles: r.get_u64()?,
+            spec_rollback_by_tile: Vec::load(r)?,
+            spec_detect_violations: r.get_u64()?,
+        })
     }
 }

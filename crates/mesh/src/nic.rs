@@ -438,6 +438,240 @@ impl NicSlab {
     }
 }
 
+/// Reusable capture of one NIC's complete state, the NIC half of the
+/// speculative tick engine's per-cycle rollback checkpoint (see
+/// [`crate::router::RouterNodeCk`]). Pooled buffers: `capture_node`
+/// refills in place.
+#[derive(Debug, Default, Clone)]
+pub struct NicNodeCk {
+    inject_lens: Vec<u32>,
+    inject: Vec<WormId>,
+    streaming: Vec<Option<StreamState>>,
+    cons_owner: Vec<Option<WormId>>,
+    cons_absorb: Vec<bool>,
+    cons_lens: Vec<u32>,
+    cons_flits: Vec<Flit>,
+    iack: Vec<Option<IackEntry>>,
+    delivered: Vec<Delivery>,
+    resume: Vec<(WormId, u32)>,
+    pending: Vec<(TxnId, u32)>,
+    hwm: u32,
+}
+
+impl NicSlab {
+    /// Capture node `n`'s full NIC state into `ck` (pooled buffers).
+    pub fn capture_node(&self, n: usize, ck: &mut NicNodeCk) {
+        ck.inject_lens.clear();
+        ck.inject.clear();
+        for q in self.inject_q.row(n) {
+            ck.inject_lens.push(q.len() as u32);
+            ck.inject.extend(q.iter().copied());
+        }
+        ck.streaming.clear();
+        ck.streaming.extend_from_slice(self.streaming.row(n));
+        ck.cons_owner.clear();
+        ck.cons_owner.extend_from_slice(self.cons_owner.row(n));
+        ck.cons_absorb.clear();
+        ck.cons_absorb.extend_from_slice(self.cons_absorb.row(n));
+        ck.cons_lens.clear();
+        ck.cons_flits.clear();
+        for q in self.cons_fifo.row(n) {
+            ck.cons_lens.push(q.len() as u32);
+            ck.cons_flits.extend(q.iter().copied());
+        }
+        ck.iack.clear();
+        ck.iack.extend(self.iack.row(n).iter().cloned());
+        ck.delivered.clear();
+        ck.delivered.extend(self.delivered[n].iter().copied());
+        ck.resume.clear();
+        ck.resume.extend(self.resume_q[n].iter().copied());
+        ck.pending.clear();
+        ck.pending.extend(self.pending_deposits[n].iter().copied());
+        ck.hwm = self.inject_backlog_hwm[n];
+    }
+
+    /// Restore node `n` to the state captured in `ck`.
+    pub fn restore_node(&mut self, n: usize, ck: &NicNodeCk) {
+        let mut off = 0usize;
+        for (q, &len) in self.inject_q.row_mut(n).iter_mut().zip(&ck.inject_lens) {
+            q.clear();
+            let end = off + len as usize;
+            q.extend(ck.inject[off..end].iter().copied());
+            off = end;
+        }
+        self.streaming.row_mut(n).copy_from_slice(&ck.streaming);
+        self.cons_owner.row_mut(n).copy_from_slice(&ck.cons_owner);
+        self.cons_absorb.row_mut(n).copy_from_slice(&ck.cons_absorb);
+        let mut off = 0usize;
+        for (q, &len) in self.cons_fifo.row_mut(n).iter_mut().zip(&ck.cons_lens) {
+            q.clear();
+            let end = off + len as usize;
+            q.extend(ck.cons_flits[off..end].iter().copied());
+            off = end;
+        }
+        self.iack.row_mut(n).clone_from_slice(&ck.iack);
+        self.delivered[n].clear();
+        self.delivered[n].extend(ck.delivered.iter().copied());
+        self.resume_q[n].clear();
+        self.resume_q[n].extend(ck.resume.iter().copied());
+        self.pending_deposits[n].clear();
+        self.pending_deposits[n].extend(ck.pending.iter().copied());
+        self.inject_backlog_hwm[n] = ck.hwm;
+    }
+}
+
+mod snap_impls {
+    use super::{Delivery, DeliveryKind, IackEntry, IackState, NicSlab, StreamState, NUM_VNETS};
+    use wormdsm_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for IackState {
+        fn save(&self, w: &mut SnapWriter) {
+            match *self {
+                IackState::Reserved => w.put_u8(0),
+                IackState::Posted { count } => {
+                    w.put_u8(1);
+                    w.put_u32(count);
+                }
+                IackState::Parked { worm, drained, total, posted } => {
+                    w.put_u8(2);
+                    worm.save(w);
+                    w.put_u16(drained);
+                    w.put_u16(total);
+                    posted.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(IackState::Reserved),
+                1 => Ok(IackState::Posted { count: r.get_u32()? }),
+                2 => Ok(IackState::Parked {
+                    worm: Snap::load(r)?,
+                    drained: r.get_u16()?,
+                    total: r.get_u16()?,
+                    posted: Snap::load(r)?,
+                }),
+                t => Err(SnapError::Corrupt(format!("bad IackState tag {t}"))),
+            }
+        }
+    }
+
+    impl Snap for IackEntry {
+        fn save(&self, w: &mut SnapWriter) {
+            self.txn.save(w);
+            self.state.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(IackEntry { txn: Snap::load(r)?, state: Snap::load(r)? })
+        }
+    }
+
+    impl Snap for DeliveryKind {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u8(match self {
+                DeliveryKind::Final => 0,
+                DeliveryKind::Absorb => 1,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(DeliveryKind::Final),
+                1 => Ok(DeliveryKind::Absorb),
+                t => Err(SnapError::Corrupt(format!("bad DeliveryKind tag {t}"))),
+            }
+        }
+    }
+
+    impl Snap for Delivery {
+        fn save(&self, w: &mut SnapWriter) {
+            self.node.save(w);
+            self.worm.save(w);
+            self.src.save(w);
+            w.put_u64(self.payload);
+            self.kind.save(w);
+            w.put_u32(self.acks);
+            w.put_u64(self.at);
+            self.txn.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Delivery {
+                node: Snap::load(r)?,
+                worm: Snap::load(r)?,
+                src: Snap::load(r)?,
+                payload: r.get_u64()?,
+                kind: Snap::load(r)?,
+                acks: r.get_u32()?,
+                at: r.get_u64()?,
+                txn: Snap::load(r)?,
+            })
+        }
+    }
+
+    impl Snap for StreamState {
+        fn save(&self, w: &mut SnapWriter) {
+            self.worm.save(w);
+            w.put_u16(self.next_seq);
+            w.put_u16(self.len);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(StreamState { worm: Snap::load(r)?, next_seq: r.get_u16()?, len: r.get_u16()? })
+        }
+    }
+
+    impl Snap for NicSlab {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_usize(self.cons_cap);
+            self.inject_q.save(w);
+            self.streaming.save(w);
+            self.cons_owner.save(w);
+            self.cons_absorb.save(w);
+            self.cons_fifo.save(w);
+            self.iack.save(w);
+            self.delivered.save(w);
+            self.resume_q.save(w);
+            self.pending_deposits.save(w);
+            self.inject_backlog_hwm.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            let cons_cap = r.get_len()?;
+            let s = Self {
+                cons_cap,
+                inject_q: Snap::load(r)?,
+                streaming: Snap::load(r)?,
+                cons_owner: Snap::load(r)?,
+                cons_absorb: Snap::load(r)?,
+                cons_fifo: Snap::load(r)?,
+                iack: Snap::load(r)?,
+                delivered: Snap::load(r)?,
+                resume_q: Snap::load(r)?,
+                pending_deposits: Snap::load(r)?,
+                inject_backlog_hwm: Snap::load(r)?,
+            };
+            let nodes = s.delivered.len();
+            let cons = s.cons_owner.stride();
+            let rows_ok = s.inject_q.rows() == nodes
+                && s.inject_q.stride() == NUM_VNETS
+                && s.streaming.rows() == nodes
+                && s.cons_owner.rows() == nodes
+                && s.cons_absorb.rows() == nodes
+                && s.cons_absorb.stride() == cons
+                && s.cons_fifo.rows() == nodes
+                && s.cons_fifo.stride() == cons
+                && s.iack.rows() == nodes
+                && s.resume_q.len() == nodes
+                && s.pending_deposits.len() == nodes
+                && s.inject_backlog_hwm.len() == nodes;
+            if !rows_ok {
+                return Err(SnapError::Corrupt("nic slab geometry mismatch".into()));
+            }
+            if s.cons_fifo.as_slice().iter().any(|q| q.len() > cons_cap) {
+                return Err(SnapError::Corrupt("nic consumption FIFO exceeds cons_cap".into()));
+            }
+            Ok(s)
+        }
+    }
+}
+
 /// A contiguous-node window of a [`NicSlab`]; methods take *global* node
 /// ids, and [`NicTile::split_at`] carves disjoint halves for the
 /// partitioned tick.

@@ -337,6 +337,178 @@ impl RouterSlab {
     }
 }
 
+/// Reusable capture of one router's complete state, used by the
+/// speculative tick engine to roll a mis-speculated cycle back. All
+/// buffers are pooled: [`RouterSlab::capture_node`] clears and refills
+/// them in place, so a checkpoint that is reused across cycles stops
+/// allocating once it has warmed up.
+#[derive(Debug, Default, Clone)]
+pub struct RouterNodeCk {
+    buf_lens: Vec<u32>,
+    buf_flits: Vec<BufFlit>,
+    head_ready: Vec<Cycle>,
+    mode: Vec<VcMode>,
+    pending_absorb: Vec<Option<u8>>,
+    credit: Vec<u32>,
+    alloc: Vec<Option<(u8, u8)>>,
+    rr: Vec<u32>,
+    occ: BitSet128,
+    flits: u32,
+}
+
+impl RouterSlab {
+    /// Capture node `n`'s full router state into `ck` (pooled buffers).
+    pub fn capture_node(&self, n: usize, ck: &mut RouterNodeCk) {
+        ck.buf_lens.clear();
+        ck.buf_flits.clear();
+        for q in self.buf.row(n) {
+            ck.buf_lens.push(q.len() as u32);
+            ck.buf_flits.extend(q.iter().copied());
+        }
+        ck.head_ready.clear();
+        ck.head_ready.extend_from_slice(self.head_ready.row(n));
+        ck.mode.clear();
+        ck.mode.extend_from_slice(self.mode.row(n));
+        ck.pending_absorb.clear();
+        ck.pending_absorb.extend_from_slice(self.pending_absorb.row(n));
+        ck.credit.clear();
+        ck.credit.extend_from_slice(self.credit.row(n));
+        ck.alloc.clear();
+        ck.alloc.extend_from_slice(self.alloc.row(n));
+        ck.rr.clear();
+        ck.rr.extend_from_slice(self.rr.row(n));
+        ck.occ = self.occ[n];
+        ck.flits = self.flits[n];
+    }
+
+    /// Restore node `n` to the state captured in `ck`.
+    pub fn restore_node(&mut self, n: usize, ck: &RouterNodeCk) {
+        let mut off = 0usize;
+        for (q, &len) in self.buf.row_mut(n).iter_mut().zip(&ck.buf_lens) {
+            q.clear();
+            let end = off + len as usize;
+            q.extend(ck.buf_flits[off..end].iter().copied());
+            off = end;
+        }
+        self.head_ready.row_mut(n).copy_from_slice(&ck.head_ready);
+        self.mode.row_mut(n).copy_from_slice(&ck.mode);
+        self.pending_absorb.row_mut(n).copy_from_slice(&ck.pending_absorb);
+        self.credit.row_mut(n).copy_from_slice(&ck.credit);
+        self.alloc.row_mut(n).copy_from_slice(&ck.alloc);
+        self.rr.row_mut(n).copy_from_slice(&ck.rr);
+        self.occ[n] = ck.occ;
+        self.flits[n] = ck.flits;
+    }
+}
+
+mod snap_impls {
+    use super::{BufFlit, RouterSlab, VcMode};
+    use wormdsm_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for BufFlit {
+        fn save(&self, w: &mut SnapWriter) {
+            self.flit.save(w);
+            w.put_u64(self.ready_at);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(BufFlit { flit: Snap::load(r)?, ready_at: r.get_u64()? })
+        }
+    }
+
+    impl Snap for VcMode {
+        fn save(&self, w: &mut SnapWriter) {
+            match *self {
+                VcMode::Normal => w.put_u8(0),
+                VcMode::Active { out_port, out_vc, absorb } => {
+                    w.put_u8(1);
+                    w.put_u8(out_port);
+                    w.put_u8(out_vc);
+                    absorb.save(w);
+                }
+                VcMode::DrainPark { entry } => {
+                    w.put_u8(2);
+                    w.put_u8(entry);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(VcMode::Normal),
+                1 => Ok(VcMode::Active {
+                    out_port: r.get_u8()?,
+                    out_vc: r.get_u8()?,
+                    absorb: Snap::load(r)?,
+                }),
+                2 => Ok(VcMode::DrainPark { entry: r.get_u8()? }),
+                t => Err(SnapError::Corrupt(format!("bad VcMode tag {t}"))),
+            }
+        }
+    }
+
+    impl Snap for RouterSlab {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_usize(self.nodes);
+            w.put_usize(self.ports);
+            w.put_usize(self.vcs);
+            w.put_usize(self.vc_cap);
+            self.buf.save(w);
+            self.head_ready.save(w);
+            self.mode.save(w);
+            self.pending_absorb.save(w);
+            self.credit.save(w);
+            self.alloc.save(w);
+            self.rr.save(w);
+            self.occ.save(w);
+            self.flits.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            let nodes = r.get_len()?;
+            let ports = r.get_len()?;
+            let vcs = r.get_len()?;
+            let vc_cap = r.get_len()?;
+            let s = Self {
+                nodes,
+                ports,
+                vcs,
+                vc_cap,
+                buf: Snap::load(r)?,
+                head_ready: Snap::load(r)?,
+                mode: Snap::load(r)?,
+                pending_absorb: Snap::load(r)?,
+                credit: Snap::load(r)?,
+                alloc: Snap::load(r)?,
+                rr: Snap::load(r)?,
+                occ: Snap::load(r)?,
+                flits: Snap::load(r)?,
+            };
+            let stride = ports * vcs;
+            let slabs_ok = s.buf.rows() == nodes
+                && s.buf.stride() == stride
+                && s.head_ready.rows() == nodes
+                && s.head_ready.stride() == stride
+                && s.mode.rows() == nodes
+                && s.mode.stride() == stride
+                && s.pending_absorb.rows() == nodes
+                && s.pending_absorb.stride() == stride
+                && s.credit.rows() == nodes
+                && s.credit.stride() == stride
+                && s.alloc.rows() == nodes
+                && s.alloc.stride() == stride
+                && s.rr.rows() == nodes
+                && s.rr.stride() == ports
+                && s.occ.len() == nodes
+                && s.flits.len() == nodes;
+            if !slabs_ok {
+                return Err(SnapError::Corrupt("router slab geometry mismatch".into()));
+            }
+            if s.buf.as_slice().iter().any(|q| q.len() > vc_cap) {
+                return Err(SnapError::Corrupt("router FIFO exceeds vc_cap".into()));
+            }
+            Ok(s)
+        }
+    }
+}
+
 /// A contiguous-node window of a [`RouterSlab`]. All methods take *global*
 /// node ids (`base..base + rows`); [`RouterTile::split_at`] carves the
 /// window into disjoint halves for the partitioned tick.

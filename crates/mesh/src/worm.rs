@@ -337,6 +337,242 @@ impl WormTable {
     pub fn undelivered(&self) -> usize {
         self.worms.iter().filter(|w| w.state != WormState::Delivered).count()
     }
+
+    /// Capture every worm's mutable runtime fields into `out` (cleared
+    /// first). Used by the speculative tick engine: a tile pass may mutate
+    /// any in-flight worm, but never inserts or retires (both happen at the
+    /// barrier), so slot count and specs need no capture.
+    pub(crate) fn capture_rt(&self, out: &mut Vec<WormRt>) {
+        out.clear();
+        out.reserve(self.worms.len());
+        out.extend(self.worms.iter().map(|w| WormRt {
+            dest_idx: w.dest_idx as u32,
+            acks: w.acks,
+            state: w.state,
+            injected_at: w.injected_at,
+            delivered_at: w.delivered_at,
+            turned: w.turned,
+            bounced: w.bounced,
+            copies: w.copies,
+        }));
+    }
+
+    /// Restore runtime fields captured by [`WormTable::capture_rt`]. The
+    /// table must hold exactly as many worms as at capture time.
+    pub(crate) fn restore_rt(&mut self, rt: &[WormRt]) {
+        debug_assert_eq!(rt.len(), self.worms.len(), "worm count changed under speculation");
+        for (w, s) in self.worms.iter_mut().zip(rt) {
+            w.dest_idx = s.dest_idx as usize;
+            w.acks = s.acks;
+            w.state = s.state;
+            w.injected_at = s.injected_at;
+            w.delivered_at = s.delivered_at;
+            w.turned = s.turned;
+            w.bounced = s.bounced;
+            w.copies = s.copies;
+        }
+    }
+}
+
+/// Snapshot of one worm's mutable runtime fields (everything a tile pass
+/// may write; `spec`, `id` and `queued_at` are fixed at insert).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WormRt {
+    dest_idx: u32,
+    acks: u32,
+    state: WormState,
+    injected_at: Option<Cycle>,
+    delivered_at: Option<Cycle>,
+    turned: bool,
+    bounced: bool,
+    copies: u32,
+}
+
+mod snap_impls {
+    use super::*;
+    use wormdsm_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for WormId {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u32(self.0);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self(r.get_u32()?))
+        }
+    }
+
+    impl Snap for TxnId {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u64(self.0);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self(r.get_u64()?))
+        }
+    }
+
+    impl Snap for VNet {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u8(self.index() as u8);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(VNet::Req),
+                1 => Ok(VNet::Reply),
+                b => Err(SnapError::Corrupt(format!("VNet tag {b}"))),
+            }
+        }
+    }
+
+    impl Snap for WormKind {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u8(match self {
+                WormKind::Unicast => 0,
+                WormKind::Multicast => 1,
+                WormKind::Gather => 2,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(WormKind::Unicast),
+                1 => Ok(WormKind::Multicast),
+                2 => Ok(WormKind::Gather),
+                b => Err(SnapError::Corrupt(format!("WormKind tag {b}"))),
+            }
+        }
+    }
+
+    impl Snap for FlitKind {
+        fn save(&self, w: &mut SnapWriter) {
+            w.put_u8(match self {
+                FlitKind::Head => 0,
+                FlitKind::Body => 1,
+                FlitKind::Tail => 2,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(FlitKind::Head),
+                1 => Ok(FlitKind::Body),
+                2 => Ok(FlitKind::Tail),
+                b => Err(SnapError::Corrupt(format!("FlitKind tag {b}"))),
+            }
+        }
+    }
+
+    impl Snap for Flit {
+        fn save(&self, w: &mut SnapWriter) {
+            self.worm.save(w);
+            self.kind.save(w);
+            w.put_u16(self.seq);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self { worm: WormId::load(r)?, kind: FlitKind::load(r)?, seq: r.get_u16()? })
+        }
+    }
+
+    impl Snap for WormState {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                WormState::Queued => w.put_u8(0),
+                WormState::InFlight => w.put_u8(1),
+                WormState::Parked(n) => {
+                    w.put_u8(2);
+                    n.save(w);
+                }
+                WormState::Delivered => w.put_u8(3),
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(WormState::Queued),
+                1 => Ok(WormState::InFlight),
+                2 => Ok(WormState::Parked(NodeId::load(r)?)),
+                3 => Ok(WormState::Delivered),
+                b => Err(SnapError::Corrupt(format!("WormState tag {b}"))),
+            }
+        }
+    }
+
+    impl Snap for WormSpec {
+        fn save(&self, w: &mut SnapWriter) {
+            self.src.save(w);
+            self.vnet.save(w);
+            self.kind.save(w);
+            self.dests.save(w);
+            w.put_u16(self.len_flits);
+            w.put_u64(self.payload);
+            w.put_bool(self.reserve_iack);
+            self.txn.save(w);
+            w.put_u32(self.initial_acks);
+            w.put_bool(self.gather_deposit);
+            self.deliver.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self {
+                src: NodeId::load(r)?,
+                vnet: VNet::load(r)?,
+                kind: WormKind::load(r)?,
+                dests: DestVec::load(r)?,
+                len_flits: r.get_u16()?,
+                payload: r.get_u64()?,
+                reserve_iack: r.get_bool()?,
+                txn: TxnId::load(r)?,
+                initial_acks: r.get_u32()?,
+                gather_deposit: r.get_bool()?,
+                deliver: Option::<DeliverMask>::load(r)?,
+            })
+        }
+    }
+
+    impl Snap for Worm {
+        fn save(&self, w: &mut SnapWriter) {
+            self.spec.save(w);
+            self.id.save(w);
+            w.put_usize(self.dest_idx);
+            w.put_u32(self.acks);
+            self.state.save(w);
+            w.put_u64(self.queued_at);
+            self.injected_at.save(w);
+            self.delivered_at.save(w);
+            w.put_bool(self.turned);
+            w.put_bool(self.bounced);
+            w.put_u32(self.copies);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Self {
+                spec: WormSpec::load(r)?,
+                id: WormId::load(r)?,
+                dest_idx: r.get_usize()?,
+                acks: r.get_u32()?,
+                state: WormState::load(r)?,
+                queued_at: r.get_u64()?,
+                injected_at: Option::<Cycle>::load(r)?,
+                delivered_at: Option::<Cycle>::load(r)?,
+                turned: r.get_bool()?,
+                bounced: r.get_bool()?,
+                copies: r.get_u32()?,
+            })
+        }
+    }
+
+    impl Snap for WormTable {
+        fn save(&self, w: &mut SnapWriter) {
+            // `free` is LIFO slot reuse — its exact order is observable
+            // through future worm-id assignment, so it is preserved
+            // verbatim.
+            self.worms.save(w);
+            self.free.save(w);
+            w.put_bool(self.recycle);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            let worms: Vec<Worm> = Vec::load(r)?;
+            let free: Vec<u32> = Vec::load(r)?;
+            if free.iter().any(|&s| s as usize >= worms.len()) {
+                return Err(SnapError::Corrupt("worm free list out of range".to_string()));
+            }
+            Ok(Self { worms, free, recycle: r.get_bool()? })
+        }
+    }
 }
 
 /// Build the flit sequence for a worm of `len` flits.

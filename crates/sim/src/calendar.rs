@@ -120,6 +120,59 @@ impl<E> Calendar<E> {
         }
     }
 
+    /// Capture the calendar into a snapshot stream.
+    ///
+    /// Live entries are emitted sorted by `(at, seq)` — the exact order
+    /// they will pop in — and cancelled tombstones are dropped, so a
+    /// loaded calendar's pop sequence is identical to the original's no
+    /// matter how either heap happens to be arranged internally.
+    /// `next_seq` is preserved (not compacted) so events scheduled after
+    /// a restore tie-break exactly like they would have in the
+    /// uninterrupted run.
+    pub fn save(&self, w: &mut crate::snap::SnapWriter)
+    where
+        E: crate::snap::Snap,
+    {
+        w.put_u64(self.next_seq);
+        let mut live: Vec<&Entry<E>> = self
+            .heap
+            .iter()
+            .map(|Reverse(e)| e)
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .collect();
+        live.sort_by_key(|e| (e.at, e.seq));
+        w.put_usize(live.len());
+        for e in live {
+            w.put_u64(e.at);
+            w.put_u64(e.seq);
+            e.payload.save(w);
+        }
+    }
+
+    /// Rebuild a calendar from a snapshot stream (see [`Calendar::save`]).
+    pub fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError>
+    where
+        E: crate::snap::Snap,
+    {
+        let next_seq = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut cal = Self::new();
+        cal.next_seq = next_seq;
+        for _ in 0..n {
+            let at = r.get_u64()?;
+            let seq = r.get_u64()?;
+            if seq >= next_seq {
+                return Err(crate::snap::SnapError::Corrupt(format!(
+                    "calendar entry seq {seq} >= next_seq {next_seq}"
+                )));
+            }
+            let payload = E::load(r)?;
+            cal.heap.push(Reverse(Entry { at, seq, payload }));
+            cal.live += 1;
+        }
+        Ok(cal)
+    }
+
     /// Pop the next event if it is due at or before `now`.
     pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
         self.skip_cancelled();

@@ -227,6 +227,47 @@ impl<V> FlatMap<V> {
     }
 }
 
+impl<V: crate::snap::Snap> crate::snap::Snap for FlatMap<V> {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        // Primary state only: dense keys/values (holes included — slot
+        // positions are observable through iteration order) and the free
+        // list (LIFO reuse order is observable through future inserts).
+        // The probe table is derived state, rebuilt on load; its exact
+        // capacity affects probe cost only, never results.
+        self.keys.save(w);
+        self.vals.save(w);
+        self.free.save(w);
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let keys: Vec<u64> = Vec::load(r)?;
+        let vals: Vec<Option<V>> = Vec::load(r)?;
+        let free: Vec<u32> = Vec::load(r)?;
+        if keys.len() != vals.len() {
+            return Err(crate::snap::SnapError::Corrupt(format!(
+                "flat map: {} keys vs {} values",
+                keys.len(),
+                vals.len()
+            )));
+        }
+        let holes = vals.iter().filter(|v| v.is_none()).count();
+        if free.len() != holes
+            || free.iter().any(|&s| s as usize >= vals.len() || vals[s as usize].is_some())
+        {
+            return Err(crate::snap::SnapError::Corrupt(
+                "flat map: free list does not match value holes".to_string(),
+            ));
+        }
+        let mut m = Self { index: Vec::new(), keys, vals, free, tombstones: 0 };
+        if !m.keys.is_empty() {
+            // Same sizing rule as the incremental grower: capacity stays
+            // under 7/8 load for the live count.
+            let cap = ((m.len() + 1) * 8 / 7 + 1).next_power_of_two().max(16);
+            m.rebuild(cap);
+        }
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -188,6 +188,23 @@ impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N>
     }
 }
 
+impl<T: Copy + Default + crate::snap::Snap, const N: usize> crate::snap::Snap for InlineVec<T, N> {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_usize(self.len);
+        for v in self.as_slice() {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let n = r.get_len()?;
+        let mut v = Self::new();
+        for _ in 0..n {
+            v.push(T::load(r)?);
+        }
+        Ok(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

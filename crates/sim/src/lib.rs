@@ -29,6 +29,7 @@ pub mod pool;
 pub mod profile;
 pub mod rng;
 pub mod slab;
+pub mod snap;
 pub mod stats;
 pub mod trace;
 
@@ -40,6 +41,7 @@ pub use pool::WorkerPool;
 pub use profile::{Phase, TxnProfiler, TxnRecord};
 pub use rng::Rng;
 pub use slab::{Strided, StridedView};
+pub use snap::{fnv64, Fnv64, Snap, SnapError, SnapReader, SnapWriter};
 pub use stats::{Counter, Histogram, Metric, Registry, Summary, TimeWeighted};
 pub use trace::{
     FlightRecorder, InvariantViolation, TraceClass, TraceEvent, TraceKind, TraceLevel,

@@ -70,6 +70,13 @@ struct Shared {
 // is documented above and enforced by `run`/`worker_loop`.
 unsafe impl Sync for Shared {}
 
+/// Environment variable overriding the host worker budget used by
+/// [`WorkerPool::sized_workers`]. Set it to pin the pool width regardless
+/// of `available_parallelism` — e.g. to force real fan-out on a CI runner
+/// that reports one core, or to measure pure scheduling overhead with
+/// `WORMDSM_POOL_WORKERS=0`.
+pub const POOL_WORKERS_ENV: &str = "WORMDSM_POOL_WORKERS";
+
 /// Persistent pool of parked worker threads; see the module docs.
 pub struct WorkerPool {
     shared: Arc<Shared>,
@@ -112,6 +119,30 @@ impl WorkerPool {
     /// Number of parked worker threads (lanes minus the caller).
     pub fn threads(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Effective worker count for a caller wanting `requested` workers:
+    /// the smaller of `requested` and the host budget. The budget is
+    /// `available_parallelism() - 1` (the calling thread is a lane of its
+    /// own), overridden verbatim by the [`POOL_WORKERS_ENV`] environment
+    /// variable when set to a parseable integer — the override wins even
+    /// above the detected core count, which is deliberate: CI runners and
+    /// containers routinely under-report cores.
+    pub fn sized_workers(requested: usize) -> usize {
+        let budget = std::env::var(POOL_WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |c| c.get()).saturating_sub(1)
+            });
+        requested.min(budget)
+    }
+
+    /// Spawn a pool with [`WorkerPool::sized_workers`]`(requested)`
+    /// workers — the constructor every tile-fan-out caller should use so
+    /// pools never oversubscribe the host yet stay overridable.
+    pub fn new_sized(requested: usize) -> Self {
+        Self::new(Self::sized_workers(requested))
     }
 
     /// Run `f(0), f(1), …, f(n - 1)` across the pool plus the calling
@@ -276,6 +307,25 @@ mod tests {
             *ran_on.lock().unwrap() = Some(std::thread::current().id());
         });
         assert_eq!(*ran_on.lock().unwrap(), Some(caller));
+    }
+
+    #[test]
+    fn sized_workers_honors_host_and_env_override() {
+        // No override: clamped by the host budget (callers keep a lane).
+        std::env::remove_var(POOL_WORKERS_ENV);
+        let host = std::thread::available_parallelism().map_or(1, |c| c.get());
+        assert_eq!(WorkerPool::sized_workers(0), 0);
+        assert!(WorkerPool::sized_workers(usize::MAX) <= host.saturating_sub(1));
+        // Override wins, even above the detected core count.
+        std::env::set_var(POOL_WORKERS_ENV, "3");
+        assert_eq!(WorkerPool::sized_workers(7), 3);
+        assert_eq!(WorkerPool::sized_workers(2), 2, "requested below override stays requested");
+        std::env::set_var(POOL_WORKERS_ENV, "0");
+        assert_eq!(WorkerPool::sized_workers(7), 0);
+        // Garbage values fall back to the host budget.
+        std::env::set_var(POOL_WORKERS_ENV, "lots");
+        assert_eq!(WorkerPool::sized_workers(0), 0);
+        std::env::remove_var(POOL_WORKERS_ENV);
     }
 
     #[test]

@@ -81,6 +81,24 @@ impl<T> Strided<T> {
     }
 }
 
+impl<T: crate::snap::Snap> crate::snap::Snap for Strided<T> {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.put_usize(self.stride);
+        self.data.save(w);
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let stride = r.get_usize()?;
+        let data = Vec::load(r)?;
+        if stride == 0 || data.len() % stride != 0 {
+            return Err(crate::snap::SnapError::Corrupt(format!(
+                "strided slab: {} elements with stride {stride}",
+                data.len()
+            )));
+        }
+        Ok(Self { data, stride })
+    }
+}
+
 /// Borrowed window of a [`Strided`] slab covering a contiguous row range.
 #[derive(Debug)]
 pub struct StridedView<'a, T> {

@@ -1,6 +1,7 @@
 //! Statistics collection: counters, running summaries, histograms, and
 //! time-weighted averages (for occupancy / queue-length style metrics).
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::Cycle;
 
 /// A simple monotonically increasing event counter.
@@ -136,6 +137,39 @@ impl Summary {
     }
 }
 
+impl Snap for Counter {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.count);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self { count: r.get_u64()? })
+    }
+}
+
+impl Snap for Summary {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.n);
+        // Bit patterns, not values: Welford state must restore exactly
+        // (±∞ sentinels of an empty summary included) so post-restore
+        // records continue the identical numeric trajectory.
+        w.put_f64(self.mean);
+        w.put_f64(self.m2);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+        w.put_f64(self.sum);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            n: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+            sum: r.get_f64()?,
+        })
+    }
+}
+
 /// Fixed-bucket histogram over `u64` values with an overflow bucket.
 ///
 /// Bucket `i` counts values in `[i * width, (i+1) * width)`; values at or
@@ -222,6 +256,23 @@ impl Histogram {
     }
 }
 
+impl Snap for Histogram {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.width);
+        self.counts.save(w);
+        w.put_u64(self.overflow);
+        self.summary.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let width = r.get_u64()?;
+        let counts = Vec::load(r)?;
+        if width == 0 || counts.is_empty() {
+            return Err(SnapError::Corrupt("histogram with no buckets".to_string()));
+        }
+        Ok(Self { width, counts, overflow: r.get_u64()?, summary: Summary::load(r)? })
+    }
+}
+
 /// Time-weighted value tracker: integrates `value x time` so that
 /// `average()` is the time average — used for home-node occupancy, queue
 /// lengths, and link utilization.
@@ -276,6 +327,25 @@ impl TimeWeighted {
     }
 }
 
+impl Snap for TimeWeighted {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_f64(self.value);
+        w.put_u64(self.last_change);
+        w.put_f64(self.integral);
+        w.put_u64(self.start);
+        w.put_f64(self.max);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            value: r.get_f64()?,
+            last_change: r.get_u64()?,
+            integral: r.get_f64()?,
+            start: r.get_u64()?,
+            max: r.get_f64()?,
+        })
+    }
+}
+
 /// Busy-time accumulator: tracks the total cycles a resource was busy, for
 /// utilization and occupancy metrics where the resource is either busy or
 /// idle (e.g. the directory controller).
@@ -318,6 +388,16 @@ impl BusyTime {
         } else {
             self.total_busy as f64 / now as f64
         }
+    }
+}
+
+impl Snap for BusyTime {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.total_busy);
+        w.put_u64(self.busy_until);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self { total_busy: r.get_u64()?, busy_until: r.get_u64()? })
     }
 }
 

@@ -1,8 +1,18 @@
 //! Workload representation and the execution driver.
+//!
+//! Issuance is cursor-based: a [`Workload`] is an immutable set of op
+//! streams, and all run progress lives in an [`IssueState`] (per-processor
+//! cursors + issued count). That split is what makes runs *resumable* and
+//! *replayable*: an `IssueState` plus a [`wormdsm_core::DsmSystem`]
+//! snapshot is a complete checkpoint ([`Workload::checkpoint`] /
+//! [`Workload::resume`]), and the windowed speculative driver
+//! ([`Workload::run_windowed`]) rolls a poisoned window back simply by
+//! restoring both and re-running the same cycles serially.
 
 use std::collections::VecDeque;
-use wormdsm_core::{DsmSystem, MemOp, TxnProfiler};
+use wormdsm_core::{DsmSystem, InvalidationScheme, MemOp, SpecMode, SystemConfig, TxnProfiler};
 use wormdsm_mesh::topology::NodeId;
+use wormdsm_sim::snap::{SnapError, SnapReader, SnapWriter};
 use wormdsm_sim::Cycle;
 
 /// One deterministic operation stream per processor.
@@ -10,6 +20,57 @@ use wormdsm_sim::Cycle;
 pub struct Workload {
     /// Per-processor operation queues (index = node id).
     pub ops: Vec<VecDeque<MemOp>>,
+}
+
+/// Issue-side progress of a run: how far into each processor's op stream
+/// the driver has issued. Together with a [`DsmSystem::save_snapshot`]
+/// stream this is everything needed to resume or replay a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueState {
+    /// Next un-issued op per processor (index = node id).
+    cursors: Vec<usize>,
+    /// Operations issued so far.
+    issued: u64,
+}
+
+impl IssueState {
+    /// Operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Serialize into a snapshot stream.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.cursors.len());
+        for &c in &self.cursors {
+            w.put_usize(c);
+        }
+        w.put_u64(self.issued);
+    }
+
+    /// Rebuild from a snapshot stream.
+    pub fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.get_len()?;
+        let mut cursors = Vec::with_capacity(n);
+        for _ in 0..n {
+            cursors.push(r.get_usize()?);
+        }
+        Ok(Self { cursors, issued: r.get_u64()? })
+    }
+}
+
+/// Outcome counters of a windowed speculative run
+/// ([`Workload::run_windowed`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Windows executed (committed + rolled back).
+    pub windows: u64,
+    /// Windows whose Detect-mode pass stayed clean and were committed.
+    pub committed: u64,
+    /// Windows rolled back to their entry snapshot and replayed serially.
+    pub rolled_back: u64,
+    /// Cycles re-executed on the serial schedule by those rollbacks.
+    pub replayed_cycles: u64,
 }
 
 impl Workload {
@@ -37,47 +98,243 @@ impl Workload {
             .count()
     }
 
-    /// Run this workload to completion on `sys`.
+    /// Fresh issue state: nothing issued yet.
+    pub fn start(&self) -> IssueState {
+        IssueState { cursors: vec![0; self.ops.len()], issued: 0 }
+    }
+
+    /// Drive the system until the workload completes or the clock passes
+    /// `stop_at` (inclusive: the issue pass at cycle `stop_at` still
+    /// runs, then one step carries the clock past it).
     ///
-    /// Every cycle, each idle processor issues its next op. Returns the
-    /// completion cycle and counts, or an error if `max_cycles` pass
-    /// without finishing (deadlock / lost message).
-    pub fn run(mut self, sys: &mut DsmSystem, max_cycles: Cycle) -> Result<RunResult, String> {
+    /// Exactly one issue pass runs per simulated cycle no matter how the
+    /// run is sliced into `advance` calls — re-entering at the cycle a
+    /// previous call stopped on does not re-issue — so a run chopped into
+    /// windows is bit-identical to one uninterrupted call. Returns `true`
+    /// when every op has issued and the system is idle.
+    fn advance(
+        &self,
+        sys: &mut DsmSystem,
+        st: &mut IssueState,
+        stop_at: Cycle,
+    ) -> Result<bool, String> {
         assert_eq!(self.ops.len(), sys.config().nodes(), "one op stream per node");
-        let start = sys.now();
-        let deadline = start + max_cycles;
-        let mut issued = 0u64;
+        assert_eq!(st.cursors.len(), self.ops.len(), "issue state matches this workload");
         // Poll only processors that still have queued ops. The set is kept
         // in ascending node order and only ever shrinks, so issue order is
         // identical to sweeping every node each cycle.
-        let ops = &mut self.ops;
-        let mut runnable: Vec<usize> = (0..ops.len()).filter(|&p| !ops[p].is_empty()).collect();
+        let mut runnable: Vec<usize> =
+            (0..self.ops.len()).filter(|&p| st.cursors[p] < self.ops[p].len()).collect();
         loop {
             // The promoted invariants record instead of panicking; a
             // workload run must not report numbers from a corrupted state.
             if let Some(v) = sys.invariant_violation() {
                 return Err(format!("workload aborted: {v}"));
             }
+            if sys.now() > stop_at {
+                return Ok(false);
+            }
             runnable.retain(|&p| {
                 let node = NodeId(p as u16);
                 if sys.proc_idle(node) {
-                    let op = ops[p].pop_front().expect("runnable implies non-empty");
+                    let op = self.ops[p][st.cursors[p]];
+                    st.cursors[p] += 1;
                     sys.issue(node, op);
-                    issued += 1;
+                    st.issued += 1;
                 }
-                !ops[p].is_empty()
+                st.cursors[p] < self.ops[p].len()
             });
             if runnable.is_empty() && sys.idle() {
-                return Ok(RunResult { cycles: sys.now() - start, issued });
-            }
-            if sys.now() >= deadline {
-                let left: usize = ops.iter().map(|q| q.len()).sum();
-                return Err(format!(
-                    "workload incomplete after {max_cycles} cycles: {issued} issued, {left} queued"
-                ));
+                return Ok(true);
             }
             sys.step();
         }
+    }
+
+    /// Run this workload to completion on `sys`.
+    ///
+    /// Every cycle, each idle processor issues its next op. Returns the
+    /// completion cycle and counts, or an error if `max_cycles` pass
+    /// without finishing (deadlock / lost message).
+    pub fn run(&self, sys: &mut DsmSystem, max_cycles: Cycle) -> Result<RunResult, String> {
+        let mut st = self.start();
+        self.run_from(sys, &mut st, max_cycles)
+    }
+
+    /// Continue a run from an existing [`IssueState`] (fresh from
+    /// [`Workload::start`], or restored by [`Workload::resume`]).
+    ///
+    /// `RunResult::cycles` counts cycles spent in *this* call;
+    /// `RunResult::issued` is the state's lifetime total, so a resumed
+    /// run reports the same count the uninterrupted run would.
+    pub fn run_from(
+        &self,
+        sys: &mut DsmSystem,
+        st: &mut IssueState,
+        max_cycles: Cycle,
+    ) -> Result<RunResult, String> {
+        let start = sys.now();
+        if self.advance(sys, st, start + max_cycles)? {
+            Ok(RunResult { cycles: sys.now() - start, issued: st.issued })
+        } else {
+            let left = self.total_ops() as u64 - st.issued;
+            Err(format!(
+                "workload incomplete after {max_cycles} cycles: {} issued, {left} queued",
+                st.issued
+            ))
+        }
+    }
+
+    /// Run to completion with W-cycle speculative windows.
+    ///
+    /// The per-cycle engine is put in [`SpecMode::Detect`]: parallel
+    /// passes commit unconditionally and latch a poison flag when a
+    /// speculation assumption was violated. Every `window` cycles the
+    /// driver takes a full-system snapshot; a window that ends poisoned
+    /// is rolled back to its entry snapshot (system **and** issue
+    /// cursors) and re-run on the serial one-tile schedule, which is
+    /// exact by construction. Clean windows commit with zero rollback
+    /// work — the multi-cycle analogue of the per-cycle optimistic tick,
+    /// amortizing validation over W cycles.
+    ///
+    /// Final state is bit-identical to a serial run. The entry
+    /// speculation mode and tile count are restored before returning.
+    /// Rollbacks rebuild the network from the snapshot, so flight-
+    /// recorder history does not survive them (results are unaffected).
+    pub fn run_windowed(
+        &self,
+        sys: &mut DsmSystem,
+        max_cycles: Cycle,
+        window: Cycle,
+    ) -> Result<(RunResult, WindowStats), String> {
+        assert!(window >= 1, "window must be at least one cycle");
+        let start = sys.now();
+        let deadline = start + max_cycles;
+        let tiles = sys.tiles();
+        let entry_mode = sys.spec_mode();
+        sys.set_spec_mode(SpecMode::Detect);
+        let mut st = self.start();
+        let mut ws = WindowStats::default();
+        let result = loop {
+            let w_start = sys.now();
+            let stop = (w_start + window - 1).min(deadline);
+            let snap = sys.save_snapshot();
+            let st_ck = st.clone();
+            sys.clear_spec_poisoned();
+            let done = match self.advance(sys, &mut st, stop) {
+                Ok(d) => d,
+                Err(e) => break Err(e),
+            };
+            ws.windows += 1;
+            let done = if sys.spec_poisoned() {
+                ws.rolled_back += 1;
+                if let Err(e) = sys.restore_snapshot_in_place(&snap) {
+                    break Err(format!("window rollback failed: {e}"));
+                }
+                st = st_ck;
+                sys.set_tiles(1);
+                sys.clear_spec_poisoned();
+                let replayed = match self.advance(sys, &mut st, stop) {
+                    Ok(d) => d,
+                    Err(e) => break Err(e),
+                };
+                ws.replayed_cycles += sys.now() - w_start;
+                sys.set_tiles(tiles);
+                replayed
+            } else {
+                ws.committed += 1;
+                done
+            };
+            if done {
+                break Ok(RunResult { cycles: sys.now() - start, issued: st.issued });
+            }
+            if sys.now() > deadline {
+                let left = self.total_ops() as u64 - st.issued;
+                break Err(format!(
+                    "workload incomplete after {max_cycles} cycles: {} issued, {left} queued",
+                    st.issued
+                ));
+            }
+        };
+        sys.set_spec_mode(entry_mode);
+        result.map(|r| (r, ws))
+    }
+
+    /// Run to completion, handing a resumable checkpoint to `sink` every
+    /// `every` cycles (the bench driver's `--snapshot-every`). The
+    /// checkpoint at a boundary captures the state *before* that cycle's
+    /// issue pass, so resuming it replays the remainder bit-identically.
+    pub fn run_checkpointed(
+        &self,
+        sys: &mut DsmSystem,
+        max_cycles: Cycle,
+        every: Cycle,
+        mut sink: impl FnMut(Cycle, Vec<u8>),
+    ) -> Result<RunResult, String> {
+        assert!(every >= 1, "checkpoint interval must be at least one cycle");
+        let start = sys.now();
+        let deadline = start + max_cycles;
+        let mut st = self.start();
+        loop {
+            let stop = (sys.now() + every - 1).min(deadline);
+            if self.advance(sys, &mut st, stop)? {
+                return Ok(RunResult { cycles: sys.now() - start, issued: st.issued });
+            }
+            if sys.now() > deadline {
+                let left = self.total_ops() as u64 - st.issued;
+                return Err(format!(
+                    "workload incomplete after {max_cycles} cycles: {} issued, {left} queued",
+                    st.issued
+                ));
+            }
+            sink(sys.now(), Self::checkpoint(sys, &st));
+        }
+    }
+
+    /// Serialize a resumable checkpoint: the full system snapshot plus
+    /// the run's issue state, one sealed stream.
+    pub fn checkpoint(sys: &DsmSystem, st: &IssueState) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        let sys_bytes = sys.save_snapshot();
+        w.put_usize(sys_bytes.len());
+        w.put_bytes(&sys_bytes);
+        st.save(&mut w);
+        w.finish()
+    }
+
+    /// Rebuild a system and issue state from [`Workload::checkpoint`]
+    /// bytes. `cfg` and `scheme` must match the checkpointing run (the
+    /// system snapshot's fingerprint enforces it), and the checkpoint's
+    /// cursors must fit this workload's op streams. Continue with
+    /// [`Workload::run_from`].
+    pub fn resume(
+        &self,
+        cfg: SystemConfig,
+        scheme: Box<dyn InvalidationScheme>,
+        bytes: &[u8],
+    ) -> Result<(DsmSystem, IssueState), String> {
+        let mut r = SnapReader::new(bytes).map_err(|e| e.to_string())?;
+        let n = r.get_len().map_err(|e| e.to_string())?;
+        let sys_bytes = r.get_bytes(n).map_err(|e| e.to_string())?.to_vec();
+        let st = IssueState::load(&mut r).map_err(|e| e.to_string())?;
+        let sys =
+            DsmSystem::restore_snapshot(cfg, scheme, &sys_bytes).map_err(|e| e.to_string())?;
+        if st.cursors.len() != self.ops.len() {
+            return Err(format!(
+                "checkpoint has {} op streams, workload has {}",
+                st.cursors.len(),
+                self.ops.len()
+            ));
+        }
+        for (p, (&c, q)) in st.cursors.iter().zip(&self.ops).enumerate() {
+            if c > q.len() {
+                return Err(format!(
+                    "checkpoint cursor {c} exceeds processor {p}'s {} ops",
+                    q.len()
+                ));
+            }
+        }
+        Ok((sys, st))
     }
 
     /// [`Workload::run`] with latency-attribution profiling enabled for
@@ -88,7 +345,7 @@ impl Workload {
     /// Profiling is a pure observation layer, so the [`RunResult`] and
     /// every metric are bit-identical to an unprofiled run.
     pub fn run_profiled(
-        self,
+        &self,
         sys: &mut DsmSystem,
         max_cycles: Cycle,
     ) -> Result<(RunResult, TxnProfiler), String> {
@@ -135,8 +392,7 @@ mod tests {
         assert_eq!(w.mem_ops(), 2);
     }
 
-    #[test]
-    fn runs_simple_sharing_pattern() {
+    fn sharing_workload() -> Workload {
         let mut w = Workload::new(16);
         // Everyone reads block 1, then node 0 writes it.
         for p in 1..16 {
@@ -145,6 +401,12 @@ mod tests {
         }
         w.push(0, MemOp::Barrier { id: 0, participants: 16 });
         w.push(0, MemOp::Write(Addr(32)));
+        w
+    }
+
+    #[test]
+    fn runs_simple_sharing_pattern() {
+        let w = sharing_workload();
         let mut s = sys();
         let r = w.run(&mut s, 500_000).unwrap();
         assert_eq!(r.issued, 15 * 2 + 2);
@@ -156,19 +418,80 @@ mod tests {
 
     #[test]
     fn run_profiled_attributes_every_invalidation() {
-        let mut w = Workload::new(16);
-        for p in 1..16 {
-            w.push(p, MemOp::Read(Addr(32)));
-            w.push(p, MemOp::Barrier { id: 0, participants: 16 });
-        }
-        w.push(0, MemOp::Barrier { id: 0, participants: 16 });
-        w.push(0, MemOp::Write(Addr(32)));
+        let w = sharing_workload();
         let mut s = sys();
         let (_, p) = w.run_profiled(&mut s, 500_000).unwrap();
         assert_eq!(p.closed(), s.metrics().inval_txns);
         assert_eq!(p.latency_total() as f64, s.metrics().inval_latency.sum());
         p.verify_exact().unwrap();
         assert!(s.profiler().is_none(), "profiler is handed back, not left attached");
+    }
+
+    /// Chopping a run into many tiny `advance` windows must not change a
+    /// single result: exactly one issue pass per simulated cycle.
+    #[test]
+    fn sliced_run_is_bit_identical_to_uninterrupted() {
+        let w = sharing_workload();
+        let mut whole = sys();
+        let r_whole = w.run(&mut whole, 500_000).unwrap();
+
+        let mut sliced = sys();
+        let mut st = w.start();
+        let mut done = false;
+        while !done {
+            let stop = sliced.now() + 6; // awkward non-divisor slice width
+            done = w.advance(&mut sliced, &mut st, stop).unwrap();
+        }
+        assert_eq!(st.issued, r_whole.issued);
+        assert_eq!(sliced.now(), whole.now());
+        assert_eq!(sliced.export_metrics().to_json(), whole.export_metrics().to_json());
+    }
+
+    /// The checkpoint/resume pair must reproduce the uninterrupted run's
+    /// final state bit for bit, including metrics accumulated before the
+    /// checkpoint.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let w = sharing_workload();
+        let mut whole = sys();
+        let r_whole = w.run(&mut whole, 500_000).unwrap();
+
+        let mut first = sys();
+        let mut taken = Vec::new();
+        let r = w
+            .run_checkpointed(&mut first, 500_000, 100, |at, bytes| taken.push((at, bytes)))
+            .unwrap();
+        assert_eq!(r.cycles, r_whole.cycles);
+        assert!(!taken.is_empty(), "run long enough to checkpoint");
+
+        let (at, bytes) = &taken[taken.len() / 2];
+        let cfg = SystemConfig::for_scheme(4, SchemeKind::UiUa);
+        let (mut resumed, mut st) = w.resume(cfg, SchemeKind::UiUa.build(), bytes).unwrap();
+        assert_eq!(resumed.now(), *at);
+        let rr = w.run_from(&mut resumed, &mut st, 500_000).unwrap();
+        assert_eq!(rr.issued, r_whole.issued);
+        assert_eq!(resumed.now(), whole.now());
+        assert_eq!(resumed.export_metrics().to_json(), whole.export_metrics().to_json());
+    }
+
+    /// Windowed speculative execution on a single-tile system never rolls
+    /// back (the serial schedule speculates nothing) and matches the
+    /// plain run exactly.
+    #[test]
+    fn windowed_run_matches_plain_run() {
+        let w = sharing_workload();
+        let mut plain = sys();
+        let r_plain = w.run(&mut plain, 500_000).unwrap();
+
+        let mut windowed = sys();
+        let (r, ws) = w.run_windowed(&mut windowed, 500_000, 64).unwrap();
+        assert_eq!(r.cycles, r_plain.cycles);
+        assert_eq!(r.issued, r_plain.issued);
+        assert_eq!(ws.rolled_back, 0, "serial tick engine cannot mis-speculate");
+        assert_eq!(ws.windows, ws.committed);
+        assert!(ws.windows >= 2, "run spans multiple windows");
+        assert_eq!(windowed.export_metrics().to_json(), plain.export_metrics().to_json());
+        assert_eq!(windowed.spec_mode(), SpecMode::Optimistic, "entry mode restored");
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! End-to-end snapshot/resume round trips at the DSM level: a run saved
+//! mid-flight, restored into a *fresh* [`DsmSystem`], and driven to
+//! completion must land on the uninterrupted run bit for bit — same
+//! final cycle, same issued count, same exported metrics JSON — across
+//! schemes with very different in-flight machinery (unicast UI-UA vs.
+//! multidestination MI-MA(col) with i-reserve/i-gather worms) and across
+//! applications with different sharing structure.
+
+use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig};
+use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
+use wormdsm_workloads::apps::lu::{self, LuConfig};
+use wormdsm_workloads::Workload;
+
+/// The bench harness's busy-cycle (scale 1) app configurations, sized
+/// for a 4x4 mesh so the matrix stays debug-test fast.
+fn app_workload(app: &str, procs: usize) -> Workload {
+    match app {
+        "bh" => barnes_hut::generate(&BarnesHutConfig {
+            procs,
+            bodies: 64,
+            steps: 2,
+            force_cost: 200,
+            ..Default::default()
+        }),
+        "lu" => lu::generate(&LuConfig { n: 64, block: 8, procs, flop_cost: 1024 }),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Save mid-run, restore into a fresh system, finish, compare bit for bit.
+fn roundtrip(app: &str, scheme: SchemeKind) {
+    const MAX: u64 = 50_000_000;
+    let k = 4;
+    let w = app_workload(app, k * k);
+    let cfg = SystemConfig::for_scheme(k, scheme);
+
+    let mut whole = DsmSystem::new(cfg.clone(), scheme.build());
+    let r_whole = w.run(&mut whole, MAX).unwrap();
+
+    // Checkpoint roughly every seventh of the run; the checkpointing run
+    // itself must not perturb anything.
+    let mut first = DsmSystem::new(cfg.clone(), scheme.build());
+    let mut taken = Vec::new();
+    let every = (r_whole.cycles / 7).max(1);
+    let r_first =
+        w.run_checkpointed(&mut first, MAX, every, |at, bytes| taken.push((at, bytes))).unwrap();
+    assert_eq!(r_first.cycles, r_whole.cycles, "{app}/{scheme:?}: checkpointing perturbed the run");
+    assert_eq!(
+        first.export_metrics().to_json(),
+        whole.export_metrics().to_json(),
+        "{app}/{scheme:?}: checkpointing perturbed the metrics"
+    );
+    assert!(taken.len() >= 3, "{app}/{scheme:?}: run long enough to checkpoint mid-flight");
+
+    // Resume from a mid-run checkpoint into a brand-new system.
+    let (at, bytes) = &taken[taken.len() / 2];
+    let (mut resumed, mut st) = w.resume(cfg, scheme.build(), bytes).unwrap();
+    assert_eq!(resumed.now(), *at, "{app}/{scheme:?}: restore lands on the checkpoint cycle");
+    let rr = w.run_from(&mut resumed, &mut st, MAX).unwrap();
+    assert_eq!(rr.issued, r_whole.issued, "{app}/{scheme:?}: resumed run issued count");
+    assert_eq!(resumed.now(), whole.now(), "{app}/{scheme:?}: resumed run final cycle");
+    assert_eq!(
+        resumed.export_metrics().to_json(),
+        whole.export_metrics().to_json(),
+        "{app}/{scheme:?}: resumed run metrics diverged"
+    );
+    resumed.verify_coherence().unwrap();
+}
+
+#[test]
+fn bh_uiua_snapshot_roundtrip() {
+    roundtrip("bh", SchemeKind::UiUa);
+}
+
+#[test]
+fn bh_mimacol_snapshot_roundtrip() {
+    roundtrip("bh", SchemeKind::MiMaCol);
+}
+
+#[test]
+fn lu_uiua_snapshot_roundtrip() {
+    roundtrip("lu", SchemeKind::UiUa);
+}
+
+#[test]
+fn lu_mimacol_snapshot_roundtrip() {
+    roundtrip("lu", SchemeKind::MiMaCol);
+}
+
+/// A checkpoint is rejected, not misapplied, when fed to a mismatched
+/// configuration: the snapshot's config fingerprint must gate the restore.
+#[test]
+fn mismatched_config_is_rejected() {
+    let k = 4;
+    let w = app_workload("bh", k * k);
+    let cfg = SystemConfig::for_scheme(k, SchemeKind::UiUa);
+    let mut sys = DsmSystem::new(cfg, SchemeKind::UiUa.build());
+    let mut taken = Vec::new();
+    w.run_checkpointed(&mut sys, 50_000_000, 10_000, |at, bytes| taken.push((at, bytes))).unwrap();
+    let (_, bytes) = &taken[0];
+    let other = SystemConfig::for_scheme(8, SchemeKind::UiUa);
+    let w8 = app_workload("bh", 64);
+    match w8.resume(other, SchemeKind::UiUa.build(), bytes) {
+        Err(e) => assert!(!e.is_empty()),
+        Ok(_) => panic!("restore into a mismatched configuration must fail"),
+    }
+}
