@@ -14,4 +14,4 @@
 
 pub mod model;
 
-pub use model::{estimate_invalidation, Estimate, NetParams};
+pub use model::{estimate_invalidation, solo_flight_latencies, Estimate, NetParams};

@@ -59,13 +59,37 @@ pub struct Estimate {
 /// Hop counts along a canonical conformant path visiting `dests`:
 /// per-destination prefix hop counts plus the total path length.
 fn prefix_hops(rule: PathRule, mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) -> (Vec<u64>, u64) {
+    let shape = flight_shape(rule, mesh, src, dests);
+    (shape.prefixes, shape.total)
+}
+
+/// Geometry of a worm flight along its canonical conformant path.
+struct FlightShape {
+    /// Hop count from the source to each destination, in visit order.
+    prefixes: Vec<u64>,
+    /// Total path hops.
+    total: u64,
+    /// Per destination: `Some(lagged)` if the worm continues past the node
+    /// (an absorb), where `lagged` is true when the outgoing link is east
+    /// or south — those output ports see returning credits one cycle later
+    /// than west/north, delaying the absorbed copy's completion by one
+    /// extra cycle. `None` at the path's end (tail consumption).
+    exits: Vec<Option<bool>>,
+}
+
+fn flight_shape(rule: PathRule, mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) -> FlightShape {
+    use wormdsm_mesh::topology::Direction;
     let path = expand_path(rule, mesh, src, dests)
         .unwrap_or_else(|e| panic!("non-conformant plan path {src} -> {dests:?}: {e}"));
     let mut prefixes = Vec::with_capacity(dests.len());
+    let mut exits = Vec::with_capacity(dests.len());
     let mut di = 0;
     for (hop, node) in path.iter().enumerate() {
         while di < dests.len() && *node == dests[di] {
             prefixes.push(hop as u64);
+            exits.push(path.get(hop + 1).map(|&next| {
+                matches!(mesh.hop_direction(*node, next), Direction::East | Direction::South)
+            }));
             di += 1;
         }
         if di == dests.len() {
@@ -73,19 +97,67 @@ fn prefix_hops(rule: PathRule, mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) -> 
         }
     }
     assert_eq!(prefixes.len(), dests.len(), "every destination lies on the path in order");
-    (prefixes, (path.len() - 1) as u64)
+    FlightShape { prefixes, total: (path.len() - 1) as u64, exits }
 }
 
 /// Head arrival latency after `hops` links with `strips` prior
-/// intermediate-destination stops: one router delay at the source plus one
-/// per hop, one link cycle per hop, plus strip costs.
+/// intermediate-destination stops: one router pipeline delay per router on
+/// the path (source router included — link traversal is folded into the
+/// router pipeline) plus strip costs. This is the simulator's exact
+/// contention-free law, cross-validated cycle-for-cycle in
+/// `tests/full_stack.rs::solo_flights_match_analytic_closed_form`.
 fn head_latency(p: &NetParams, hops: u64, strips: u64) -> u64 {
-    (hops + 1) * p.router_delay + hops + strips * p.strip_delay
+    (hops + 1) * p.router_delay + strips * p.strip_delay
 }
 
-/// Tail-drained delivery latency at a destination.
+/// Tail-drained consumption latency at the worm's *final* destination:
+/// the head arrival plus one cycle per body/tail flit (throughput is one
+/// flit per cycle on an idle path, independent of buffer depth).
 fn delivery_latency(p: &NetParams, hops: u64, strips: u64, len_flits: u64) -> u64 {
-    head_latency(p, hops, strips) + len_flits + 2
+    head_latency(p, hops, strips) + len_flits
+}
+
+/// Absorb completion latency at an *intermediate* destination: the copy
+/// finishes one cycle after the tail clears the node, plus one more when
+/// the outgoing link is east or south (`lagged` — those ports see
+/// returning credits a cycle later than west/north).
+fn absorb_latency(p: &NetParams, hops: u64, strips: u64, len_flits: u64, lagged: bool) -> u64 {
+    delivery_latency(p, hops, strips, len_flits) + 1 + u64::from(lagged)
+}
+
+/// Latency at one destination of a worm: absorb when the worm continues
+/// past the node (`exit` holds the outgoing-link lag), tail consumption at
+/// the path's end (`exit` is `None`).
+fn dest_latency(p: &NetParams, hops: u64, strips: u64, len_flits: u64, exit: Option<bool>) -> u64 {
+    match exit {
+        None => delivery_latency(p, hops, strips, len_flits),
+        Some(lagged) => absorb_latency(p, hops, strips, len_flits, lagged),
+    }
+}
+
+/// Exact per-destination solo-flight latencies for an uncontended worm on
+/// an otherwise idle mesh: cycles from injection until each destination's
+/// delivery (absorb at intermediates, tail consumption at the final stop)
+/// completes. The last entry equals the worm's `delivered_at - queued_at`
+/// in the simulator; every entry matches the per-node `Delivery::at`
+/// timestamps cycle-for-cycle. Timing is invariant to `reserve_iack` and
+/// deliver masks (waypoints still pay the strip delay), so neither
+/// appears here.
+pub fn solo_flight_latencies(
+    p: &NetParams,
+    mesh: &Mesh2D,
+    rule: PathRule,
+    src: NodeId,
+    dests: &[NodeId],
+    len_flits: u64,
+) -> Vec<u64> {
+    let shape = flight_shape(rule, mesh, src, dests);
+    shape
+        .prefixes
+        .iter()
+        .enumerate()
+        .map(|(j, &h)| dest_latency(p, h, j as u64, len_flits, shape.exits[j]))
+        .collect()
 }
 
 /// A serial server (the home DC processing the ack stream).
@@ -131,12 +203,13 @@ impl Replay<'_> {
     /// *delivery* times; ack pipeline applied later).
     fn walk_inval_worm(&mut self, src: NodeId, w: &PlannedWorm, t_inj: u64, len: u64) {
         self.total_msgs += 1;
-        let (prefixes, total) = prefix_hops(self.req_rule, self.mesh, src, &w.dests);
-        self.traffic += total * len;
+        let shape = flight_shape(self.req_rule, self.mesh, src, &w.dests);
+        self.traffic += shape.total * len;
         for (j, &d) in w.dests.iter().enumerate() {
             let delivers = w.deliver.as_ref().is_none_or(|m| m[j]);
             if delivers {
-                let t = t_inj + delivery_latency(self.p, prefixes[j], j as u64, len);
+                let t =
+                    t_inj + dest_latency(self.p, shape.prefixes[j], j as u64, len, shape.exits[j]);
                 self.ack_ready.insert(d, t);
             }
         }
@@ -212,10 +285,10 @@ pub fn estimate_invalidation(
         };
         if w.relay {
             r.total_msgs += 1;
-            let (prefixes, total) = prefix_hops(r.req_rule, mesh, home, &w.dests);
-            r.traffic += total * len;
+            let shape = flight_shape(r.req_rule, mesh, home, &w.dests);
+            r.traffic += shape.total * len;
             for (j, &d) in w.dests.iter().enumerate() {
-                let t = t_send + delivery_latency(p, prefixes[j], j as u64, len);
+                let t = t_send + dest_latency(p, shape.prefixes[j], j as u64, len, shape.exits[j]);
                 relay_deliveries.push((d, t));
             }
         } else {

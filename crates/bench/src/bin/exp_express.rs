@@ -1,0 +1,215 @@
+//! H8: express-worm fast path — contention-free path reservation with
+//! scheduled delivery instead of per-cycle stepping.
+//!
+//! For every app × scheme pair in the busy-cycle regime (compute scale 1,
+//! where nearly every cycle has a worm in flight), runs the same workload
+//! twice: stepped (the baseline engine path, express off) and express.
+//! Every pair must be bit-identical across the *entire* exported metrics
+//! registry — protocol metrics, latency distributions, per-link busy
+//! cycles — modulo the two documented exclusions: `net_scratch_grows`
+//! (allocator warm-up differs when cycles are not stepped) and the
+//! `net_express_*` diagnostics themselves.
+//!
+//! Reports per-row reservation hit/abort counts, the flit-cycles of
+//! stepping work the fast path skipped, and the wall-clock speedup of the
+//! express arm over the stepped arm (the baseline engine), then writes
+//! everything to `BENCH_express.json`.
+//!
+//! Usage: `exp_express [--k 4] [--compute-scale 1] [--out BENCH_express.json]`
+
+use std::time::Instant;
+use wormdsm_bench::{arg, assert_coherent, seeded_workload};
+use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig};
+use wormdsm_sim::Registry;
+
+/// Metric names excluded from the bit-identity comparison (prefix match).
+const IDENTITY_EXCLUSIONS: [&str; 2] = ["net_scratch_grows", "net_express_"];
+
+/// PR 7 fast-arm throughput (cycles/s) on the 1-core reference container,
+/// measured with the PR 7 build of `exp_hotloop` (fast-forward on, no
+/// express — that build predates the fast path) on an otherwise idle
+/// machine: `exp_hotloop --compute-scale 1 --k {4,8}`. Same convention as
+/// `PR2_REF_CPS` in `exp_hotloop`: a fixed cross-PR reference, so rows
+/// whose `(app, scheme, k)` was measured there also report
+/// `speedup_vs_pr7_ref`. Wall-clock numbers on this container drift by
+/// tens of percent with host load, so cross-PR ratios carry that error
+/// bar; the same-binary `speedup_vs_stepped` column is the controlled
+/// comparison.
+const PR7_REF_CPS: [(&str, &str, usize, f64); 6] = [
+    ("bh", "MI-MA(col)", 4, 1_195_093.0),
+    ("lu", "MI-MA(col)", 4, 1_056_054.0),
+    ("apsp", "MI-MA(col)", 4, 933_071.0),
+    ("bh", "MI-UA(col)", 8, 337_053.0),
+    ("lu", "MI-UA(col)", 8, 422_372.0),
+    ("apsp", "MI-UA(col)", 8, 301_411.0),
+];
+
+/// The PR 7 reference throughput for one sweep row, if that row was
+/// measured by the PR 7 baseline run.
+fn pr7_ref(app: &str, scheme: &str, k: usize) -> Option<f64> {
+    PR7_REF_CPS
+        .iter()
+        .find(|&&(a, s, rk, _)| a == app && s == scheme && rk == k)
+        .map(|&(_, _, _, cps)| cps)
+}
+
+struct Arm {
+    cycles: u64,
+    wall_s: f64,
+    hits: u64,
+    aborts: u64,
+    skipped_flit_cycles: u64,
+    registry: Registry,
+}
+
+fn run_arm(app: &str, scheme: SchemeKind, k: usize, scale: u64, express: bool) -> Arm {
+    let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    sys.set_fast_forward(true);
+    sys.set_express(express);
+    let w = seeded_workload(app, k * k, scale);
+    let t0 = Instant::now();
+    let r = w.run(&mut sys, 500_000_000).expect("application completes");
+    let wall_s = t0.elapsed().as_secs_f64();
+    let label = if express { "express" } else { "stepped" };
+    assert_coherent(&sys, &format!("{app}/{} k={k} {label}", scheme.name()));
+    Arm {
+        cycles: r.cycles,
+        wall_s,
+        hits: sys.net_stats().express_hits,
+        aborts: sys.net_stats().express_aborts,
+        skipped_flit_cycles: sys.net_stats().express_skipped_flit_cycles,
+        registry: sys.export_metrics(),
+    }
+}
+
+fn main() {
+    let k: usize = arg("--k", 4);
+    let scale: u64 = arg("--compute-scale", 1);
+    let out: String = arg("--out", "BENCH_express.json".to_string());
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    println!("\n== H8: express fast path, {k}x{k}, compute scale {scale} ==");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8} {:>7} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "app",
+        "scheme",
+        "cycles",
+        "hits",
+        "aborts",
+        "skipped fc",
+        "stepped c/s",
+        "express c/s",
+        "speedup",
+        "vs PR7"
+    );
+
+    let mut rows = Vec::new();
+    let mut total_hits = 0u64;
+    let mut total_aborts = 0u64;
+    let mut best_speedup = 0.0f64;
+    let mut best_vs_pr7 = 0.0f64;
+    for app in ["bh", "lu", "apsp"] {
+        for scheme in SchemeKind::ALL {
+            let mut stepped = run_arm(app, scheme, k, scale, false);
+            let mut express = run_arm(app, scheme, k, scale, true);
+            // Best of two wall times per arm: the identity asserts hold on
+            // every run, the throughput just shouldn't ride one noisy
+            // sample.
+            for rerun in [run_arm(app, scheme, k, scale, false)] {
+                if rerun.wall_s < stepped.wall_s {
+                    stepped = rerun;
+                }
+            }
+            for rerun in [run_arm(app, scheme, k, scale, true)] {
+                if rerun.wall_s < express.wall_s {
+                    express = rerun;
+                }
+            }
+            assert_eq!(stepped.hits, 0, "{app}/{scheme}: stepped arm must not express");
+            assert_eq!(
+                stepped.cycles, express.cycles,
+                "{app}/{scheme}: cycle count diverged under express"
+            );
+            let diff = stepped.registry.diff_names(&express.registry, &IDENTITY_EXCLUSIONS);
+            assert!(diff.is_empty(), "{app}/{scheme}: metrics diverged under express: {diff:?}");
+            total_hits += express.hits;
+            total_aborts += express.aborts;
+            let stepped_cps = stepped.cycles as f64 / stepped.wall_s;
+            let express_cps = express.cycles as f64 / express.wall_s;
+            let speedup = stepped.wall_s / express.wall_s;
+            best_speedup = best_speedup.max(speedup);
+            let vs_pr7 = pr7_ref(app, scheme.name(), k).map(|r| express_cps / r);
+            if let Some(v) = vs_pr7 {
+                best_vs_pr7 = best_vs_pr7.max(v);
+            }
+            println!(
+                "{:>6} {:>12} {:>10} {:>8} {:>7} {:>12} {:>12.0} {:>12.0} {:>7.2}x {:>8}",
+                app,
+                scheme.name(),
+                express.cycles,
+                express.hits,
+                express.aborts,
+                express.skipped_flit_cycles,
+                stepped_cps,
+                express_cps,
+                speedup,
+                vs_pr7.map_or("-".to_string(), |v| format!("{v:.2}x"))
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"app\": \"{}\", \"scheme\": \"{}\", \"cycles\": {}, ",
+                    "\"express_hits\": {}, \"express_aborts\": {}, ",
+                    "\"express_skipped_flit_cycles\": {}, ",
+                    "\"stepped_wall_s\": {:.6}, \"express_wall_s\": {:.6}, ",
+                    "\"stepped_cycles_per_s\": {:.0}, \"express_cycles_per_s\": {:.0}, ",
+                    "\"speedup_vs_stepped\": {:.3}, \"speedup_vs_pr7_ref\": {}, ",
+                    "\"bit_identical\": true}}"
+                ),
+                app,
+                scheme.name(),
+                express.cycles,
+                express.hits,
+                express.aborts,
+                express.skipped_flit_cycles,
+                stepped.wall_s,
+                express.wall_s,
+                stepped_cps,
+                express_cps,
+                speedup,
+                vs_pr7.map_or("null".to_string(), |v| format!("{v:.3}"))
+            ));
+        }
+    }
+    // Identity alone would pass trivially if nothing ever reserved: the
+    // sweep must prove both the hit path and the abort/replay path fired.
+    assert!(total_hits > 0, "the fast path must engage across the sweep");
+    assert!(total_aborts > 0, "at least one reservation must abort and replay");
+    println!(
+        "\ntotal hits {total_hits}, aborts {total_aborts}; best speedup {best_speedup:.2}x \
+         vs stepped, {best_vs_pr7:.2}x vs the PR 7 reference"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"k\": {},\n  \"compute_scale\": {},\n  \"host_cores\": {},\n",
+            "  \"baseline\": \"stepped arm, same binary (express off — the ",
+            "pre-express engine path)\",\n",
+            "  \"pr7_reference\": \"PR 7 exp_hotloop fast arm, same container, ",
+            "idle-machine rerun; see PR7_REF_CPS in exp_express.rs\",\n",
+            "  \"identity_exclusions\": [\"net_scratch_grows\", \"net_express_*\"],\n",
+            "  \"total_express_hits\": {},\n  \"total_express_aborts\": {},\n",
+            "  \"best_speedup_vs_stepped\": {:.3},\n",
+            "  \"best_speedup_vs_pr7_ref\": {:.3},\n  \"rows\": [\n{}\n  ]\n}}\n"
+        ),
+        k,
+        scale,
+        host_cores,
+        total_hits,
+        total_aborts,
+        best_speedup,
+        best_vs_pr7,
+        rows.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write express results");
+    println!("wrote {out}");
+}

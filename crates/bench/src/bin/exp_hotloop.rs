@@ -68,6 +68,10 @@ struct Arm {
     /// Worker threads the pool actually got (0 when serial); may be less
     /// than `tiles - 1` on a small host or under `WORMDSM_POOL_WORKERS`.
     effective_workers: usize,
+    /// Flights completed on the express reservation fast path.
+    express_hits: u64,
+    /// Reservations aborted (materialized back into stepped flight).
+    express_aborts: u64,
     /// Full metrics registry (protocol + `net_`-prefixed mesh counters)
     /// as a JSON object, embedded verbatim in the BENCH rows.
     metrics_json: String,
@@ -174,8 +178,24 @@ fn finish_arm(sys: &DsmSystem, cycles: u64, wall_s: f64) -> Arm {
         spec_rollbacks: sys.net_stats().spec_rollbacks,
         spec_replayed_cycles: sys.net_stats().spec_replayed_cycles,
         effective_workers: sys.effective_workers(),
+        express_hits: sys.net_stats().express_hits,
+        express_aborts: sys.net_stats().express_aborts,
         metrics_json: sys.export_metrics().to_json(),
     }
+}
+
+/// Run one arm with the express fast path enabled (dead-cycle
+/// fast-forwarding on, serial tick).
+fn run_arm_express(app: &str, scheme: SchemeKind, k: usize, scale: u64) -> Arm {
+    let mut sys = DsmSystem::new(SystemConfig::for_scheme(k, scheme), scheme.build());
+    sys.set_fast_forward(true);
+    sys.set_express(true);
+    let w = seeded_workload(app, k * k, scale);
+    let t0 = Instant::now();
+    let r = w.run(&mut sys, 500_000_000).expect("application completes");
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_coherent(&sys, &format!("{app} k={k} express"));
+    finish_arm(&sys, r.cycles, wall_s)
 }
 
 /// Run one arm under the W-cycle windowed speculative driver
@@ -698,6 +718,25 @@ fn main() {
             assert_eq!(
                 tiled.inval_lat_sum, g.inval_lat_sum,
                 "{app} T=4: inval latency diverged from golden"
+            );
+            // And the express fast path: contention-free flights fired by
+            // schedule instead of per-cycle stepping must still land on
+            // the golden numbers bit for bit — and must actually engage.
+            let xp = run_arm_express(app, scheme, k, scale);
+            assert_eq!(xp.cycles, g.cycles, "{app} express: cycles diverged from golden");
+            assert_eq!(xp.flit_hops, g.flit_hops, "{app} express: flit hops diverged from golden");
+            assert_eq!(
+                xp.inval_lat_count, g.inval_lat_count,
+                "{app} express: txn count diverged from golden"
+            );
+            assert_eq!(
+                xp.inval_lat_sum, g.inval_lat_sum,
+                "{app} express: inval latency diverged from golden"
+            );
+            assert!(xp.express_hits > 0, "{app}: the busy arm must express some flights");
+            println!(
+                "       express hits {:>8}   aborts {:>6}   (golden bit-identical)",
+                xp.express_hits, xp.express_aborts
             );
             // And so must the windowed speculative driver: 4 tiles in
             // Detect mode, snapshot every 4 cycles, whole-window rollback

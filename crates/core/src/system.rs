@@ -466,6 +466,21 @@ impl DsmSystem {
         self.net.set_spec_mode(mode);
     }
 
+    /// Enable or disable the mesh's express fast path (contention-free
+    /// flights reserved at inject and played back from memoized
+    /// profiles instead of stepped flit-by-flit; see
+    /// `wormdsm_mesh::reserve`). Bit-identical to stepped execution by
+    /// construction; off by default. Disabling mid-run materializes any
+    /// live reservations first.
+    pub fn set_express(&mut self, on: bool) {
+        self.net.set_express(on);
+    }
+
+    /// True when the express fast path is enabled.
+    pub fn express_enabled(&self) -> bool {
+        self.net.express_enabled()
+    }
+
     /// Current speculation mode of the parallel tick engine.
     pub fn spec_mode(&self) -> SpecMode {
         self.net.spec_mode()
@@ -702,12 +717,24 @@ impl DsmSystem {
     /// boundary and no horizon, fall back to per-cycle stepping so
     /// `run_until_idle` timeouts still fire on genuine deadlocks.
     fn skip_dead_cycles(&mut self, horizon: Option<Cycle>) {
-        if !self.net.fully_idle() {
-            return;
-        }
+        // A network whose only activity is live express reservations is
+        // dead until their next scheduled event, so that event joins the
+        // wake-up boundaries below. Any other pending network work
+        // forbids jumping.
+        let express_due = if self.net.fully_idle() {
+            None
+        } else {
+            match self.net.express_next_due() {
+                due @ Some(_) => due,
+                None => return,
+            }
+        };
         // Non-mutating earliest-event peek: single heap peek in the
         // cancel-free common case, tombstone-aware scan otherwise.
         let mut target = self.cal.peek_next_at();
+        if let Some(due) = express_due {
+            target = Some(target.map_or(due, |x| x.min(due)));
+        }
         for n in &self.nodes {
             if let ProcState::BusyUntil(t) = n.proc {
                 if t > self.now {
@@ -808,8 +835,12 @@ impl DsmSystem {
     /// takes those as inputs and verifies them against a recorded
     /// fingerprint. Pure observers (flight recorder, profiler, contention
     /// probe) are deliberately excluded: they never influence results and
-    /// restart empty after a restore.
-    pub fn save_snapshot(&self) -> Vec<u8> {
+    /// restart empty after a restore. Live express reservations are
+    /// materialized back into stepped state first (their profile cache
+    /// is a pure memo and does not travel), which is why saving takes
+    /// `&mut self`.
+    pub fn save_snapshot(&mut self) -> Vec<u8> {
+        self.net.materialize_all();
         let mut w = SnapWriter::new();
         w.put_u64(Self::config_fingerprint(&self.cfg, self.scheme.name()));
         w.put_str(self.scheme.name());
@@ -868,6 +899,7 @@ impl DsmSystem {
         let sys = self;
         let tiles = sys.net.tiles();
         let spec = sys.net.spec_mode();
+        let express = sys.net.express_enabled();
         let mut r = SnapReader::new(bytes).map_err(snap_err)?;
         let fp = r.get_u64().map_err(snap_err)?;
         let scheme_name = r.get_str().map_err(snap_err)?;
@@ -923,6 +955,10 @@ impl DsmSystem {
         }
         sys.net.set_tiles(tiles);
         sys.net.set_spec_mode(spec);
+        // Like tiles and speculation, the express fast path is an
+        // execution-strategy knob: it survives the restore (with a fresh
+        // profile cache — a pure memo that rebuilds on demand).
+        sys.net.set_express(express);
         sys.violation = None;
         sys.delivery_scratch.clear();
         Ok(())

@@ -24,6 +24,7 @@
 pub mod network;
 pub mod nic;
 pub mod render;
+pub mod reserve;
 pub mod router;
 pub mod routing;
 pub mod topology;

@@ -97,6 +97,9 @@
 use crate::nic::{
     Delivery, DeliveryKind, GatherCheck, IackMode, NicNodeCk, NicSlab, NicTile, StreamState,
 };
+use crate::reserve::{
+    CachedProfile, ExpressEvent, ExpressProfile, ProfileKey, Reservation, ReservationTable,
+};
 use crate::router::{BufFlit, RouterNodeCk, RouterSlab, RouterTile, VcMode};
 use crate::routing::{BaseRouting, PathRule, RouteTable};
 use crate::topology::{ChipGrid, Direction, Mesh2D, NodeId, Port, NUM_PORTS};
@@ -104,8 +107,9 @@ use crate::worm::{
     Flit, FlitKind, TxnId, VNet, Worm, WormId, WormKind, WormRt, WormSpec, WormState, WormTable,
     NUM_VNETS,
 };
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use wormdsm_sim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
 use wormdsm_sim::trace::{FlightRecorder, TraceClass, TraceKind, TraceLevel};
 use wormdsm_sim::{BitSet128, Cycle, Fnv64, NoProgress, Registry, Summary, Watchdog, WorkerPool};
 
@@ -344,6 +348,18 @@ pub struct NetStats {
     /// Detect-mode digest mismatches ([`SpecMode::Detect`] latches the
     /// poison flag instead of rolling back; this counts every latch).
     pub spec_detect_violations: u64,
+    /// Worms whose whole flight ran on the express fast path: path
+    /// reserved at inject, deliveries fired from the memoized profile,
+    /// never stepped flit-by-flit. See [`crate::reserve`].
+    pub express_hits: u64,
+    /// Express reservations aborted by a conflicting inject or i-ack
+    /// post: the worm was rewound to its inject cycle and re-stepped
+    /// cycle-accurately to the abort point.
+    pub express_aborts: u64,
+    /// Flit-cycles of router stepping the express hits avoided
+    /// (`flight_latency x len_flits` per hit) — a throughput diagnostic,
+    /// not a simulated quantity.
+    pub express_skipped_flit_cycles: u64,
 }
 
 impl NetStats {
@@ -373,6 +389,9 @@ impl NetStats {
             spec_replayed_cycles: 0,
             spec_rollback_by_tile: Vec::new(),
             spec_detect_violations: 0,
+            express_hits: 0,
+            express_aborts: 0,
+            express_skipped_flit_cycles: 0,
         }
     }
 
@@ -408,6 +427,9 @@ impl NetStats {
         r.counter("spec_rollbacks", self.spec_rollbacks);
         r.counter("spec_replayed_cycles", self.spec_replayed_cycles);
         r.counter("spec_detect_violations", self.spec_detect_violations);
+        r.counter("express_hits", self.express_hits);
+        r.counter("express_aborts", self.express_aborts);
+        r.counter("express_skipped_flit_cycles", self.express_skipped_flit_cycles);
         for (t, &n) in self.spec_rollback_by_tile.iter().enumerate() {
             r.counter(&format!("spec_rollback_tile{t}"), n);
         }
@@ -1767,6 +1789,84 @@ fn build_link_extra(cfg: &MeshConfig) -> Vec<Cycle> {
     extra
 }
 
+/// Bit-packed delivery mask for the express-cache key. All-ones (with
+/// the high sentinel bits a real <= 16-entry mask can never set)
+/// distinguishes "no mask" from an all-true mask.
+fn spec_deliver_bits(spec: &WormSpec) -> u32 {
+    match &spec.deliver {
+        None => u32::MAX,
+        Some(mask) => {
+            let mut bits = 0u32;
+            for i in 0..mask.len() {
+                bits |= (mask[i] as u32) << i;
+            }
+            bits
+        }
+    }
+}
+
+/// [`WormKind`] discriminant for the express-cache key.
+fn spec_kind_bits(spec: &WormSpec) -> u8 {
+    match spec.kind {
+        WormKind::Unicast => 0,
+        WormKind::Multicast => 1,
+        WormKind::Gather => 2,
+    }
+}
+
+/// Hash of `spec`'s flight shape — the same fields [`profile_key`]
+/// copies, folded without allocating, so the admission hot path can
+/// probe the cache key-free. `deliver_bits` is passed in (the caller
+/// needs it again for the full-key match on a bucket hit).
+fn spec_shape_hash(spec: &WormSpec, deliver_bits: u32) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(spec.src.0 as u64);
+    h.write_u64(spec.vnet.index() as u64);
+    h.write_u64(spec_kind_bits(spec) as u64);
+    h.write_u64(spec.len_flits as u64);
+    h.write_u64(spec.reserve_iack as u64);
+    h.write_u64(spec.initial_acks as u64);
+    h.write_u64(deliver_bits as u64);
+    h.write_u64(spec.dests.len() as u64);
+    for d in &spec.dests {
+        h.write_u64(d.0 as u64);
+    }
+    h.finish()
+}
+
+/// Full-key comparison of `spec` against a stored [`ProfileKey`] (bucket
+/// probes verify the whole shape, so hash collisions stay correct).
+fn spec_matches_key(spec: &WormSpec, deliver_bits: u32, k: &ProfileKey) -> bool {
+    k.src == spec.src.0
+        && k.vnet == spec.vnet.index() as u8
+        && k.kind == spec_kind_bits(spec)
+        && k.len_flits == spec.len_flits
+        && k.reserve_iack == spec.reserve_iack
+        && k.initial_acks == spec.initial_acks
+        && k.deliver_bits == deliver_bits
+        && k.dests.len() == spec.dests.len()
+        && k.dests.iter().zip(&spec.dests).all(|(a, b)| *a == b.0)
+}
+
+/// Express-cache key for `spec`'s flight shape: everything that can
+/// influence an uncontended flight through a pristine network of a fixed
+/// configuration. Payload and transaction id are deliberately absent —
+/// they ride through deliveries untouched and never steer a flit. Built
+/// only on cache misses; hot-path probes hash and compare the spec
+/// directly ([`spec_shape_hash`], [`spec_matches_key`]).
+fn profile_key(spec: &WormSpec) -> ProfileKey {
+    ProfileKey {
+        src: spec.src.0,
+        dests: spec.dests.iter().map(|d| d.0).collect(),
+        vnet: spec.vnet.index() as u8,
+        kind: spec_kind_bits(spec),
+        len_flits: spec.len_flits,
+        reserve_iack: spec.reserve_iack,
+        initial_acks: spec.initial_acks,
+        deliver_bits: spec_deliver_bits(spec),
+    }
+}
+
 /// The whole wormhole-routed mesh: routers, NICs, worms, clock.
 ///
 /// `tick` iterates *worklists* rather than sweeping every node: a router
@@ -1843,6 +1943,11 @@ pub struct Network {
     /// validation digest, so the state may differ from the serial
     /// schedule's and the driver must restore its window snapshot.
     spec_poisoned: bool,
+    /// Express fast-path state: memoized flight profiles plus the live
+    /// path reservations (see [`crate::reserve`]). `None` unless enabled
+    /// via [`Network::set_express`]; never snapshotted (the cache is a
+    /// pure memo and reservations are materialized before saving).
+    express: Option<Box<ReservationTable>>,
 }
 
 impl Network {
@@ -1892,6 +1997,7 @@ impl Network {
             spec_ck: SpecCheckpoint::default(),
             borrow_marks: Vec::new(),
             spec_poisoned: false,
+            express: None,
         };
         net.set_tiles(tiles);
         net
@@ -2108,6 +2214,17 @@ impl Network {
             spec.src,
             spec.dests,
         );
+        // Express fast path: admit the worm as a path reservation if its
+        // whole flight is determined at this cycle (otherwise-idle
+        // network, memoizable profile, no conflict with live
+        // reservations). An inject that cannot join the express schedule
+        // materializes every live reservation back into stepped state
+        // first — a stepped worm and a reserved flight must never
+        // coexist.
+        let express = self.express_admit(&spec);
+        if express.is_none() {
+            self.materialize_all();
+        }
         let vnet = spec.vnet;
         let src = spec.src;
         let tr = self
@@ -2128,8 +2245,20 @@ impl Network {
             };
             self.trace.push(self.now, ev);
         }
-        self.nics.enqueue(src.idx(), vnet, id);
-        self.activate_nic(src.idx());
+        match express {
+            Some((profile, cache_ref)) => {
+                // The stepped schedule would enqueue here (depth 1: the
+                // admission invariant guarantees an empty queue); keep
+                // the backlog high-water mark in step.
+                self.nics.note_inject_backlog(src.idx(), 1);
+                let ex = self.express.as_mut().expect("admission implies express enabled");
+                ex.live.push(Reservation { wid: id, at: self.now, profile, fired: 0, cache_ref });
+            }
+            None => {
+                self.nics.enqueue(src.idx(), vnet, id);
+                self.activate_nic(src.idx());
+            }
+        }
         self.stats.worms_injected[vnet.index()] += 1;
         self.live_worms += 1;
         id
@@ -2145,6 +2274,14 @@ impl Network {
 
     /// Post `count` acks worth for `txn` at `node`.
     pub fn post_iack_count(&mut self, node: NodeId, txn: TxnId, count: u32) -> bool {
+        // A post into a node covered by a live express reservation could
+        // change which i-ack entry the reserved flight's deferred
+        // i-reserve lands in: materialize first, so the reservation's
+        // worm interleaves with the post exactly as the stepped schedule
+        // would.
+        if self.express.as_ref().is_some_and(|e| e.covers(node.idx())) {
+            self.materialize_all();
+        }
         // A post can resolve a parked worm onto the resume queue.
         self.activate_nic(node.idx());
         !self.nics.post_iack_count(node.idx(), txn, count).is_no_space()
@@ -2586,6 +2723,13 @@ impl Network {
     /// Advance one cycle.
     pub fn tick(&mut self) {
         self.now += 1;
+        // Express deliveries scheduled for this cycle fire before the
+        // phases run, mirroring where the stepped schedule would produce
+        // them (inside this tick): the system observes them after the
+        // tick either way. One branch when no reservation is live.
+        if self.express.as_ref().is_some_and(|e| !e.live.is_empty()) {
+            self.express_fire_due();
+        }
         let now = self.now;
 
         // Snapshot the worklists for this cycle by swapping them with
@@ -2891,6 +3035,500 @@ impl Network {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Express fast path: profile-memoized contention-free flights (see
+    // `crate::reserve` for the data structures and the protocol
+    // overview). All methods here preserve bit-identity with the pure
+    // stepped schedule; the only excluded counter is `scratch_grows`
+    // (allocator warm-up, the same class the snapshot path documents).
+    // ------------------------------------------------------------------
+
+    /// Enable or disable the express fast path. Off by default; enabling
+    /// is bit-identical by construction, trading per-inject admission
+    /// checks for skipped busy cycles — a win in the sparse
+    /// request/reply regime the paper's applications spend most of their
+    /// post-fast-forward cycles in. Disabling materializes any live
+    /// reservations first, so it is safe mid-run.
+    pub fn set_express(&mut self, on: bool) {
+        if on {
+            if self.express.is_none() {
+                self.express = Some(Box::default());
+            }
+        } else {
+            self.materialize_all();
+            self.express = None;
+        }
+    }
+
+    /// True when the express fast path is enabled.
+    pub fn express_enabled(&self) -> bool {
+        self.express.is_some()
+    }
+
+    /// Number of worms currently in flight on the fast path.
+    pub fn express_live(&self) -> usize {
+        self.express.as_ref().map_or(0, |e| e.live.len())
+    }
+
+    /// Try to admit `spec` to the express fast path at the current
+    /// cycle. Returns the flight profile to reserve, or `None` when the
+    /// worm must step — in which case the caller materializes every live
+    /// reservation first, because a stepped worm and a reserved flight
+    /// must never coexist.
+    fn express_admit(&mut self, spec: &WormSpec) -> Option<(Arc<ExpressProfile>, (u64, u32))> {
+        self.express.as_ref()?;
+        // Observers and the tiled schedule need real per-cycle stepping;
+        // gather worms interact with i-ack arrival order in ways a
+        // pre-committed schedule cannot model (parks, bounces).
+        if self.cfg.tiles != 1
+            || self.trace.level() != TraceLevel::Off
+            || self.probe.is_some()
+            || self.violation.is_some()
+            || spec.kind == WormKind::Gather
+            || spec.gather_deposit
+        {
+            return None;
+        }
+        // The whole flight is determined at inject only when nothing
+        // else is stepping: every live worm must itself be reserved and
+        // no node may hold deferred phase work.
+        let ex = self.express.as_ref().expect("checked above");
+        if self.live_worms != ex.live.len()
+            || !self.active_routers.is_empty()
+            || !self.active_nics.is_empty()
+        {
+            return None;
+        }
+        // Every flight's node set contains its source, so a live
+        // reservation covering the source already dooms the disjointness
+        // check — bail before touching the cache at all.
+        if !ex.live.is_empty() && ex.covers(spec.src.idx()) {
+            return None;
+        }
+        let deliver_bits = spec_deliver_bits(spec);
+        let hash = spec_shape_hash(spec, deliver_bits);
+        let ex = self.express.as_mut().expect("checked above");
+        let (profile, cache_ref) =
+            match ex.cache.lookup_mut(hash, |k| spec_matches_key(spec, deliver_bits, k)) {
+                Some((idx, entry)) => match &entry.profile {
+                    CachedProfile::Refused => return None,
+                    CachedProfile::Usable(p) => {
+                        let p = Arc::clone(p);
+                        if entry.penalty_refuses() {
+                            return None;
+                        }
+                        (p, (hash, idx))
+                    }
+                },
+                None => {
+                    let mut scratch = ex.scratch.take();
+                    let entry = self.express_extract(spec, &mut scratch);
+                    let ex = self.express.as_mut().expect("checked above");
+                    ex.scratch = scratch;
+                    ex.cache.misses += 1;
+                    let idx = ex.cache.insert(hash, profile_key(spec), entry.clone());
+                    match entry {
+                        CachedProfile::Usable(p) => (p, (hash, idx)),
+                        CachedProfile::Refused => return None,
+                    }
+                }
+            };
+        let ex = self.express.as_ref().expect("checked above");
+        if !ex.admits(&profile, self.now) {
+            return None;
+        }
+        // The profile was extracted against pristine NICs; the real ones
+        // must look identical everywhere the flight touches them: all
+        // consumption channels free at every delivery node, and an i-ack
+        // entry free wherever the head reserves one (the first-free slot
+        // the completion writes then matches the stepped head's pick,
+        // because nothing can mutate those rows mid-reservation — posts
+        // to covered nodes materialize, and other reservations are
+        // node-disjoint).
+        for ev in &profile.events {
+            if self.nics.free_cons_count(ev.node) != self.cfg.cons_channels {
+                return None;
+            }
+        }
+        for &n in &profile.iack_nodes {
+            if self.nics.count_free_iack(n) == 0 {
+                return None;
+            }
+        }
+        Some((profile, cache_ref))
+    }
+
+    /// Step `spec` through a pristine single-tile scratch network of the
+    /// same configuration and record its flight profile — or a memoized
+    /// refusal when the flight violates an express invariant (post-final
+    /// residual drain, blocking, parking: anything whose replay is not a
+    /// pure delivery schedule plus a final-state write).
+    ///
+    /// The scratch network is reused across extractions through `slot`:
+    /// offsets are recorded relative to the scratch clock at entry, and a
+    /// usable extraction resets every piece of state the flight is known
+    /// to have touched (exactly the profile's own residue lists) before
+    /// handing the network back. A refusal leaves the scratch mid-flight
+    /// in an unknown state, so the slot stays empty and the next miss
+    /// allocates fresh — memoization makes that a once-per-shape cost.
+    fn express_extract(&self, spec: &WormSpec, slot: &mut Option<Box<Network>>) -> CachedProfile {
+        let mut scratch = slot.take().unwrap_or_else(|| {
+            let mut cfg = self.cfg.clone();
+            cfg.tiles = 1;
+            Box::new(Network::new(cfg))
+        });
+        let base = scratch.now;
+        let id = scratch.inject(spec.clone());
+        let mut events = Vec::new();
+        let mut node_buf: Vec<NodeId> = Vec::new();
+        // A contention-free flight is bounded by path hops x per-hop
+        // delay + serialization; a flight blowing through this generous
+        // cap is wedged, not expressible.
+        let dims = (self.cfg.mesh.width() + self.cfg.mesh.height()) as u64;
+        let cap = base + 4096 + 64 * (dims + spec.len_flits as u64);
+        while !scratch.fully_idle() {
+            if scratch.now >= cap {
+                return CachedProfile::Refused;
+            }
+            scratch.tick();
+            scratch.take_delivery_nodes(&mut node_buf);
+            for &n in &node_buf {
+                while let Some(d) = scratch.pop_delivery(n) {
+                    events.push(ExpressEvent {
+                        rel: scratch.now - base,
+                        node: n.idx(),
+                        kind: d.kind,
+                    });
+                }
+            }
+        }
+        let w = scratch.worms.get(id);
+        if w.state != WormState::Delivered || w.copies != 0 {
+            return CachedProfile::Refused;
+        }
+        // The final consumption must be the last thing the flight does:
+        // a flight with absorb copies still draining after its tail
+        // (possible when a copy waits on a slow consumption FIFO) would
+        // need post-final events, which the completion path doesn't
+        // model — refuse and always step those shapes.
+        let final_rel = match w.delivered_at {
+            Some(t) if t == scratch.now => t - base,
+            _ => return CachedProfile::Refused,
+        };
+        let injected_at_rel = match w.injected_at {
+            Some(t) => t - base,
+            None => return CachedProfile::Refused,
+        };
+        let (turned, dest_idx, acks) = (w.turned, w.dest_idx, w.acks);
+        let s = &scratch.stats;
+        if s.gather_blocked_cycles != 0
+            || s.multicast_blocked_cycles != 0
+            || s.parks != 0
+            || s.bounces != 0
+            || s.resumes != 0
+            || s.deposits != 0
+            || s.deposit_retries != 0
+            || s.hazard_fallbacks != 0
+        {
+            return CachedProfile::Refused;
+        }
+        let finals = events.iter().filter(|e| e.kind == DeliveryKind::Final).count();
+        match events.last() {
+            Some(last) if finals == 1 && last.kind == DeliveryKind::Final => {
+                if last.rel != final_rel {
+                    return CachedProfile::Refused;
+                }
+            }
+            _ => return CachedProfile::Refused,
+        }
+        let link_busy: Vec<(usize, u64)> = s
+            .link_busy
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b != 0)
+            .map(|(l, &b)| (l, b))
+            .collect();
+        let nnodes = self.cfg.mesh.nodes();
+        let mut rr = Vec::new();
+        for n in 0..nnodes {
+            for port in 0..NUM_PORTS {
+                let v = scratch.routers.rr(n, port);
+                if v != 0 {
+                    rr.push((n, port, v));
+                }
+            }
+        }
+        let mut iack_nodes = Vec::new();
+        for n in 0..nnodes {
+            if scratch.nics.count_free_iack(n) < self.cfg.iack_buffers {
+                iack_nodes.push(n);
+            }
+        }
+        // Every node the flight touches: the source, every router that
+        // granted a link or moved a flit, every delivery node, every
+        // i-ack reservation site. Routers traversed without a grant
+        // residue still busy a link, so the union is complete.
+        let mut nodes: Vec<usize> = Vec::with_capacity(rr.len() + events.len() + 1);
+        nodes.push(spec.src.idx());
+        nodes.extend(link_busy.iter().map(|&(l, _)| l / 4));
+        nodes.extend(rr.iter().map(|&(n, _, _)| n));
+        nodes.extend(events.iter().map(|e| e.node));
+        nodes.extend(iack_nodes.iter().copied());
+        nodes.sort_unstable();
+        nodes.dedup();
+        let (flit_hops, flits_injected, flits_consumed, deliveries) =
+            (s.flit_hops, s.flits_injected, s.flits_consumed, s.deliveries);
+        // Reset exactly the residue this flight left behind — the
+        // profile's own lists enumerate every piece of state it touched
+        // (a usable flight proved all the blocking/parking counters
+        // stayed zero) — so the scratch handed back through the slot is
+        // pristine-equivalent apart from its clock, and offsets are
+        // base-relative.
+        for &(l, _) in &link_busy {
+            scratch.stats.link_busy[l] = 0;
+        }
+        {
+            let st = &mut scratch.stats;
+            st.flit_hops = 0;
+            st.flits_injected = 0;
+            st.flits_consumed = 0;
+            st.deliveries = 0;
+        }
+        for &(n, port, _) in &rr {
+            scratch.routers.set_rr(n, port, 0);
+        }
+        for &n in &iack_nodes {
+            scratch.nics.clear_iack(n);
+        }
+        *slot = Some(scratch);
+        CachedProfile::Usable(Arc::new(ExpressProfile {
+            events,
+            final_rel,
+            injected_at_rel,
+            turned,
+            dest_idx,
+            acks,
+            flit_hops,
+            flits_injected,
+            flits_consumed,
+            deliveries,
+            link_busy,
+            rr,
+            iack_nodes,
+            nodes,
+        }))
+    }
+
+    /// Fire every express delivery event due at the current cycle, in
+    /// ascending node order per pass (matching the serial NIC sweep;
+    /// same-cycle events within one reservation are profile-ordered by
+    /// node already), completing reservations whose final consumption
+    /// fires. Called from the top of `tick` once the clock has advanced.
+    fn express_fire_due(&mut self) {
+        let now = self.now;
+        let mut ex = self.express.take().expect("caller checked");
+        loop {
+            // (node, live index) of every reservation whose *next*
+            // unfired event is due now — one event per reservation per
+            // pass, so a reservation with several same-cycle events
+            // loops.
+            let mut due: Vec<(usize, usize)> = Vec::new();
+            for (i, r) in ex.live.iter().enumerate() {
+                if r.fired < r.profile.events.len() && r.next_due() == now {
+                    due.push((r.profile.events[r.fired].node, i));
+                }
+            }
+            if due.is_empty() {
+                break;
+            }
+            due.sort_unstable();
+            let mut finished: Vec<usize> = Vec::new();
+            for &(node, i) in &due {
+                let r = &mut ex.live[i];
+                let ev = r.profile.events[r.fired];
+                debug_assert_eq!(ev.node, node);
+                let (src, payload, txn) = {
+                    let w = self.worms.get(r.wid);
+                    (w.spec.src, w.spec.payload, w.spec.txn)
+                };
+                let acks = if ev.kind == DeliveryKind::Final { r.profile.acks } else { 0 };
+                self.nics.delivered_mut(node).push_back(Delivery {
+                    node: NodeId(node as u16),
+                    worm: r.wid,
+                    src,
+                    payload,
+                    kind: ev.kind,
+                    acks,
+                    at: now,
+                    txn,
+                });
+                if !self.delivered_flag[node] {
+                    self.delivered_flag[node] = true;
+                    self.delivered_nodes.push(node);
+                }
+                r.fired += 1;
+                if ev.kind == DeliveryKind::Final {
+                    finished.push(i);
+                }
+            }
+            // Remove finished reservations back-to-front (stable
+            // indices) and apply their terminal effects.
+            finished.sort_unstable_by(|a, b| b.cmp(a));
+            for i in finished {
+                let r = ex.live.remove(i);
+                let (h, idx) = r.cache_ref;
+                self.express_complete(r);
+                ex.cache.entry_mut(h, idx).hits += 1;
+            }
+        }
+        self.express = Some(ex);
+    }
+
+    /// Apply the terminal effect of a completed express flight:
+    /// the whole stats delta, the router/NIC residue (link busy cycles,
+    /// round-robin pointers, i-ack reservations) and the worm's final
+    /// record — everything the stepped schedule would have written by
+    /// this cycle.
+    fn express_complete(&mut self, r: Reservation) {
+        let p = &r.profile;
+        debug_assert_eq!(self.now, r.at + p.final_rel, "completion fires at the profiled cycle");
+        self.stats.flit_hops += p.flit_hops;
+        self.stats.flits_injected += p.flits_injected;
+        self.stats.flits_consumed += p.flits_consumed;
+        self.stats.deliveries += p.deliveries;
+        for &(l, b) in &p.link_busy {
+            self.stats.link_busy[l] += b;
+        }
+        for &(n, port, v) in &p.rr {
+            self.routers.set_rr(n, port, v);
+        }
+        let (txn, kind, len) = {
+            let w = self.worms.get(r.wid);
+            (w.spec.txn, w.spec.kind, w.spec.len_flits)
+        };
+        for &n in &p.iack_nodes {
+            let ok = self.nics.reserve_iack(n, txn);
+            debug_assert!(ok, "admission verified a free i-ack entry at node {n}");
+        }
+        let now = self.now;
+        let w = self.worms.get_mut(r.wid);
+        w.state = WormState::Delivered;
+        w.delivered_at = Some(now);
+        w.injected_at = Some(r.at + p.injected_at_rel);
+        w.turned = p.turned;
+        w.dest_idx = p.dest_idx;
+        w.acks = p.acks;
+        // Stepped latency is `now - queued_at`; the worm was queued at
+        // the reservation cycle, so that is exactly `final_rel`.
+        let latency = p.final_rel as f64;
+        match kind {
+            WormKind::Unicast => self.stats.unicast_latency.record(latency),
+            WormKind::Multicast => self.stats.multicast_latency.record(latency),
+            WormKind::Gather => self.stats.gather_latency.record(latency),
+        }
+        self.live_worms -= 1;
+        self.maybe_retire(r.wid);
+        self.stats.express_hits += 1;
+        self.stats.express_skipped_flit_cycles += p.final_rel * len as u64;
+    }
+
+    /// Abort every live express reservation: rewind the clock to the
+    /// earliest reserved inject cycle, re-enqueue the reserved worms and
+    /// re-step the elapsed window cycle-accurately. Exact because the
+    /// window held nothing but the reserved flights (the admission
+    /// invariant) and the express schedule wrote no state before their
+    /// finals beyond already-fired deliveries — which the replay
+    /// regenerates byte-identically and the tail trim below
+    /// deduplicates.
+    pub fn materialize_all(&mut self) {
+        let Some(ex) = self.express.as_mut() else {
+            return;
+        };
+        if ex.live.is_empty() {
+            return;
+        }
+        let resvs = std::mem::take(&mut ex.live);
+        for r in &resvs {
+            let (h, idx) = r.cache_ref;
+            ex.cache.entry_mut(h, idx).aborts += 1;
+        }
+        self.stats.express_aborts += resvs.len() as u64;
+        let target = self.now;
+        self.now = resvs[0].at;
+        let mut i = 0;
+        loop {
+            while i < resvs.len() && resvs[i].at == self.now {
+                let r = &resvs[i];
+                let (src, vnet) = {
+                    let w = self.worms.get(r.wid);
+                    (w.spec.src.idx(), w.spec.vnet)
+                };
+                self.nics.enqueue(src, vnet, r.wid);
+                self.activate_nic(src);
+                i += 1;
+            }
+            if self.now == target {
+                break;
+            }
+            // Once every re-enqueued flight has drained and the worklists
+            // are empty, the only remaining live worms are reservations
+            // whose inject cycle is still ahead: every tick until the
+            // next enqueue point (or the abort cycle) is a provable
+            // no-op, so jump straight there. Without this, an abort
+            // whose window spans a long fast-forwarded idle gap would
+            // re-step the gap cycle by cycle — the express window
+            // jumped it, the replay must too.
+            if self.active_routers.is_empty()
+                && self.active_nics.is_empty()
+                && self.live_worms == resvs.len() - i
+            {
+                self.now = resvs.get(i).map_or(target, |r| r.at.min(target));
+                continue;
+            }
+            // Re-entrant ticks: the fire hook no-ops (the live set was
+            // taken above), so these are exactly the stepped cycles the
+            // express window skipped.
+            self.tick();
+        }
+        debug_assert_eq!(i, resvs.len(), "every reservation re-enqueued");
+        // The replay regenerated every delivery the express schedule had
+        // already fired (their due cycles are all <= the abort cycle),
+        // appended after the originals on each per-node queue. Trim the
+        // duplicates from the back; node sets are disjoint across
+        // reservations, so per node only one reservation's events exist
+        // and both copies were pushed in the same (profile) order.
+        for r in &resvs {
+            for ev in &r.profile.events[..r.fired] {
+                let trimmed = self.nics.delivered_mut(ev.node).pop_back();
+                debug_assert!(trimmed.is_some(), "replay regenerates every fired delivery");
+            }
+        }
+    }
+
+    /// Earliest cycle at which a live express reservation fires its next
+    /// event, provided express flights are the *only* activity (empty
+    /// worklists, every live worm reserved) — `None` otherwise. Callers
+    /// use this to bound dead-cycle jumps: every tick strictly before
+    /// the returned cycle is a provable no-op.
+    pub fn express_next_due(&self) -> Option<Cycle> {
+        let ex = self.express.as_ref()?;
+        if ex.live.is_empty()
+            || self.live_worms != ex.live.len()
+            || !self.active_routers.is_empty()
+            || !self.active_nics.is_empty()
+        {
+            return None;
+        }
+        ex.next_due()
+    }
+
+    /// True when the network's only activity is live express
+    /// reservations and `t` lies strictly before their next scheduled
+    /// event.
+    fn express_only_pending(&self, t: Cycle) -> bool {
+        self.express_next_due().is_some_and(|due| t < due)
+    }
+
     /// True when ticking would be a complete no-op: no worms live anywhere
     /// and no NIC has queued work (deposit retries included). Undrained
     /// `delivered` queues don't matter — `tick` never touches them.
@@ -2907,7 +3545,7 @@ impl Network {
     /// `debug_assert!` so release runs fail loudly instead of silently
     /// teleporting in-flight flits through time.
     pub fn advance_to(&mut self, t: Cycle) {
-        if !self.fully_idle() {
+        if !self.fully_idle() && !self.express_only_pending(t) {
             self.violation.get_or_insert_with(|| {
                 format!(
                     "advance_to({t}) on a non-idle network at cycle {} ({} live worms)",
@@ -2933,6 +3571,10 @@ impl Network {
     /// (validated by the caller; `DsmSystem` gates on a config
     /// fingerprint).
     pub fn save_state(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            self.express.as_ref().is_none_or(|e| e.live.is_empty()),
+            "save_state with live express reservations (materialize first)"
+        );
         w.put_u64(self.now);
         self.routers.save(w);
         self.nics.save(w);
@@ -3075,6 +3717,9 @@ impl Snap for NetStats {
         w.put_u64(self.spec_replayed_cycles);
         self.spec_rollback_by_tile.save(w);
         w.put_u64(self.spec_detect_violations);
+        w.put_u64(self.express_hits);
+        w.put_u64(self.express_aborts);
+        w.put_u64(self.express_skipped_flit_cycles);
     }
 
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
@@ -3103,6 +3748,9 @@ impl Snap for NetStats {
             spec_replayed_cycles: r.get_u64()?,
             spec_rollback_by_tile: Vec::load(r)?,
             spec_detect_violations: r.get_u64()?,
+            express_hits: r.get_u64()?,
+            express_aborts: r.get_u64()?,
+            express_skipped_flit_cycles: r.get_u64()?,
         })
     }
 }

@@ -1,0 +1,411 @@
+//! Express-worm path reservation: bookkeeping for the contention-free
+//! fast path ([`crate::network::Network`] integration lives in
+//! `network.rs`; this module holds the data structures).
+//!
+//! # The express fast path
+//!
+//! When the network is otherwise idle, a newly injected worm's entire
+//! flight is determined the moment it is injected: no competitor can
+//! change an arbitration outcome, so every hop, absorb, credit return and
+//! the final consumption happen at closed-form offsets from the inject
+//! cycle. Instead of stepping such a worm flit-by-flit through the
+//! three-phase router pipeline, the engine *reserves* its path and plays
+//! the flight back from an [`ExpressProfile`]: the exact per-cycle
+//! delivery schedule, final-state writes and statistics delta of the
+//! stepped flight.
+//!
+//! Bit-exactness is by construction, not by re-derivation: a profile is
+//! extracted by stepping the same worm once through a **pristine scratch
+//! network** with the identical [`crate::network::MeshConfig`] and
+//! recording what the real engine did. Profiles are memoized in a
+//! [`ProfileCache`] keyed by everything that can influence the flight
+//! (absolute source/destinations, virtual network, length, kind,
+//! i-ack reservation, delivery mask), so steady-state protocol traffic —
+//! which revisits the same (requester, home) pairs over and over — pays
+//! the scratch simulation once per distinct shape.
+//!
+//! # Reservations and aborts
+//!
+//! A live [`Reservation`] stands in for a worm the real network is *not*
+//! stepping. The invariant the whole scheme rests on: **while any
+//! reservation is live, the real network is idle apart from its reserved
+//! worms** (empty worklists, `live_worms == live reservations`). Any
+//! action that could interact with a reserved flight — an inject that is
+//! itself ineligible or whose node set intersects a reserved set, or an
+//! i-ack post targeting a reserved node — *aborts* every reservation
+//! first: the clock is rewound to the earliest reserved inject cycle and
+//! the worms are re-enqueued and stepped forward to the abort cycle
+//! (exact, because those cycles were no-ops apart from the reserved
+//! flights themselves), after which cycle-accurate stepping resumes.
+//! Deliveries the express schedule already fired are popped back off the
+//! per-node delivered queues after the replay regenerates them, so the
+//! externally visible delivery stream is unchanged.
+
+use crate::network::Network;
+use crate::nic::DeliveryKind;
+use crate::worm::WormId;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wormdsm_sim::Cycle;
+
+/// Everything that can influence an uncontended worm's flight through a
+/// pristine network of a fixed [`crate::network::MeshConfig`]. Two specs
+/// with equal keys have bit-identical flights, so the extracted
+/// [`ExpressProfile`] is shared between them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    /// Source node index.
+    pub src: u16,
+    /// Absolute destination sequence.
+    pub dests: Vec<u16>,
+    /// Virtual-network index.
+    pub vnet: u8,
+    /// [`crate::worm::WormKind`] discriminant.
+    pub kind: u8,
+    /// Worm length in flits.
+    pub len_flits: u16,
+    /// i-ack reservation at intermediate destinations.
+    pub reserve_iack: bool,
+    /// Initial ack count carried by the worm.
+    pub initial_acks: u32,
+    /// Per-destination delivery mask, bit-packed (`None` -> all bits set
+    /// plus the sentinel high bit, distinguishing it from an all-true
+    /// mask of fewer than 16 destinations).
+    pub deliver_bits: u32,
+}
+
+/// One scheduled observable event of an express flight: a delivery handed
+/// to a node at `rel` cycles after the inject cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpressEvent {
+    /// Cycle offset from the inject cycle.
+    pub rel: Cycle,
+    /// Delivering node index.
+    pub node: usize,
+    /// Final consumption vs. absorbed copy.
+    pub kind: DeliveryKind,
+}
+
+/// The memoized flight record of one uncontended worm: the full effect of
+/// stepping it through an otherwise idle network, relative to the inject
+/// cycle. Extracted once from a scratch network and replayed thereafter.
+#[derive(Debug)]
+pub struct ExpressProfile {
+    /// Delivery events in firing order (ascending `rel`, ties in
+    /// ascending node order — matching the serial NIC sweep).
+    pub events: Vec<ExpressEvent>,
+    /// Cycle offset of the final consumption. The scratch network is
+    /// fully idle at exactly this offset (enforced at extraction; a
+    /// flight with residual post-final drain refuses the fast path).
+    pub final_rel: Cycle,
+    /// `Worm::injected_at` offset (first head flit into the source
+    /// router).
+    pub injected_at_rel: Cycle,
+    /// Final `Worm::turned` flag.
+    pub turned: bool,
+    /// Final `Worm::dest_idx`.
+    pub dest_idx: usize,
+    /// Final `Worm::acks`.
+    pub acks: u32,
+    /// Statistics delta of the whole flight (see
+    /// [`crate::network::NetStats`]): flit hops, injected/consumed flits,
+    /// deliveries.
+    pub flit_hops: u64,
+    /// Flits entered from the source NIC.
+    pub flits_injected: u64,
+    /// Flits ejected into consumption channels.
+    pub flits_consumed: u64,
+    /// Messages delivered (final + absorbs).
+    pub deliveries: u64,
+    /// Non-zero per-link busy-cycle deltas, `(link_index, cycles)`.
+    pub link_busy: Vec<(usize, u64)>,
+    /// Round-robin pointer writes left by the flight's switch grants,
+    /// `(node, port, value)`. Grant winners of a solo flight are
+    /// independent of prior pointer state, so these apply verbatim.
+    pub rr: Vec<(usize, usize, usize)>,
+    /// Nodes where the flight reserves an i-ack entry (intermediate
+    /// destinations of an i-reserve worm).
+    pub iack_nodes: Vec<usize>,
+    /// Every node the flight touches (routers traversed, NICs delivered
+    /// to, the source). Two express flights with disjoint sets are
+    /// independent; any overlap forbids concurrent reservation.
+    pub nodes: Vec<usize>,
+}
+
+impl ExpressProfile {
+    /// True when `other`'s node set is disjoint from this flight's (both
+    /// sorted ascending).
+    pub fn disjoint_from(&self, other: &ExpressProfile) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.nodes.len() && j < other.nodes.len() {
+            match self.nodes[i].cmp(&other.nodes[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// True when the sorted `nodes` set contains `n`.
+    pub fn covers(&self, n: usize) -> bool {
+        self.nodes.binary_search(&n).is_ok()
+    }
+}
+
+/// Cache entry: either a usable profile or a memoized refusal (the flight
+/// has post-final residual drain or otherwise fails an extraction-time
+/// invariant, so it must always step).
+#[derive(Debug, Clone)]
+pub enum CachedProfile {
+    /// The flight is expressible.
+    Usable(Arc<ExpressProfile>),
+    /// The flight must always step; don't re-run the scratch extraction.
+    Refused,
+}
+
+/// A cached shape plus its reservation track record, the input to the
+/// abort-penalty policy ([`CacheEntry::penalty_refuses`]).
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The memoized extraction result.
+    pub profile: CachedProfile,
+    /// Reservations of this shape that completed on the fast path.
+    pub hits: u32,
+    /// Reservations of this shape that aborted back to stepped flight.
+    pub aborts: u32,
+    /// Admission attempts refused by the penalty policy (drives the
+    /// periodic probe that lets a shape recover).
+    pub penalized: u32,
+}
+
+impl CacheEntry {
+    fn new(profile: CachedProfile) -> Self {
+        CacheEntry { profile, hits: 0, aborts: 0, penalized: 0 }
+    }
+
+    /// Abort-penalty policy: a shape whose reservations mostly abort is
+    /// dead weight — the replay re-steps everything the reservation
+    /// skipped, plus the admission work. Once a shape's abort count
+    /// dominates its completions, stop reserving it, but probe it every
+    /// 16th refusal so a shape whose conflict pattern was transient can
+    /// earn its way back. Purely a scheduling choice: refusing a
+    /// reservation never changes simulated results, only wall time.
+    pub fn penalty_refuses(&mut self) -> bool {
+        if self.aborts < 4 || self.aborts * 2 <= self.hits + 4 {
+            return false;
+        }
+        let probe = self.penalized % 16 == 15;
+        self.penalized += 1;
+        !probe
+    }
+}
+
+/// Memoized flight profiles for one network's configuration.
+///
+/// Buckets are keyed by a caller-supplied 64-bit hash of the spec fields
+/// so the hot admission path can probe the cache without materializing a
+/// heap-allocated [`ProfileKey`]; the full key is stored and compared on
+/// every probe, so colliding hashes stay correct. Entries are only ever
+/// appended, which keeps `(hash, index)` references from live
+/// [`Reservation`]s stable.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    map: HashMap<u64, Vec<(ProfileKey, CacheEntry)>>,
+    len: usize,
+    /// Scratch extractions performed (cache misses).
+    pub misses: u64,
+}
+
+impl ProfileCache {
+    /// Look up the entry under `hash` whose stored key satisfies
+    /// `matches`, returning its bucket index for stable later reference.
+    pub fn lookup_mut(
+        &mut self,
+        hash: u64,
+        matches: impl Fn(&ProfileKey) -> bool,
+    ) -> Option<(u32, &mut CacheEntry)> {
+        let bucket = self.map.get_mut(&hash)?;
+        bucket
+            .iter_mut()
+            .enumerate()
+            .find(|(_, (k, _))| matches(k))
+            .map(|(i, (_, e))| (i as u32, e))
+    }
+
+    /// Memoize an extraction result, returning its stable bucket index.
+    pub fn insert(&mut self, hash: u64, key: ProfileKey, profile: CachedProfile) -> u32 {
+        let bucket = self.map.entry(hash).or_default();
+        bucket.push((key, CacheEntry::new(profile)));
+        self.len += 1;
+        bucket.len() as u32 - 1
+    }
+
+    /// The entry at a `(hash, index)` reference handed out earlier.
+    pub fn entry_mut(&mut self, hash: u64, index: u32) -> &mut CacheEntry {
+        &mut self.map.get_mut(&hash).expect("stable cache reference")[index as usize].1
+    }
+
+    /// Number of distinct shapes cached (usable + refused).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One live express reservation: a worm whose flight is being played back
+/// from its profile instead of stepped.
+#[derive(Debug)]
+pub struct Reservation {
+    /// The reserved worm.
+    pub wid: WormId,
+    /// Inject cycle (profile offsets are relative to this).
+    pub at: Cycle,
+    /// The flight schedule.
+    pub profile: Arc<ExpressProfile>,
+    /// Events already fired (`profile.events[..fired]`).
+    pub fired: usize,
+    /// `(hash, bucket index)` of this shape's [`CacheEntry`] — stable
+    /// because buckets are append-only — so completion and abort can
+    /// update the shape's track record in O(1).
+    pub cache_ref: (u64, u32),
+}
+
+impl Reservation {
+    /// Absolute cycle of the next unfired delivery event, or of the final
+    /// completion once all deliveries have fired.
+    pub fn next_due(&self) -> Cycle {
+        match self.profile.events.get(self.fired) {
+            Some(ev) => self.at + ev.rel,
+            None => self.at + self.profile.final_rel,
+        }
+    }
+
+    /// Absolute cycle of the final completion.
+    pub fn final_at(&self) -> Cycle {
+        self.at + self.profile.final_rel
+    }
+}
+
+/// Per-network express state: the profile cache plus the live
+/// reservations (sorted by inject cycle; usually zero or one deep).
+#[derive(Debug, Default)]
+pub struct ReservationTable {
+    /// Memoized flight profiles.
+    pub cache: ProfileCache,
+    /// Live reservations in inject order.
+    pub live: Vec<Reservation>,
+    /// Reusable scratch network for profile extraction. After a usable
+    /// extraction the residue the flight left behind is reset (the
+    /// extractor knows exactly what it touched), so the stored network is
+    /// pristine-equivalent; a refused extraction leaves it in an unknown
+    /// mid-flight state, so the slot is dropped and the next miss
+    /// allocates fresh.
+    pub scratch: Option<Box<Network>>,
+}
+
+impl ReservationTable {
+    /// Earliest next-due cycle across live reservations.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.live.iter().map(Reservation::next_due).min()
+    }
+
+    /// True when `n` is covered by any live reservation's node set.
+    pub fn covers(&self, n: usize) -> bool {
+        self.live.iter().any(|r| r.profile.covers(n))
+    }
+
+    /// A candidate profile may join the live set only if its node set is
+    /// disjoint from every live reservation's and its final cycle is
+    /// distinct from every live final (equal finals would make the
+    /// latency-summary record order and worm retire order ambiguous).
+    pub fn admits(&self, candidate: &ExpressProfile, at: Cycle) -> bool {
+        self.live
+            .iter()
+            .all(|r| r.profile.disjoint_from(candidate) && r.final_at() != at + candidate.final_rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(nodes: Vec<usize>, final_rel: Cycle) -> ExpressProfile {
+        ExpressProfile {
+            events: Vec::new(),
+            final_rel,
+            injected_at_rel: 1,
+            turned: false,
+            dest_idx: 1usize,
+            acks: 0,
+            flit_hops: 0,
+            flits_injected: 0,
+            flits_consumed: 0,
+            deliveries: 0,
+            link_busy: Vec::new(),
+            rr: Vec::new(),
+            iack_nodes: Vec::new(),
+            nodes,
+        }
+    }
+
+    #[test]
+    fn disjointness_is_exact_on_sorted_sets() {
+        let a = profile(vec![0, 1, 2, 5], 10);
+        let b = profile(vec![3, 4, 6], 11);
+        let c = profile(vec![4, 5], 12);
+        assert!(a.disjoint_from(&b));
+        assert!(b.disjoint_from(&a));
+        assert!(!a.disjoint_from(&c));
+        assert!(!b.disjoint_from(&c));
+        assert!(a.covers(5));
+        assert!(!a.covers(3));
+    }
+
+    #[test]
+    fn admission_requires_disjoint_nodes_and_distinct_finals() {
+        let mut table = ReservationTable::default();
+        let live = Arc::new(profile(vec![0, 1, 2], 10));
+        table.live.push(Reservation {
+            wid: WormId(0),
+            at: 100,
+            profile: live,
+            fired: 0,
+            cache_ref: (0, 0),
+        });
+        // Overlapping nodes: refused.
+        assert!(!table.admits(&profile(vec![2, 3], 50), 100));
+        // Disjoint but same final cycle (100 + 10 == 105 + 5): refused.
+        assert!(!table.admits(&profile(vec![3, 4], 5), 105));
+        // Disjoint, distinct final: admitted.
+        assert!(table.admits(&profile(vec![3, 4], 6), 105));
+        assert!(table.covers(1));
+        assert!(!table.covers(3));
+    }
+
+    #[test]
+    fn next_due_walks_events_then_final() {
+        let mut p = profile(vec![0, 1], 20);
+        p.events = vec![
+            ExpressEvent { rel: 8, node: 1, kind: DeliveryKind::Absorb },
+            ExpressEvent { rel: 20, node: 0, kind: DeliveryKind::Final },
+        ];
+        let mut r = Reservation {
+            wid: WormId(1),
+            at: 1000,
+            profile: Arc::new(p),
+            fired: 0,
+            cache_ref: (0, 0),
+        };
+        assert_eq!(r.next_due(), 1008);
+        r.fired = 1;
+        assert_eq!(r.next_due(), 1020);
+        r.fired = 2;
+        assert_eq!(r.next_due(), 1020);
+        assert_eq!(r.final_at(), 1020);
+    }
+}

@@ -1,0 +1,297 @@
+//! Express fast-path bit-identity: the same injection/post/tick sequence
+//! driven through two networks — express on vs. off — must leave both in
+//! observably identical states (stats, latency summaries, worm records,
+//! delivery streams, clock), including scenarios that fire the abort
+//! (rewind-and-replay) path. `scratch_grows` is the one documented
+//! exclusion (allocator warm-up differs when cycles are not stepped).
+
+use wormdsm_mesh::network::{MeshConfig, Network};
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_mesh::worm::{TxnId, VNet, WormId, WormKind, WormSpec};
+
+fn cfg(k: usize) -> MeshConfig {
+    MeshConfig::paper_defaults(k)
+}
+
+fn multicast(src: NodeId, dests: Vec<NodeId>, reserve: bool, txn: u64) -> WormSpec {
+    WormSpec {
+        src,
+        vnet: VNet::Req,
+        kind: WormKind::Multicast,
+        dests: dests.into(),
+        len_flits: 8,
+        payload: 0xBEEF,
+        reserve_iack: reserve,
+        txn: TxnId(txn),
+        initial_acks: 0,
+        gather_deposit: false,
+        deliver: None,
+    }
+}
+
+fn gather(src: NodeId, dests: Vec<NodeId>, txn: u64, initial: u32) -> WormSpec {
+    WormSpec {
+        src,
+        vnet: VNet::Reply,
+        kind: WormKind::Gather,
+        dests: dests.into(),
+        len_flits: 4,
+        payload: 0xACC,
+        reserve_iack: false,
+        txn: TxnId(txn),
+        initial_acks: initial,
+        gather_deposit: false,
+        deliver: None,
+    }
+}
+
+/// Everything externally observable about a finished run, rendered to a
+/// comparable string: counters (minus `scratch_grows` and the express
+/// diagnostics), latency summaries, per-link busy cycles, the clock, every
+/// worm's final record, and every node's drained delivery stream.
+fn fingerprint(net: &mut Network, worms: &[WormId]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let now = net.now();
+    {
+        let st = net.stats();
+        writeln!(
+            s,
+            "hops={} fin={} fcon={} winj={:?} deliv={} gb={} mb={} parks={} bounces={} \
+             resumes={} deposits={} dretry={} slots={} hazard={}",
+            st.flit_hops,
+            st.flits_injected,
+            st.flits_consumed,
+            st.worms_injected,
+            st.deliveries,
+            st.gather_blocked_cycles,
+            st.multicast_blocked_cycles,
+            st.parks,
+            st.bounces,
+            st.resumes,
+            st.deposits,
+            st.deposit_retries,
+            st.worm_slots_reused,
+            st.hazard_fallbacks,
+        )
+        .unwrap();
+        for (name, sum) in [
+            ("uni", &st.unicast_latency),
+            ("multi", &st.multicast_latency),
+            ("gather", &st.gather_latency),
+        ] {
+            writeln!(
+                s,
+                "{name}: n={} sum={} min={} max={}",
+                sum.count(),
+                sum.sum(),
+                sum.min(),
+                sum.max()
+            )
+            .unwrap();
+        }
+        writeln!(s, "link_busy={:?}", st.link_busy).unwrap();
+        writeln!(s, "now={now}").unwrap();
+    }
+    for &id in worms {
+        writeln!(s, "worm {:?}", net.worm(id)).unwrap();
+    }
+    for n in 0..net.config().mesh.nodes() {
+        let ds = net.take_deliveries(NodeId(n as u16));
+        if !ds.is_empty() {
+            writeln!(s, "node {n}: {ds:?}").unwrap();
+        }
+    }
+    s
+}
+
+/// Run `scenario` against express-off and express-on networks of the same
+/// configuration and assert identical fingerprints. Returns the on-side
+/// (hits, aborts) counters so callers can assert the fast path actually
+/// engaged (identity alone would pass trivially if nothing ever expressed).
+fn assert_identical(k: usize, scenario: impl Fn(&mut Network) -> Vec<WormId>) -> (u64, u64) {
+    let mut off = Network::new(cfg(k));
+    let off_worms = scenario(&mut off);
+    assert_eq!(off.stats().express_hits, 0);
+
+    let mut on = Network::new(cfg(k));
+    on.set_express(true);
+    let on_worms = scenario(&mut on);
+    assert_eq!(off_worms, on_worms, "same injection sequence");
+
+    let hits = on.stats().express_hits;
+    let aborts = on.stats().express_aborts;
+    let f_off = fingerprint(&mut off, &off_worms);
+    let f_on = fingerprint(&mut on, &on_worms);
+    assert_eq!(f_off, f_on, "express on/off fingerprints diverge");
+    (hits, aborts)
+}
+
+#[test]
+fn solo_unicast_expresses_and_matches_stepped() {
+    let (hits, aborts) = assert_identical(8, |net| {
+        let m = Mesh2D::square(8);
+        let id = net.inject(WormSpec::unicast(m.node_at(1, 1), m.node_at(5, 6), VNet::Req, 10, 7));
+        net.run_until_quiescent(10_000).unwrap();
+        vec![id]
+    });
+    assert_eq!(hits, 1, "a solo uncontended unicast must take the fast path");
+    assert_eq!(aborts, 0);
+}
+
+#[test]
+fn repeated_shape_hits_the_profile_cache() {
+    let (hits, aborts) = assert_identical(8, |net| {
+        let m = Mesh2D::square(8);
+        let mut ids = Vec::new();
+        for round in 0..4 {
+            let id = net.inject(WormSpec::unicast(
+                m.node_at(0, 2),
+                m.node_at(6, 4),
+                VNet::Reply,
+                6,
+                round,
+            ));
+            ids.push(id);
+            net.run_until_quiescent(10_000).unwrap();
+        }
+        ids
+    });
+    assert_eq!(hits, 4, "every round is uncontended and cacheable");
+    assert_eq!(aborts, 0);
+}
+
+#[test]
+fn sequential_multicast_expresses_with_absorbs() {
+    let (hits, aborts) = assert_identical(8, |net| {
+        let m = Mesh2D::square(8);
+        let dests = vec![m.node_at(3, 3), m.node_at(5, 3), m.node_at(7, 3)];
+        let id = net.inject(multicast(m.node_at(0, 3), dests, false, 1));
+        net.run_until_quiescent(10_000).unwrap();
+        vec![id]
+    });
+    assert_eq!(hits, 1, "an uncontended multicast must take the fast path");
+    assert_eq!(aborts, 0);
+}
+
+#[test]
+fn ireserve_multicast_reserves_iack_entries_identically() {
+    // The i-reserve worm leaves Reserved i-ack entries behind; posting
+    // into them and collecting with a gather worm afterwards exercises
+    // that residue, so any divergence in the reserved slots shows up in
+    // the gather's behavior and latency.
+    let (hits, _aborts) = assert_identical(8, |net| {
+        let m = Mesh2D::square(8);
+        let src = m.node_at(0, 3);
+        let d1 = m.node_at(3, 3);
+        let d2 = m.node_at(6, 3);
+        let inval = net.inject(multicast(src, vec![d1, d2], true, 9));
+        net.run_until_quiescent(10_000).unwrap();
+        assert!(net.post_iack(d1, TxnId(9)));
+        assert!(net.post_iack(d2, TxnId(9)));
+        let g = net.inject(gather(d2, vec![d1, src], 9, 0));
+        net.run_until_quiescent(10_000).unwrap();
+        vec![inval, g]
+    });
+    assert_eq!(hits, 1, "the i-reserve multicast expresses; the gather never does");
+}
+
+#[test]
+fn competing_inject_aborts_and_replays_exactly() {
+    // Worm A reserves a row path; three cycles later worm B injects
+    // across it. B's admission fails (node sets intersect), so A is
+    // materialized mid-flight and both step to completion — bit-identical
+    // to never having reserved.
+    let (hits, aborts) = assert_identical(8, |net| {
+        let m = Mesh2D::square(8);
+        let a = net.inject(WormSpec::unicast(m.node_at(0, 2), m.node_at(7, 2), VNet::Req, 12, 1));
+        for _ in 0..3 {
+            net.tick();
+        }
+        let b = net.inject(WormSpec::unicast(m.node_at(4, 0), m.node_at(4, 5), VNet::Req, 12, 2));
+        net.run_until_quiescent(10_000).unwrap();
+        vec![a, b]
+    });
+    assert_eq!(hits, 0, "both worms end up stepped");
+    assert_eq!(aborts, 1, "the reservation must abort on the crossing inject");
+}
+
+#[test]
+fn covered_iack_post_aborts_after_fired_absorbs() {
+    // An i-reserve multicast fires its absorb deliveries, then an i-ack
+    // post lands on a covered node before the final consumption: the
+    // reservation aborts with deliveries already fired, exercising the
+    // replay's duplicate-trim on the per-node delivered queues.
+    let (hits, aborts) = assert_identical(8, |net| {
+        let m = Mesh2D::square(8);
+        let src = m.node_at(0, 3);
+        let d1 = m.node_at(2, 3);
+        let d2 = m.node_at(7, 3);
+        let id = net.inject(multicast(src, vec![d1, d2], true, 5));
+        // Far enough for the absorb at d1 to fire, short of the final
+        // tail drain at d2 (the flight needs ~40+ cycles to finish).
+        for _ in 0..30 {
+            net.tick();
+        }
+        net.post_iack(d1, TxnId(5));
+        net.run_until_quiescent(10_000).unwrap();
+        vec![id]
+    });
+    assert_eq!(hits, 0, "the aborted flight never completes on the fast path");
+    assert_eq!(aborts, 1);
+}
+
+#[test]
+fn disjoint_flights_reserve_concurrently() {
+    // Two node-disjoint rows with different lengths (distinct finals):
+    // both reserve; neither aborts.
+    let (hits, aborts) = assert_identical(8, |net| {
+        let m = Mesh2D::square(8);
+        let a = net.inject(WormSpec::unicast(m.node_at(0, 0), m.node_at(7, 0), VNet::Req, 8, 1));
+        let b = net.inject(WormSpec::unicast(m.node_at(0, 5), m.node_at(5, 5), VNet::Req, 8, 2));
+        net.run_until_quiescent(10_000).unwrap();
+        vec![a, b]
+    });
+    assert_eq!(hits, 2, "disjoint flights share the window");
+    assert_eq!(aborts, 0);
+}
+
+#[test]
+fn trace_and_probe_force_stepping() {
+    use wormdsm_sim::trace::TraceLevel;
+    let m = Mesh2D::square(4);
+    // Flit tracing active: no admissions.
+    let mut net = Network::new(cfg(4));
+    net.set_express(true);
+    net.set_trace_level(TraceLevel::Flit);
+    net.inject(WormSpec::unicast(m.node_at(0, 0), m.node_at(3, 2), VNet::Req, 6, 0));
+    net.run_until_quiescent(10_000).unwrap();
+    assert_eq!(net.stats().express_hits, 0);
+    assert_eq!(net.stats().express_aborts, 0);
+    // Contention probe active: no admissions.
+    let mut net = Network::new(cfg(4));
+    net.set_express(true);
+    net.enable_contention_probe(64);
+    net.inject(WormSpec::unicast(m.node_at(0, 0), m.node_at(3, 2), VNet::Req, 6, 0));
+    net.run_until_quiescent(10_000).unwrap();
+    assert_eq!(net.stats().express_hits, 0);
+}
+
+#[test]
+fn advance_to_is_legal_while_express_only_pending() {
+    let m = Mesh2D::square(8);
+    let mut net = Network::new(cfg(8));
+    net.set_express(true);
+    let id = net.inject(WormSpec::unicast(m.node_at(0, 0), m.node_at(7, 7), VNet::Req, 8, 0));
+    let due = net.express_next_due().expect("reserved flight pending");
+    assert!(due > net.now());
+    // Jump to one cycle before the first scheduled event, then step
+    // normally: the flight still completes and the clock is exact.
+    net.advance_to(due - 1);
+    assert!(net.violation().is_none(), "express-only jump must be legal");
+    net.run_until_quiescent(10_000).unwrap();
+    assert_eq!(net.stats().express_hits, 1);
+    // A unicast flight's only event is its final consumption, so the
+    // peeked due cycle is exactly the delivery cycle.
+    assert_eq!(net.worm(id).delivered_at, Some(due));
+}

@@ -293,7 +293,7 @@ impl Workload {
 
     /// Serialize a resumable checkpoint: the full system snapshot plus
     /// the run's issue state, one sealed stream.
-    pub fn checkpoint(sys: &DsmSystem, st: &IssueState) -> Vec<u8> {
+    pub fn checkpoint(sys: &mut DsmSystem, st: &IssueState) -> Vec<u8> {
         let mut w = SnapWriter::new();
         let sys_bytes = sys.save_snapshot();
         w.put_usize(sys_bytes.len());
