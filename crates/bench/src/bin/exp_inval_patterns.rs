@@ -43,13 +43,14 @@ fn main() {
                 }
                 lu::generate(&cfg)
             }
-            _ => {
+            "apsp" => {
                 let mut cfg = ApspConfig { procs, ..Default::default() };
                 if quick {
                     cfg.n = procs;
                 }
                 apsp::generate(&cfg)
             }
+            other => unreachable!("unknown app {other}"),
         };
         w.run(&mut sys, 500_000_000).expect("completes");
         let h = &sys.metrics().inval_set_size;

@@ -1,4 +1,5 @@
-//! Run every experiment (E1-E13), mirroring the paper's full evaluation.
+//! Run every experiment (E1-E13 plus the H9 adaptive-scheme study),
+//! mirroring the paper's full evaluation.
 //!
 //! Experiments run concurrently across the machine's cores (each is an
 //! independent process), but their captured output is printed strictly in
@@ -33,6 +34,7 @@ fn main() {
         ("exp_throughput", &[]),
         ("exp_ablations", &[]),
         ("exp_sharing_classes", &[]),
+        ("exp_adaptive", &[]),
     ];
 
     let build = |name: &str, extra: &[&str]| {
@@ -43,7 +45,7 @@ fn main() {
                 "exp_latency_vs_sharers" | "exp_occupancy" | "exp_traffic" | "exp_mesh_size" => {
                     cmd.args(["--trials", "5"]);
                 }
-                "exp_applications" | "exp_inval_patterns" | "exp_ablations" => {
+                "exp_applications" | "exp_inval_patterns" | "exp_ablations" | "exp_adaptive" => {
                     cmd.arg("--quick");
                 }
                 "exp_background_load" => {

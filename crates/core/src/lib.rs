@@ -1,8 +1,10 @@
 //! # wormdsm-core — multidestination cache-invalidation schemes + DSM engine
 //!
-//! The paper's primary contribution: seven invalidation grouping schemes
-//! (the UI-UA baseline plus six multidestination schemes over e-cube and
-//! turn-model routing), an invalidation-plan representation, and the
+//! The paper's primary contribution: nine invalidation grouping schemes
+//! (the UI-UA baseline plus eight multidestination schemes over e-cube
+//! and turn-model routing, including the dynamic-partition-merging and
+//! contention-adaptive planners), an invalidation-plan representation,
+//! and the
 //! [`DsmSystem`] engine that executes a full directory-based DSM under
 //! sequential consistency on the `wormdsm-mesh` network.
 //!

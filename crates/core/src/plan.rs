@@ -97,7 +97,7 @@ pub enum AckAction {
 }
 
 /// Complete plan for one invalidation transaction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvalPlan {
     /// Worms the home node injects (invalidation / i-reserve worms, and
     /// the relay worm of the tree scheme).

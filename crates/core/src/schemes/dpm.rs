@@ -1,0 +1,356 @@
+//! DPM: dynamic partition merging (after "Efficient On-Chip Multicast
+//! Routing based on Dynamic Partition Merging", adapted to the paper's
+//! west-first serpentine worms).
+//!
+//! The static schemes pick their partition granularity up front: one worm
+//! per column group (MI-MA(col)) or one serpentine over everything
+//! (MI-MA(wf)). Neither is optimal in general — many small worms pay the
+//! home's serial `dc_send` per worm, while one giant serpentine pays a
+//! long snaking path. DPM interpolates: it starts from the per-column
+//! partitions of [`column_groups`] and greedily merges *adjacent*
+//! partitions whenever the merged serpentine realization lowers the plan's
+//! closed-form completion estimate (the same contention-free law
+//! `crates/analytic` uses, cross-validated in the tests below). Merging
+//! never increases the worm count, so `home_sends <= d` is preserved, and
+//! the greedy loop only accepts strictly improving merges, so the final
+//! estimate is never worse than the unmerged starting point.
+//!
+//! The ack phase is untouched: two-phase gathered acknowledgements over
+//! the original column groups, exactly as in MI-MA(wf) (a gather cannot
+//! legally end at an interior home under west-first, and partition
+//! merging only reshapes the *request* worms).
+//!
+//! Costs are estimated, not measured: the law prices each worm's solo
+//! flight and the home's `dc_send` serialization, ignoring contention.
+//! The adaptive variant ([`MiMaAdaptive`]) layers a measured per-link
+//! penalty on top via the [`HopPenalty`] hook.
+//!
+//! [`MiMaAdaptive`]: super::MiMaAdaptive
+//! [`column_groups`]: super::grouping::column_groups
+
+use super::grouping::{column_groups, serpentine, SerpentineWorm};
+use super::two_phase_acks::two_phase_acks;
+use super::{InvalidationScheme, SchemeKind};
+use crate::plan::{InvalPlan, PlannedWorm};
+use wormdsm_mesh::routing::{expand_path, BaseRouting, PathRule};
+use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_mesh::worm::WormKind;
+
+/// Router pipeline delay, cycles (mirrors `NetParams::router_delay`).
+pub(crate) const ROUTER_DELAY: u64 = 4;
+/// Header strip delay at an intermediate destination
+/// (`NetParams::strip_delay`).
+pub(crate) const STRIP_DELAY: u64 = 1;
+/// Home DC send occupancy per injected worm (`CostModel::dc_send`).
+pub(crate) const DC_SEND: u64 = 4;
+/// Control-message length in flits (`MsgSizes::control`).
+pub(crate) const CONTROL_FLITS: u64 = 8;
+/// Extra header flits per 4 extra destinations
+/// (`MsgSizes::per_extra_dest_x4`).
+pub(crate) const PER_EXTRA_DEST_X4: u64 = 1;
+
+/// Extra cost (cycles) a congestion-aware caller charges for one hop
+/// `a -> b`; the pure DPM scheme passes `None` everywhere.
+pub(crate) type HopPenalty<'a> = &'a dyn Fn(NodeId, NodeId) -> u64;
+
+/// Closed-form completion estimate of one serpentine worm injected at the
+/// home: head latency over the expanded west-first path, strip delays at
+/// every visited destination (waypoints included), plus the tail drain.
+/// With no penalty this equals the last entry of
+/// `analytic::solo_flight_latencies` for the same worm, cycle-for-cycle.
+pub(crate) fn worm_cost(
+    mesh: &Mesh2D,
+    home: NodeId,
+    w: &SerpentineWorm,
+    penalty: Option<HopPenalty<'_>>,
+) -> u64 {
+    let path = expand_path(PathRule::WestFirst, mesh, home, &w.dests)
+        .expect("serpentine worms are west-first conformant");
+    let hops = (path.len() - 1) as u64;
+    let strips = (w.dests.len() as u64).saturating_sub(1);
+    let delivering = w.deliver.iter().filter(|&&d| d).count() as u64;
+    let len_flits = CONTROL_FLITS + delivering.saturating_sub(1).div_ceil(4) * PER_EXTRA_DEST_X4;
+    let mut cost = (hops + 1) * ROUTER_DELAY + strips * STRIP_DELAY + len_flits;
+    if let Some(p) = penalty {
+        for hop in path.windows(2) {
+            cost += p(hop[0], hop[1]);
+        }
+    }
+    cost
+}
+
+/// Realize one partition (a sharer subset) as serpentine worms with their
+/// estimated costs.
+fn realize(
+    mesh: &Mesh2D,
+    home: NodeId,
+    members: &[NodeId],
+    penalty: Option<HopPenalty<'_>>,
+) -> Vec<(SerpentineWorm, u64)> {
+    serpentine(mesh, home, members)
+        .into_iter()
+        .map(|w| {
+            let c = worm_cost(mesh, home, &w, penalty);
+            (w, c)
+        })
+        .collect()
+}
+
+/// Plan completion estimate for worm costs in injection order: worm `j`
+/// leaves the home DC at `(j+1) * dc_send` (serial send occupancy) and
+/// completes its flight `cost_j` cycles later; the plan completes when the
+/// slowest worm does.
+fn makespan(costs: &[u64]) -> u64 {
+    costs.iter().enumerate().map(|(j, &c)| (j as u64 + 1) * DC_SEND + c).max().unwrap_or(0)
+}
+
+/// One partition during merging: its members plus the cached realization.
+struct Partition {
+    members: Vec<NodeId>,
+    realized: Vec<(SerpentineWorm, u64)>,
+}
+
+/// Greedy adjacent partition merging. Starts from the [`column_groups`]
+/// partitions (in their deterministic emission order) and repeatedly
+/// applies the adjacent merge with the largest strict improvement in
+/// [`makespan`] (ties broken toward the lowest index) until no merge
+/// improves. Deterministic: pure function of the mesh geometry, the
+/// sharer set, and the (optional) penalty.
+fn merge_partitions(
+    mesh: &Mesh2D,
+    home: NodeId,
+    sharers: &[NodeId],
+    penalty: Option<HopPenalty<'_>>,
+) -> Vec<Partition> {
+    let mut parts: Vec<Partition> = column_groups(mesh, home, sharers)
+        .into_iter()
+        .map(|g| Partition {
+            realized: realize(mesh, home, &g.members, penalty),
+            members: g.members,
+        })
+        .collect();
+    loop {
+        let flat_cost = |ps: &[Partition]| -> u64 {
+            let costs: Vec<u64> =
+                ps.iter().flat_map(|p| p.realized.iter().map(|&(_, c)| c)).collect();
+            makespan(&costs)
+        };
+        let current = flat_cost(&parts);
+        let mut best: Option<(usize, u64, Partition)> = None;
+        for i in 0..parts.len().saturating_sub(1) {
+            let mut members = parts[i].members.clone();
+            members.extend_from_slice(&parts[i + 1].members);
+            let merged = Partition { realized: realize(mesh, home, &members, penalty), members };
+            // Evaluate the whole plan with i and i+1 replaced by the merge.
+            let costs: Vec<u64> = parts[..i]
+                .iter()
+                .chain(std::iter::once(&merged))
+                .chain(parts[i + 2..].iter())
+                .flat_map(|p| p.realized.iter().map(|&(_, c)| c))
+                .collect();
+            let candidate = makespan(&costs);
+            if candidate < current && best.as_ref().is_none_or(|&(_, b, _)| candidate < b) {
+                best = Some((i, candidate, merged));
+            }
+        }
+        match best {
+            Some((i, _, merged)) => {
+                parts[i] = merged;
+                parts.remove(i + 1);
+            }
+            None => return parts,
+        }
+    }
+}
+
+/// The merged partitions DPM would use for `(home, sharers)`, as ordered
+/// member lists. Exposed for the property tests: feeding these (or the raw
+/// [`column_groups`] member lists) to [`partition_plan_cost`] reproduces
+/// the costs the greedy loop compared.
+pub fn dpm_partitions(mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> Vec<Vec<NodeId>> {
+    merge_partitions(mesh, home, sharers, None).into_iter().map(|p| p.members).collect()
+}
+
+/// Closed-form completion estimate ([`makespan`] of solo-flight costs) of
+/// realizing `partitions` as serpentine worms in order.
+pub fn partition_plan_cost(mesh: &Mesh2D, home: NodeId, partitions: &[Vec<NodeId>]) -> u64 {
+    let costs: Vec<u64> =
+        partitions.iter().flat_map(|m| realize(mesh, home, m, None)).map(|(_, c)| c).collect();
+    makespan(&costs)
+}
+
+/// Shared plan assembly for DPM and the adaptive variant: request worms
+/// from merged partitions (optionally re-ordered by the caller), two-phase
+/// gathered acks over the original column groups.
+pub(crate) fn assemble_plan(
+    mesh: &Mesh2D,
+    home: NodeId,
+    sharers: &[NodeId],
+    penalty: Option<HopPenalty<'_>>,
+    order_by_cost_desc: bool,
+) -> InvalPlan {
+    let parts = merge_partitions(mesh, home, sharers, penalty);
+    let mut worms: Vec<(SerpentineWorm, u64)> =
+        parts.into_iter().flat_map(|p| p.realized).collect();
+    if order_by_cost_desc {
+        // Longest-flight-first: the home's serial dc_send delays later
+        // injections, so front-loading the slowest worm minimizes the
+        // makespan. Stable sort keeps equal-cost worms in partition order
+        // (determinism).
+        worms.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    }
+    let groups = column_groups(mesh, home, sharers);
+    let acks = two_phase_acks(mesh, home, &groups);
+    let unique: usize = groups.iter().map(|g| g.members.len()).sum();
+    InvalPlan {
+        request_worms: worms
+            .into_iter()
+            .map(|(w, _)| {
+                let all_deliver = w.deliver.iter().all(|&d| d);
+                PlannedWorm {
+                    kind: WormKind::Multicast,
+                    dests: w.dests,
+                    deliver: if all_deliver { None } else { Some(w.deliver) },
+                    // No i-reserve: serpentines visit gather initiators
+                    // mid-path (see the MI-MA(wf) module docs).
+                    reserve_iack: false,
+                    gather_deposit: false,
+                    initial_acks: 0,
+                    relay: false,
+                }
+            })
+            .collect(),
+        actions: acks.actions,
+        relays: vec![],
+        triggers: acks.triggers,
+        needed: unique as u32,
+    }
+}
+
+/// Dynamic partition merging: greedy cost-driven merge of column
+/// partitions into serpentine worms, two-phase gathered acks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dpm;
+
+impl InvalidationScheme for Dpm {
+    fn name(&self) -> &'static str {
+        SchemeKind::Dpm.name()
+    }
+
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Dpm
+    }
+
+    fn compatible_with(&self, routing: BaseRouting) -> bool {
+        routing == BaseRouting::TurnModel
+    }
+
+    fn plan(&self, mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> InvalPlan {
+        assemble_plan(mesh, home, sharers, None, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::validate_plan;
+    use wormdsm_mesh::routing::is_conformant;
+
+    fn m8() -> Mesh2D {
+        Mesh2D::square(8)
+    }
+
+    fn n(m: &Mesh2D, x: usize, y: usize) -> NodeId {
+        m.node_at(x, y)
+    }
+
+    #[test]
+    fn plan_is_valid_and_conformant() {
+        let m = m8();
+        let home = n(&m, 4, 4);
+        let sharers: Vec<NodeId> = [(1, 2), (2, 6), (5, 1), (6, 5), (7, 7), (0, 3)]
+            .iter()
+            .map(|&(x, y)| n(&m, x, y))
+            .collect();
+        let plan = Dpm.plan(&m, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        for w in &plan.request_worms {
+            assert!(is_conformant(PathRule::WestFirst, &m, home, &w.dests), "{:?}", w.dests);
+        }
+    }
+
+    #[test]
+    fn merging_never_worse_than_column_partitions() {
+        let m = m8();
+        let home = n(&m, 3, 3);
+        for sharers in [
+            vec![n(&m, 0, 0), n(&m, 1, 1), n(&m, 2, 2), n(&m, 5, 5), n(&m, 6, 6)],
+            vec![n(&m, 7, 0), n(&m, 7, 7), n(&m, 0, 7)],
+            vec![n(&m, 4, 3)],
+            (0..8).map(|x| n(&m, x, 1)).collect::<Vec<_>>(),
+        ] {
+            let initial: Vec<Vec<NodeId>> =
+                column_groups(&m, home, &sharers).into_iter().map(|g| g.members).collect();
+            let merged = dpm_partitions(&m, home, &sharers);
+            assert!(
+                partition_plan_cost(&m, home, &merged) <= partition_plan_cost(&m, home, &initial),
+                "merge made {sharers:?} worse"
+            );
+            assert!(merged.len() <= initial.len(), "merging never adds partitions");
+        }
+    }
+
+    #[test]
+    fn wide_row_pattern_merges_below_column_worm_count() {
+        // One sharer per column along a row: MI-MA(col) would inject 8
+        // singleton worms; DPM merges neighbors into a few serpentines.
+        let m = m8();
+        let home = n(&m, 3, 3);
+        let sharers: Vec<NodeId> = (0..8).map(|x| n(&m, x, 1)).collect();
+        let plan = Dpm.plan(&m, home, &sharers);
+        validate_plan(&plan, &sharers).unwrap();
+        let groups = column_groups(&m, home, &sharers).len();
+        assert!(
+            plan.request_worms.len() < groups,
+            "expected merging: {} worms vs {} column groups",
+            plan.request_worms.len(),
+            groups
+        );
+    }
+
+    #[test]
+    fn home_sends_never_exceed_sharer_count() {
+        let m = m8();
+        let home = n(&m, 0, 0);
+        let sharers: Vec<NodeId> =
+            [(1, 1), (3, 5), (5, 2), (7, 6)].iter().map(|&(x, y)| n(&m, x, y)).collect();
+        let plan = Dpm.plan(&m, home, &sharers);
+        assert!(plan.home_sends() <= sharers.len());
+    }
+
+    /// The scheme's private cost law must price a worm exactly as the
+    /// analytic model does — DPM's merge decisions and the analytic
+    /// replay's latency estimates come from one law.
+    #[test]
+    fn worm_cost_matches_analytic_solo_flight() {
+        use wormdsm_analytic::model::{solo_flight_latencies, NetParams};
+        let m = m8();
+        let p = NetParams::default();
+        for (home, sharers) in [
+            (n(&m, 4, 4), vec![n(&m, 1, 2), n(&m, 3, 5), n(&m, 6, 1), n(&m, 6, 6)]),
+            (n(&m, 0, 7), vec![n(&m, 2, 0), n(&m, 2, 7), n(&m, 5, 3)]),
+            (n(&m, 7, 0), vec![n(&m, 0, 0)]),
+        ] {
+            for w in serpentine(&m, home, &sharers) {
+                let delivering = w.deliver.iter().filter(|&&d| d).count() as u64;
+                let len =
+                    CONTROL_FLITS + delivering.saturating_sub(1).div_ceil(4) * PER_EXTRA_DEST_X4;
+                let got = worm_cost(&m, home, &w, None);
+                let want = *solo_flight_latencies(&p, &m, PathRule::WestFirst, home, &w.dests, len)
+                    .last()
+                    .unwrap();
+                assert_eq!(got, want, "cost law drifted for {:?}", w.dests);
+            }
+        }
+    }
+}

@@ -46,9 +46,14 @@ impl Group {
 #[allow(clippy::type_complexity)]
 pub fn column_groups(mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> Vec<Group> {
     let hy = mesh.coord(home).y;
+    // Defensive dedup: a duplicate sharer would otherwise overwrite the
+    // on-row slot (one invalidation silently lost in release builds) or
+    // produce a worm that delivers to the same node twice. The sort only
+    // orders the scratch copy; group ordering is re-derived below.
+    let sharers = dedup_nodes(sharers);
     let mut per_col: std::collections::BTreeMap<usize, (Vec<NodeId>, Vec<NodeId>, Option<NodeId>)> =
         std::collections::BTreeMap::new();
-    for &s in sharers {
+    for &s in &sharers {
         let c = mesh.coord(s);
         let slot = per_col.entry(c.x as usize).or_default();
         match c.y.cmp(&hy) {
@@ -93,9 +98,12 @@ pub fn column_groups(mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> Vec<Gro
 #[allow(clippy::type_complexity)]
 pub fn row_groups(mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) -> Vec<Group> {
     let hx = mesh.coord(src).x;
+    // Same defensive dedup as [`column_groups`] (duplicate destinations
+    // would double-deliver or clobber the on-column slot).
+    let dests = dedup_nodes(dests);
     let mut per_row: std::collections::BTreeMap<usize, (Vec<NodeId>, Vec<NodeId>, Option<NodeId>)> =
         std::collections::BTreeMap::new();
-    for &d in dests {
+    for &d in &dests {
         let c = mesh.coord(d);
         let slot = per_row.entry(c.y as usize).or_default();
         match c.x.cmp(&hx) {
@@ -129,6 +137,17 @@ pub fn row_groups(mesh: &Mesh2D, src: NodeId, dests: &[NodeId]) -> Vec<Group> {
         }
     }
     out
+}
+
+/// Sorted, duplicate-free copy of a node list. Grouping is order- and
+/// multiplicity-insensitive, so collapsing duplicates up front makes the
+/// release build safe against them too (the `debug_assert`s on the
+/// on-row/on-column slots are unreachable once inputs are unique).
+fn dedup_nodes(nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut v = nodes.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
 /// A serpentine worm order: destination list plus delivery mask
@@ -442,6 +461,80 @@ mod tests {
         let sharers = [n(&m, 0, 0), n(&m, 6, 0)];
         let ws = serpentine(&m, home, &sharers);
         assert!(is_conformant(PathRule::WestFirst, &m, home, &ws[0].dests), "{:?}", ws[0].dests);
+    }
+
+    /// Regression (release-mode correctness): duplicate sharers used to
+    /// overwrite the on-row slot (`slot.2`) in release builds — the sharer
+    /// was still invalidated, but a *triplicate* on-row entry silently
+    /// collapsed without the debug_assert firing, and duplicates off the
+    /// home row produced worms delivering to the same node twice. Both
+    /// functions must now collapse duplicates up front, in debug and
+    /// release alike.
+    #[test]
+    fn duplicate_sharers_are_collapsed() {
+        let m = m8();
+        let home = n(&m, 2, 4);
+        // Duplicates on the home row, north of it, and south of it.
+        let sharers = [
+            n(&m, 5, 4),
+            n(&m, 5, 4),
+            n(&m, 5, 4),
+            n(&m, 5, 1),
+            n(&m, 5, 1),
+            n(&m, 3, 6),
+            n(&m, 3, 6),
+        ];
+        let gs = column_groups(&m, home, &sharers);
+        let all: Vec<NodeId> = gs.iter().flat_map(|g| g.members.iter().copied()).collect();
+        let mut want = vec![n(&m, 3, 6), n(&m, 5, 4), n(&m, 5, 1)];
+        want.sort();
+        let mut got = all.clone();
+        got.sort();
+        assert_eq!(got, want, "each unique sharer appears exactly once across groups");
+        for g in &gs {
+            let mut m2 = g.members.clone();
+            m2.sort();
+            m2.dedup();
+            assert_eq!(m2.len(), g.members.len(), "no double-delivery inside {g:?}");
+        }
+
+        let rs = row_groups(&m, home, &sharers);
+        let all: Vec<NodeId> = rs.iter().flat_map(|g| g.members.iter().copied()).collect();
+        let mut got = all;
+        got.sort();
+        assert_eq!(got, want, "row_groups collapses duplicates too");
+    }
+
+    /// Regression: the system layer filters the home out of the sharer
+    /// set, but the grouping helpers must stay well-defined if a caller
+    /// forgets — the home lands in its own column's on-row slot exactly
+    /// once (it must never be dropped or emitted twice, even when it also
+    /// appears duplicated in the input).
+    #[test]
+    fn home_in_sharer_set_is_covered_exactly_once() {
+        let m = m8();
+        let home = n(&m, 2, 4);
+        let sharers = [home, home, n(&m, 2, 1), n(&m, 6, 4)];
+        let gs = column_groups(&m, home, &sharers);
+        let all: Vec<NodeId> = gs.iter().flat_map(|g| g.members.iter().copied()).collect();
+        assert_eq!(all.iter().filter(|&&s| s == home).count(), 1, "home covered exactly once");
+        assert_eq!(all.len(), 3, "three unique inputs, three memberships");
+    }
+
+    /// Regression: one sharer per column (the widest grouping shape) must
+    /// produce one singleton group per column, preserving ascending column
+    /// order — with and without an on-row member.
+    #[test]
+    fn single_sharer_per_column_yields_singleton_groups() {
+        let m = m8();
+        let home = n(&m, 3, 3);
+        let sharers = [n(&m, 0, 1), n(&m, 2, 3), n(&m, 5, 6), n(&m, 7, 3)];
+        let gs = column_groups(&m, home, &sharers);
+        assert_eq!(gs.len(), 4);
+        for (g, &s) in gs.iter().zip(&sharers) {
+            assert_eq!(g.members, vec![s], "singleton group per column");
+        }
+        assert!(gs.windows(2).all(|w| w[0].col < w[1].col), "ascending column order");
     }
 
     #[test]

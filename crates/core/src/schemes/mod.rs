@@ -13,9 +13,13 @@
 //! | [`MiMaTwoPhase`] | MI-MA | i-reserve worm per column group | per-group gathers deposit at home-column i-ack buffers; <= 2 sweep gathers reach home |
 //! | [`MiUaWf`] | MI-UA (turn model) | 1 serpentine worm (2 if the west column straddles) | `d` unicast acks |
 //! | [`MiMaWf`] | MI-MA (turn model) | 1 serpentine i-reserve worm | two-phase deposits + sweeps |
+//! | [`Dpm`] | MI-MA (turn model) | greedily merged serpentine partitions | two-phase deposits + sweeps |
+//! | [`MiMaAdaptive`] | MI-MA (turn model) | load-steered merged serpentine partitions | two-phase deposits + sweeps |
 
 pub mod grouping;
 
+mod dpm;
+mod mi_ma_adaptive;
 mod mi_ma_col;
 mod mi_ma_tree;
 mod mi_ma_two_phase;
@@ -25,6 +29,8 @@ mod mi_ua_wf;
 mod two_phase_acks;
 mod ui_ua;
 
+pub use dpm::{dpm_partitions, partition_plan_cost, Dpm};
+pub use mi_ma_adaptive::MiMaAdaptive;
 pub use mi_ma_col::MiMaCol;
 pub use mi_ma_tree::MiMaTree;
 pub use mi_ma_two_phase::MiMaTwoPhase;
@@ -34,8 +40,10 @@ pub use mi_ua_wf::MiUaWf;
 pub use ui_ua::UiUa;
 
 use crate::plan::InvalPlan;
+use wormdsm_mesh::network::LinkLoadMeter;
 use wormdsm_mesh::routing::BaseRouting;
 use wormdsm_mesh::topology::{Mesh2D, NodeId};
+use wormdsm_sim::Cycle;
 
 /// A grouping scheme: turns (home, sharers) into an invalidation plan.
 ///
@@ -53,6 +61,37 @@ pub trait InvalidationScheme: Send + Sync {
 
     /// Build the plan for one invalidation transaction.
     fn plan(&self, mesh: &Mesh2D, home: NodeId, sharers: &[NodeId]) -> InvalPlan;
+
+    /// Window length (cycles) of the link-load summary this scheme wants,
+    /// or `None` for purely static schemes.
+    ///
+    /// When `Some(w)`, the system attaches a [`LinkLoadMeter`] with window
+    /// `w` to the network and passes it to [`plan_with_load`] on every
+    /// invalidation. The meter reads only *committed* windows of the
+    /// bit-identical `link_busy` counters, so plans stay deterministic
+    /// across tile counts.
+    ///
+    /// [`plan_with_load`]: InvalidationScheme::plan_with_load
+    fn feedback_window(&self) -> Option<Cycle> {
+        None
+    }
+
+    /// Build the plan, optionally consulting a committed link-load summary.
+    ///
+    /// Static schemes ignore `load` (the default forwards to [`plan`]);
+    /// adaptive schemes use it to steer groups away from congested links.
+    ///
+    /// [`plan`]: InvalidationScheme::plan
+    fn plan_with_load(
+        &self,
+        mesh: &Mesh2D,
+        home: NodeId,
+        sharers: &[NodeId],
+        load: Option<&LinkLoadMeter>,
+    ) -> InvalPlan {
+        let _ = load;
+        self.plan(mesh, home, sharers)
+    }
 }
 
 /// Enumeration of the implemented schemes (the paper's six grouping
@@ -75,11 +114,16 @@ pub enum SchemeKind {
     MiUaWf,
     /// West-first serpentine i-reserve worm, two-phase gathers.
     MiMaWf,
+    /// Dynamic partition merging: greedy adjacent merge of column
+    /// partitions into serpentine worms, two-phase gathers.
+    Dpm,
+    /// Online DPM variant steered by the committed link-load summary.
+    MiMaAdaptive,
 }
 
 impl SchemeKind {
     /// All schemes, baseline first.
-    pub const ALL: [SchemeKind; 7] = [
+    pub const ALL: [SchemeKind; 9] = [
         SchemeKind::UiUa,
         SchemeKind::MiUaCol,
         SchemeKind::MiMaCol,
@@ -87,6 +131,8 @@ impl SchemeKind {
         SchemeKind::MiMaTwoPhase,
         SchemeKind::MiUaWf,
         SchemeKind::MiMaWf,
+        SchemeKind::Dpm,
+        SchemeKind::MiMaAdaptive,
     ];
 
     /// Short name.
@@ -99,14 +145,26 @@ impl SchemeKind {
             SchemeKind::MiMaTwoPhase => "MI-MA(2ph)",
             SchemeKind::MiUaWf => "MI-UA(wf)",
             SchemeKind::MiMaWf => "MI-MA(wf)",
+            SchemeKind::Dpm => "DPM",
+            SchemeKind::MiMaAdaptive => "MI-MA(ada)",
         }
     }
 
     /// The base routing the scheme is designed for.
+    ///
+    /// Exhaustive on purpose: adding a scheme must force a decision here
+    /// rather than silently inheriting e-cube via a wildcard.
     pub fn natural_routing(self) -> BaseRouting {
         match self {
-            SchemeKind::MiUaWf | SchemeKind::MiMaWf => BaseRouting::TurnModel,
-            _ => BaseRouting::ECube,
+            SchemeKind::UiUa
+            | SchemeKind::MiUaCol
+            | SchemeKind::MiMaCol
+            | SchemeKind::MiMaTree
+            | SchemeKind::MiMaTwoPhase => BaseRouting::ECube,
+            SchemeKind::MiUaWf
+            | SchemeKind::MiMaWf
+            | SchemeKind::Dpm
+            | SchemeKind::MiMaAdaptive => BaseRouting::TurnModel,
         }
     }
 
@@ -120,6 +178,8 @@ impl SchemeKind {
             SchemeKind::MiMaTwoPhase => Box::new(MiMaTwoPhase),
             SchemeKind::MiUaWf => Box::new(MiUaWf),
             SchemeKind::MiMaWf => Box::new(MiMaWf),
+            SchemeKind::Dpm => Box::new(Dpm),
+            SchemeKind::MiMaAdaptive => Box::new(MiMaAdaptive),
         }
     }
 }

@@ -26,7 +26,7 @@ use wormdsm_coherence::{
 use wormdsm_mesh::nic::{Delivery, DeliveryKind};
 use wormdsm_mesh::topology::NodeId;
 use wormdsm_mesh::worm::{TxnId, VNet, WormKind, WormSpec};
-use wormdsm_mesh::{ContentionProbe, Network, SpecMode};
+use wormdsm_mesh::{ContentionProbe, LinkLoadMeter, Network, SpecMode};
 use wormdsm_sim::profile::TxnProfiler;
 use wormdsm_sim::snap::{Fnv64, Snap, SnapError, SnapReader, SnapWriter};
 use wormdsm_sim::stats::BusyTime;
@@ -404,6 +404,13 @@ impl DsmSystem {
         // The protocol layer never re-reads a worm after its final
         // delivery, so retired worm slots can be recycled.
         net.set_worm_recycling(true);
+        // Adaptive schemes consume the always-on link-load summary; attach
+        // the meter before the first cycle so every plan in the run (and
+        // in any snapshot-resumed continuation) sees the same committed
+        // windows.
+        if let Some(window) = scheme.feedback_window() {
+            net.enable_link_load(window);
+        }
         Ok(Self {
             cfg,
             scheme,
@@ -578,6 +585,20 @@ impl DsmSystem {
     /// Detach and return the contention probe (final window flushed).
     pub fn take_contention_probe(&mut self) -> Option<ContentionProbe> {
         self.net.take_contention_probe()
+    }
+
+    /// Flush the contention probe's final partial window in place (see
+    /// [`Network::finish_contention_probe`]). Call before reading
+    /// [`DsmSystem::contention_probe`] windows from a run whose length is
+    /// not a multiple of the probe window.
+    pub fn finish_contention_probe(&mut self) {
+        self.net.finish_contention_probe();
+    }
+
+    /// The link-load summary meter, if the scheme requested one (see
+    /// [`InvalidationScheme::feedback_window`]).
+    pub fn link_load(&self) -> Option<&LinkLoadMeter> {
+        self.net.link_load()
     }
 
     /// The first protocol invariant violation observed so far, if any.
@@ -835,7 +856,9 @@ impl DsmSystem {
     /// takes those as inputs and verifies them against a recorded
     /// fingerprint. Pure observers (flight recorder, profiler, contention
     /// probe) are deliberately excluded: they never influence results and
-    /// restart empty after a restore. Live express reservations are
+    /// restart empty after a restore. The link-load meter is **not** an
+    /// observer — its committed windows feed adaptive plans — so it
+    /// travels inside the network state. Live express reservations are
     /// materialized back into stepped state first (their profile cache
     /// is a pure memo and does not travel), which is why saving takes
     /// `&mut self`.
@@ -1581,7 +1604,9 @@ impl DsmSystem {
         }
 
         let mesh = self.cfg.mesh.mesh;
-        let plan = self.scheme.plan(&mesh, home, &remote);
+        // Adaptive schemes read the committed link-load summary; static
+        // schemes ignore it (default `plan_with_load` forwards to `plan`).
+        let plan = self.scheme.plan_with_load(&mesh, home, &remote, self.net.link_load());
         debug_assert!(
             crate::plan::validate_plan(&plan, &remote).is_ok(),
             "{:?}",

@@ -154,6 +154,62 @@ fn multidestination_schemes_never_send_more_than_ui_ua() {
     }
 }
 
+/// DPM's greedy merge only ever accepts strictly improving steps, so the
+/// closed-form cost of its merged partitions can never exceed the
+/// unmerged column partitions it started from — on any mesh, for any
+/// sharer set.
+#[test]
+fn dpm_merge_never_worse_than_column_partitions() {
+    use wormdsm_core::schemes::grouping::column_groups;
+    use wormdsm_core::schemes::{dpm_partitions, partition_plan_cost};
+    let mut rng = Rng::new(0x9EA0_0004);
+    for _ in 0..256 {
+        let Some((k, home, sharers)) = scenario(&mut rng) else { continue };
+        let mesh = Mesh2D::square(k);
+        let home = NodeId(home);
+        let sharers: Vec<NodeId> = sharers.into_iter().map(NodeId).collect();
+        let initial: Vec<Vec<NodeId>> =
+            column_groups(&mesh, home, &sharers).into_iter().map(|g| g.members).collect();
+        let merged = dpm_partitions(&mesh, home, &sharers);
+        let merged_cost = partition_plan_cost(&mesh, home, &merged);
+        let initial_cost = partition_plan_cost(&mesh, home, &initial);
+        assert!(
+            merged_cost <= initial_cost,
+            "DPM merge regressed {merged_cost} > {initial_cost} for home {home} \
+             sharers {sharers:?} on {k}x{k}"
+        );
+        assert!(merged.len() <= initial.len(), "merging never adds partitions");
+    }
+}
+
+/// The adaptive scheme must produce structurally valid, conformant,
+/// exactly-covering plans under *any* load summary — congestion steers
+/// the partitioning, never the legality.
+#[test]
+fn adaptive_plans_stay_valid_under_random_load() {
+    use wormdsm_mesh::LinkLoadMeter;
+    let mut rng = Rng::new(0x9EA0_0005);
+    for _ in 0..128 {
+        let Some((k, home, sharers)) = scenario(&mut rng) else { continue };
+        let mesh = Mesh2D::square(k);
+        let home = NodeId(home);
+        let sharers: Vec<NodeId> = sharers.into_iter().map(NodeId).collect();
+        // Synthetic committed window: every link uniformly loaded in
+        // [0, window] busy cycles.
+        let window = 64;
+        let mut meter = LinkLoadMeter::new(mesh.nodes(), window);
+        let busy: Vec<u64> = (0..mesh.nodes() * 4).map(|_| rng.below(window + 1)).collect();
+        meter.observe(window, &busy);
+        let scheme = SchemeKind::MiMaAdaptive.build();
+        let plan = scheme.plan_with_load(&mesh, home, &sharers, Some(&meter));
+        validate_plan(&plan, &sharers).unwrap_or_else(|e| panic!("loaded plan: {e}"));
+        check_plan_conformance(scheme.as_ref(), &mesh, home, &plan);
+        check_coverage(SchemeKind::MiMaAdaptive, &plan, &sharers);
+        check_deposit_safety(&plan, &sharers);
+        assert!(plan.home_sends() <= sharers.len(), "loaded plans keep home_sends <= d");
+    }
+}
+
 #[test]
 fn analytic_model_prices_every_plan() {
     let mut rng = Rng::new(0x9EA0_0003);

@@ -31,7 +31,8 @@ pub mod topology;
 pub mod worm;
 
 pub use network::{
-    ContentionProbe, ContentionWindow, Hierarchy, MeshConfig, NetStats, Network, SpecMode,
+    ContentionProbe, ContentionWindow, Hierarchy, LinkLoadMeter, MeshConfig, NetStats, Network,
+    SpecMode,
 };
 pub use nic::{Delivery, DeliveryKind, IackMode};
 pub use routing::{BaseRouting, PathRule};

@@ -577,6 +577,127 @@ impl ContentionProbe {
     }
 }
 
+/// Cheap always-on per-link occupancy summary — the feedback signal for
+/// load-adaptive grouping schemes.
+///
+/// Unlike the [`ContentionProbe`], which instruments the flit path and
+/// therefore forces the serial tile schedule, the meter never observes
+/// individual forwards: at the first tick of each `window`-cycle
+/// accounting window it *commits* the delta of [`NetStats::link_busy`]
+/// since the previous commit. `link_busy` is maintained bit-identically
+/// across tile counts at every cycle boundary (each tile writes its own
+/// row-band slice), so the committed summaries — and any plan decisions
+/// derived from them — are identical under any tiling.
+///
+/// Two consequences follow from "deterministic given the same sim
+/// history":
+///
+/// * consumers only ever see **committed** (completed-window) data, never
+///   the in-progress window, so a plan built at cycle `t` depends only on
+///   traffic from cycles `< t - (t mod window)`;
+/// * the express fast path is refused while a meter is attached
+///   ([`Network::express_admit`]): express elides per-cycle ticks at
+///   `tiles == 1` only, which would change *when* commits happen relative
+///   to plan construction between tile counts.
+///
+/// Fast-forward stays observationally invisible too: cycles are only ever
+/// jumped over while the network is idle, so when a tick lands several
+/// windows past the last boundary, every completed window after the first
+/// carried no traffic — the commit rule (see
+/// [`observe`](LinkLoadMeter::observe)) reproduces exactly the summary a
+/// cycle-stepped schedule would show at the same cycle.
+///
+/// Because committed summaries feed back into invalidation plans, the
+/// meter is simulated state, not an observer: it travels with
+/// [`Network::save_state`] / [`Network::load_state`] so a resumed run
+/// plans identically to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkLoadMeter {
+    /// Accounting window, cycles (min 1).
+    window: Cycle,
+    /// First cycle of the next window to commit: when `now` reaches this,
+    /// every earlier window is complete and gets committed.
+    next_boundary: Cycle,
+    /// `NetStats::link_busy` snapshot at the last commit.
+    prev: Vec<u64>,
+    /// Per-link busy cycles over the most recent completed window.
+    committed: Vec<u64>,
+    /// Total commits so far (0 = nothing committed yet, every
+    /// [`load_milli`](LinkLoadMeter::load_milli) reads 0).
+    commits: u64,
+}
+
+impl LinkLoadMeter {
+    /// Meter for a `nodes`-node mesh committing `window`-cycle summaries.
+    pub fn new(nodes: usize, window: Cycle) -> Self {
+        let window = window.max(1);
+        Self {
+            window,
+            next_boundary: window,
+            prev: vec![0; nodes * 4],
+            committed: vec![0; nodes * 4],
+            commits: 0,
+        }
+    }
+
+    /// Commit the most recent completed window. Called at the start of
+    /// every network tick, before any of cycle `now`'s traffic is
+    /// stepped, so the commit covers exactly the windows that ended
+    /// before `now`.
+    ///
+    /// When exactly one window completed since the last commit, the
+    /// committed summary is the `link_busy` delta (that window's
+    /// traffic). When several completed at once — possible only when
+    /// intervening ticks were elided, which the simulator does only
+    /// across *idle* stretches (fast-forward; express is refused while a
+    /// meter is attached) — every completed window after the first was
+    /// dead, so the most recent one is all zeros. Both cases reproduce,
+    /// bit for bit, the summary a cycle-stepped schedule would show at
+    /// `now`, which keeps fast-forward invisible to adaptive consumers.
+    ///
+    /// Public so tests (and analytic tooling) can feed a detached meter a
+    /// synthetic `link_busy` slab; in the simulator the network drives it.
+    pub fn observe(&mut self, now: Cycle, link_busy: &[u64]) {
+        if now < self.next_boundary {
+            return;
+        }
+        let span = (now - self.next_boundary) / self.window + 1;
+        for (i, (&b, p)) in link_busy.iter().zip(self.prev.iter_mut()).enumerate() {
+            self.committed[i] = if span == 1 { b - *p } else { 0 };
+            *p = b;
+        }
+        self.next_boundary += span * self.window;
+        self.commits += 1;
+    }
+
+    /// Window size in cycles.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+
+    /// Per-link busy cycles (`node * 4 + dir`, matching
+    /// [`NetStats::link_busy`]) over the most recent completed window.
+    /// All zeros until the first commit.
+    pub fn committed_busy(&self) -> &[u64] {
+        &self.committed
+    }
+
+    /// Commits so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Committed utilization of a directed link in thousandths (0 =
+    /// idle, 1000 = a flit moved every cycle of the window). Integer
+    /// arithmetic end to end, so consumers stay deterministic.
+    pub fn load_milli(&self, link: usize) -> u64 {
+        if self.commits == 0 {
+            return 0;
+        }
+        self.committed[link] * 1000 / self.window
+    }
+}
+
 const LOCAL: usize = 4;
 /// [`LOCAL`] as the `u8` stored in [`VcMode`] fields (constant patterns
 /// must match the field type exactly).
@@ -1923,6 +2044,12 @@ pub struct Network {
     /// [`Network::enable_contention_probe`]). Enabling forces the serial
     /// tick schedule, like flit tracing; results stay bit-identical.
     probe: Option<Box<ContentionProbe>>,
+    /// Optional windowed link-load summary (None unless enabled via
+    /// [`Network::enable_link_load`]). Fed from `NetStats::link_busy`
+    /// deltas at window boundaries, so it does *not* force the serial
+    /// tick schedule. Plan-affecting state: snapshotted, and its presence
+    /// refuses express admissions (see [`LinkLoadMeter`]).
+    link_load: Option<Box<LinkLoadMeter>>,
     /// First mesh-level invariant violation (sticky). The protocol layer
     /// polls this each step and converts it into a structured error.
     violation: Option<String>,
@@ -1992,6 +2119,7 @@ impl Network {
             pool: None,
             trace: FlightRecorder::default(),
             probe: None,
+            link_load: None,
             violation: None,
             spec: SpecMode::default(),
             spec_ck: SpecCheckpoint::default(),
@@ -2155,6 +2283,31 @@ impl Network {
             p.finish();
             *p
         })
+    }
+
+    /// Flush the contention probe's in-progress partial window without
+    /// detaching it, so [`Network::contention_probe`] reads taken after a
+    /// run that ends mid-window see the final window too. Idempotent;
+    /// [`Network::take_contention_probe`] flushes on its own.
+    pub fn finish_contention_probe(&mut self) {
+        if let Some(p) = self.probe.as_mut() {
+            p.finish();
+        }
+    }
+
+    /// Enable the windowed link-load summary with `window`-cycle commits
+    /// (replaces any previous meter). Unlike the contention probe this
+    /// does not force the serial tick schedule — see [`LinkLoadMeter`]
+    /// for the determinism argument — but it does refuse express
+    /// admissions while attached.
+    pub fn enable_link_load(&mut self, window: Cycle) {
+        self.link_load = Some(Box::new(LinkLoadMeter::new(self.cfg.mesh.nodes(), window)));
+    }
+
+    /// The link-load meter, if enabled. Only committed (completed-window)
+    /// data is visible through it.
+    pub fn link_load(&self) -> Option<&LinkLoadMeter> {
+        self.link_load.as_deref()
     }
 
     /// First mesh-level invariant violation detected so far, if any.
@@ -2731,6 +2884,13 @@ impl Network {
             self.express_fire_due();
         }
         let now = self.now;
+        // Commit completed link-load windows before any of this cycle's
+        // traffic is stepped: the meter's committed summaries then depend
+        // only on cycles `< now`, whose `link_busy` totals are
+        // bit-identical across tile counts.
+        if let Some(m) = self.link_load.as_mut() {
+            m.observe(now, &self.stats.link_busy);
+        }
 
         // Snapshot the worklists for this cycle by swapping them with
         // persistent scratch buffers (both keep their capacity, so the
@@ -3080,9 +3240,14 @@ impl Network {
         // Observers and the tiled schedule need real per-cycle stepping;
         // gather worms interact with i-ack arrival order in ways a
         // pre-committed schedule cannot model (parks, bounces).
+        // The link-load meter additionally pins the per-cycle tick
+        // sequence: express elides ticks at `tiles == 1` only, which
+        // would let window commits land differently relative to plan
+        // construction between tile counts.
         if self.cfg.tiles != 1
             || self.trace.level() != TraceLevel::Off
             || self.probe.is_some()
+            || self.link_load.is_some()
             || self.violation.is_some()
             || spec.kind == WormKind::Gather
             || spec.gather_deposit
@@ -3596,6 +3761,16 @@ impl Network {
         self.delivered_nodes.save(w);
         self.stats.save(w);
         self.violation.save(w);
+        // The link-load meter is plan-affecting simulated state (adaptive
+        // schemes read its committed summaries), unlike the pure
+        // observers above — it must resume exactly where it left off.
+        match &self.link_load {
+            None => w.put_bool(false),
+            Some(m) => {
+                w.put_bool(true);
+                m.save(w);
+            }
+        }
     }
 
     /// Rebuild a network from `cfg` and a [`Network::save_state`] stream,
@@ -3626,6 +3801,17 @@ impl Network {
         net.delivered_nodes = Vec::load(r)?;
         net.stats = NetStats::load(r)?;
         net.violation = Option::load(r)?;
+        net.link_load = if r.get_bool()? {
+            let m = LinkLoadMeter::load(r)?;
+            if m.prev.len() != nodes * 4 || m.committed.len() != nodes * 4 {
+                return Err(SnapError::Mismatch(
+                    "link-load meter slabs mismatch node count".into(),
+                ));
+            }
+            Some(Box::new(m))
+        } else {
+            None
+        };
         if net.routers.nodes() != nodes {
             return Err(SnapError::Mismatch(format!(
                 "snapshot has {} routers, config wants {nodes}",
@@ -3687,6 +3873,29 @@ impl Network {
             wd.check(self.now)?;
         }
         Ok(self.now)
+    }
+}
+
+impl Snap for LinkLoadMeter {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.window);
+        w.put_u64(self.next_boundary);
+        self.prev.save(w);
+        self.committed.save(w);
+        w.put_u64(self.commits);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let window = r.get_u64()?;
+        if window == 0 {
+            return Err(SnapError::Corrupt("link-load meter window 0".into()));
+        }
+        Ok(Self {
+            window,
+            next_boundary: r.get_u64()?,
+            prev: Vec::load(r)?,
+            committed: Vec::load(r)?,
+            commits: r.get_u64()?,
+        })
     }
 }
 

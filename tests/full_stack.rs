@@ -158,6 +158,15 @@ fn partitioned_tick_is_bit_identical_to_serial_end_to_end() {
         ("apsp", SchemeKind::MiMaTwoPhase, || {
             apsp::generate(&ApspConfig { n: 16, procs: 16, relax_cost: 16 })
         }),
+        // The dynamic schemes: DPM's plans depend only on geometry, but
+        // MI-MA(ada)'s depend on the committed link-load windows, so this
+        // test also proves the feedback loop itself is tile-invariant.
+        ("apsp", SchemeKind::Dpm, || {
+            apsp::generate(&ApspConfig { n: 16, procs: 16, relax_cost: 16 })
+        }),
+        ("apsp", SchemeKind::MiMaAdaptive, || {
+            apsp::generate(&ApspConfig { n: 16, procs: 16, relax_cost: 16 })
+        }),
     ];
     for (name, scheme, gen) in apps {
         let run_tiled = |tiles: usize| {
@@ -231,7 +240,10 @@ fn fast_forward_runs_are_bit_identical_to_per_cycle_stepping() {
         ("apsp", || apsp::generate(&ApspConfig { n: 16, procs: 16, relax_cost: 16 })),
     ];
     for (name, gen) in apps {
-        for scheme in [SchemeKind::UiUa, SchemeKind::MiMaCol] {
+        // MI-MA(ada) is the hard case: its plans read the link-load
+        // meter, whose gap commits must reproduce the stepped schedule's
+        // summaries exactly for the runs to stay bit-identical.
+        for scheme in [SchemeKind::UiUa, SchemeKind::MiMaCol, SchemeKind::MiMaAdaptive] {
             let (c_slow, slow) = run_app_ff(scheme, 4, gen(), false);
             let (c_fast, fast) = run_app_ff(scheme, 4, gen(), true);
             assert_eq!(c_slow, c_fast, "{name}/{scheme}: cycle count diverged");
@@ -375,7 +387,7 @@ fn solo_flights_match_analytic_closed_form() {
     // simulator *exactly* — not within a tolerance — for solo worms on an
     // idle mesh: final consumption latency and every intermediate absorb
     // timestamp, for unicasts and the planned invalidation worms of all
-    // seven grouping schemes. Each flight runs express-off and express-on,
+    // nine grouping schemes. Each flight runs express-off and express-on,
     // so the closed form is simultaneously cross-validated against the
     // stepped engine and the reservation fast path.
     use wormdsm::analytic::solo_flight_latencies;
