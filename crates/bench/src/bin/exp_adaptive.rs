@@ -28,9 +28,9 @@
 //!                      [--quick] [--out BENCH_adaptive.json]`
 
 use std::collections::VecDeque;
-use wormdsm_bench::{arg, assert_coherent, flag, measure_txn_on, TxnResult};
+use wormdsm_bench::{arg, assert_coherent, flag, measure_txn_on, phases_json, TxnResult};
 use wormdsm_coherence::Addr;
-use wormdsm_core::{DsmSystem, MemOp, SchemeKind, SystemConfig, TxnProfiler};
+use wormdsm_core::{DsmSystem, MemOp, RunMeta, SchemeKind, SystemConfig, TxnProfiler};
 use wormdsm_mesh::topology::{Mesh2D, NodeId};
 use wormdsm_sim::profile::{validate_json, Phase};
 use wormdsm_sim::Rng;
@@ -179,13 +179,6 @@ fn run_hot(
     (latencies, util, profiler)
 }
 
-/// `"name": value` pairs for a phase array, in attribution order.
-fn phases_json(vals: impl Fn(Phase) -> String) -> String {
-    let pairs: Vec<String> =
-        Phase::ALL.iter().map(|p| format!("\"{}\": {}", p.name(), vals(*p))).collect();
-    format!("{{{}}}", pairs.join(", "))
-}
-
 fn phase_cells(p: &TxnProfiler) -> String {
     Phase::ALL.iter().map(|ph| format!(" {:>8.1}", p.mean_phase(*ph))).collect()
 }
@@ -197,6 +190,7 @@ fn check_profiler(ctx: &str, p: &TxnProfiler, txns: u64) {
 }
 
 fn main() {
+    let main_t0 = std::time::Instant::now();
     let k: usize = arg("--k", 8);
     let quick = flag("--quick");
     let d: usize = arg("--d", 6);
@@ -336,10 +330,12 @@ fn main() {
         concat!(
             "{{\n  \"k\": {k},\n  \"d\": {d},\n  \"trials\": {trials},\n",
             "  \"probes\": {probes},\n  \"hot_column\": {hc},\n  \"quick\": {quick},\n",
+            "  \"run_meta\": {run_meta},\n",
             "  \"phases\": [{phases}],\n  \"rows\": [\n{rows}\n  ],\n",
             "  \"verdict\": [\n{verdicts}\n  ]\n}}\n"
         ),
         k = k,
+        run_meta = RunMeta::capture(0).with_wall_s(main_t0.elapsed().as_secs_f64()).to_json(),
         d = d,
         trials = trials,
         probes = probes,

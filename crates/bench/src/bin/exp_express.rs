@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 use wormdsm_bench::{arg, assert_coherent, seeded_workload};
-use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig};
+use wormdsm_core::{DsmSystem, RunMeta, SchemeKind, SystemConfig};
 use wormdsm_sim::Registry;
 
 /// Metric names excluded from the bit-identity comparison (prefix match).
@@ -83,6 +83,7 @@ fn run_arm(app: &str, scheme: SchemeKind, k: usize, scale: u64, express: bool) -
 }
 
 fn main() {
+    let main_t0 = Instant::now();
     let k: usize = arg("--k", 4);
     let scale: u64 = arg("--compute-scale", 1);
     let out: String = arg("--out", "BENCH_express.json".to_string());
@@ -192,6 +193,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n  \"k\": {},\n  \"compute_scale\": {},\n  \"host_cores\": {},\n",
+            "  \"run_meta\": {},\n",
             "  \"baseline\": \"stepped arm, same binary (express off — the ",
             "pre-express engine path)\",\n",
             "  \"pr7_reference\": \"PR 7 exp_hotloop fast arm, same container, ",
@@ -204,6 +206,7 @@ fn main() {
         k,
         scale,
         host_cores,
+        RunMeta::capture(0).with_wall_s(main_t0.elapsed().as_secs_f64()).to_json(),
         total_hits,
         total_aborts,
         best_speedup,

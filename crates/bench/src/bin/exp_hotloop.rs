@@ -44,8 +44,8 @@
 //! bit-identical to one that was never interrupted.
 
 use std::time::Instant;
-use wormdsm_bench::{arg, assert_coherent, flag, seeded_workload, warn_on_trace_drops};
-use wormdsm_core::{DsmSystem, SchemeKind, SystemConfig, TraceLevel};
+use wormdsm_bench::{arg, assert_coherent, flag, seeded_workload, timed, warn_on_trace_drops};
+use wormdsm_core::{DsmSystem, RunMeta, SchemeKind, SystemConfig, TraceLevel};
 use wormdsm_sim::trace::TraceKind;
 use wormdsm_workloads::WindowStats;
 
@@ -155,9 +155,7 @@ fn run_arm_traced(
         sys.recorder_mut().set_capacity(1 << 20);
     }
     let w = seeded_workload(app, k * k, scale);
-    let t0 = Instant::now();
-    let r = w.run(&mut sys, 500_000_000).expect("application completes");
-    let wall_s = t0.elapsed().as_secs_f64();
+    let (r, wall_s) = timed(|| w.run(&mut sys, 500_000_000).expect("application completes"));
     assert_coherent(&sys, &format!("{app} k={k} T={tiles}"));
     (finish_arm(&sys, r.cycles, wall_s), sys)
 }
@@ -234,6 +232,7 @@ fn run_arm_windowed(
 const PR2_REF_CPS: [(&str, f64); 2] = [("bh", 372_990.0), ("apsp", 306_017.0)];
 
 fn partick_sweep(scheme: SchemeKind, out: &str) {
+    let t0 = Instant::now();
     const TILE_COUNTS: [usize; 4] = [1, 2, 4, 8];
     let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut rows = Vec::new();
@@ -411,6 +410,7 @@ fn partick_sweep(scheme: SchemeKind, out: &str) {
         concat!(
             "{{\n  \"scheme\": \"{}\",\n  \"compute_scale\": 1,\n",
             "  \"host_cores\": {},\n",
+            "  \"run_meta\": {},\n",
             "  \"spec_mode\": \"optimistic\",\n",
             "  \"pr2_ref\": {{{}, ",
             "\"note\": \"PR 2 binary, same reference container (1 core), ",
@@ -420,6 +420,11 @@ fn partick_sweep(scheme: SchemeKind, out: &str) {
         ),
         scheme.name(),
         host_cores,
+        RunMeta::capture(wormdsm_sim::pool::WorkerPool::sized_workers(
+            TILE_COUNTS[TILE_COUNTS.len() - 1] - 1,
+        ))
+        .with_wall_s(t0.elapsed().as_secs_f64())
+        .to_json(),
         pr2_ref,
         rows.join(",\n"),
         window_rows.join(",\n")
@@ -433,6 +438,7 @@ fn partick_sweep(scheme: SchemeKind, out: &str) {
 /// the untraced run bit for bit) and the recorded timelines must agree
 /// with the metrics the run reports.
 fn trace_mode(scheme: SchemeKind, k: usize, out: &str) {
+    let t0 = Instant::now();
     println!(
         "\n== H4: flight-recorder overhead, {0}x{0} {1}, compute scale 1 ==",
         k,
@@ -551,11 +557,13 @@ fn trace_mode(scheme: SchemeKind, k: usize, out: &str) {
     let json = format!(
         concat!(
             "{{\n  \"k\": {}, \n  \"scheme\": \"{}\",\n  \"compute_scale\": 1,\n",
+            "  \"run_meta\": {},\n",
             "  \"apps\": [\n{}\n  ],\n",
             "  \"timeline_txn\": {},\n  \"timeline\": {},\n  \"metrics\": {}\n}}\n"
         ),
         k,
         scheme.name(),
+        RunMeta::capture(0).with_wall_s(t0.elapsed().as_secs_f64()).to_json(),
         rows.join(",\n"),
         tl_txn,
         tl_json,
@@ -642,6 +650,7 @@ fn resume_mode(app: &str, scheme: SchemeKind, k: usize, scale: u64, path: &str) 
 }
 
 fn main() {
+    let main_t0 = Instant::now();
     let k: usize = arg("--k", 4);
     let scale: u64 = arg("--compute-scale", 256);
     let scheme_name: String = arg("--scheme", "MI-MA(col)".to_string());
@@ -806,8 +815,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"k\": {k},\n  \"scheme\": \"{}\",\n  \"compute_scale\": {scale},\n  \"apps\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"k\": {k},\n  \"scheme\": \"{}\",\n  \"compute_scale\": {scale},\n  \"run_meta\": {},\n  \"apps\": [\n{}\n  ]\n}}\n",
         scheme.name(),
+        RunMeta::capture(0).with_wall_s(main_t0.elapsed().as_secs_f64()).to_json(),
         rows.join(",\n")
     );
     std::fs::write(&out, json).expect("write results");
@@ -815,8 +825,9 @@ fn main() {
 
     if busy_ref {
         let json = format!(
-            "{{\n  \"k\": {k},\n  \"scheme\": \"{}\",\n  \"compute_scale\": 1,\n  \"apps\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"k\": {k},\n  \"scheme\": \"{}\",\n  \"compute_scale\": 1,\n  \"run_meta\": {},\n  \"apps\": [\n{}\n  ]\n}}\n",
             scheme.name(),
+            RunMeta::capture(0).with_wall_s(main_t0.elapsed().as_secs_f64()).to_json(),
             busy_rows.join(",\n")
         );
         std::fs::write(&busy_out, json).expect("write busy-cycle results");

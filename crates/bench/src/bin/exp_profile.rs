@@ -36,8 +36,8 @@
 //!                     [--probe-window 1024] [--out BENCH_profile.json]
 //!                     [--trace-out BENCH_profile.trace.json]`
 
-use wormdsm_bench::{arg, assert_coherent, seeded_workload};
-use wormdsm_core::{ContentionProbe, DsmSystem, SchemeKind, SystemConfig, TxnProfiler};
+use wormdsm_bench::{arg, assert_coherent, phases_json, seeded_workload};
+use wormdsm_core::{ContentionProbe, DsmSystem, RunMeta, SchemeKind, SystemConfig, TxnProfiler};
 use wormdsm_mesh::render::link_heatmap;
 use wormdsm_mesh::topology::Mesh2D;
 use wormdsm_sim::profile::chrome_trace::{self, CounterPoint, CounterTrack};
@@ -107,14 +107,8 @@ fn run_profiled(
     (out, sys, p, probe)
 }
 
-/// `"name": value` pairs for a phase array, in attribution order.
-fn phases_json(vals: impl Fn(Phase) -> String) -> String {
-    let pairs: Vec<String> =
-        Phase::ALL.iter().map(|p| format!("\"{}\": {}", p.name(), vals(*p))).collect();
-    format!("{{{}}}", pairs.join(", "))
-}
-
 fn main() {
+    let main_t0 = std::time::Instant::now();
     let k: usize = arg("--k", 4);
     let scale: u64 = arg("--compute-scale", 1);
     let ring: usize = arg("--ring", 4096);
@@ -252,10 +246,12 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n  \"k\": {k},\n  \"compute_scale\": {scale},\n  \"ring_capacity\": {ring},\n",
-            "  \"probe_window\": {pw},\n  \"phases\": [{phases}],\n  \"rows\": [\n{rows}\n  ]\n}}\n"
+            "  \"probe_window\": {pw},\n  \"run_meta\": {run_meta},\n",
+            "  \"phases\": [{phases}],\n  \"rows\": [\n{rows}\n  ]\n}}\n"
         ),
         k = k,
         scale = scale,
+        run_meta = RunMeta::capture(0).with_wall_s(main_t0.elapsed().as_secs_f64()).to_json(),
         ring = ring,
         pw = probe_window,
         phases =

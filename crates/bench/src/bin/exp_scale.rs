@@ -23,7 +23,7 @@
 use std::time::Instant;
 use wormdsm_bench::{arg, assert_coherent, measure_txn_on, row};
 use wormdsm_coherence::Addr;
-use wormdsm_core::{DsmSystem, MemOp, SchemeKind, SystemConfig};
+use wormdsm_core::{DsmSystem, MemOp, RunMeta, SchemeKind, SystemConfig};
 use wormdsm_mesh::Mesh2D;
 use wormdsm_sim::Rng;
 use wormdsm_workloads::{gen_pattern, Pattern, PatternKind};
@@ -161,6 +161,7 @@ fn d_values(k: usize) -> Vec<usize> {
 }
 
 fn main() {
+    let main_t0 = Instant::now();
     let ks_arg: String = arg("--ks", "8,16,32,64,128".to_string());
     let txns_arg: usize = arg("--txns", 64);
     let trials: usize = arg("--trials", 3);
@@ -276,12 +277,16 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n  \"ks\": {:?},\n  \"tiles\": {},\n  \"seed\": {},\n",
+            "  \"run_meta\": {},\n",
             "  \"throughput\": [\n{}\n  ],\n",
             "  \"latency_vs_sharers\": [\n{}\n  ]\n}}\n"
         ),
         ks,
         tiles,
         seed,
+        RunMeta::capture(wormdsm_sim::pool::WorkerPool::sized_workers(tiles.saturating_sub(1)))
+            .with_wall_s(main_t0.elapsed().as_secs_f64())
+            .to_json(),
         throughput_json.join(",\n"),
         latency_json.join(",\n")
     );

@@ -1,5 +1,5 @@
-//! Run every experiment (E1-E13 plus the H9 adaptive-scheme study),
-//! mirroring the paper's full evaluation.
+//! Run every experiment (E1-E13 plus the H9 adaptive-scheme study and
+//! the H10 farm smoke), mirroring the paper's full evaluation.
 //!
 //! Experiments run concurrently across the machine's cores (each is an
 //! independent process), but their captured output is printed strictly in
@@ -35,6 +35,7 @@ fn main() {
         ("exp_ablations", &[]),
         ("exp_sharing_classes", &[]),
         ("exp_adaptive", &[]),
+        ("farm", &["--smoke"]),
     ];
 
     let build = |name: &str, extra: &[&str]| {

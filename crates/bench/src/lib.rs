@@ -11,9 +11,6 @@ use wormdsm_coherence::Addr;
 use wormdsm_core::{DsmSystem, MemOp, SchemeKind, SystemConfig};
 use wormdsm_mesh::topology::{Mesh2D, NodeId};
 use wormdsm_sim::Rng;
-use wormdsm_workloads::apps::apsp::{self, ApspConfig};
-use wormdsm_workloads::apps::barnes_hut::{self, BarnesHutConfig};
-use wormdsm_workloads::apps::lu::{self, LuConfig};
 use wormdsm_workloads::{gen_pattern, Pattern, PatternKind, Workload};
 
 /// Measured outcome of one seeded invalidation transaction.
@@ -50,36 +47,28 @@ pub fn assert_coherent(sys: &DsmSystem, context: &str) {
     }
 }
 
-/// The three seeded applications ("bh", "lu", "apsp") with their compute
-/// phases scaled up by `scale`. Base costs model a 1-FLOP/cycle node:
-/// ~200 cycles per body-body force evaluation, ~1024 cycles per 8x8
-/// block multiply-add (2·8³ FLOPs), ~256 cycles per 64-entry row
-/// relaxation.
-///
-/// The generators are communication-extreme — they emit a shared-block
-/// access every few operations, whereas real scientific codes retire
-/// hundreds to thousands of compute cycles per coherence miss. The scale
-/// factor restores that ratio; `exp_hotloop`'s default (256) puts all
-/// three apps in the compute-dominated regime where >95% of simulated
-/// cycles are dead, while scale 1 is the busy-cycle regime the golden
-/// references are recorded in. Problem sizes scale with the machine only
-/// once it outgrows the reference sizes (64 bodies / 64x64 matrices), so
-/// every k <= 8 configuration is byte-identical to the historical
-/// fixed-size runs while k = 16 (256 processors) stays valid
-/// (`bodies >= procs`, `n >= procs`).
+/// Time one invocation of `f`: `(result, wall_seconds)`.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// `"name": value` pairs for a phase breakdown, in attribution order —
+/// the JSON shape shared by every `BENCH_*.json` phase field.
+pub fn phases_json(vals: impl Fn(wormdsm_core::Phase) -> String) -> String {
+    let pairs: Vec<String> = wormdsm_core::Phase::ALL
+        .iter()
+        .map(|p| format!("\"{}\": {}", p.name(), vals(*p)))
+        .collect();
+    format!("{{{}}}", pairs.join(", "))
+}
+
+/// Panicking convenience wrapper over [`wormdsm_workloads::apps::seeded`]
+/// (the canonical generator; see its docs for costs and size policy) for
+/// the `exp_*` binaries, whose app names come from trusted CLI defaults.
 pub fn seeded_workload(app: &str, procs: usize, scale: u64) -> Workload {
-    match app {
-        "bh" => barnes_hut::generate(&BarnesHutConfig {
-            procs,
-            bodies: 64.max(procs),
-            steps: 2,
-            force_cost: 200 * scale,
-            ..Default::default()
-        }),
-        "lu" => lu::generate(&LuConfig { n: 64, block: 8, procs, flop_cost: 1024 * scale }),
-        "apsp" => apsp::generate(&ApspConfig { n: 64.max(procs), procs, relax_cost: 256 * scale }),
-        other => panic!("unknown app {other}"),
-    }
+    wormdsm_workloads::apps::seeded(app, procs, scale).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Check the flight-recorder ring for overflow after a traced run.

@@ -33,7 +33,9 @@ pub mod schemes;
 pub mod system;
 
 pub use config::{ConsistencyModel, SystemConfig};
-pub use metrics::Metrics;
+pub use metrics::{
+    to_prometheus, Metrics, RunMeta, NONDETERMINISTIC_METRIC_PREFIXES, RUN_SCHEMA_VERSION,
+};
 pub use plan::{AckAction, InvalPlan, PlannedWorm};
 pub use schemes::{InvalidationScheme, SchemeKind};
 pub use system::{DsmSystem, MemOp, SimError};

@@ -150,6 +150,17 @@ impl SchemeKind {
         }
     }
 
+    /// Inverse of [`name`](Self::name): resolve a scheme from its short
+    /// name, case-insensitively and ignoring surrounding whitespace
+    /// (`"mi-ma(tree)"`, `" DPM "`). This is the single parse point for
+    /// every external surface that names schemes as strings — CLI args,
+    /// farm job submissions — so a new scheme added to [`ALL`](Self::ALL)
+    /// becomes parseable without touching callers.
+    pub fn parse(s: &str) -> Option<Self> {
+        let t = s.trim();
+        Self::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(t))
+    }
+
     /// The base routing the scheme is designed for.
     ///
     /// Exhaustive on purpose: adding a scheme must force a decision here
@@ -211,6 +222,20 @@ mod tests {
             assert!(!s.name().is_empty());
             assert!(s.compatible_with(k.natural_routing()), "{k} incompatible with its routing");
         }
+    }
+
+    /// `parse` must round-trip every scheme's `name()` and stay total
+    /// over the `ALL` list, so string surfaces (CLI, farm jobs) can never
+    /// drift from the enum.
+    #[test]
+    fn parse_round_trips_every_scheme_name() {
+        for k in SchemeKind::ALL {
+            assert_eq!(SchemeKind::parse(k.name()), Some(k));
+            assert_eq!(SchemeKind::parse(&k.name().to_ascii_lowercase()), Some(k));
+            assert_eq!(SchemeKind::parse(&format!("  {}  ", k.name())), Some(k));
+        }
+        assert_eq!(SchemeKind::parse("MI-MA(nope)"), None);
+        assert_eq!(SchemeKind::parse(""), None);
     }
 
     #[test]

@@ -553,6 +553,16 @@ impl ContentionProbe {
         &self.windows
     }
 
+    /// Windows committed after the first `seen` — the incremental-poll
+    /// hook for live telemetry consumers (the experiment farm drains new
+    /// windows at every job window boundary, keeping a cursor of how
+    /// many it has already streamed). A cursor beyond the committed
+    /// count yields an empty slice rather than panicking, so a consumer
+    /// surviving a probe reset degrades gracefully.
+    pub fn windows_since(&self, seen: usize) -> &[ContentionWindow] {
+        &self.windows[seen.min(self.windows.len())..]
+    }
+
     /// Total flits forwarded per directed link (`node * 4 + dir`).
     pub fn busy_total(&self) -> &[u64] {
         &self.busy_total

@@ -211,3 +211,29 @@ fn probe_partial_window_flushes_on_finish() {
     net.finish_contention_probe();
     assert_eq!(net.contention_probe().unwrap().windows().len(), 1);
 }
+
+/// `windows_since` is the incremental-poll API for live telemetry: a
+/// consumer keeps a cursor of windows already streamed and asks only for
+/// the suffix. The slice must line up with `windows()`, and a stale or
+/// overshooting cursor must degrade to empty rather than panic.
+#[test]
+fn probe_windows_since_is_an_incremental_cursor() {
+    use wormdsm_mesh::ContentionProbe;
+    let mut probe = ContentionProbe::new(4, 2, 10);
+    // Three activity bursts in three distinct windows.
+    probe.record_forward(3, 0, 0);
+    probe.record_forward(15, 1, 1);
+    probe.record_forward(27, 2, 0);
+    probe.finish();
+    assert_eq!(probe.windows().len(), 3);
+    assert_eq!(probe.windows_since(0), probe.windows());
+    assert_eq!(probe.windows_since(2).len(), 1);
+    assert_eq!(probe.windows_since(2)[0].start, 20);
+    assert!(probe.windows_since(3).is_empty(), "caught-up cursor sees nothing");
+    assert!(probe.windows_since(99).is_empty(), "overshoot clamps, no panic");
+    // New activity after a poll shows up exactly once at the old cursor.
+    probe.record_forward(42, 0, 1);
+    probe.finish();
+    assert_eq!(probe.windows_since(3).len(), 1);
+    assert_eq!(probe.windows_since(3)[0].start, 40);
+}

@@ -27,6 +27,7 @@ pub mod flat;
 pub mod inline_vec;
 pub mod pool;
 pub mod profile;
+pub mod ring;
 pub mod rng;
 pub mod slab;
 pub mod snap;
@@ -39,12 +40,13 @@ pub use flat::FlatMap;
 pub use inline_vec::InlineVec;
 pub use pool::WorkerPool;
 pub use profile::{Phase, TxnProfiler, TxnRecord};
+pub use ring::BoundedRing;
 pub use rng::Rng;
 pub use slab::{Strided, StridedView};
 pub use snap::{fnv64, Fnv64, Snap, SnapError, SnapReader, SnapWriter};
 pub use stats::{Counter, Histogram, Metric, Registry, Summary, TimeWeighted};
 pub use trace::{
-    FlightRecorder, InvariantViolation, TraceClass, TraceEvent, TraceKind, TraceLevel,
+    EventTap, FlightRecorder, InvariantViolation, TraceClass, TraceEvent, TraceKind, TraceLevel,
 };
 
 /// Simulated time, measured in network cycles.

@@ -1,0 +1,129 @@
+//! Bounded drop-oldest ring for telemetry fan-out.
+//!
+//! The experiment-farm service streams simulator telemetry to an unknown
+//! number of HTTP subscribers, and the one invariant that protects
+//! determinism is: *a slow consumer must never exert backpressure on the
+//! simulation thread*. [`BoundedRing`] is the building block that makes
+//! that invariant structural — `push` always succeeds in O(1), evicting
+//! the oldest element when full and counting the loss, so the producer's
+//! timing is independent of how fast (or whether) anyone drains.
+//!
+//! Unlike the [`FlightRecorder`](crate::trace::FlightRecorder)'s event
+//! ring (a fixed-capacity inspection buffer), this ring is a *queue*:
+//! elements are removed by [`BoundedRing::drain`] and each element is
+//! observed at most once.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO that drops its oldest element on overflow.
+///
+/// Every drop is counted; [`BoundedRing::take_dropped`] hands the count
+/// to the consumer so silent loss can be surfaced (the farm's SSE layer
+/// emits a `dropped` notice before the next event batch).
+#[derive(Debug, Clone)]
+pub struct BoundedRing<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> BoundedRing<T> {
+    /// Ring holding at most `capacity` elements (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Append `v`, evicting the oldest element if the ring is full.
+    /// Never fails, never blocks, never reallocates past `capacity`.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(v);
+    }
+
+    /// Remove and return every held element, oldest first.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum elements held before eviction starts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime count of evicted elements.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Return the drop count accumulated since the last call and reset
+    /// it — the "you missed N events" notice for a draining consumer.
+    pub fn take_dropped(&mut self) -> u64 {
+        std::mem::take(&mut self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let mut r = BoundedRing::new(4);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.drain(), vec![0, 1, 2, 3]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut r = BoundedRing::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3, "never exceeds capacity");
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.drain(), vec![7, 8, 9], "newest survive, oldest evicted");
+        assert_eq!(r.take_dropped(), 7);
+        assert_eq!(r.dropped(), 0, "take_dropped resets");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = BoundedRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.drain(), vec!["b"]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_then_refill_keeps_counting() {
+        let mut r = BoundedRing::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // drops 1
+        assert_eq!(r.drain(), vec![2, 3]);
+        r.push(4);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1, "drop count survives drain until taken");
+    }
+}

@@ -495,7 +495,7 @@ impl Metric {
 ///
 /// Insertion order is preserved (deterministic output); re-registering a
 /// name overwrites its value in place.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     entries: Vec<(String, Metric)>,
 }

@@ -312,11 +312,36 @@ impl TraceEvent {
 /// small-config run while staying a few hundred KiB.
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
+/// A streaming observer of recorded events, fed from
+/// [`FlightRecorder::push`] *beside* the ring write — after the attached
+/// profiler, before the ring — so, like the profiler, what a tap sees is
+/// independent of ring capacity and survives ring overflow.
+///
+/// Taps are pure observers: no simulation decision may read them, and a
+/// tap must never block (the experiment farm's taps forward into a
+/// bounded drop-oldest [`BoundedRing`](crate::ring::BoundedRing) for
+/// exactly this reason). Like every trace consumer, a tap only observes
+/// events that pass the [`TraceLevel`] gate.
+pub trait EventTap: Send {
+    /// Observe one event as it is recorded.
+    fn observe(&mut self, at: Cycle, kind: &TraceKind);
+    /// Clone this tap into a new box (keeps [`FlightRecorder`]
+    /// clonable; taps that share state behind an `Arc` clone the
+    /// handle).
+    fn box_clone(&self) -> Box<dyn EventTap>;
+}
+
+impl Clone for Box<dyn EventTap> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
 /// Fixed-capacity ring buffer of [`TraceEvent`]s.
 ///
 /// The recorder never allocates after construction; once full, the oldest
 /// event is overwritten and [`FlightRecorder::dropped`] counts the loss.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FlightRecorder {
     level: TraceLevel,
     buf: Vec<TraceEvent>,
@@ -329,6 +354,23 @@ pub struct FlightRecorder {
     /// *before* the ring write, so its attribution survives ring
     /// overflow (see [`crate::profile`]).
     profiler: Option<Box<TxnProfiler>>,
+    /// Streaming observers fed after the profiler, before the ring write
+    /// (telemetry fan-out for the experiment farm; see [`EventTap`]).
+    taps: Vec<Box<dyn EventTap>>,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("level", &self.level)
+            .field("len", &self.buf.len())
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.next_seq)
+            .field("dropped", &self.dropped)
+            .field("profiler", &self.profiler.is_some())
+            .field("taps", &self.taps.len())
+            .finish()
+    }
 }
 
 impl Default for FlightRecorder {
@@ -351,6 +393,7 @@ impl FlightRecorder {
             next_seq: 0,
             dropped: 0,
             profiler: None,
+            taps: Vec::new(),
         }
     }
 
@@ -391,10 +434,13 @@ impl FlightRecorder {
     /// does).
     #[cold]
     pub fn push(&mut self, at: Cycle, kind: TraceKind) {
-        // The profiler observes every event *before* the ring write, so
-        // its attribution is independent of ring capacity.
+        // The profiler and taps observe every event *before* the ring
+        // write, so what they see is independent of ring capacity.
         if let Some(p) = self.profiler.as_deref_mut() {
             p.observe(at, &kind);
+        }
+        for tap in &mut self.taps {
+            tap.observe(at, &kind);
         }
         let ev = TraceEvent { at, seq: self.next_seq, kind };
         self.next_seq += 1;
@@ -507,6 +553,24 @@ impl FlightRecorder {
     /// The attached profiler, if any.
     pub fn profiler(&self) -> Option<&TxnProfiler> {
         self.profiler.as_deref()
+    }
+
+    /// Attach a streaming [`EventTap`]; it observes every event pushed
+    /// from now on, alongside any other attached taps.
+    pub fn attach_tap(&mut self, tap: Box<dyn EventTap>) {
+        self.taps.push(tap);
+    }
+
+    /// Number of attached taps. A consumer that re-creates the recorder
+    /// (snapshot restore, rollback) can use this to notice its tap is
+    /// gone and re-attach.
+    pub fn taps_attached(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Detach every tap.
+    pub fn clear_taps(&mut self) {
+        self.taps.clear();
     }
 
     /// Dump the full ring as a JSON array of event objects.
@@ -663,6 +727,53 @@ mod tests {
 
     fn ev(i: u64) -> TraceKind {
         TraceKind::FastForward { from: i, to: i + 1 }
+    }
+
+    /// Tap that counts observations into a shared cell.
+    #[derive(Clone)]
+    struct CountingTap(std::sync::Arc<std::sync::Mutex<Vec<Cycle>>>);
+
+    impl EventTap for CountingTap {
+        fn observe(&mut self, at: Cycle, _kind: &TraceKind) {
+            self.0.lock().unwrap().push(at);
+        }
+        fn box_clone(&self) -> Box<dyn EventTap> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn tap_sees_every_event_despite_ring_overflow() {
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut r = FlightRecorder::new(2); // tiny ring: most events overwritten
+        r.set_level(TraceLevel::Txn);
+        r.attach_tap(Box::new(CountingTap(std::sync::Arc::clone(&seen))));
+        assert_eq!(r.taps_attached(), 1);
+        for i in 0..10 {
+            r.push(i, ev(i));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 8, "ring overflowed");
+        assert_eq!(seen.lock().unwrap().len(), 10, "tap saw every event anyway");
+        assert_eq!(*seen.lock().unwrap(), (0..10).collect::<Vec<_>>());
+        r.clear_taps();
+        r.push(99, ev(99));
+        assert_eq!(seen.lock().unwrap().len(), 10, "detached tap sees nothing");
+        assert_eq!(r.taps_attached(), 0);
+    }
+
+    #[test]
+    fn cloned_recorder_clones_taps() {
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut r = FlightRecorder::new(8);
+        r.set_level(TraceLevel::Txn);
+        r.attach_tap(Box::new(CountingTap(std::sync::Arc::clone(&seen))));
+        let mut r2 = r.clone();
+        assert_eq!(r2.taps_attached(), 1);
+        r2.push(7, ev(7));
+        assert_eq!(*seen.lock().unwrap(), vec![7], "Arc-backed tap clone shares the sink");
+        let dbg = format!("{r2:?}");
+        assert!(dbg.contains("taps: 1"), "{dbg}");
     }
 
     #[test]

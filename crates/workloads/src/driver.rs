@@ -260,25 +260,41 @@ impl Workload {
         result.map(|r| (r, ws))
     }
 
-    /// Run to completion, handing a resumable checkpoint to `sink` every
-    /// `every` cycles (the bench driver's `--snapshot-every`). The
-    /// checkpoint at a boundary captures the state *before* that cycle's
-    /// issue pass, so resuming it replays the remainder bit-identically.
-    pub fn run_checkpointed(
+    /// Run toward completion in `every`-cycle observation windows, giving
+    /// `observer` control at each window boundary — the driver hook for
+    /// live telemetry (progress reporting, event draining, shutdown
+    /// polling) that must not touch the issue path.
+    ///
+    /// At each boundary the observer sees the system *before* that
+    /// cycle's issue pass — the same point [`Workload::checkpoint`]
+    /// captures — and returns `true` to keep running or `false` to pause;
+    /// a pause returns `Ok(None)` with `st` holding exactly the progress
+    /// an uninterrupted run would have at that cycle, so the caller can
+    /// checkpoint and later continue with [`Workload::run_from`] (or
+    /// another `run_observed`) bit-identically. Completion returns
+    /// `Ok(Some(result))` with `cycles` counting this call only and
+    /// `issued` the state's lifetime total, matching
+    /// [`Workload::run_from`].
+    ///
+    /// The observer may read anything (metrics, probes, the recorder) and
+    /// may mutate pure observation layers — attach taps, drain probe
+    /// windows — but must leave simulated state alone; the determinism
+    /// tests pin that contract.
+    pub fn run_observed(
         &self,
         sys: &mut DsmSystem,
+        st: &mut IssueState,
         max_cycles: Cycle,
         every: Cycle,
-        mut sink: impl FnMut(Cycle, Vec<u8>),
-    ) -> Result<RunResult, String> {
-        assert!(every >= 1, "checkpoint interval must be at least one cycle");
+        mut observer: impl FnMut(&mut DsmSystem, &IssueState) -> bool,
+    ) -> Result<Option<RunResult>, String> {
+        assert!(every >= 1, "observation interval must be at least one cycle");
         let start = sys.now();
         let deadline = start + max_cycles;
-        let mut st = self.start();
         loop {
             let stop = (sys.now() + every - 1).min(deadline);
-            if self.advance(sys, &mut st, stop)? {
-                return Ok(RunResult { cycles: sys.now() - start, issued: st.issued });
+            if self.advance(sys, st, stop)? {
+                return Ok(Some(RunResult { cycles: sys.now() - start, issued: st.issued }));
             }
             if sys.now() > deadline {
                 let left = self.total_ops() as u64 - st.issued;
@@ -287,8 +303,32 @@ impl Workload {
                     st.issued
                 ));
             }
-            sink(sys.now(), Self::checkpoint(sys, &st));
+            if !observer(sys, st) {
+                return Ok(None);
+            }
         }
+    }
+
+    /// Run to completion, handing a resumable checkpoint to `sink` every
+    /// `every` cycles (the bench driver's `--snapshot-every`). The
+    /// checkpoint at a boundary captures the state *before* that cycle's
+    /// issue pass, so resuming it replays the remainder bit-identically.
+    /// A thin wrapper over [`Workload::run_observed`] whose observer
+    /// always continues.
+    pub fn run_checkpointed(
+        &self,
+        sys: &mut DsmSystem,
+        max_cycles: Cycle,
+        every: Cycle,
+        mut sink: impl FnMut(Cycle, Vec<u8>),
+    ) -> Result<RunResult, String> {
+        assert!(every >= 1, "checkpoint interval must be at least one cycle");
+        let mut st = self.start();
+        let r = self.run_observed(sys, &mut st, max_cycles, every, |sys, st| {
+            sink(sys.now(), Self::checkpoint(sys, st));
+            true
+        })?;
+        Ok(r.expect("observer never pauses"))
     }
 
     /// Serialize a resumable checkpoint: the full system snapshot plus
@@ -445,6 +485,55 @@ mod tests {
         assert_eq!(st.issued, r_whole.issued);
         assert_eq!(sliced.now(), whole.now());
         assert_eq!(sliced.export_metrics().to_json(), whole.export_metrics().to_json());
+    }
+
+    /// A run paused by the observer and continued — in the same process
+    /// or from a checkpoint taken at the pause point — must be
+    /// bit-identical to the uninterrupted run. This is the farm's
+    /// graceful-shutdown contract.
+    #[test]
+    fn observed_pause_and_resume_is_bit_identical() {
+        let w = sharing_workload();
+        let mut whole = sys();
+        let r_whole = w.run(&mut whole, 500_000).unwrap();
+
+        // Pause after 3 boundaries, checkpoint, then finish both the
+        // live system and a system rebuilt from the checkpoint.
+        let mut live = sys();
+        let mut st = w.start();
+        let mut boundaries = 0;
+        let paused = w
+            .run_observed(&mut live, &mut st, 500_000, 50, |_, _| {
+                boundaries += 1;
+                boundaries < 3
+            })
+            .unwrap();
+        assert!(paused.is_none(), "observer paused the run");
+        assert_eq!(boundaries, 3);
+        assert!(st.issued() > 0 && st.issued() < r_whole.issued, "paused mid-run");
+        let bytes = Workload::checkpoint(&mut live, &st);
+
+        let r_live = w.run_from(&mut live, &mut st, 500_000).unwrap();
+        assert_eq!(r_live.issued, r_whole.issued);
+        assert_eq!(live.export_metrics().to_json(), whole.export_metrics().to_json());
+
+        let cfg = SystemConfig::for_scheme(4, SchemeKind::UiUa);
+        let (mut rebuilt, mut st2) = w.resume(cfg, SchemeKind::UiUa.build(), &bytes).unwrap();
+        let mut observed = 0;
+        let r2 = w
+            .run_observed(&mut rebuilt, &mut st2, 500_000, 50, |sys, st| {
+                // Observer reads are free; progress is monotone.
+                assert!(st.issued() <= w.total_ops() as u64);
+                assert!(sys.now() > 0);
+                observed += 1;
+                true
+            })
+            .unwrap()
+            .expect("runs to completion");
+        assert!(observed >= 1, "completion crossed at least one boundary");
+        assert_eq!(r2.issued, r_whole.issued);
+        assert_eq!(rebuilt.now(), whole.now());
+        assert_eq!(rebuilt.export_metrics().to_json(), whole.export_metrics().to_json());
     }
 
     /// The checkpoint/resume pair must reproduce the uninterrupted run's
